@@ -1,0 +1,62 @@
+// E2 — Theorem 3's t-dependence at fixed n: expected rounds grow linearly in
+// t modulo the √ln(2+t/√n) correction. The final remark of §4 says the same
+// protocol covers every t < n.
+#include "bench_util.hpp"
+
+#include <vector>
+
+namespace synran::bench {
+namespace {
+
+void tables() {
+  std::cout << "E2 — round count vs fault budget t at fixed n "
+               "(Theorem 3)\n\n";
+
+  const std::uint32_t n = 1024;
+  Table table("E2: n = 1024, t sweep, coin-bias adversary");
+  table.header({"t", "t/√n", "reps", "rounds(mean)", "±stderr", "theory",
+                "ratio"});
+
+  std::vector<double> theory_pts, measured, ts;
+  SynRanFactory factory;
+  for (std::uint32_t t : {32u, 64u, 128u, 256u, 384u, 512u, 768u, 1023u}) {
+    const auto stats = attack_run(factory, n, t, InputPattern::Half,
+                                  reps_for(n), kSeed + t);
+    const double th = theory::tight_round_bound(n, t);
+    theory_pts.push_back(th);
+    measured.push_back(stats.rounds_to_decision.mean());
+    ts.push_back(t);
+    table.row({static_cast<long long>(t),
+               static_cast<double>(t) / 32.0,
+               static_cast<long long>(stats.reps),
+               stats.rounds_to_decision.mean(),
+               stats.rounds_to_decision.stderr_mean(), th,
+               stats.rounds_to_decision.mean() / th});
+    if (!stats.all_safe()) emit(table, false);
+  }
+  emit(table);
+
+  const auto shape = fit_scale(theory_pts, measured);
+  std::cout << "  shape fit against t/√(n·ln(2+t/√n)): scale = "
+            << shape.scale << ", R² = " << shape.r2
+            << ", ratio spread = " << shape.ratio_spread() << "\n";
+  // The dominant behaviour is linear in t; report the linear fit too.
+  const auto line = fit_linear(ts, measured);
+  std::cout << "  raw linear fit: rounds ≈ " << line.slope << "·t + "
+            << line.intercept << " (R² = " << line.r2 << ")\n\n";
+}
+
+void BM_TightBoundCurve(::benchmark::State& state) {
+  double acc = 0;
+  for (auto _ : state) {
+    for (double t = 1; t < 1024; t += 1)
+      acc += synran::theory::tight_round_bound(1024.0, t);
+    ::benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TightBoundCurve);
+
+}  // namespace
+}  // namespace synran::bench
+
+SYNRAN_BENCH_MAIN(synran::bench::tables)

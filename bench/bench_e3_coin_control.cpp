@@ -1,0 +1,101 @@
+// E3 — Lemma 2.1 / Corollary 2.2: with budget above k·4√(n·ln n) the
+// adversary controls some outcome of ANY one-round game with probability
+// > 1 − 1/n; measured as min_v Pr(U^v) over sampled inputs.
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "coin/forcing.hpp"
+#include "coin/games.hpp"
+
+namespace synran::bench {
+namespace {
+
+void control_rows(Table& table, const CoinGame& game, std::uint32_t n,
+                  double budget_factor, std::size_t samples) {
+  const double unit = std::sqrt(static_cast<double>(n) *
+                                std::log(static_cast<double>(n)));
+  const auto budget =
+      static_cast<std::uint32_t>(budget_factor * 4.0 * unit *
+                                 static_cast<double>(game.outcomes() == 2
+                                                         ? 1
+                                                         : game.outcomes()));
+  const auto est = estimate_control(game, budget, samples, kSeed + n);
+  table.row({std::string(game.name()), static_cast<long long>(n),
+             static_cast<long long>(budget), budget_factor,
+             est.min_pr_unforceable(), 1.0 / static_cast<double>(n),
+             std::string(est.min_pr_unforceable() <
+                                 1.0 / static_cast<double>(n) +
+                                     2.0 / std::sqrt(double(samples))
+                             ? "yes"
+                             : "NO"),
+             static_cast<long long>(est.best_outcome())});
+}
+
+void tables() {
+  std::cout << "E3 — adversary control of one-round games "
+               "(Lemma 2.1, Corollary 2.2)\n\n";
+
+  Table table("E3a: min_v Pr(U^v) at the paper budget k·4√(n·ln n)");
+  table.header({"game", "n", "budget", "factor", "min Pr(U^v)", "1/n",
+                "controlled", "toward"});
+  for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+    MajorityPresentGame maj(n);
+    MajorityDefaultZeroGame mdz(n);
+    ParityPresentGame par(n);
+    LeaderBitGame lead(n);
+    control_rows(table, maj, n, 1.0, 400);
+    control_rows(table, mdz, n, 1.0, 400);
+    control_rows(table, par, n, 1.0, 400);
+    control_rows(table, lead, n, 1.0, 400);
+  }
+  emit(table);
+
+  Table sweep("E3b: budget sweep (majority-present, n = 1024)");
+  sweep.header({"budget", "/4√(n·ln n)", "Pr(U^0)", "Pr(U^1)",
+                "min Pr(U^v)"});
+  const std::uint32_t n = 1024;
+  const double unit = 4.0 * std::sqrt(1024.0 * std::log(1024.0));
+  MajorityPresentGame game(n);
+  for (double f : {0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0}) {
+    const auto budget = static_cast<std::uint32_t>(f * unit);
+    const auto est = estimate_control(game, budget, 400, kSeed + budget);
+    sweep.row({static_cast<long long>(budget), f, est.pr_unforceable[0],
+               est.pr_unforceable[1], est.min_pr_unforceable()});
+  }
+  emit(sweep);
+
+  // Multi-outcome game: exhaustive forcing on a small instance shows every
+  // residue reachable with a small budget (the k-outcome clause).
+  Table multi("E3c: k-outcome control (mod-sum, exhaustive, n = 18)");
+  multi.header({"k", "budget", "min Pr(U^v)", "1/n", "controlled"});
+  for (std::uint32_t k : {2u, 3u, 4u}) {
+    ModSumGame game2(18, k);
+    ForcingOptions fo;
+    fo.exhaustive_max_players = 18;
+    fo.exhaustive_max_budget = 3;
+    const auto est = estimate_control(game2, 3, 300, kSeed + k, fo);
+    multi.row({static_cast<long long>(k), 3LL, est.min_pr_unforceable(),
+               1.0 / 18.0,
+               std::string(est.min_pr_unforceable() < 0.1 ? "yes" : "NO")});
+  }
+  emit(multi);
+}
+
+void BM_EstimateControl(::benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  MajorityPresentGame game(n);
+  const auto budget = static_cast<std::uint32_t>(
+      4.0 * std::sqrt(n * std::log(static_cast<double>(n))));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto est = estimate_control(game, budget, 50, ++seed);
+    ::benchmark::DoNotOptimize(est.samples);
+  }
+}
+BENCHMARK(BM_EstimateControl)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace synran::bench
+
+SYNRAN_BENCH_MAIN(synran::bench::tables)

@@ -1,0 +1,104 @@
+// E4 — §2's one-sidedness: majority-with-default-0 can be pushed toward 0
+// with Θ(√n) hidings but can never be pushed toward 1 — the structural fact
+// SynRan's Z=0 rule is built on.
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "coin/forcing.hpp"
+#include "coin/games.hpp"
+
+namespace synran::bench {
+namespace {
+
+void tables() {
+  std::cout << "E4 — one-side bias of majority-with-default-0 (§2)\n\n";
+
+  Table table("E4a: forceability of each direction, budget 4√(n·ln n)");
+  table.header({"n", "budget", "Pr(U^0)", "Pr(U^1)",
+                "Pr(draw is 1-majority)", "note"});
+  for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto budget = static_cast<std::uint32_t>(
+        4.0 * std::sqrt(n * std::log(static_cast<double>(n))));
+    MajorityDefaultZeroGame game(n);
+    const auto est = estimate_control(game, budget, 500, kSeed + n);
+    // Pr(U^1) must equal the probability the draw already lost: forcing 1
+    // is impossible once the visible 1s are not a majority.
+    Xoshiro256 rng(kSeed + n);
+    std::size_t already_one = 0;
+    std::vector<GameValue> v;
+    DynBitset none(n);
+    for (int s = 0; s < 500; ++s) {
+      game.sample(rng, v);
+      if (game.outcome(v, none) == 1) ++already_one;
+    }
+    table.row({static_cast<long long>(n), static_cast<long long>(budget),
+               est.pr_unforceable[0], est.pr_unforceable[1],
+               1.0 - static_cast<double>(already_one) / 500.0,
+               std::string("U^1 ≈ Pr(not already 1)")});
+  }
+  emit(table);
+
+  // Cost of the cheap direction: the hiding set needed to force 0 is the
+  // 1-surplus, which concentrates at Θ(√n).
+  Table cost("E4b: witness size to force 0 (when not already 0)");
+  cost.header({"n", "mean |hiding|", "p90 |hiding|", "√n", "mean/√n"});
+  for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+    MajorityDefaultZeroGame game(n);
+    Xoshiro256 rng(kSeed + 3 * n);
+    std::vector<GameValue> v;
+    std::vector<double> sizes;
+    Summary s;
+    for (int rep = 0; rep < 400; ++rep) {
+      game.sample(rng, v);
+      const auto res = can_force(game, v, 0, n);
+      if (!res.forced || res.hiding.count() == 0) continue;
+      s.add(static_cast<double>(res.hiding.count()));
+      sizes.push_back(static_cast<double>(res.hiding.count()));
+    }
+    const double rt = std::sqrt(static_cast<double>(n));
+    cost.row({static_cast<long long>(n), s.mean(),
+              sizes.empty() ? 0.0 : quantile(sizes, 0.9), rt,
+              s.mean() / rt});
+  }
+  emit(cost);
+
+  // Contrast: the symmetric game is cheap in BOTH directions.
+  Table sym("E4c: symmetric majority needs Θ(√n) either way");
+  sym.header({"n", "mean |hiding| → 0", "mean |hiding| → 1"});
+  for (std::uint32_t n : {256u, 1024u}) {
+    MajorityPresentGame game(n);
+    Xoshiro256 rng(kSeed + 5 * n);
+    std::vector<GameValue> v;
+    Summary to0, to1;
+    for (int rep = 0; rep < 300; ++rep) {
+      game.sample(rng, v);
+      for (std::uint32_t target = 0; target < 2; ++target) {
+        const auto res = can_force(game, v, target, n);
+        if (res.forced && res.hiding.count() > 0)
+          (target == 0 ? to0 : to1)
+              .add(static_cast<double>(res.hiding.count()));
+      }
+    }
+    sym.row({static_cast<long long>(n), to0.mean(), to1.mean()});
+  }
+  emit(sym);
+}
+
+void BM_ForceZero(::benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  MajorityDefaultZeroGame game(n);
+  Xoshiro256 rng(1);
+  std::vector<GameValue> v;
+  game.sample(rng, v);
+  for (auto _ : state) {
+    const auto res = can_force(game, v, 0, n);
+    ::benchmark::DoNotOptimize(res.forced);
+  }
+}
+BENCHMARK(BM_ForceZero)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace synran::bench
+
+SYNRAN_BENCH_MAIN(synran::bench::tables)

@@ -1,0 +1,80 @@
+// E6 — Lemma 4.4 / Corollary 4.5: the non-asymptotic binomial deviation
+// bound Pr(x − E(x) ≥ t√n) ≥ e^{−4(t+1)²}/√(2π), validated against the
+// exact tail and a Monte-Carlo estimate, plus the Hoeffding upper bound for
+// scale.
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "analysis/binomial.hpp"
+
+namespace synran::bench {
+namespace {
+
+void tables() {
+  std::cout << "E6 — large-deviation bound (Lemma 4.4, Corollary 4.5)\n\n";
+
+  Table table("E6a: exact binomial tail vs the paper's lower bound");
+  table.header({"n", "t", "threshold k", "exact tail", "lemma 4.4 LB",
+                "exact/LB", "hoeffding UB"});
+  for (std::uint64_t n : {64u, 256u, 1024u, 4096u}) {
+    const double sqrt_n = std::sqrt(static_cast<double>(n));
+    for (double t : {0.25, 0.5, 1.0, std::sqrt(std::log(double(n))) / 8.0}) {
+      if (t >= sqrt_n / 8.0) continue;
+      const auto k = static_cast<std::uint64_t>(
+          std::ceil(n / 2.0 + t * sqrt_n));
+      const double exact = binomial_upper_tail(n, k, 0.5);
+      const double lb = lemma44_lower_bound(t);
+      table.row({static_cast<long long>(n), t, static_cast<long long>(k),
+                 exact, lb, exact / lb,
+                 hoeffding_upper_bound(static_cast<double>(n),
+                                       t * sqrt_n)});
+    }
+  }
+  table.precision(6);
+  emit(table);
+
+  Table cor("E6b: Corollary 4.5 — Pr(x−E(x) ≥ √(n·ln n)/8) ≥ √(ln n/n)");
+  cor.header({"n", "exact tail", "√(ln n/n)", "holds", "MC estimate"});
+  for (std::uint64_t n : {256u, 1024u, 4096u}) {
+    const double thresh = std::sqrt(n * std::log(double(n))) / 8.0;
+    const auto k =
+        static_cast<std::uint64_t>(std::ceil(n / 2.0 + thresh));
+    const double exact = binomial_upper_tail(n, k, 0.5);
+    const double target = std::sqrt(std::log(double(n)) / double(n));
+
+    // Monte-Carlo cross-check of the exact computation.
+    Xoshiro256 rng(kSeed + n);
+    const int reps = 20000;
+    int hits = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::uint64_t ones = 0;
+      for (std::uint64_t i = 0; i < n; i += 64) {
+        const std::uint64_t chunk = std::min<std::uint64_t>(64, n - i);
+        const std::uint64_t word =
+            chunk == 64 ? rng.next() : (rng.next() >> (64 - chunk));
+        ones += static_cast<std::uint64_t>(__builtin_popcountll(word));
+      }
+      if (ones >= k) ++hits;
+    }
+    cor.row({static_cast<long long>(n), exact, target,
+             std::string(exact >= target ? "yes" : "NO"),
+             static_cast<double>(hits) / reps});
+  }
+  cor.precision(5);
+  emit(cor);
+}
+
+void BM_ExactTail(::benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const double tail = binomial_upper_tail(n, n / 2 + n / 32, 0.5);
+    ::benchmark::DoNotOptimize(tail);
+  }
+}
+BENCHMARK(BM_ExactTail)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace synran::bench
+
+SYNRAN_BENCH_MAIN(synran::bench::tables)

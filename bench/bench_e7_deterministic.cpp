@@ -1,0 +1,95 @@
+// E7 — the deterministic baseline: FloodMin always pays t+1 rounds (the
+// classic deterministic lower bound), early-deciding FloodMin pays
+// min(f+2, t+1) and is dragged back to the worst case by the chain
+// adversary, and SynRan overtakes both once t ≫ √(n·ln n).
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "adversary/basic.hpp"
+#include "protocols/floodmin.hpp"
+
+namespace synran::bench {
+namespace {
+
+void tables() {
+  std::cout << "E7 — deterministic t+1 baseline vs SynRan (§1, [Lyn96], "
+               "[GM93])\n\n";
+
+  const std::uint32_t n = 256;
+  Table table("E7a: rounds to decision at n = 256");
+  table.header({"t", "floodmin", "early (no faults)", "early (chain)",
+                "synran (coinbias)", "winner"});
+  SynRanFactory synran;
+  for (std::uint32_t t : {1u, 4u, 16u, 64u, 128u, 255u}) {
+    FloodMinFactory flood({t, false});
+    FloodMinFactory early({t, true});
+    NoAdversary none;
+    EngineOptions opts;
+    opts.t_budget = t;
+    opts.max_rounds = 200000;
+
+    Xoshiro256 rng(kSeed);
+    auto inputs = make_inputs(n, InputPattern::SingleZero, rng);
+
+    const auto base = run_once(flood, inputs, none, opts);
+    const auto fast = run_once(early, inputs, none, opts);
+    ChainHidingAdversary chain;
+    const auto dragged = run_once(early, inputs, chain, opts);
+
+    const auto sr = attack_run(synran, n, t, InputPattern::Half,
+                               reps_for(n), kSeed + t);
+    const double sr_rounds = sr.rounds_to_decision.mean();
+    table.row({static_cast<long long>(t),
+               static_cast<long long>(base.rounds_to_decision),
+               static_cast<long long>(fast.rounds_to_decision),
+               static_cast<long long>(dragged.rounds_to_decision),
+               sr_rounds,
+               std::string(sr_rounds < base.rounds_to_decision ? "synran"
+                                                               : "floodmin")});
+  }
+  emit(table);
+
+  // Crossover: SynRan's curve is ~c·t/√(n·ln(2+t/√n)); the deterministic
+  // baseline is t+1. Locate the measured crossover in t.
+  Table cross("E7b: crossover location (smallest t where SynRan wins)");
+  cross.header({"n", "crossover t (measured)", "√n", "t/√n"});
+  for (std::uint32_t nn : {64u, 256u, 1024u}) {
+    std::uint32_t crossover = 0;
+    for (std::uint32_t t = 1; t < nn; t = t < 8 ? t + 1 : t * 2) {
+      const auto sr = attack_run(synran, nn, t, InputPattern::Half,
+                                 std::max<std::size_t>(20, reps_for(nn) / 2),
+                                 kSeed + nn + t);
+      if (sr.rounds_to_decision.mean() < static_cast<double>(t + 1)) {
+        crossover = t;
+        break;
+      }
+    }
+    cross.row({static_cast<long long>(nn),
+               static_cast<long long>(crossover),
+               std::sqrt(static_cast<double>(nn)),
+               crossover / std::sqrt(static_cast<double>(nn))});
+  }
+  emit(cross);
+}
+
+void BM_FloodMinRun(::benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  FloodMinFactory factory({n / 2, false});
+  NoAdversary none;
+  EngineOptions opts;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.seed = ++seed;
+    Xoshiro256 rng(seed);
+    auto inputs = make_inputs(n, InputPattern::Half, rng);
+    const auto res = run_once(factory, inputs, none, opts);
+    ::benchmark::DoNotOptimize(res.rounds_to_decision);
+  }
+}
+BENCHMARK(BM_FloodMinRun)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace synran::bench
+
+SYNRAN_BENCH_MAIN(synran::bench::tables)

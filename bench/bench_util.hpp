@@ -1,0 +1,112 @@
+// Shared plumbing for the experiment binaries.
+//
+// Every bench binary regenerates one experiment's table (EXPERIMENTS.md):
+// it prints the paper-shaped rows first (deterministic, seeded), then hands
+// over to google-benchmark for wall-clock timings of the underlying kernels.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "adversary/coinbias.hpp"
+#include "analysis/fit.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/theory.hpp"
+#include "common/table.hpp"
+#include "protocols/synran.hpp"
+#include "runner/experiment.hpp"
+
+namespace synran::bench {
+
+/// Master seed shared by every experiment table so the whole suite is
+/// reproducible as a unit.
+inline constexpr std::uint64_t kSeed = 0x5ee01dULL;
+
+/// Standard rep count, scaled down for large systems so tables regenerate in
+/// seconds on a laptop (the paper's curves are about shape, not ±1%).
+inline std::size_t reps_for(std::uint32_t n, std::size_t budget = 40000) {
+  const std::size_t r = budget / std::max<std::uint32_t>(1, n);
+  return std::max<std::size_t>(30, std::min<std::size_t>(400, r));
+}
+
+/// The CoinBias adversary factory used across experiments.
+inline AdversaryFactory coinbias_factory(bool stall = true) {
+  return [stall](std::uint64_t seed) {
+    return std::make_unique<CoinBiasAdversary>(
+        CoinBiasOptions{0.55, stall, seed});
+  };
+}
+
+/// Runs SynRan (or an ablation) under the CoinBias adversary and returns the
+/// aggregate — the workhorse of E1/E2/E5/E8.
+inline RepeatedRunStats attack_run(const ProcessFactory& factory,
+                                   std::uint32_t n, std::uint32_t t,
+                                   InputPattern pattern, std::size_t reps,
+                                   std::uint64_t seed, bool capped = false,
+                                   bool stall = true) {
+  RepeatSpec spec;
+  spec.n = n;
+  spec.pattern = pattern;
+  spec.reps = reps;
+  spec.seed = seed;
+  spec.engine.t_budget = t;
+  spec.engine.max_rounds = 200000;
+  if (capped)
+    spec.engine.per_round_cap = static_cast<std::uint32_t>(
+        theory::per_round_budget(static_cast<double>(n)));
+  return run_repeated(factory, coinbias_factory(stall), spec);
+}
+
+/// Prints the table and a one-line safety verdict (every experiment demands
+/// zero agreement/validity/termination failures). When the environment
+/// variable SYNRAN_CSV_DIR is set, the table is also written there as CSV
+/// (file name derived from the table title) for downstream plotting.
+inline void emit(Table& table, bool all_safe = true) {
+  table.print(std::cout);
+  if (!all_safe)
+    std::cout << "WARNING: safety violations occurred — see rows above\n";
+  if (const char* dir = std::getenv("SYNRAN_CSV_DIR");
+      dir != nullptr && *dir != '\0') {
+    std::string name;
+    for (char c : table.title()) {
+      if (std::isalnum(static_cast<unsigned char>(c)))
+        name += static_cast<char>(std::tolower(c));
+      else if (!name.empty() && name.back() != '-')
+        name += '-';
+    }
+    while (!name.empty() && name.back() == '-') name.pop_back();
+    if (name.empty()) name = "table";
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    std::ofstream csv(path);
+    if (csv) {
+      table.write_csv(csv);
+      std::cout << "  [csv: " << path << "]\n";
+    } else {
+      std::cout << "  [csv: cannot write " << path << "]\n";
+    }
+  }
+  std::cout << std::endl;
+}
+
+/// Shared main: print the experiment table(s) via `tables`, then run the
+/// registered google-benchmark timings.
+inline int run_main(int argc, char** argv, void (*tables)()) {
+  tables();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace synran::bench
+
+#define SYNRAN_BENCH_MAIN(tables_fn)                       \
+  int main(int argc, char** argv) {                        \
+    return ::synran::bench::run_main(argc, argv, tables_fn); \
+  }

@@ -1,0 +1,86 @@
+// Tournament: every protocol in the library against every adversary, one
+// table of mean rounds-to-decision. Shows in one screen what each adversary
+// buys and what each protocol pays.
+//
+//   ./adversary_tournament [n] [reps] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "adversary/basic.hpp"
+#include "adversary/coinbias.hpp"
+#include "common/table.hpp"
+#include "protocols/floodmin.hpp"
+#include "protocols/synran.hpp"
+#include "runner/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace synran;
+
+  const std::uint32_t n = argc > 1 ? std::atoi(argv[1]) : 128;
+  const std::size_t reps = argc > 2 ? std::atoll(argv[2]) : 50;
+  const std::uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 17;
+  const std::uint32_t t = n / 2;
+
+  std::cout << "protocol x adversary tournament: n = " << n << ", t = " << t
+            << ", " << reps << " reps, random inputs\n\n";
+
+  SynRanOptions sym;
+  sym.coin_rule = CoinRule::Symmetric;
+  SynRanFactory synran, benor(sym);
+  FloodMinFactory flood({t, false}), early({t, true});
+  const ProcessFactory* protocols[] = {&synran, &benor, &flood, &early};
+
+  struct NamedAdv {
+    const char* name;
+    AdversaryFactory make;
+  };
+  const NamedAdv adversaries[] = {
+      {"none", no_adversary_factory()},
+      {"random",
+       [](std::uint64_t s) {
+         return std::make_unique<RandomCrashAdversary>(
+             RandomCrashAdversary::Options{2, 0.6, s});
+       }},
+      {"chain",
+       [](std::uint64_t) { return std::make_unique<ChainHidingAdversary>(); }},
+      {"coin-bias",
+       [](std::uint64_t s) {
+         return std::make_unique<CoinBiasAdversary>(
+             CoinBiasOptions{0.55, true, s});
+       }},
+  };
+
+  Table table("mean rounds to decision (* = safety violation observed)");
+  std::vector<std::string> header{"protocol"};
+  for (const auto& a : adversaries) header.push_back(a.name);
+  table.header(header);
+
+  for (const ProcessFactory* proto : protocols) {
+    std::vector<Cell> row{std::string(proto->name())};
+    for (const auto& adv : adversaries) {
+      RepeatSpec spec;
+      spec.n = n;
+      spec.pattern = InputPattern::Random;
+      spec.reps = reps;
+      spec.seed = seed;
+      spec.engine.t_budget = t;
+      spec.engine.max_rounds = 100000;
+      const auto stats = run_repeated(*proto, adv.make, spec);
+      std::string cell = std::to_string(stats.rounds_to_decision.mean());
+      cell.resize(std::min<std::size_t>(cell.size(), 6));
+      if (!stats.all_safe()) cell += " *";
+      row.push_back(cell);
+    }
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nreading: the deterministic protocols pay t+1 = " << t + 1
+      << " rounds no matter what; SynRan pays only a handful even against\n"
+         "the adaptive adversary; the symmetric ablation (benor-sym) can "
+         "lose safety\nunder the adaptive split attack — that is the "
+         "one-side-bias rule's job.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Explore one-round collective coin-flipping games (§2 of the paper):
+// sample inputs, watch the fail-stop adversary search for a hiding set, and
+// measure how control probability scales with the budget.
+//
+//   ./coin_game_explorer [n] [samples] [seed]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "coin/forcing.hpp"
+#include "coin/games.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace synran;
+
+  const std::uint32_t n = argc > 1 ? std::atoi(argv[1]) : 256;
+  const std::size_t samples = argc > 2 ? std::atoll(argv[2]) : 300;
+  const std::uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 7;
+
+  std::cout << "one-round coin-flipping games, n = " << n << " players\n\n";
+
+  MajorityPresentGame majority(n);
+  MajorityDefaultZeroGame majority0(n);
+  ParityPresentGame parity(n);
+  LeaderBitGame leader(n);
+  const CoinGame* games[] = {&majority, &majority0, &parity, &leader};
+
+  // One concrete draw, forced each way.
+  Xoshiro256 rng(seed);
+  Table demo("one sampled input vector per game, budget = 4√(n·ln n)");
+  demo.header({"game", "natural outcome", "force 0", "|hiding|", "force 1",
+               "|hiding|"});
+  const auto budget = static_cast<std::uint32_t>(
+      4.0 * std::sqrt(n * std::log(static_cast<double>(n))));
+  for (const CoinGame* g : games) {
+    std::vector<GameValue> v;
+    g->sample(rng, v);
+    const DynBitset none(n);
+    const auto to0 = can_force(*g, v, 0, budget);
+    const auto to1 = can_force(*g, v, 1, budget);
+    demo.row({std::string(g->name()),
+              static_cast<long long>(g->outcome(v, none)),
+              std::string(to0.forced ? "yes" : "no"),
+              static_cast<long long>(to0.forced ? to0.hiding.count() : 0),
+              std::string(to1.forced ? "yes" : "no"),
+              static_cast<long long>(to1.forced ? to1.hiding.count() : 0)});
+  }
+  demo.print(std::cout);
+  std::cout << '\n';
+
+  // Control probability vs budget (the Lemma 2.1 quantity).
+  Table sweep("min_v Pr(U^v) vs budget — below 1/n means control");
+  sweep.header({"game", "budget", "Pr(U^0)", "Pr(U^1)", "min", "< 1/n?"});
+  for (const CoinGame* g : games) {
+    for (double f : {0.1, 0.5, 1.0}) {
+      const auto b = static_cast<std::uint32_t>(f * budget);
+      const auto est = estimate_control(*g, b, samples, seed + b);
+      sweep.row({std::string(g->name()), static_cast<long long>(b),
+                 est.pr_unforceable[0], est.pr_unforceable[1],
+                 est.min_pr_unforceable(),
+                 std::string(est.min_pr_unforceable() <
+                                     1.0 / static_cast<double>(n) + 0.05
+                                 ? "yes"
+                                 : "no")});
+    }
+  }
+  sweep.precision(4);
+  sweep.print(std::cout);
+
+  std::cout << "\nreading: every game has SOME outcome the adversary can "
+               "force (Cor. 2.2),\nbut majority-default-0 shows the "
+               "one-sidedness — force-1 only works when the\ndraw already "
+               "favours 1.\n";
+  return 0;
+}

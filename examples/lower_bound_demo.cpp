@@ -1,0 +1,73 @@
+// The §3 machinery made executable on a tiny system: exact (interval)
+// valencies of every initial state, the round-1 classification table, and
+// the Lemma 3.5 search for a bivalent-or-null-valent starting point.
+//
+//   ./lower_bound_demo [depth]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "lowerbound/valency.hpp"
+#include "protocols/synran.hpp"
+
+int main(int argc, char** argv) {
+  using namespace synran;
+
+  const std::uint32_t depth = argc > 1 ? std::atoi(argv[1]) : 14;
+  const std::uint32_t n = 3;
+
+  std::cout << "exact valency analysis of SynRan, n = " << n
+            << ", t = 1, horizon " << depth << " rounds\n"
+            << "(min/max of Pr[decide 1] over all single-crash-per-round "
+               "adversaries,\n by exhausting every coin vector and fault "
+               "action; cut subtrees widen the interval)\n\n";
+
+  ValencyOptions opts;
+  opts.t_budget = 1;
+  opts.max_depth = depth;
+  SynRanFactory factory;
+
+  const auto classes_str = [](std::uint8_t mask) {
+    std::string out;
+    for (int v = 0; v < 4; ++v)
+      if (mask & (1u << v)) {
+        if (!out.empty()) out += "|";
+        out += to_string(static_cast<Valency>(v));
+      }
+    return out;
+  };
+
+  Table table("initial states (round-1 classification, ε = 1/√n − 1/n)");
+  table.header({"inputs", "min r", "max r", "classes", "states explored"});
+  table.precision(4);
+  for (std::uint32_t x = 0; x < (1u << n); ++x) {
+    std::vector<Bit> inputs;
+    std::string label;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const bool one = (x >> i) & 1;
+      inputs.push_back(one ? Bit::One : Bit::Zero);
+      label += one ? '1' : '0';
+    }
+    const auto v = evaluate_initial_state(factory, inputs, opts);
+    table.row({label,
+               "[" + std::to_string(v.min_r.lo).substr(0, 5) + ", " +
+                   std::to_string(v.min_r.hi).substr(0, 5) + "]",
+               "[" + std::to_string(v.max_r.lo).substr(0, 5) + ", " +
+                   std::to_string(v.max_r.hi).substr(0, 5) + "]",
+               classes_str(v.classes),
+               static_cast<long long>(v.states_visited)});
+  }
+  table.print(std::cout);
+
+  const auto finding = find_bivalent_or_null_initial_state(factory, n, opts);
+  std::cout << "\nLemma 3.5: bivalent-or-null-valent initial state "
+            << (finding.found ? "FOUND" : "not decided at this horizon")
+            << " — inputs ";
+  for (auto b : finding.inputs) std::cout << (b == Bit::One ? '1' : '0');
+  std::cout << ", classes " << classes_str(finding.verdict.classes) << "\n";
+  std::cout << "\nvalidity check: all-0 and all-1 rows must be 0-valent and "
+               "1-valent with exact\nintervals; mixed rows swing to "
+               "bivalent because one crash flips the outcome.\n";
+  return finding.found ? 0 : 1;
+}

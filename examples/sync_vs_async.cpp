@@ -1,0 +1,97 @@
+// Side-by-side demo of the two worlds the paper connects: SynRan in the
+// synchronous full-information model vs Ben-Or in the asynchronous model,
+// under benign and adversarial conditions.
+//
+//   ./sync_vs_async [n] [reps] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "adversary/coinbias.hpp"
+#include "async/benor.hpp"
+#include "async/engine.hpp"
+#include "async/scheduler.hpp"
+#include "common/table.hpp"
+#include "protocols/synran.hpp"
+#include "runner/experiment.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace synran;
+
+  const std::uint32_t n = argc > 1 ? std::atoi(argv[1]) : 64;
+  const std::size_t reps = argc > 2 ? std::atoll(argv[2]) : 40;
+  const std::uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 23;
+
+  std::cout << "synchronous SynRan vs asynchronous Ben-Or, n = " << n
+            << ", " << reps << " reps\n\n";
+
+  Table table("mean rounds to decision (half-0/half-1 inputs)");
+  table.header({"model", "protocol", "adversary", "t", "rounds(mean)",
+                "safe"});
+
+  // Synchronous rows.
+  {
+    SynRanFactory factory;
+    for (bool attack : {false, true}) {
+      RepeatSpec spec;
+      spec.n = n;
+      spec.pattern = InputPattern::Half;
+      spec.reps = reps;
+      spec.seed = seed;
+      spec.engine.t_budget = attack ? n - 1 : 0;
+      spec.engine.max_rounds = 100000;
+      const auto stats = run_repeated(
+          factory,
+          attack ? AdversaryFactory([](std::uint64_t s) {
+            return std::make_unique<CoinBiasAdversary>(
+                CoinBiasOptions{0.55, true, s});
+          })
+                 : no_adversary_factory(),
+          spec);
+      table.row({std::string("sync"), std::string("synran"),
+                 std::string(attack ? "coin-bias" : "none"),
+                 static_cast<long long>(spec.engine.t_budget),
+                 stats.rounds_to_decision.mean(),
+                 std::string(stats.all_safe() ? "yes" : "NO")});
+    }
+  }
+
+  // Asynchronous rows.
+  {
+    BenOrAsyncFactory factory;
+    SeedSequence seeds(seed);
+    Xoshiro256 input_rng(seeds.stream(1));
+    for (bool attack : {false, true}) {
+      Summary rounds;
+      bool safe = true;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        AsyncEngineOptions opts;
+        opts.t_budget = n / 2 - 1;
+        opts.seed = seeds.stream(rep + (attack ? 10000 : 0));
+        auto inputs = make_inputs(n, InputPattern::Half, input_rng);
+        AsyncRunResult res;
+        if (attack) {
+          LaggardScheduler sched(seeds.stream(90000 + rep));
+          res = run_async(factory, inputs, sched, opts);
+        } else {
+          RandomScheduler sched(seeds.stream(90000 + rep));
+          res = run_async(factory, inputs, sched, opts);
+        }
+        if (!res.terminated || !res.agreement) safe = false;
+        if (res.terminated) rounds.add(static_cast<double>(res.max_round));
+      }
+      table.row({std::string("async"), std::string("benor"),
+                 std::string(attack ? "laggard sched" : "random sched"),
+                 static_cast<long long>(n / 2 - 1), rounds.mean(),
+                 std::string(safe ? "yes" : "NO")});
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nreading: the synchronous protocol tolerates ANY t < n "
+               "(here t = n-1)\nwhile the asynchronous one requires t < n/2; "
+               "the paper's theorem says the\nsynchronous price is "
+               "Θ(t/√(n·log(2+t/√n))) rounds — no constant-round\nprotocol "
+               "exists against the strong adversary.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Baseline adversaries: scripted crashes, random crashes, and the classic
+// chain adversary that forces deterministic protocols to their t+1-round
+// worst case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/adversary.hpp"
+
+namespace synran {
+
+/// Crashes a fixed schedule of victims. Entries whose victim is already dead,
+/// halted, or scheduled for a different round are skipped.
+class StaticCrashAdversary final : public Adversary {
+ public:
+  struct Entry {
+    Round round = 1;
+    ProcessId victim = 0;
+    /// Recipients that still get the victim's final message. Empty vector =
+    /// deliver to nobody.
+    std::vector<ProcessId> deliver_to;
+  };
+
+  explicit StaticCrashAdversary(std::vector<Entry> schedule)
+      : schedule_(std::move(schedule)) {}
+
+  FaultPlan plan_round(const WorldView& world) override;
+  const char* name() const override { return "static"; }
+
+ private:
+  std::vector<Entry> schedule_;
+};
+
+/// Each round, crashes a uniformly random number of random senders (up to
+/// `max_per_round` and the remaining budget), each with an independently
+/// random delivery subset. A "chaos monkey" for property tests: protocols
+/// must stay correct under it, though it rarely delays them much.
+class RandomCrashAdversary final : public Adversary {
+ public:
+  struct Options {
+    std::uint32_t max_per_round = 1;
+    /// Probability that a given round crashes anyone at all.
+    double activity = 0.5;
+    std::uint64_t seed = 7;
+  };
+
+  explicit RandomCrashAdversary(Options opts) : opts_(opts), rng_(opts.seed) {}
+
+  void begin(std::uint32_t n, std::uint32_t t_budget) override;
+  FaultPlan plan_round(const WorldView& world) override;
+  const char* name() const override { return "random"; }
+
+ private:
+  Options opts_;
+  Xoshiro256 rng_;
+};
+
+/// The classic lower-bound chain for deterministic crash consensus: keep the
+/// minority value 0 known to exactly one alive process, crash that process
+/// each round delivering its message to a single fresh successor. Against
+/// FloodMin this hides value 0 for t rounds, forcing the full t+1 schedule
+/// and defeating early deciding until the budget runs out.
+class ChainHidingAdversary final : public Adversary {
+ public:
+  ChainHidingAdversary() = default;
+
+  void begin(std::uint32_t n, std::uint32_t t_budget) override;
+  FaultPlan plan_round(const WorldView& world) override;
+  const char* name() const override { return "chain"; }
+
+ private:
+  std::vector<bool> was_holder_;
+};
+
+}  // namespace synran

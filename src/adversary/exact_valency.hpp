@@ -1,0 +1,51 @@
+// ExactValencyAdversary — the §3.3–3.5 strategy, played literally.
+//
+// The proof's adversary inspects the valency of every available fault
+// action and picks one that keeps the execution bivalent or null-valent;
+// reaching a univalent state, it works to swing it back. For tiny systems
+// this adversary does exactly that: at every round it enumerates the
+// single-crash fault plans (every victim × every delivery mask, plus
+// no-crash), queries the exact valency engine for each child state, and
+// plays the first action whose child is certainly bivalent or null-valent —
+// falling back to the action with the widest swing (max_r − min_r)
+// otherwise.
+//
+// This is exponential in everything and exists for n ≤ 4: it demonstrates,
+// with no heuristics anywhere, that the §3 strategy really does keep tiny
+// executions undecided until the budget runs out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lowerbound/valency.hpp"
+#include "sim/adversary.hpp"
+
+namespace synran {
+
+struct ExactValencyAdversaryOptions {
+  /// Valency-engine horizon per query.
+  std::uint32_t max_depth = 10;
+};
+
+class ExactValencyAdversary final : public Adversary {
+ public:
+  explicit ExactValencyAdversary(ExactValencyAdversaryOptions opts = {})
+      : opts_(opts) {}
+
+  void begin(std::uint32_t n, std::uint32_t t_budget) override;
+  FaultPlan plan_round(const WorldView& world) override;
+  const char* name() const override { return "exact-valency"; }
+
+  /// Class chosen at each round (bitmask per lowerbound/valency.hpp), for
+  /// inspection by tests and the E9 bench.
+  const std::vector<std::uint8_t>& chosen_classes() const {
+    return chosen_classes_;
+  }
+
+ private:
+  ExactValencyAdversaryOptions opts_;
+  std::vector<std::uint8_t> chosen_classes_;
+};
+
+}  // namespace synran

@@ -1,0 +1,54 @@
+#include "adversary/nonadaptive.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "protocols/leadercoin.hpp"
+
+namespace synran {
+
+void ObliviousAdversary::begin(std::uint32_t n, std::uint32_t t_budget) {
+  SYNRAN_REQUIRE(opts_.horizon >= 1, "horizon must be positive");
+  schedule_.clear();
+  // Commit now, before seeing anything: t distinct victims at uniform
+  // rounds. This is exactly the information pattern of a static adversary.
+  Xoshiro256 rng(opts_.seed);
+  std::vector<ProcessId> victims(n);
+  for (ProcessId i = 0; i < n; ++i) victims[i] = i;
+  for (std::uint32_t k = 0; k < t_budget && k < n; ++k) {
+    const std::size_t j = k + rng.below(n - k);
+    std::swap(victims[k], victims[j]);
+    const Round round = 1 + static_cast<Round>(rng.below(opts_.horizon));
+    schedule_.emplace_back(round, victims[k]);
+  }
+  std::sort(schedule_.begin(), schedule_.end());
+}
+
+FaultPlan ObliviousAdversary::plan_round(const WorldView& world) {
+  FaultPlan plan;
+  for (const auto& [round, victim] : schedule_) {
+    if (round != world.round()) continue;
+    if (!world.sending(victim)) continue;  // wasted entry — by design
+    if (plan.crash_count() >= world.round_budget()) break;
+    CrashDirective c;
+    c.victim = victim;
+    c.deliver_to = DynBitset(world.n());
+    plan.crashes.push_back(std::move(c));
+  }
+  return plan;
+}
+
+FaultPlan LeaderKillerAdversary::plan_round(const WorldView& world) {
+  FaultPlan plan;
+  if (world.round_budget() == 0) return plan;
+  const ProcessId leader =
+      LeaderCoinProcess::leader_of(world.round(), world.n());
+  if (!world.sending(leader)) return plan;
+  CrashDirective c;
+  c.victim = leader;
+  c.deliver_to = DynBitset(world.n());
+  plan.crashes.push_back(std::move(c));
+  return plan;
+}
+
+}  // namespace synran

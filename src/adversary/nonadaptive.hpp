@@ -1,0 +1,57 @@
+// The adaptive/non-adaptive contrast of §1.2.
+//
+// ObliviousAdversary commits to its entire crash schedule before the
+// execution starts (it never looks at the WorldView beyond the round
+// number) — the weaker adversary model in which [CMS89] achieve O(1)
+// expected rounds. LeaderKillerAdversary is the minimal *adaptive* strategy
+// that defeats leader-based protocols: it looks up the round's pre-agreed
+// leader and silences exactly that process.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/adversary.hpp"
+
+namespace synran {
+
+struct ObliviousOptions {
+  /// Crashes are spread uniformly over rounds 1..horizon.
+  std::uint32_t horizon = 32;
+  std::uint64_t seed = 19;
+};
+
+/// Commits to (round, victim) pairs up-front; victims fail silently (empty
+/// delivery). Entries for already-dead or non-sending victims are skipped —
+/// the oblivious adversary doesn't know who is still alive, so wasted
+/// entries are part of its weakness.
+class ObliviousAdversary final : public Adversary {
+ public:
+  explicit ObliviousAdversary(ObliviousOptions opts) : opts_(opts) {}
+
+  void begin(std::uint32_t n, std::uint32_t t_budget) override;
+  FaultPlan plan_round(const WorldView& world) override;
+  const char* name() const override { return "oblivious"; }
+
+  /// The committed schedule (for tests): schedule()[i] = {round, victim}.
+  const std::vector<std::pair<Round, ProcessId>>& schedule() const {
+    return schedule_;
+  }
+
+ private:
+  ObliviousOptions opts_;
+  std::vector<std::pair<Round, ProcessId>> schedule_;
+};
+
+/// Adaptive anti-leader strategy: each round, crash the round's pre-agreed
+/// leader (process (r−1) mod n) with empty delivery, hiding its coin from
+/// everyone. One crash per round, ~t rounds of stalling — the cheapest
+/// executable witness that adaptivity is what the lower bound feeds on.
+class LeaderKillerAdversary final : public Adversary {
+ public:
+  FaultPlan plan_round(const WorldView& world) override;
+  const char* name() const override { return "leader-killer"; }
+};
+
+}  // namespace synran

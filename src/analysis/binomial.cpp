@@ -1,0 +1,73 @@
+#include "analysis/binomial.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  SYNRAN_REQUIRE(k <= n, "log_binomial requires k <= n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  SYNRAN_REQUIRE(p >= 0.0 && p <= 1.0, "p outside [0,1]");
+  if (k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double lp = log_binomial(n, k) + static_cast<double>(k) * std::log(p) +
+                    static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(lp);
+}
+
+double binomial_upper_tail(std::uint64_t n, std::uint64_t k, double p) {
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum the smaller side for accuracy.
+  if (static_cast<double>(k) <= p * static_cast<double>(n)) {
+    return 1.0 - binomial_lower_tail(n, k - 1, p);
+  }
+  double acc = 0.0;
+  for (std::uint64_t i = k; i <= n; ++i) acc += binomial_pmf(n, i, p);
+  return acc < 1.0 ? acc : 1.0;
+}
+
+double binomial_lower_tail(std::uint64_t n, std::uint64_t k, double p) {
+  if (k >= n) return 1.0;
+  if (static_cast<double>(k) >= p * static_cast<double>(n)) {
+    double upper = 0.0;
+    for (std::uint64_t i = k + 1; i <= n; ++i) upper += binomial_pmf(n, i, p);
+    const double acc = 1.0 - upper;
+    return acc > 0.0 ? acc : 0.0;
+  }
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i <= k; ++i) acc += binomial_pmf(n, i, p);
+  return acc < 1.0 ? acc : 1.0;
+}
+
+double lemma44_lower_bound(double t) {
+  SYNRAN_REQUIRE(t >= 0.0, "t must be non-negative");
+  return std::exp(-4.0 * (t + 1.0) * (t + 1.0)) / std::sqrt(2.0 * M_PI);
+}
+
+double hoeffding_upper_bound(double n, double a) {
+  SYNRAN_REQUIRE(n > 0.0, "n must be positive");
+  return std::exp(-2.0 * a * a / n);
+}
+
+double schechtman_l0(double n, double alpha) {
+  SYNRAN_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha outside (0,1]");
+  return 2.0 * std::sqrt(n * std::log(1.0 / alpha));
+}
+
+double schechtman_expansion_bound(double n, double alpha, double l) {
+  const double l0 = schechtman_l0(n, alpha);
+  if (l < l0) return 0.0;
+  const double d = l - l0;
+  return 1.0 - std::exp(-d * d / (4.0 * n));
+}
+
+}  // namespace synran

@@ -1,0 +1,39 @@
+// Exact binomial machinery and the paper's deviation bounds.
+//
+// Lemma 4.4 of the paper gives the non-asymptotic lower-deviation bound
+//   Pr(x − E(x) ≥ t√n) ≥ e^{−4(t+1)²} / √(2π)     (t < √n/8, fair coins)
+// and Corollary 4.5 instantiates t = √(log n)/8. These functions compute the
+// exact tail (via log-space summation) so the bound can be validated.
+#pragma once
+
+#include <cstdint>
+
+namespace synran {
+
+/// ln C(n, k); exact via lgamma. Requires 0 ≤ k ≤ n.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// Pr(X = k) for X ~ Binomial(n, p), computed in log space.
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// Pr(X ≥ k) for X ~ Binomial(n, p). Exact summation; O(n−k) terms.
+double binomial_upper_tail(std::uint64_t n, std::uint64_t k, double p);
+
+/// Pr(X ≤ k) for X ~ Binomial(n, p). Exact summation; O(k) terms.
+double binomial_lower_tail(std::uint64_t n, std::uint64_t k, double p);
+
+/// The paper's Lemma 4.4 lower bound on Pr(x − n/2 ≥ t√n) for fair coins:
+/// e^{−4(t+1)²}/√(2π). Valid for 0 ≤ t < √n/8.
+double lemma44_lower_bound(double t);
+
+/// Standard Hoeffding upper bound Pr(x − n/2 ≥ a) ≤ e^{−2a²/n}, for contrast.
+double hoeffding_upper_bound(double n, double a);
+
+/// Schechtman: for A with Pr(A) = alpha, l₀ = 2√(n·ln(1/alpha)).
+double schechtman_l0(double n, double alpha);
+
+/// Schechtman expansion bound: Pr(B(A,l)) ≥ 1 − e^{−(l−l₀)²/4n}, for l ≥ l₀.
+/// Returns 0 when l < l₀ (bound vacuous).
+double schechtman_expansion_bound(double n, double alpha, double l);
+
+}  // namespace synran

@@ -1,0 +1,83 @@
+#include "analysis/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+double ScaleFit::ratio_spread() const {
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (double r : ratios) {
+    if (r == 0.0) continue;
+    if (first) {
+      lo = hi = r;
+      first = false;
+    } else {
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+  }
+  if (first || lo == 0.0) return 0.0;
+  return hi / lo;
+}
+
+ScaleFit fit_scale(std::span<const double> f, std::span<const double> y) {
+  SYNRAN_REQUIRE(f.size() == y.size(), "fit_scale: size mismatch");
+  SYNRAN_REQUIRE(!f.empty(), "fit_scale: empty input");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    num += f[i] * y[i];
+    den += f[i] * f[i];
+  }
+  ScaleFit out;
+  out.scale = den > 0.0 ? num / den : 0.0;
+
+  double ybar = 0.0;
+  for (double v : y) ybar += v;
+  ybar /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const double pred = out.scale * f[i];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  out.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : (ss_res == 0.0 ? 1.0 : 0.0);
+
+  out.ratios.reserve(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i)
+    out.ratios.push_back(f[i] != 0.0 ? y[i] / f[i] : 0.0);
+  return out;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  SYNRAN_REQUIRE(x.size() == y.size(), "fit_linear: size mismatch");
+  SYNRAN_REQUIRE(x.size() >= 2, "fit_linear: need at least 2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  LinearFit out;
+  const double den = n * sxx - sx * sx;
+  SYNRAN_REQUIRE(den != 0.0, "fit_linear: degenerate x values");
+  out.slope = (n * sxy - sx * sy) / den;
+  out.intercept = (sy - out.slope * sx) / n;
+
+  const double ybar = sy / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = out.slope * x[i] + out.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  out.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : (ss_res == 0.0 ? 1.0 : 0.0);
+  return out;
+}
+
+}  // namespace synran

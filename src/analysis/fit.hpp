@@ -1,0 +1,34 @@
+// Least-squares helpers for comparing measured curves to the paper's
+// theoretical shapes: we never expect to match absolute constants, only the
+// functional form, so experiments fit a single scale factor and report fit
+// quality plus per-point ratios.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace synran {
+
+/// Result of fitting y ≈ c · f where f is a reference curve.
+struct ScaleFit {
+  double scale = 0.0;  ///< least-squares c
+  double r2 = 0.0;     ///< coefficient of determination of c·f vs y
+  /// y_i / f_i per point (how far each point sits from proportionality);
+  /// a flat ratio sequence means the shape matches.
+  std::vector<double> ratios;
+  double ratio_spread() const;  ///< max ratio / min ratio (1.0 = perfect)
+};
+
+/// Fits the single multiplicative constant minimizing Σ (y_i − c·f_i)².
+/// Points with f_i == 0 contribute nothing to the fit and get ratio 0.
+ScaleFit fit_scale(std::span<const double> f, std::span<const double> y);
+
+/// Ordinary least squares slope/intercept of y on x, for linearity checks.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+}  // namespace synran

@@ -1,0 +1,87 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)) {
+  SYNRAN_REQUIRE(hi > lo, "histogram range must be non-empty");
+  SYNRAN_REQUIRE(bins >= 1, "histogram needs at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto i = static_cast<std::size_t>((x - lo_) / bin_width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;  // float edge case
+  ++counts_[i];
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  SYNRAN_REQUIRE(i < counts_.size(), "bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::tail_at_least(double x) const {
+  if (total_ == 0) return 0.0;
+  std::size_t acc = overflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double edge = lo_ + static_cast<double>(i) * bin_width_;
+    if (edge >= x) acc += counts_[i];
+  }
+  if (x <= lo_) acc += underflow_;
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  SYNRAN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<double>(total_) * q;
+  double acc = static_cast<double>(underflow_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += static_cast<double>(counts_[i]);
+    if (acc >= target)
+      return lo_ + static_cast<double>(i + 1) * bin_width_;
+  }
+  return hi_;
+}
+
+void Histogram::print(std::ostream& os, std::size_t width) const {
+  std::size_t peak = std::max<std::size_t>(
+      {std::size_t{1}, underflow_, overflow_,
+       *std::max_element(counts_.begin(), counts_.end())});
+  const auto bar = [&](std::size_t c) {
+    const auto len = static_cast<std::size_t>(
+        std::llround(static_cast<double>(c) / static_cast<double>(peak) *
+                     static_cast<double>(width)));
+    return std::string(len, '#');
+  };
+  if (underflow_ > 0)
+    os << "      < " << std::setw(8) << lo_ << " | " << bar(underflow_)
+       << ' ' << underflow_ << '\n';
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double edge = lo_ + static_cast<double>(i) * bin_width_;
+    os << std::setw(8) << edge << "-" << std::setw(8) << edge + bin_width_
+       << " | " << bar(counts_[i]) << ' ' << counts_[i] << '\n';
+  }
+  if (overflow_ > 0)
+    os << "     >= " << std::setw(8) << hi_ << " | " << bar(overflow_) << ' '
+       << overflow_ << '\n';
+}
+
+}  // namespace synran

@@ -1,0 +1,49 @@
+// Fixed-bin histogram for round-count and crash-count distributions.
+//
+// The paper's Theorem 1 is a with-high-probability statement, so experiment
+// tables report distribution tails, not just means; this keeps the binning
+// logic in one place.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace synran {
+
+class Histogram {
+ public:
+  /// `lo` inclusive, `hi` exclusive, split into `bins` equal bins. Samples
+  /// outside the range land in saturating under/overflow bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t count() const { return total_; }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+
+  /// Empirical Pr(X >= x) including the overflow mass.
+  double tail_at_least(double x) const;
+  /// Smallest bin upper edge e with Pr(X <= e) >= q; returns hi() if the
+  /// quantile sits in the overflow bin.
+  double quantile(double q) const;
+
+  /// Renders a compact ASCII bar chart, one line per non-empty bin.
+  void print(std::ostream& os, std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace synran

@@ -1,0 +1,81 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::mean() const { return n_ ? mean_ : 0.0; }
+
+double Summary::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::stderr_mean() const {
+  return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+void Summary::merge(const Summary& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double nt = na + nb;
+  m2_ += o.m2_ + delta * delta * na * nb / nt;
+  mean_ += delta * nb / nt;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  SYNRAN_REQUIRE(trials > 0, "wilson_interval needs trials > 0");
+  SYNRAN_REQUIRE(successes <= trials, "successes exceed trials");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+Interval mean_interval(const Summary& s, double z) {
+  const double half = z * s.stderr_mean();
+  return {s.mean() - half, s.mean() + half};
+}
+
+double quantile(std::vector<double> xs, double q) {
+  SYNRAN_REQUIRE(!xs.empty(), "quantile of empty sample");
+  SYNRAN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace synran

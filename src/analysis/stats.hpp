@@ -1,0 +1,55 @@
+// Summary statistics and confidence intervals for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace synran {
+
+/// Online accumulator (Welford) for mean/variance; numerically stable.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 for n < 2.
+  double stderr_mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const Summary& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool contains(double x) const { return lo <= x && x <= hi; }
+};
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials`, at confidence given by normal quantile `z` (1.96 ≈ 95%).
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z = 1.96);
+
+/// Normal-approximation CI for the mean of `s` (mean ± z·stderr).
+Interval mean_interval(const Summary& s, double z = 1.96);
+
+/// q-th quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation.
+/// Sorts a copy; intended for reporting, not hot paths.
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace synran

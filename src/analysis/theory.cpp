@@ -1,0 +1,62 @@
+#include "analysis/theory.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace synran::theory {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}
+
+double tight_round_bound(double n, double t) {
+  SYNRAN_REQUIRE(n >= 1.0, "n must be >= 1");
+  SYNRAN_REQUIRE(t >= 0.0, "t must be >= 0");
+  const double lg = std::log(2.0 + t / std::sqrt(n));
+  return t / std::sqrt(n * lg);
+}
+
+double lower_bound_rounds(double n, double t) {
+  SYNRAN_REQUIRE(n >= 1.0, "n must be >= 1");
+  const double lg = std::max(kLn2, std::log(n));
+  return t / std::sqrt(n * lg);
+}
+
+double sqrt_n_over_log_n(double n) {
+  SYNRAN_REQUIRE(n >= 1.0, "n must be >= 1");
+  const double lg = std::max(kLn2, std::log(n));
+  return std::sqrt(n / lg);
+}
+
+double per_round_budget(double n) {
+  SYNRAN_REQUIRE(n >= 1.0, "n must be >= 1");
+  const double lg = std::max(kLn2, std::log(n));
+  return 4.0 * std::sqrt(n * lg) + 1.0;
+}
+
+double per_round_budget_general(double n, double t) {
+  SYNRAN_REQUIRE(n >= 1.0, "n must be >= 1");
+  const double lg = std::log(2.0 + t / std::sqrt(n));
+  return 4.0 * std::sqrt(n * lg) + 1.0;
+}
+
+double deterministic_stage_threshold(double n) {
+  SYNRAN_REQUIRE(n >= 1.0, "n must be >= 1");
+  const double lg = std::max(kLn2, std::log(n));
+  return std::max(1.0, std::sqrt(n / lg));
+}
+
+std::size_t deterministic_stage_rounds(double n) {
+  return static_cast<std::size_t>(
+             std::ceil(deterministic_stage_threshold(n))) +
+         1;
+}
+
+double valency_epsilon(double n, double k) {
+  SYNRAN_REQUIRE(n >= 1.0, "n must be >= 1");
+  const double eps = 1.0 / std::sqrt(n) - k / n;
+  return eps > 0.0 ? eps : 0.0;
+}
+
+}  // namespace synran::theory

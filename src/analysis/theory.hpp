@@ -1,0 +1,43 @@
+// The paper's theoretical quantities, used as reference curves in benches and
+// as budgets inside adversaries.
+#pragma once
+
+#include <cstddef>
+
+namespace synran::theory {
+
+/// The tight bound of Theorem 3: f(n,t) = t / √(n · ln(2 + t/√n)).
+/// This is the expected-round curve up to a constant factor.
+double tight_round_bound(double n, double t);
+
+/// The lower-bound forced-round curve of Theorem 1: t / √(n · ln n)
+/// (ln guarded below by ln 2 so tiny n stay meaningful).
+double lower_bound_rounds(double n, double t);
+
+/// For t = Θ(n): √(n / ln n) (Corollary 3.6 and the upper-bound analysis).
+double sqrt_n_over_log_n(double n);
+
+/// The per-round failure allowance of the lower-bound adversary class B:
+/// 4√(n·ln n) + 1 (§3.2).
+double per_round_budget(double n);
+
+/// The per-round budget generalised for small t via the paper's final remark:
+/// replaces ln n by ln(2 + t/√n).
+double per_round_budget_general(double n, double t);
+
+/// The deterministic-stage entry threshold of SynRan: √(n / ln n), i.e. the
+/// protocol hands off when fewer than this many messages arrive. Guarded so
+/// that n ≥ 1 always yields a value ≥ 1.
+double deterministic_stage_threshold(double n);
+
+/// Number of deterministic-stage rounds SynRan runs: ⌈√(n/ln n)⌉ + 1
+/// (the +1 makes the flooding stage tolerate every possible crash pattern
+/// among the < √(n/ln n) survivors).
+std::size_t deterministic_stage_rounds(double n);
+
+/// The valency-classification margin ε_k = 1/√n − k/n from the §3.2 table.
+/// Clamped at 0 once k/n exceeds 1/√n (the classification degenerates, which
+/// the paper tolerates because k ≤ t ≤ n keeps the horizon short).
+double valency_epsilon(double n, double k);
+
+}  // namespace synran::theory

@@ -1,0 +1,117 @@
+#include "async/benor.hpp"
+
+#include "common/check.hpp"
+
+namespace synran {
+
+namespace {
+constexpr Payload kProposalFlag = 1ULL << 2;
+constexpr Payload kBotValue = 1ULL << 3;
+}  // namespace
+
+Payload BenOrAsyncProcess::encode(const Wire& w) {
+  Payload p = static_cast<Payload>(w.round) << 32;
+  if (w.proposal) p |= kProposalFlag;
+  if (w.value < 0) {
+    SYNRAN_REQUIRE(w.proposal, "only proposals may carry ⊥");
+    p |= kBotValue;
+  } else {
+    p |= payload::of_bit(w.value ? Bit::One : Bit::Zero);
+  }
+  return p;
+}
+
+BenOrAsyncProcess::Wire BenOrAsyncProcess::decode(Payload p) {
+  Wire w;
+  w.round = static_cast<std::uint32_t>(p >> 32);
+  w.proposal = (p & kProposalFlag) != 0;
+  if (p & kBotValue)
+    w.value = -1;
+  else
+    w.value = (p & payload::kSupports1) ? 1 : 0;
+  return w;
+}
+
+BenOrAsyncProcess::BenOrAsyncProcess(ProcessId id, std::uint32_t n,
+                                     std::uint32_t t, Bit input)
+    : id_(id), n_(n), t_(t), b_(input) {
+  SYNRAN_REQUIRE(n >= 1, "need at least one process");
+  SYNRAN_REQUIRE(2 * t < n, "Ben-Or requires t < n/2");
+}
+
+void BenOrAsyncProcess::start(AsyncOutbox& out, CoinSource& /*coins*/) {
+  out.broadcast(encode({false, round_, to_int(b_)}));
+}
+
+void BenOrAsyncProcess::on_message(const AsyncMessage& msg, AsyncOutbox& out,
+                                   CoinSource& coins) {
+  if (silent_) return;  // decided and done helping
+  const Wire w = decode(msg.payload);
+  if (w.round < round_ ||
+      (w.round == round_ && !w.proposal && in_proposal_phase_)) {
+    // Stale: we already closed that wait. (Our own later-phase broadcasts
+    // can't be stale for ourselves; laggards' old traffic is simply spare.)
+    return;
+  }
+  Tally& tally = tallies_[{w.round, w.proposal}];
+  if (w.value < 0)
+    ++tally.bots;
+  else if (w.value == 1)
+    ++tally.ones;
+  else
+    ++tally.zeros;
+
+  try_advance(out, coins);
+}
+
+void BenOrAsyncProcess::try_advance(AsyncOutbox& out, CoinSource& coins) {
+  for (;;) {
+    const std::uint32_t quorum = n_ - t_;
+    if (!in_proposal_phase_) {
+      const Tally& reports = tallies_[{round_, false}];
+      if (reports.total() < quorum) return;
+      // Strict majority of all n processes backs a value -> propose it.
+      int prop = -1;
+      if (2 * reports.ones > n_)
+        prop = 1;
+      else if (2 * reports.zeros > n_)
+        prop = 0;
+      in_proposal_phase_ = true;
+      out.broadcast(encode({true, round_, prop}));
+      continue;
+    }
+
+    const Tally& props = tallies_[{round_, true}];
+    if (props.total() < quorum) return;
+    // Crash faults + the majority rule make conflicting proposals
+    // impossible; the engine would surface disagreement if this failed.
+    if (!decided_) {
+      if (props.ones >= t_ + 1) {
+        b_ = Bit::One;
+        decided_ = true;
+      } else if (props.zeros >= t_ + 1) {
+        b_ = Bit::Zero;
+        decided_ = true;
+      } else if (props.ones > 0) {
+        b_ = Bit::One;
+      } else if (props.zeros > 0) {
+        b_ = Bit::Zero;
+      } else {
+        b_ = bit_of(coins.flip());
+      }
+    }
+    // Next round. Decided processes keep echoing for two rounds so every
+    // laggard (at most one round behind) can finish, then fall silent.
+    if (decided_ && help_rounds_left_-- == 0) {
+      silent_ = true;
+      return;
+    }
+    tallies_.erase({round_, false});
+    tallies_.erase({round_, true});
+    ++round_;
+    in_proposal_phase_ = false;
+    out.broadcast(encode({false, round_, to_int(b_)}));
+  }
+}
+
+}  // namespace synran

@@ -1,0 +1,79 @@
+// Ben-Or's randomized asynchronous consensus [BO83], crash-fault version
+// (t < n/2) — the protocol whose O(1)-for-t=O(√n) behaviour motivates the
+// paper's question, and whose synchronous one-side-bias descendant is
+// SynRan itself.
+//
+// Per round r:
+//   report phase:  broadcast (R, r, b); await n−t reports; if some value
+//                  holds a strict majority of n, propose it, else propose ⊥.
+//   proposal phase: broadcast (P, r, prop); await n−t proposals; decide v on
+//                  ≥ t+1 proposals for v, adopt v on ≥ 1, coin-flip
+//                  otherwise. Decided processes keep participating with b
+//                  pinned so laggards can finish.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "async/process.hpp"
+
+namespace synran {
+
+class BenOrAsyncProcess final : public AsyncProcess {
+ public:
+  BenOrAsyncProcess(ProcessId id, std::uint32_t n, std::uint32_t t,
+                    Bit input);
+
+  void start(AsyncOutbox& out, CoinSource& coins) override;
+  void on_message(const AsyncMessage& msg, AsyncOutbox& out,
+                  CoinSource& coins) override;
+  bool decided() const override { return decided_; }
+  Bit decision() const override { return b_; }
+  AsyncProcessView view() const override { return {b_, decided_, round_}; }
+
+  /// Message payload codec (exposed for tests).
+  struct Wire {
+    bool proposal = false;  ///< false = report (R), true = proposal (P)
+    std::uint32_t round = 0;
+    int value = -1;  ///< 0, 1, or -1 for ⊥ (proposals only)
+  };
+  static Payload encode(const Wire& w);
+  static Wire decode(Payload p);
+
+ private:
+  struct Tally {
+    std::uint32_t zeros = 0;
+    std::uint32_t ones = 0;
+    std::uint32_t bots = 0;
+    std::uint32_t total() const { return zeros + ones + bots; }
+  };
+
+  void try_advance(AsyncOutbox& out, CoinSource& coins);
+
+  ProcessId id_;
+  std::uint32_t n_;
+  std::uint32_t t_;
+  Bit b_;
+  bool decided_ = false;
+  std::uint32_t round_ = 1;
+  bool in_proposal_phase_ = false;
+  /// After deciding, keep echoing for two more rounds (enough for every
+  /// laggard to reach its own decision — it is at most one round behind),
+  /// then go silent so the run can drain.
+  std::uint32_t help_rounds_left_ = 2;
+  bool silent_ = false;
+  std::map<std::pair<std::uint32_t, bool>, Tally> tallies_;
+};
+
+class BenOrAsyncFactory final : public AsyncProcessFactory {
+ public:
+  std::unique_ptr<AsyncProcess> make(ProcessId id, std::uint32_t n,
+                                     std::uint32_t t,
+                                     Bit input) const override {
+    return std::make_unique<BenOrAsyncProcess>(id, n, t, input);
+  }
+  const char* name() const override { return "benor-async"; }
+};
+
+}  // namespace synran

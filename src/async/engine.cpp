@@ -1,0 +1,149 @@
+#include "async/engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+namespace {
+
+/// Wraps a PRNG coin source and counts the flips it serves — the metric
+/// Aspnes's lower bound is about.
+class CountingRandomCoins final : public CoinSource {
+ public:
+  explicit CountingRandomCoins(std::uint64_t seed) : rng_(seed) {}
+  bool flip() override {
+    ++count_;
+    return rng_.flip();
+  }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  Xoshiro256 rng_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace
+
+AsyncRunResult run_async(const AsyncProcessFactory& factory,
+                         const std::vector<Bit>& inputs,
+                         AsyncScheduler& scheduler,
+                         const AsyncEngineOptions& options) {
+  const auto n = static_cast<std::uint32_t>(inputs.size());
+  SYNRAN_REQUIRE(n >= 1, "need at least one process");
+  SYNRAN_REQUIRE(options.t_budget < n, "t must leave a live process");
+
+  SeedSequence seeds(options.seed);
+  std::vector<std::unique_ptr<AsyncProcess>> procs;
+  std::vector<std::unique_ptr<CountingRandomCoins>> coins;
+  procs.reserve(n);
+  for (ProcessId i = 0; i < n; ++i) {
+    procs.push_back(factory.make(i, n, options.t_budget, inputs[i]));
+    coins.push_back(std::make_unique<CountingRandomCoins>(seeds.stream(i)));
+  }
+
+  std::vector<AsyncMessage> pending;
+  std::vector<bool> crashed(n, false);
+  std::vector<AsyncProcessView> views(n);
+  std::uint32_t crash_budget = options.t_budget;
+
+  const auto pump = [&](ProcessId p, AsyncOutbox& out) {
+    auto msgs = out.take();
+    for (auto& m : msgs) {
+      if (!crashed[m.to]) pending.push_back(m);
+    }
+    views[p] = procs[p]->view();
+  };
+
+  scheduler.begin(n, options.t_budget);
+  for (ProcessId i = 0; i < n; ++i) {
+    AsyncOutbox out(i, n);
+    procs[i]->start(out, *coins[i]);
+    pump(i, out);
+  }
+
+  AsyncRunResult res;
+  const auto all_live_decided = [&] {
+    for (ProcessId i = 0; i < n; ++i)
+      if (!crashed[i] && !procs[i]->decided()) return false;
+    return true;
+  };
+
+  while (res.steps < options.max_steps) {
+    if (all_live_decided()) {
+      res.terminated = true;
+      break;
+    }
+    // Deliverable = pending to a live process (dead recipients are purged on
+    // crash, so everything pending is deliverable).
+    if (pending.empty()) break;  // nothing in transit and undecided: stuck
+
+    AsyncWorld world(pending, views, crashed, crash_budget, res.steps);
+    AsyncAction action = scheduler.step(world);
+
+    if (action.kind == AsyncAction::Kind::Crash) {
+      SYNRAN_CHECK_MSG(crash_budget > 0, "scheduler exceeded crash budget");
+      SYNRAN_CHECK_MSG(action.victim < n && !crashed[action.victim],
+                       "scheduler crashed an invalid process");
+      --crash_budget;
+      ++res.crashes;
+      crashed[action.victim] = true;
+      // Drop the selected in-transit messages of the victim, keep the rest;
+      // also purge everything addressed to it.
+      std::vector<bool> drop(pending.size(), false);
+      for (auto idx : action.drop) {
+        SYNRAN_CHECK_MSG(idx < pending.size(), "drop index out of range");
+        SYNRAN_CHECK_MSG(pending[idx].from == action.victim,
+                         "scheduler dropped a live process's message");
+        drop[idx] = true;
+      }
+      std::vector<AsyncMessage> kept;
+      kept.reserve(pending.size());
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (drop[i] || pending[i].to == action.victim) continue;
+        kept.push_back(pending[i]);
+      }
+      pending.swap(kept);
+      continue;
+    }
+
+    SYNRAN_CHECK_MSG(action.index < pending.size(),
+                     "scheduler delivered an invalid message");
+    const AsyncMessage msg = pending[action.index];
+    // O(1) removal; schedulers must not rely on stable pending order (the
+    // adversary model only cares which message is picked, not how the
+    // engine stores the rest).
+    pending[action.index] = pending.back();
+    pending.pop_back();
+    SYNRAN_CHECK(!crashed[msg.to]);
+    {
+      AsyncOutbox out(msg.to, n);
+      procs[msg.to]->on_message(msg, out, *coins[msg.to]);
+      pump(msg.to, out);
+    }
+    ++res.steps;
+  }
+
+  // Harvest.
+  bool first = true;
+  bool agree = true;
+  bool any = false;
+  for (ProcessId i = 0; i < n; ++i) {
+    if (crashed[i]) continue;
+    res.max_round = std::max(res.max_round, procs[i]->view().round);
+    res.coin_flips += coins[i]->count();
+    if (!procs[i]->decided()) continue;
+    any = true;
+    if (first) {
+      res.decision = procs[i]->decision();
+      first = false;
+    } else if (procs[i]->decision() != res.decision) {
+      agree = false;
+    }
+  }
+  res.agreement = any && agree;
+  return res;
+}
+
+}  // namespace synran

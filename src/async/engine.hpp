@@ -1,0 +1,36 @@
+// The asynchronous execution engine: a single event loop driven by the
+// scheduler. Reliability contract: a message is delivered unless its sender
+// was crashed (crashing lets the adversary drop any subset of the sender's
+// in-transit traffic). Messages to crashed processes are discarded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "async/process.hpp"
+#include "async/scheduler.hpp"
+
+namespace synran {
+
+struct AsyncEngineOptions {
+  std::uint32_t t_budget = 0;     ///< processes the scheduler may crash
+  std::uint64_t max_steps = 2000000;  ///< deliveries before giving up
+  std::uint64_t seed = 1;
+};
+
+struct AsyncRunResult {
+  bool terminated = false;  ///< every live process decided
+  bool agreement = false;
+  Bit decision = Bit::Zero;
+  std::uint64_t steps = 0;        ///< messages delivered
+  std::uint32_t max_round = 0;    ///< highest protocol round reached
+  std::uint64_t coin_flips = 0;   ///< total across processes
+  std::uint32_t crashes = 0;
+};
+
+AsyncRunResult run_async(const AsyncProcessFactory& factory,
+                         const std::vector<Bit>& inputs,
+                         AsyncScheduler& scheduler,
+                         const AsyncEngineOptions& options);
+
+}  // namespace synran

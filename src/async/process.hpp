@@ -1,0 +1,83 @@
+// The asynchronous message-passing substrate.
+//
+// The paper's §1.2 positions its synchronous bound against the asynchronous
+// world: [FLP85] forbids deterministic solutions outright, Ben-Or's
+// protocol [BO83] solves it in O(1) expected rounds for t = O(√n), and
+// Aspnes [Asp97] lower-bounds the coin flips. This substrate lets the
+// experiment suite reproduce that context: processes react to single
+// message deliveries, and the adversary is the scheduler — it sees
+// everything and picks which in-transit message arrives next, and which
+// processes crash (dropping any subset of their in-transit messages).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/types.hpp"
+
+namespace synran {
+
+/// A message in transit.
+struct AsyncMessage {
+  ProcessId from = 0;
+  ProcessId to = 0;
+  Payload payload = 0;
+};
+
+/// Collects a process's sends during one activation.
+class AsyncOutbox {
+ public:
+  explicit AsyncOutbox(ProcessId self, std::uint32_t n)
+      : self_(self), n_(n) {}
+
+  void send(ProcessId to, Payload p) { out_.push_back({self_, to, p}); }
+  void broadcast(Payload p) {
+    for (ProcessId i = 0; i < n_; ++i) send(i, p);
+  }
+
+  std::vector<AsyncMessage> take() { return std::move(out_); }
+
+ private:
+  ProcessId self_;
+  std::uint32_t n_;
+  std::vector<AsyncMessage> out_;
+};
+
+/// Scheduler-visible snapshot of a process (full information).
+struct AsyncProcessView {
+  Bit estimate = Bit::Zero;
+  bool decided = false;
+  std::uint32_t round = 0;  ///< the protocol's internal round counter
+};
+
+/// An asynchronous protocol participant. All randomness flows through the
+/// CoinSource handed to each activation, as in the synchronous substrate.
+class AsyncProcess {
+ public:
+  virtual ~AsyncProcess() = default;
+
+  /// Called once before any delivery; emit the initial messages.
+  virtual void start(AsyncOutbox& out, CoinSource& coins) = 0;
+
+  /// Called per delivered message.
+  virtual void on_message(const AsyncMessage& msg, AsyncOutbox& out,
+                          CoinSource& coins) = 0;
+
+  virtual bool decided() const = 0;
+  virtual Bit decision() const = 0;
+  virtual AsyncProcessView view() const = 0;
+};
+
+class AsyncProcessFactory {
+ public:
+  virtual ~AsyncProcessFactory() = default;
+  virtual std::unique_ptr<AsyncProcess> make(ProcessId id, std::uint32_t n,
+                                             std::uint32_t t,
+                                             Bit input) const = 0;
+  virtual const char* name() const = 0;
+};
+
+}  // namespace synran

@@ -1,0 +1,102 @@
+// Scheduler (adversary) interface for the asynchronous engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "async/process.hpp"
+#include "common/rng.hpp"
+
+namespace synran {
+
+/// What the scheduler sees each step: the in-transit messages, the
+/// processes' full state, and its remaining crash budget.
+class AsyncWorld {
+ public:
+  AsyncWorld(std::span<const AsyncMessage> pending,
+             std::span<const AsyncProcessView> views,
+             const std::vector<bool>& crashed, std::uint32_t crash_budget,
+             std::uint64_t step)
+      : pending_(pending),
+        views_(views),
+        crashed_(crashed),
+        crash_budget_(crash_budget),
+        step_(step) {}
+
+  std::span<const AsyncMessage> pending() const { return pending_; }
+  const AsyncProcessView& view(ProcessId p) const { return views_[p]; }
+  std::uint32_t n() const {
+    return static_cast<std::uint32_t>(views_.size());
+  }
+  bool crashed(ProcessId p) const { return crashed_[p]; }
+  std::uint32_t crash_budget() const { return crash_budget_; }
+  std::uint64_t step() const { return step_; }
+
+ private:
+  std::span<const AsyncMessage> pending_;
+  std::span<const AsyncProcessView> views_;
+  const std::vector<bool>& crashed_;
+  std::uint32_t crash_budget_;
+  std::uint64_t step_;
+};
+
+/// One scheduling decision.
+struct AsyncAction {
+  enum class Kind : std::uint8_t {
+    Deliver,  ///< deliver pending()[index]
+    Crash,    ///< crash `victim`, dropping its in-transit messages listed
+              ///< in drop (indices into pending())
+  };
+  Kind kind = Kind::Deliver;
+  std::size_t index = 0;
+  ProcessId victim = 0;
+  std::vector<std::size_t> drop;
+};
+
+class AsyncScheduler {
+ public:
+  virtual ~AsyncScheduler() = default;
+  virtual void begin(std::uint32_t /*n*/, std::uint32_t /*t*/) {}
+  /// Must return a Deliver of a valid pending index (to a live process), or
+  /// a Crash within budget. Called only while deliverable messages exist.
+  virtual AsyncAction step(const AsyncWorld& world) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Delivers in send order — the benign round-robin-ish schedule.
+class FifoScheduler final : public AsyncScheduler {
+ public:
+  AsyncAction step(const AsyncWorld& world) override;
+  const char* name() const override { return "fifo"; }
+};
+
+/// Delivers a uniformly random pending message.
+class RandomScheduler final : public AsyncScheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  AsyncAction step(const AsyncWorld& world) override;
+  const char* name() const override { return "random"; }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// Adaptive: starves the messages of a rotating laggard set of up to t
+/// processes (delivering their traffic only when nothing else is pending)
+/// and, when a process is about to push the system toward unanimity, crashes
+/// it. A budget-disciplined rendering of the classic async adversary.
+class LaggardScheduler final : public AsyncScheduler {
+ public:
+  explicit LaggardScheduler(std::uint64_t seed) : rng_(seed) {}
+  void begin(std::uint32_t n, std::uint32_t t) override;
+  AsyncAction step(const AsyncWorld& world) override;
+  const char* name() const override { return "laggard"; }
+
+ private:
+  Xoshiro256 rng_;
+  std::uint32_t t_ = 0;
+  std::vector<bool> lagging_;
+};
+
+}  // namespace synran

@@ -1,0 +1,51 @@
+// Exact Hamming-ball expansion on the hypercube {0,1}^n — the quantity
+// Lemma 2.1 bounds via Schechtman's theorem:
+//
+//   Pr(A) = α, l ≥ l₀ = 2√(n·ln(1/α))  ⇒  Pr(B(A,l)) ≥ 1 − e^{−(l−l₀)²/4n}.
+//
+// For n ≤ ~20 the 2^n-point space fits in memory, so Pr(B(A,l)) can be
+// computed exactly by multi-source BFS and compared against the bound — and
+// against the U^v sets of actual coin games, which is precisely how the
+// paper uses the inequality.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "coin/games.hpp"
+
+namespace synran {
+
+/// Exact expansion profile of a set A ⊆ {0,1}^n under the uniform measure.
+class HypercubeExpansion {
+ public:
+  /// `member(x)` decides membership of the point whose bits are x.
+  /// Cost: O(2^n · n) time, O(2^n) memory — callers keep n ≤ ~22.
+  HypercubeExpansion(std::uint32_t n,
+                     const std::function<bool(std::uint64_t)>& member);
+
+  std::uint32_t n() const { return n_; }
+  /// |A| / 2^n.
+  double measure() const;
+  /// Pr(B(A, l)) — the measure of the radius-l Hamming enlargement.
+  double ball_measure(std::uint32_t l) const;
+  /// Smallest l with Pr(B(A,l)) ≥ p (n+1 if unreachable, i.e. A empty).
+  std::uint32_t radius_for(double p) const;
+  /// Number of points at Hamming distance exactly d from A.
+  std::uint64_t count_at_distance(std::uint32_t d) const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::uint64_t> count_at_distance_;  ///< index d
+};
+
+/// The U^v set of a game over binary inputs: points from which a
+/// budget-limited adversary cannot force outcome v (using the game's exact
+/// forcing when available, exhaustive search otherwise). Only meaningful for
+/// games with domain_size() == 2 and small player counts.
+HypercubeExpansion expansion_of_unforceable_set(const CoinGame& game,
+                                                std::uint32_t target,
+                                                std::uint32_t budget);
+
+}  // namespace synran

@@ -1,0 +1,195 @@
+#include "coin/forcing.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+namespace {
+
+/// Complete search over hiding sets of size ≤ budget, in increasing size
+/// (so the witness is minimum-cardinality). Cost: Σ_{j≤budget} C(n,j)
+/// evaluations — callers gate n and budget.
+std::optional<DynBitset> exhaustive_force(const CoinGame& game,
+                                          std::span<const GameValue> values,
+                                          std::uint32_t target,
+                                          std::uint32_t budget) {
+  const std::uint32_t n = game.players();
+  DynBitset hidden(n);
+  if (game.outcome(values, hidden) == target) return hidden;
+
+  std::vector<std::uint32_t> idx;
+  for (std::uint32_t size = 1; size <= budget && size <= n; ++size) {
+    // Iterate all C(n, size) combinations.
+    idx.resize(size);
+    for (std::uint32_t i = 0; i < size; ++i) idx[i] = i;
+    for (;;) {
+      DynBitset h(n);
+      for (auto i : idx) h.set(i);
+      if (game.outcome(values, h) == target) return h;
+      // next combination
+      std::int64_t pos = static_cast<std::int64_t>(size) - 1;
+      while (pos >= 0 && idx[static_cast<std::size_t>(pos)] ==
+                             n - size + static_cast<std::uint32_t>(pos))
+        --pos;
+      if (pos < 0) break;
+      ++idx[static_cast<std::size_t>(pos)];
+      for (auto j = static_cast<std::size_t>(pos) + 1; j < size; ++j)
+        idx[j] = idx[j - 1] + 1;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Greedy hill-climbing: repeatedly hide the single additional value that
+/// reaches the target, or failing that, any value (preferring ones that
+/// change the outcome at all) — a cheap heuristic with one-sided error.
+std::optional<DynBitset> greedy_force(const CoinGame& game,
+                                      std::span<const GameValue> values,
+                                      std::uint32_t target,
+                                      std::uint32_t budget) {
+  const std::uint32_t n = game.players();
+  DynBitset hidden(n);
+  if (game.outcome(values, hidden) == target) return hidden;
+
+  for (std::uint32_t used = 0; used < budget; ++used) {
+    std::optional<std::uint32_t> changer;
+    bool done = false;
+    for (std::uint32_t i = 0; i < n && !done; ++i) {
+      if (hidden.test(i)) continue;
+      hidden.set(i);
+      const std::uint32_t out = game.outcome(values, hidden);
+      if (out == target) {
+        done = true;
+        break;  // keep i hidden
+      }
+      hidden.reset(i);
+      if (!changer.has_value() &&
+          out != game.outcome(values, hidden))  // moves the needle at all
+        changer = i;
+    }
+    if (done) return hidden;
+    if (!changer.has_value()) return std::nullopt;  // stuck
+    hidden.set(*changer);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ForcingResult can_force(const CoinGame& game,
+                        std::span<const GameValue> values,
+                        std::uint32_t target, std::uint32_t budget,
+                        const ForcingOptions& opts) {
+  SYNRAN_REQUIRE(target < game.outcomes(), "target outcome out of range");
+  SYNRAN_REQUIRE(values.size() == game.players(),
+                 "value vector has wrong size");
+  ForcingResult res;
+
+  if (auto h = game.analytic_force(values, target, budget)) {
+    res.forced = true;
+    res.hiding = std::move(*h);
+    res.method = ForcingMethod::Analytic;
+    res.exact = true;
+    SYNRAN_CHECK(res.hiding.count() <= budget);
+    SYNRAN_CHECK(game.outcome(values, res.hiding) == target);
+    return res;
+  }
+  if (game.analytic_force_is_complete()) {
+    res.forced = false;
+    res.method = ForcingMethod::Analytic;
+    res.exact = true;
+    return res;
+  }
+
+  if (game.players() <= opts.exhaustive_max_players &&
+      budget <= opts.exhaustive_max_budget) {
+    res.method = ForcingMethod::Exhaustive;
+    res.exact = true;
+    if (auto h = exhaustive_force(game, values, target, budget)) {
+      res.forced = true;
+      res.hiding = std::move(*h);
+    }
+    return res;
+  }
+
+  res.method = ForcingMethod::Greedy;
+  res.exact = false;
+  if (auto h = greedy_force(game, values, target, budget)) {
+    res.forced = true;
+    res.hiding = std::move(*h);
+    res.exact = true;  // a positive witness is always definitive
+  }
+  return res;
+}
+
+double ControlEstimate::min_pr_unforceable() const {
+  SYNRAN_REQUIRE(!pr_unforceable.empty(), "empty estimate");
+  return *std::min_element(pr_unforceable.begin(), pr_unforceable.end());
+}
+
+std::uint32_t ControlEstimate::best_outcome() const {
+  SYNRAN_REQUIRE(!pr_unforceable.empty(), "empty estimate");
+  return static_cast<std::uint32_t>(
+      std::min_element(pr_unforceable.begin(), pr_unforceable.end()) -
+      pr_unforceable.begin());
+}
+
+ControlEstimate exact_control(const CoinGame& game, std::uint32_t budget,
+                              const ForcingOptions& opts) {
+  SYNRAN_REQUIRE(game.domain_size() == 2,
+                 "exact control needs binary inputs");
+  const std::uint32_t n = game.players();
+  SYNRAN_REQUIRE(n <= 22, "exact control limited to n <= 22");
+
+  ControlEstimate est;
+  est.samples = 1ULL << n;
+  est.unforceable_count.assign(game.outcomes(), 0);
+
+  std::vector<GameValue> values(n);
+  for (std::uint64_t x = 0; x < (1ULL << n); ++x) {
+    for (std::uint32_t i = 0; i < n; ++i)
+      values[i] = static_cast<GameValue>((x >> i) & 1);
+    for (std::uint32_t v = 0; v < game.outcomes(); ++v) {
+      const auto res = can_force(game, values, v, budget, opts);
+      SYNRAN_REQUIRE(res.exact || res.forced,
+                     "exact control needs a definitive forcing decision");
+      if (!res.forced) ++est.unforceable_count[v];
+    }
+  }
+  est.pr_unforceable.reserve(game.outcomes());
+  for (auto c : est.unforceable_count)
+    est.pr_unforceable.push_back(static_cast<double>(c) /
+                                 static_cast<double>(est.samples));
+  return est;
+}
+
+ControlEstimate estimate_control(const CoinGame& game, std::uint32_t budget,
+                                 std::size_t samples, std::uint64_t seed,
+                                 const ForcingOptions& opts) {
+  SYNRAN_REQUIRE(samples > 0, "need at least one sample");
+  ControlEstimate est;
+  est.samples = samples;
+  est.unforceable_count.assign(game.outcomes(), 0);
+
+  Xoshiro256 rng(seed);
+  std::vector<GameValue> values;
+  for (std::size_t s = 0; s < samples; ++s) {
+    game.sample(rng, values);
+    for (std::uint32_t v = 0; v < game.outcomes(); ++v) {
+      const auto res = can_force(game, values, v, budget, opts);
+      if (!res.forced) {
+        ++est.unforceable_count[v];
+        if (!res.exact) est.exact = false;
+      }
+    }
+  }
+  est.pr_unforceable.reserve(game.outcomes());
+  for (auto c : est.unforceable_count)
+    est.pr_unforceable.push_back(static_cast<double>(c) /
+                                 static_cast<double>(samples));
+  return est;
+}
+
+}  // namespace synran

@@ -1,0 +1,78 @@
+// Forcing search and control estimation for one-round games (§2.1).
+//
+// "Control" in the paper: a t-adversary controls the game toward v when it
+// can force outcome v with probability > 1 − 1/n over the input draw. The
+// quantity measured is Pr(U^v) — the probability that NO hiding set of size
+// ≤ t yields v — and Lemma 2.1 shows min_v Pr(U^v) < 1/n once
+// t > k·4√(n·ln n).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "coin/games.hpp"
+#include "common/rng.hpp"
+
+namespace synran {
+
+/// How a forcing decision was reached — matters for interpreting estimates:
+/// greedy search can miss forcings (one-sided error), analytic/exhaustive
+/// cannot.
+enum class ForcingMethod : std::uint8_t {
+  Analytic,    ///< the game's own exact rule
+  Exhaustive,  ///< complete subset search (exact, small n only)
+  Greedy,      ///< hill-climbing (may miss feasible forcings)
+};
+
+struct ForcingResult {
+  bool forced = false;
+  DynBitset hiding;  ///< witnesses `forced`; empty set when already at target
+  ForcingMethod method = ForcingMethod::Greedy;
+  bool exact = false;  ///< a negative answer is definitive
+};
+
+struct ForcingOptions {
+  /// Upper limit on players for the exhaustive fallback; above it, greedy.
+  std::uint32_t exhaustive_max_players = 22;
+  /// Upper limit on the hiding-set size the exhaustive search explores
+  /// (combinatorial growth); above it, greedy.
+  std::uint32_t exhaustive_max_budget = 3;
+};
+
+/// Can the adversary force `target` from this input vector by hiding at most
+/// `budget` values? Tries the game's analytic rule, then exhaustive search
+/// (when small enough), then greedy hill-climbing.
+ForcingResult can_force(const CoinGame& game,
+                        std::span<const GameValue> values,
+                        std::uint32_t target, std::uint32_t budget,
+                        const ForcingOptions& opts = {});
+
+/// Monte-Carlo estimate of Pr(U^v) for each outcome v: the probability that
+/// `budget` hidings cannot force v. Returns one estimate per outcome.
+/// When the underlying decision procedure is inexact (greedy), the estimates
+/// are upper bounds on the true Pr(U^v).
+struct ControlEstimate {
+  std::vector<double> pr_unforceable;  ///< \hat{Pr}(U^v), indexed by outcome
+  std::vector<std::size_t> unforceable_count;
+  std::size_t samples = 0;
+  bool exact = true;  ///< all per-sample decisions were definitive
+
+  /// min_v \hat{Pr}(U^v) — the Lemma 2.1 quantity.
+  double min_pr_unforceable() const;
+  /// The outcome attaining the minimum (the controllable direction).
+  std::uint32_t best_outcome() const;
+};
+
+ControlEstimate estimate_control(const CoinGame& game, std::uint32_t budget,
+                                 std::size_t samples, std::uint64_t seed,
+                                 const ForcingOptions& opts = {});
+
+/// EXACT Pr(U^v) by enumerating the full input space — no sampling error.
+/// Requires a binary-input game with ≤ 22 players and a definitive forcing
+/// decision (analytic or exhaustive) for every point; throws otherwise.
+ControlEstimate exact_control(const CoinGame& game, std::uint32_t budget,
+                              const ForcingOptions& opts = {});
+
+}  // namespace synran

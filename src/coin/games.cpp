@@ -1,0 +1,172 @@
+#include "coin/games.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+void CoinGame::sample(Xoshiro256& rng, std::vector<GameValue>& out) const {
+  out.resize(players());
+  const std::uint32_t d = domain_size();
+  for (auto& v : out)
+    v = static_cast<GameValue>(d == 2 ? (rng.flip() ? 1 : 0) : rng.below(d));
+}
+
+std::optional<DynBitset> CoinGame::analytic_force(
+    std::span<const GameValue>, std::uint32_t, std::uint32_t) const {
+  return std::nullopt;
+}
+
+namespace {
+
+/// Count of visible ones / visible total.
+struct VisibleCount {
+  std::uint32_t ones = 0;
+  std::uint32_t present = 0;
+};
+
+VisibleCount count_visible(std::span<const GameValue> values,
+                           const DynBitset& hidden) {
+  VisibleCount c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (hidden.test(i)) continue;
+    ++c.present;
+    if (values[i] != 0) ++c.ones;
+  }
+  return c;
+}
+
+/// Hides up to `budget` players holding `side`, starting from the lowest id.
+/// Returns the number actually hidden.
+std::uint32_t hide_side(std::span<const GameValue> values, GameValue side,
+                        std::uint32_t budget, DynBitset& hidden) {
+  std::uint32_t used = 0;
+  for (std::size_t i = 0; i < values.size() && used < budget; ++i) {
+    if (!hidden.test(i) && values[i] == side) {
+      hidden.set(i);
+      ++used;
+    }
+  }
+  return used;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- majority-0
+
+std::uint32_t MajorityDefaultZeroGame::outcome(
+    std::span<const GameValue> values, const DynBitset& hidden) const {
+  SYNRAN_REQUIRE(values.size() == n_, "value vector has wrong size");
+  const auto c = count_visible(values, hidden);
+  // Hidden values count as 0: outcome 1 iff ones form a strict majority of
+  // all n slots.
+  return 2 * c.ones > n_ ? 1 : 0;
+}
+
+std::optional<DynBitset> MajorityDefaultZeroGame::analytic_force(
+    std::span<const GameValue> values, std::uint32_t target,
+    std::uint32_t budget) const {
+  DynBitset hidden(n_);
+  if (outcome(values, hidden) == target) return hidden;  // already there
+  if (target == 1) return std::nullopt;  // hiding can never add 1s
+  // Force 0: hide 1s until they no longer form a strict majority.
+  auto c = count_visible(values, hidden);
+  const std::uint32_t need = c.ones - n_ / 2;  // ones > n/2 here
+  if (need > budget) return std::nullopt;
+  hide_side(values, 1, need, hidden);
+  SYNRAN_CHECK(outcome(values, hidden) == 0);
+  return hidden;
+}
+
+// --------------------------------------------------------------- majority-p
+
+std::uint32_t MajorityPresentGame::outcome(std::span<const GameValue> values,
+                                           const DynBitset& hidden) const {
+  SYNRAN_REQUIRE(values.size() == n_, "value vector has wrong size");
+  const auto c = count_visible(values, hidden);
+  return 2 * c.ones > c.present ? 1 : 0;  // tie -> 0
+}
+
+std::optional<DynBitset> MajorityPresentGame::analytic_force(
+    std::span<const GameValue> values, std::uint32_t target,
+    std::uint32_t budget) const {
+  DynBitset hidden(n_);
+  if (outcome(values, hidden) == target) return hidden;
+  auto c = count_visible(values, hidden);
+  const std::uint32_t zeros = c.present - c.ones;
+  if (target == 1) {
+    // Need ones > present/2 after hiding x zeros: 2·ones > ones + zeros − x.
+    const std::uint32_t need = zeros >= c.ones ? zeros - c.ones + 1 : 0;
+    if (need > budget || need > zeros) return std::nullopt;
+    hide_side(values, 0, need, hidden);
+  } else {
+    // Need 2·ones ≤ present after hiding x ones:
+    // 2(ones−x) ≤ ones + zeros − x  ⇔  x ≥ ones − zeros.
+    const std::uint32_t need = c.ones >= zeros ? c.ones - zeros : 0;
+    if (need > budget || need > c.ones) return std::nullopt;
+    hide_side(values, 1, need, hidden);
+  }
+  SYNRAN_CHECK(outcome(values, hidden) == target);
+  return hidden;
+}
+
+// ------------------------------------------------------------------- parity
+
+std::uint32_t ParityPresentGame::outcome(std::span<const GameValue> values,
+                                         const DynBitset& hidden) const {
+  SYNRAN_REQUIRE(values.size() == n_, "value vector has wrong size");
+  std::uint32_t x = 0;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (!hidden.test(i) && values[i] != 0) x ^= 1;
+  return x;
+}
+
+std::optional<DynBitset> ParityPresentGame::analytic_force(
+    std::span<const GameValue> values, std::uint32_t target,
+    std::uint32_t budget) const {
+  DynBitset hidden(n_);
+  if (outcome(values, hidden) == target) return hidden;
+  // Flip the parity by hiding any single 1 (hiding a 0 changes nothing).
+  if (budget == 0) return std::nullopt;
+  if (hide_side(values, 1, 1, hidden) == 1) return hidden;
+  return std::nullopt;  // all-zero input: parity stuck at 0
+}
+
+// ------------------------------------------------------------------- modsum
+
+std::uint32_t ModSumGame::outcome(std::span<const GameValue> values,
+                                  const DynBitset& hidden) const {
+  SYNRAN_REQUIRE(values.size() == n_, "value vector has wrong size");
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (!hidden.test(i)) s += values[i];
+  return static_cast<std::uint32_t>(s % k_);
+}
+
+// --------------------------------------------------------------- leader-bit
+
+std::uint32_t LeaderBitGame::outcome(std::span<const GameValue> values,
+                                     const DynBitset& hidden) const {
+  SYNRAN_REQUIRE(values.size() == n_, "value vector has wrong size");
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (!hidden.test(i)) return values[i] != 0 ? 1 : 0;
+  return 0;  // everyone hidden: default outcome
+}
+
+std::optional<DynBitset> LeaderBitGame::analytic_force(
+    std::span<const GameValue> values, std::uint32_t target,
+    std::uint32_t budget) const {
+  DynBitset hidden(n_);
+  // Hide the prefix up to the first player holding `target`.
+  std::uint32_t used = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if ((values[i] != 0 ? 1u : 0u) == target) return hidden;
+    if (++used > budget) return std::nullopt;
+    hidden.set(i);
+  }
+  // Ran out of players: all-hidden defaults to 0.
+  return target == 0 && used <= budget ? std::optional(hidden) : std::nullopt;
+}
+
+}  // namespace synran

@@ -1,0 +1,159 @@
+// One-round collective coin-flipping games (§2 of the paper).
+//
+// A game: n players each draw a private value from their own distribution;
+// after seeing all values an adaptive fail-stop adversary hides up to t of
+// them (replacing them with the default "—"); a public function f of the
+// masked sequence yields the outcome in {0..k-1}. The paper's Lemma 2.1 says
+// a budget of k·4√(n·ln n) always suffices to control *some* outcome with
+// probability > 1−1/n, and the majority-with-default-0 game shows the
+// one-sidedness is unavoidable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/dynbitset.hpp"
+#include "common/rng.hpp"
+
+namespace synran {
+
+/// A player's value. Games here use small integer domains.
+using GameValue = std::uint8_t;
+
+class CoinGame {
+ public:
+  virtual ~CoinGame() = default;
+
+  virtual std::uint32_t players() const = 0;
+  /// Number of possible outcomes k.
+  virtual std::uint32_t outcomes() const = 0;
+  /// Size of each player's value domain (values are 0..domain_size-1).
+  virtual std::uint32_t domain_size() const = 0;
+
+  /// Draws one full input vector (players draw independently).
+  virtual void sample(Xoshiro256& rng, std::vector<GameValue>& out) const;
+
+  /// Evaluates f on the masked sequence: hidden.test(i) means player i's
+  /// value was replaced by the default "—".
+  virtual std::uint32_t outcome(std::span<const GameValue> values,
+                                const DynBitset& hidden) const = 0;
+
+  /// Analytic forcing, when the game admits one: returns a hiding set of
+  /// size ≤ budget that forces `target`, or nullopt if this game has no
+  /// analytic rule (callers fall back to search) — NOT "cannot be forced".
+  virtual std::optional<DynBitset> analytic_force(
+      std::span<const GameValue> values, std::uint32_t target,
+      std::uint32_t budget) const;
+
+  /// True when analytic_force is exact: a nullopt-from-search + analytic
+  /// miss means genuinely unforceable.
+  virtual bool analytic_force_is_complete() const { return false; }
+
+  virtual const char* name() const = 0;
+};
+
+/// Majority with default 0 — the paper's example of an inherently one-sided
+/// game: a hidden value counts as 0, so the adversary can push toward 0 by
+/// hiding 1s but can never manufacture extra 1s. Outcome 1 iff the visible
+/// 1s exceed n/2.
+class MajorityDefaultZeroGame final : public CoinGame {
+ public:
+  explicit MajorityDefaultZeroGame(std::uint32_t n) : n_(n) {}
+  std::uint32_t players() const override { return n_; }
+  std::uint32_t outcomes() const override { return 2; }
+  std::uint32_t domain_size() const override { return 2; }
+  std::uint32_t outcome(std::span<const GameValue> values,
+                        const DynBitset& hidden) const override;
+  std::optional<DynBitset> analytic_force(std::span<const GameValue> values,
+                                          std::uint32_t target,
+                                          std::uint32_t budget) const override;
+  bool analytic_force_is_complete() const override { return true; }
+  const char* name() const override { return "majority-default0"; }
+
+ private:
+  std::uint32_t n_;
+};
+
+/// Majority over the *present* values (ties broken toward 0). Biasable in
+/// both directions by hiding Θ(√n) values of the disfavoured side.
+class MajorityPresentGame final : public CoinGame {
+ public:
+  explicit MajorityPresentGame(std::uint32_t n) : n_(n) {}
+  std::uint32_t players() const override { return n_; }
+  std::uint32_t outcomes() const override { return 2; }
+  std::uint32_t domain_size() const override { return 2; }
+  std::uint32_t outcome(std::span<const GameValue> values,
+                        const DynBitset& hidden) const override;
+  std::optional<DynBitset> analytic_force(std::span<const GameValue> values,
+                                          std::uint32_t target,
+                                          std::uint32_t budget) const override;
+  bool analytic_force_is_complete() const override { return true; }
+  const char* name() const override { return "majority-present"; }
+
+ private:
+  std::uint32_t n_;
+};
+
+/// XOR of the present values: one hidden bit flips the outcome, so a
+/// 1-adversary fully controls the game — the opposite extreme from majority.
+class ParityPresentGame final : public CoinGame {
+ public:
+  explicit ParityPresentGame(std::uint32_t n) : n_(n) {}
+  std::uint32_t players() const override { return n_; }
+  std::uint32_t outcomes() const override { return 2; }
+  std::uint32_t domain_size() const override { return 2; }
+  std::uint32_t outcome(std::span<const GameValue> values,
+                        const DynBitset& hidden) const override;
+  std::optional<DynBitset> analytic_force(std::span<const GameValue> values,
+                                          std::uint32_t target,
+                                          std::uint32_t budget) const override;
+  bool analytic_force_is_complete() const override { return true; }
+  const char* name() const override { return "parity-present"; }
+
+ private:
+  std::uint32_t n_;
+};
+
+/// k-outcome game: players draw uniform values in {0..k-1}; the outcome is
+/// the sum of present values mod k. Exercises the k-outcome statement of
+/// Lemma 2.1 (every outcome is reachable by hiding a small subset whose sum
+/// has the right residue).
+class ModSumGame final : public CoinGame {
+ public:
+  ModSumGame(std::uint32_t n, std::uint32_t k) : n_(n), k_(k) {}
+  std::uint32_t players() const override { return n_; }
+  std::uint32_t outcomes() const override { return k_; }
+  std::uint32_t domain_size() const override { return k_; }
+  std::uint32_t outcome(std::span<const GameValue> values,
+                        const DynBitset& hidden) const override;
+  const char* name() const override { return "modsum"; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t k_;
+};
+
+/// First-present-player's bit: the epitome of an adversary-controlled game —
+/// hiding a prefix hands the outcome to any player the adversary likes.
+class LeaderBitGame final : public CoinGame {
+ public:
+  explicit LeaderBitGame(std::uint32_t n) : n_(n) {}
+  std::uint32_t players() const override { return n_; }
+  std::uint32_t outcomes() const override { return 2; }
+  std::uint32_t domain_size() const override { return 2; }
+  std::uint32_t outcome(std::span<const GameValue> values,
+                        const DynBitset& hidden) const override;
+  std::optional<DynBitset> analytic_force(std::span<const GameValue> values,
+                                          std::uint32_t target,
+                                          std::uint32_t budget) const override;
+  bool analytic_force_is_complete() const override { return true; }
+  const char* name() const override { return "leader-bit"; }
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace synran

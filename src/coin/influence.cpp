@@ -1,0 +1,70 @@
+#include "coin/influence.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+double InfluenceProfile::total() const {
+  double acc = 0.0;
+  for (double v : per_player) acc += v;
+  return acc;
+}
+
+double InfluenceProfile::max() const {
+  SYNRAN_REQUIRE(!per_player.empty(), "empty influence profile");
+  return *std::max_element(per_player.begin(), per_player.end());
+}
+
+std::uint32_t InfluenceProfile::argmax() const {
+  SYNRAN_REQUIRE(!per_player.empty(), "empty influence profile");
+  return static_cast<std::uint32_t>(
+      std::max_element(per_player.begin(), per_player.end()) -
+      per_player.begin());
+}
+
+InfluenceProfile influences(std::uint32_t n,
+                            const std::function<bool(std::uint64_t)>& f) {
+  SYNRAN_REQUIRE(n >= 1 && n <= 22, "influence computation supports n 1..22");
+  const std::uint64_t size = 1ULL << n;
+
+  // Materialize the truth table once; each influence is then one XOR-shift
+  // pass over it.
+  std::vector<bool> table(size);
+  std::uint64_t ones = 0;
+  for (std::uint64_t x = 0; x < size; ++x) {
+    table[x] = f(x);
+    ones += table[x] ? 1 : 0;
+  }
+
+  InfluenceProfile out;
+  out.expectation = static_cast<double>(ones) / static_cast<double>(size);
+  out.per_player.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t bit = 1ULL << i;
+    std::uint64_t pivotal = 0;
+    for (std::uint64_t x = 0; x < size; ++x) {
+      if ((x & bit) != 0) continue;  // count each pair once
+      if (table[x] != table[x | bit]) ++pivotal;
+    }
+    out.per_player[i] =
+        static_cast<double>(pivotal) / static_cast<double>(size / 2);
+  }
+  return out;
+}
+
+InfluenceProfile game_influences(const CoinGame& game) {
+  SYNRAN_REQUIRE(game.domain_size() == 2 && game.outcomes() == 2,
+                 "influences need a binary game");
+  const std::uint32_t n = game.players();
+  std::vector<GameValue> values(n);
+  const DynBitset none(n);
+  return influences(n, [&](std::uint64_t x) {
+    for (std::uint32_t i = 0; i < n; ++i)
+      values[i] = static_cast<GameValue>((x >> i) & 1);
+    return game.outcome(values, none) == 1;
+  });
+}
+
+}  // namespace synran

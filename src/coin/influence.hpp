@@ -1,0 +1,44 @@
+// Boolean-function influence — the quantity at the heart of the collective
+// coin-flipping literature the paper builds on ([BOL89], [Lin94]).
+//
+// For f : {0,1}^n → {0,1} under the uniform measure, the influence of
+// player i is I_i(f) = Pr_x[f(x) ≠ f(x ⊕ e_i)], and Ben-Or–Linial relate
+// the adversary's control over a game to the influences of its deciding
+// function. These exact computations (2^n evaluations, n ≤ ~22) ground the
+// one-round-game experiments: a fail-stop adversary hiding player i is at
+// least as strong as an adversary flipping i, so Σ I_i lower-bounds how
+// "attackable" a game is.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "coin/games.hpp"
+
+namespace synran {
+
+struct InfluenceProfile {
+  std::vector<double> per_player;  ///< I_i(f)
+  double expectation = 0.0;        ///< Pr[f = 1]
+
+  double total() const;    ///< Σ_i I_i(f)
+  double max() const;      ///< max_i I_i(f)
+  std::uint32_t argmax() const;
+};
+
+/// Exact influences of an arbitrary boolean function given as a truth-table
+/// oracle over n ≤ 22 variables.
+InfluenceProfile influences(std::uint32_t n,
+                            const std::function<bool(std::uint64_t)>& f);
+
+/// Exact influences of a binary-input, binary-outcome coin game's deciding
+/// function (no hidden players).
+InfluenceProfile game_influences(const CoinGame& game);
+
+/// The Ben-Or–Linial reference values for sanity anchors:
+///   dictator: I = (1, 0, …)         majority: I_i ~ √(2/(πn))
+///   parity:   I_i = 1 for all i     tribes:   I_i = Θ(ln n / n)
+/// (tests pin these against the exact computation).
+
+}  // namespace synran

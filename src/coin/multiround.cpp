@@ -1,0 +1,99 @@
+#include "coin/multiround.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+std::vector<std::uint32_t> GreedyBiasMultiRound::kill(
+    const MultiRoundView& view) {
+  // Budget pacing: don't dump everything in round 1 — adverse coins keep
+  // arriving, so spread the spend across the remaining rounds (with a
+  // small surplus allowance for unlucky rounds).
+  const std::uint32_t remaining_rounds =
+      view.rounds_total - view.round + 1;
+  std::uint32_t allowance =
+      view.budget_left / remaining_rounds + view.budget_left % 2;
+  if (view.round_cap != 0) allowance = std::min(allowance, view.round_cap);
+  allowance = std::min(allowance, view.budget_left);
+
+  std::vector<std::uint32_t> victims;
+  view.alive->for_each_set([&](std::size_t i) {
+    if (victims.size() >= allowance) return;
+    const bool coin_one = (*view.coins)[i];
+    const bool adverse = target_ == 1 ? !coin_one : coin_one;
+    if (adverse) victims.push_back(static_cast<std::uint32_t>(i));
+  });
+  return victims;
+}
+
+MultiRoundResult play_multiround(const MultiRoundSpec& spec,
+                                 MultiRoundAdversary& adversary,
+                                 std::uint64_t seed) {
+  SYNRAN_REQUIRE(spec.players >= 1, "need at least one player");
+  SYNRAN_REQUIRE(spec.rounds >= 1, "need at least one round");
+  SYNRAN_REQUIRE(spec.budget <= spec.players, "budget exceeds players");
+
+  adversary.begin(spec);
+  Xoshiro256 rng(seed);
+  DynBitset alive(spec.players, true);
+  std::vector<bool> coins(spec.players, false);
+
+  MultiRoundResult res;
+  std::uint32_t budget = spec.budget;
+
+  for (std::uint32_t r = 1; r <= spec.rounds; ++r) {
+    alive.for_each_set([&](std::size_t i) { coins[i] = rng.flip(); });
+
+    MultiRoundView view;
+    view.round = r;
+    view.rounds_total = spec.rounds;
+    view.alive = &alive;
+    view.coins = &coins;
+    view.running_sum = res.sum;
+    view.budget_left = budget;
+    view.round_cap = spec.per_round_cap;
+
+    const auto victims = adversary.kill(view);
+    SYNRAN_CHECK_MSG(victims.size() <= budget,
+                     "multiround adversary exceeded budget");
+    SYNRAN_CHECK_MSG(spec.per_round_cap == 0 ||
+                         victims.size() <= spec.per_round_cap,
+                     "multiround adversary exceeded per-round cap");
+    DynBitset killed_now(spec.players);
+    for (auto v : victims) {
+      SYNRAN_CHECK_MSG(v < spec.players && alive.test(v),
+                       "multiround adversary killed an invalid player");
+      SYNRAN_CHECK_MSG(!killed_now.test(v), "duplicate victim");
+      killed_now.set(v);
+      alive.reset(v);
+    }
+    budget -= static_cast<std::uint32_t>(victims.size());
+    res.kills += static_cast<std::uint32_t>(victims.size());
+
+    // Count the surviving coins of this round.
+    alive.for_each_set(
+        [&](std::size_t i) { res.sum += coins[i] ? 1 : -1; });
+  }
+
+  res.outcome = res.sum > 0 ? 1 : 0;
+  return res;
+}
+
+double estimate_multiround_bias(const MultiRoundSpec& spec,
+                                MultiRoundAdversary& adversary,
+                                std::uint32_t target, std::size_t samples,
+                                std::uint64_t seed) {
+  SYNRAN_REQUIRE(samples >= 1, "need at least one sample");
+  SYNRAN_REQUIRE(target <= 1, "binary outcome");
+  SeedSequence seeds(seed);
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto res = play_multiround(spec, adversary, seeds.stream(s));
+    if (res.outcome == target) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace synran

@@ -1,0 +1,89 @@
+// Multi-round coin-flipping games with a fail-stop adversary — the setting
+// Aspnes studied and the paper builds on (§1.2: "by halting O(√n·log n)
+// processes the adversary can bias the game to one of the possible outcomes
+// with probability greater than 1 − 1/n").
+//
+// Model: n players; R rounds; every surviving player flips a fair coin each
+// round; after seeing the round's coins the adaptive adversary may kill
+// players (a killed player's current-round coin is discarded along with all
+// its future coins). The outcome is the majority sign of all counted coins
+// (ties toward 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dynbitset.hpp"
+#include "common/rng.hpp"
+
+namespace synran {
+
+struct MultiRoundSpec {
+  std::uint32_t players = 0;
+  std::uint32_t rounds = 1;
+  std::uint32_t budget = 0;         ///< total kills available
+  std::uint32_t per_round_cap = 0;  ///< 0 = unlimited within budget
+};
+
+/// Full information handed to the adversary each round.
+struct MultiRoundView {
+  std::uint32_t round = 0;           ///< 1-based
+  std::uint32_t rounds_total = 0;
+  const DynBitset* alive = nullptr;  ///< players still flipping
+  /// This round's coins for alive players (undefined for dead ones).
+  const std::vector<bool>* coins = nullptr;
+  std::int64_t running_sum = 0;      ///< +1/−1 sum of counted coins so far
+  std::uint32_t budget_left = 0;
+  std::uint32_t round_cap = 0;
+};
+
+/// Chooses the players to kill this round (their current coin is discarded).
+class MultiRoundAdversary {
+ public:
+  virtual ~MultiRoundAdversary() = default;
+  virtual void begin(const MultiRoundSpec& /*spec*/) {}
+  virtual std::vector<std::uint32_t> kill(const MultiRoundView& view) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Never interferes.
+class PassiveMultiRound final : public MultiRoundAdversary {
+ public:
+  std::vector<std::uint32_t> kill(const MultiRoundView&) override {
+    return {};
+  }
+  const char* name() const override { return "passive"; }
+};
+
+/// Greedy bias toward `target`: each round, kill players whose fresh coin
+/// opposes the target, spending the budget evenly across the remaining
+/// rounds (each kill removes one adverse coin now and the player's unbiased
+/// future contribution).
+class GreedyBiasMultiRound final : public MultiRoundAdversary {
+ public:
+  explicit GreedyBiasMultiRound(std::uint32_t target) : target_(target) {}
+  std::vector<std::uint32_t> kill(const MultiRoundView& view) override;
+  const char* name() const override { return "greedy-bias"; }
+
+ private:
+  std::uint32_t target_;
+};
+
+struct MultiRoundResult {
+  std::uint32_t outcome = 0;  ///< 1 iff counted sum > 0
+  std::int64_t sum = 0;
+  std::uint32_t kills = 0;
+};
+
+/// Plays one game to completion. Deterministic in `seed`.
+MultiRoundResult play_multiround(const MultiRoundSpec& spec,
+                                 MultiRoundAdversary& adversary,
+                                 std::uint64_t seed);
+
+/// Monte-Carlo estimate of Pr(outcome == target) under `adversary`.
+double estimate_multiround_bias(const MultiRoundSpec& spec,
+                                MultiRoundAdversary& adversary,
+                                std::uint32_t target, std::size_t samples,
+                                std::uint64_t seed);
+
+}  // namespace synran

@@ -1,0 +1,31 @@
+// Core vocabulary types shared across the library.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+
+namespace synran {
+
+/// Index of a process in [0, n). Plain integer type: processes are dense,
+/// array-indexed, and created only by the simulator.
+using ProcessId = std::uint32_t;
+
+/// 1-based round counter, matching the paper's "round r" convention.
+/// Round 0 is "before the first exchange".
+using Round = std::uint32_t;
+
+/// A consensus value. The paper's consensus is binary; we keep a tiny enum so
+/// signatures stay self-describing.
+enum class Bit : std::uint8_t { Zero = 0, One = 1 };
+
+constexpr Bit bit_of(bool b) { return b ? Bit::One : Bit::Zero; }
+constexpr int to_int(Bit b) { return static_cast<int>(b); }
+constexpr Bit flip(Bit b) { return b == Bit::Zero ? Bit::One : Bit::Zero; }
+
+/// A possibly-hidden game input: the adversary replaces hidden values with
+/// the default value "—" (nullopt) as in §2 of the paper.
+template <typename T>
+using Masked = std::optional<T>;
+
+}  // namespace synran

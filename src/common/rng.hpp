@@ -1,0 +1,167 @@
+// Deterministic random-number generation.
+//
+// Requirements that shape this design:
+//  * Experiments must be bit-for-bit reproducible from a single master seed.
+//  * Each simulated process owns an *independent* stream (the paper's local
+//    coins are independent random variables), derived from the master seed and
+//    the process id — no shared-state contention, no ordering sensitivity.
+//  * The lower-bound engine must be able to *enumerate* coin outcomes instead
+//    of sampling them, so protocols draw coins through the CoinSource
+//    interface rather than from a concrete generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+/// SplitMix64 — used to expand seeds into generator state.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  /// Seeds all 256 bits of state via SplitMix64 per the authors' guidance.
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+    // A zero state is a fixed point; SplitMix64 cannot emit four zeros in a
+    // row, but keep the guard explicit.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift rejection method.
+  std::uint64_t below(std::uint64_t bound) {
+    SYNRAN_REQUIRE(bound > 0, "below() needs a positive bound");
+    // Rejection to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool flip() { return (next() >> 63) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Derives independent named sub-seeds from a master seed. Streams are
+/// decorrelated by hashing (seed, stream-id) through SplitMix64.
+class SeedSequence {
+ public:
+  explicit constexpr SeedSequence(std::uint64_t master) : master_(master) {}
+
+  /// Sub-seed for stream `id` (e.g. one per process, or per experiment rep).
+  constexpr std::uint64_t stream(std::uint64_t id) const {
+    SplitMix64 sm(master_ ^ (0x9e3779b97f4a7c15ULL * (id + 1)));
+    sm.next();
+    return sm.next();
+  }
+
+  std::uint64_t master() const { return master_; }
+
+ private:
+  std::uint64_t master_;
+};
+
+/// Source of fair coin flips as seen by a protocol. Protocols MUST draw all
+/// their randomness through this interface: the simulator passes a PRNG-backed
+/// source, while the lower-bound engine passes a tape to enumerate outcomes.
+class CoinSource {
+ public:
+  virtual ~CoinSource() = default;
+  /// One fair coin flip.
+  virtual bool flip() = 0;
+};
+
+/// PRNG-backed coin source (production path).
+class RandomCoinSource final : public CoinSource {
+ public:
+  explicit RandomCoinSource(std::uint64_t seed) : rng_(seed) {}
+  bool flip() override { return rng_.flip(); }
+
+  Xoshiro256& rng() { return rng_; }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// Tape-backed coin source: replays a predetermined bit sequence and records
+/// how many flips were demanded. Used by the exact valency engine to branch
+/// on every possible coin outcome.
+class TapeCoinSource final : public CoinSource {
+ public:
+  TapeCoinSource() = default;
+  explicit TapeCoinSource(std::vector<bool> tape) : tape_(std::move(tape)) {}
+
+  bool flip() override {
+    SYNRAN_CHECK_MSG(pos_ < tape_.size(),
+                     "coin tape exhausted — caller under-provisioned flips");
+    return tape_[pos_++];
+  }
+
+  std::size_t consumed() const { return pos_; }
+  void reset(std::vector<bool> tape) {
+    tape_ = std::move(tape);
+    pos_ = 0;
+  }
+
+ private:
+  std::vector<bool> tape_;
+  std::size_t pos_ = 0;
+};
+
+/// Counts flips without an actual tape; every flip returns false. Used to
+/// discover how many coins a protocol wants in a round before enumerating.
+class CountingCoinSource final : public CoinSource {
+ public:
+  bool flip() override {
+    ++count_;
+    return false;
+  }
+  std::size_t count() const { return count_; }
+
+ private:
+  std::size_t count_ = 0;
+};
+
+}  // namespace synran

@@ -1,0 +1,103 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace synran {
+
+Table& Table::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::row(std::vector<Cell> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::precision(int digits) {
+  precision_ = digits;
+  return *this;
+}
+
+std::string Table::render_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  // Render everything first so widths can be computed.
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size() + 1);
+  rendered.push_back(header_);
+  for (const auto& r : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(r.size());
+    for (const auto& c : r) cells.push_back(render_cell(c));
+    rendered.push_back(std::move(cells));
+  }
+
+  std::size_t ncols = 0;
+  for (const auto& r : rendered) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  for (const auto& r : rendered)
+    for (std::size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+
+  const auto rule = [&] {
+    os << '+';
+    for (std::size_t i = 0; i < ncols; ++i)
+      os << std::string(width[i] + 2, '-') << '+';
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  rule();
+  for (std::size_t ri = 0; ri < rendered.size(); ++ri) {
+    os << '|';
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < rendered[ri].size() ? rendered[ri][i] : "";
+      os << ' ' << std::left << std::setw(static_cast<int>(width[i])) << cell
+         << " |";
+    }
+    os << '\n';
+    if (ri == 0) rule();
+  }
+  rule();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      const std::string& c = cells[i];
+      if (c.find(',') != std::string::npos ||
+          c.find('"') != std::string::npos) {
+        os << '"';
+        for (char ch : c) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << c;
+      }
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  for (const auto& r : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(r.size());
+    for (const auto& c : r) cells.push_back(render_cell(c));
+    emit(cells);
+  }
+}
+
+}  // namespace synran

@@ -1,0 +1,50 @@
+// Aligned-table and CSV output for experiment harnesses.
+//
+// Every bench binary prints a paper-shaped table; this keeps the formatting in
+// one place so all experiments look alike.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace synran {
+
+/// A cell is a string, an integer, or a double (printed with fixed precision).
+using Cell = std::variant<std::string, long long, double>;
+
+/// Column-aligned text table with an optional title, rendered to any ostream.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; resets nothing else.
+  Table& header(std::vector<std::string> cols);
+
+  /// Appends a data row; the row may be shorter than the header.
+  Table& row(std::vector<Cell> cells);
+
+  /// Digits after the decimal point for double cells (default 3).
+  Table& precision(int digits);
+
+  /// Renders with Unicode box-ish separators, aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting of embedded commas needed here,
+  /// but commas in cells are escaped by quoting).
+  void write_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string render_cell(const Cell& c) const;
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace synran

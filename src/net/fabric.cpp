@@ -1,0 +1,94 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+namespace {
+
+void accumulate(Receipt& r, Payload p) {
+  ++r.count;
+  if (p & payload::kSupports1) ++r.ones;
+  if (p & payload::kSupports0) ++r.zeros;
+  r.or_mask |= p;
+}
+
+void validate(std::uint32_t n, const RoundTraffic& traffic) {
+  SYNRAN_REQUIRE(traffic.payloads.size() == n, "payloads size != n");
+  if (traffic.plan == nullptr) return;
+  DynBitset seen(n);
+  for (const auto& c : traffic.plan->crashes) {
+    SYNRAN_REQUIRE(c.victim < n, "crash victim out of range");
+    SYNRAN_REQUIRE(traffic.payloads[c.victim].has_value(),
+                   "crash victim is not sending this round");
+    SYNRAN_REQUIRE(!seen.test(c.victim), "duplicate crash victim");
+    SYNRAN_REQUIRE(c.deliver_to.size() == n, "deliver_to mask has wrong size");
+    seen.set(c.victim);
+  }
+}
+
+}  // namespace
+
+std::vector<Receipt> deliver(std::uint32_t n, const RoundTraffic& traffic,
+                             const DynBitset& receivers) {
+  validate(n, traffic);
+  SYNRAN_REQUIRE(receivers.size() == n, "receivers mask has wrong size");
+
+  // Aggregate over senders that deliver everywhere.
+  DynBitset crashed_now(n);
+  if (traffic.plan != nullptr) {
+    for (const auto& c : traffic.plan->crashes) crashed_now.set(c.victim);
+  }
+
+  Receipt full{};
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!traffic.payloads[i].has_value() || crashed_now.test(i)) continue;
+    accumulate(full, *traffic.payloads[i]);
+  }
+
+  std::vector<Receipt> out(n);
+  receivers.for_each_set([&](std::size_t i) { out[i] = full; });
+
+  // Per-receiver adjustments for partially delivered senders.
+  if (traffic.plan != nullptr) {
+    for (const auto& c : traffic.plan->crashes) {
+      const Payload p = *traffic.payloads[c.victim];
+      c.deliver_to.for_each_set([&](std::size_t i) {
+        if (receivers.test(i)) accumulate(out[i], p);
+      });
+    }
+  }
+  return out;
+}
+
+std::vector<Receipt> deliver_naive(std::uint32_t n, const RoundTraffic& traffic,
+                                   const DynBitset& receivers) {
+  validate(n, traffic);
+  SYNRAN_REQUIRE(receivers.size() == n, "receivers mask has wrong size");
+
+  // Build the full delivery matrix, then fold.
+  std::vector<Receipt> out(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (!traffic.payloads[s].has_value()) continue;
+    const Payload p = *traffic.payloads[s];
+    const DynBitset* mask = nullptr;
+    if (traffic.plan != nullptr) {
+      for (const auto& c : traffic.plan->crashes) {
+        if (c.victim == s) {
+          mask = &c.deliver_to;
+          break;
+        }
+      }
+    }
+    for (std::uint32_t r = 0; r < n; ++r) {
+      if (!receivers.test(r)) continue;
+      if (mask != nullptr && !mask->test(r)) continue;
+      accumulate(out[r], p);
+    }
+  }
+  return out;
+}
+
+}  // namespace synran

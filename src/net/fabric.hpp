@@ -1,0 +1,38 @@
+// Broadcast delivery for one synchronous round.
+//
+// The fast path exploits that almost all senders deliver to *everyone*: it
+// aggregates full-delivery senders once (O(n)) and then adjusts per receiver
+// only for the few partially-delivered (crashed-this-round) senders, giving
+// O(n + crashes·n_bits/64 + Σ|partial recipients|) per round instead of the
+// naive O(n²). A deliberately naive reference implementation is provided for
+// cross-checking in tests.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "net/types.hpp"
+
+namespace synran {
+
+/// Inputs to one round of delivery.
+struct RoundTraffic {
+  /// Per-process outgoing payload; nullopt = sends nothing this round
+  /// (crashed earlier, or voluntarily halted).
+  std::span<const std::optional<Payload>> payloads;
+  /// The fault plan chosen by the adversary for this round. Victims must be
+  /// senders (payload present); the fabric checks this.
+  const FaultPlan* plan = nullptr;
+};
+
+/// Computes the receipt of every process in `receivers` (set bits). Receipts
+/// for non-receiver indices are value-initialized. `n` is the system size.
+std::vector<Receipt> deliver(std::uint32_t n, const RoundTraffic& traffic,
+                             const DynBitset& receivers);
+
+/// Reference implementation: materializes every (sender → receiver) pair.
+/// Used only by tests to validate `deliver`.
+std::vector<Receipt> deliver_naive(std::uint32_t n, const RoundTraffic& traffic,
+                                   const DynBitset& receivers);
+
+}  // namespace synran

@@ -1,0 +1,69 @@
+// Message-fabric vocabulary for the synchronous broadcast model of §3.1.
+//
+// Every protocol in this library broadcasts one small payload per round.
+// Payload convention (shared by all protocols so receipts can aggregate
+// uniformly):
+//   bit 0 — the message "supports value 0"
+//   bit 1 — the message "supports value 1"
+//   bits 2..63 — protocol-specific flags (e.g. SynRan's deterministic-stage
+//                marker). Aggregated only through `or_mask`.
+// A probabilistic-stage SynRan message carrying b_i sets exactly one of the
+// low two bits; a FloodMin message may set both.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/dynbitset.hpp"
+#include "common/ids.hpp"
+
+namespace synran {
+
+using Payload = std::uint64_t;
+
+/// Payload helpers for the low-two-bit value-mask convention.
+namespace payload {
+constexpr Payload kSupports0 = 1ULL << 0;
+constexpr Payload kSupports1 = 1ULL << 1;
+/// Marks a message sent by a process already in its deterministic stage.
+constexpr Payload kDeterministicFlag = 1ULL << 2;
+
+constexpr Payload of_bit(Bit b) {
+  return b == Bit::One ? kSupports1 : kSupports0;
+}
+constexpr bool supports(Payload p, Bit b) {
+  return (p & (b == Bit::One ? kSupports1 : kSupports0)) != 0;
+}
+}  // namespace payload
+
+/// What one process received in one round, in aggregate form. This is all the
+/// paper's protocols ever need: N_i^r (count), O_i^r (ones), Z_i^r (zeros),
+/// and the OR of payload masks for flooding.
+struct Receipt {
+  std::uint32_t count = 0;  ///< N_i^r — number of messages received
+  std::uint32_t ones = 0;   ///< O_i^r — messages supporting 1
+  std::uint32_t zeros = 0;  ///< Z_i^r — messages supporting 0
+  Payload or_mask = 0;      ///< OR of all received payloads
+
+  friend bool operator==(const Receipt&, const Receipt&) = default;
+};
+
+/// One process the adversary crashes during the current exchange phase, with
+/// the subset of recipients that still receive its round message (§3.1: "the
+/// adversary can decide which subset of its messages will be sent").
+struct CrashDirective {
+  ProcessId victim = 0;
+  DynBitset deliver_to;  ///< size n; recipients that still get the message
+};
+
+/// The adversary's action for one round. Processes not listed deliver to all
+/// alive recipients; listed processes are failed and silent forever after.
+struct FaultPlan {
+  std::vector<CrashDirective> crashes;
+
+  bool empty() const { return crashes.empty(); }
+  std::size_t crash_count() const { return crashes.size(); }
+};
+
+}  // namespace synran

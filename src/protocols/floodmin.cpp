@@ -1,0 +1,84 @@
+#include "protocols/floodmin.hpp"
+
+#include "common/check.hpp"
+
+namespace synran {
+
+FloodMinProcess::FloodMinProcess(ProcessId id, std::uint32_t n, Bit input,
+                                 FloodMinOptions opts)
+    : opts_(opts), n_(n), id_(id), mask_(payload::of_bit(input)) {
+  SYNRAN_REQUIRE(n >= 1, "FloodMin needs at least one process");
+  SYNRAN_REQUIRE(opts.t < n, "FloodMin requires t < n");
+}
+
+Bit FloodMinProcess::min_of_mask() const {
+  return (mask_ & payload::kSupports0) ? Bit::Zero : Bit::One;
+}
+
+std::optional<Payload> FloodMinProcess::on_round(const Receipt* prev,
+                                                 CoinSource& /*coins*/) {
+  SYNRAN_CHECK_MSG(!halted_, "on_round called on a halted process");
+  const std::uint32_t total_rounds = opts_.t + 1;
+
+  if (prev != nullptr) {
+    mask_ |= prev->or_mask & (payload::kSupports0 | payload::kSupports1);
+
+    // Early deciding: my heard-from set is monotone non-increasing, so equal
+    // counts in consecutive rounds mean an identical set — a clean round, in
+    // which my flood set provably became complete.
+    if (opts_.early_deciding && !decided_ && have_last_count_ &&
+        prev->count == last_count_) {
+      decided_ = true;
+      decision_ = min_of_mask();
+      decision_round_ = next_round_ - 1;
+    }
+    last_count_ = prev->count;
+    have_last_count_ = true;
+  }
+
+  if (next_round_ > total_rounds) {
+    // All t+1 exchanges done: final decision and halt.
+    if (!decided_) {
+      decided_ = true;
+      decision_ = min_of_mask();
+      decision_round_ = total_rounds;
+    }
+    halted_ = true;
+    return std::nullopt;
+  }
+
+  ++next_round_;
+  return mask_;
+}
+
+ProcessView FloodMinProcess::view() const {
+  ProcessView v;
+  v.estimate = min_of_mask();
+  v.decided = decided_;
+  v.halted = halted_;
+  v.flipped_coin = false;
+  v.deterministic = true;
+  return v;
+}
+
+std::uint64_t FloodMinProcess::state_digest() const {
+  auto mix = [](std::uint64_t h, std::uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t h = 0xc2b2ae35u;
+  h = mix(h, id_);
+  h = mix(h, mask_);
+  h = mix(h, next_round_);
+  h = mix(h, last_count_ | (static_cast<std::uint64_t>(have_last_count_) << 32));
+  h = mix(h, static_cast<std::uint64_t>(decided_) |
+                 (static_cast<std::uint64_t>(halted_) << 1) |
+                 (static_cast<std::uint64_t>(decision_ == Bit::One) << 2));
+  return h;
+}
+
+std::unique_ptr<Process> FloodMinProcess::clone() const {
+  return std::make_unique<FloodMinProcess>(*this);
+}
+
+}  // namespace synran

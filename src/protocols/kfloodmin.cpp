@@ -1,0 +1,72 @@
+#include "protocols/kfloodmin.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+KFloodMinProcess::KFloodMinProcess(ProcessId id, std::uint32_t n,
+                                   KValue input, KFloodMinOptions opts)
+    : opts_(opts), n_(n), id_(id) {
+  SYNRAN_REQUIRE(n >= 1, "KFloodMin needs at least one process");
+  SYNRAN_REQUIRE(opts.t < n, "KFloodMin requires t < n");
+  SYNRAN_REQUIRE(opts.k >= 2 && opts.k <= 32, "k must be in 2..32");
+  SYNRAN_REQUIRE(input < opts.k, "input outside the value domain");
+  set_ = 1u << input;
+}
+
+KValue KFloodMinProcess::min_seen() const {
+  SYNRAN_CHECK(set_ != 0);
+  return static_cast<KValue>(std::countr_zero(set_));
+}
+
+std::optional<Payload> KFloodMinProcess::on_round(const Receipt* prev,
+                                                  CoinSource& /*coins*/) {
+  SYNRAN_CHECK_MSG(!halted_, "on_round called on a halted process");
+  if (prev != nullptr) {
+    set_ |= static_cast<std::uint32_t>(prev->or_mask >> kSetShift) &
+            ((opts_.k >= 32 ? 0u : (1u << opts_.k)) - 1u);
+  }
+  if (next_round_ > opts_.t + 1) {
+    decided_ = true;
+    decision_value_ = min_seen();
+    halted_ = true;
+    return std::nullopt;
+  }
+  ++next_round_;
+  // Mirror the min value into the low-two-bit convention (0 if value 0 is
+  // present, else "1") so binary-minded tooling still sees something sane.
+  const Payload low = (set_ & 1u) ? payload::kSupports0 : payload::kSupports1;
+  return (static_cast<Payload>(set_) << kSetShift) | low;
+}
+
+ProcessView KFloodMinProcess::view() const {
+  ProcessView v;
+  v.estimate = (set_ & 1u) ? Bit::Zero : Bit::One;
+  v.decided = decided_;
+  v.halted = halted_;
+  v.deterministic = true;
+  return v;
+}
+
+std::uint64_t KFloodMinProcess::state_digest() const {
+  auto mix = [](std::uint64_t h, std::uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t h = 0x85ebca6bu;
+  h = mix(h, id_);
+  h = mix(h, set_);
+  h = mix(h, next_round_);
+  h = mix(h, static_cast<std::uint64_t>(decided_) |
+                 (static_cast<std::uint64_t>(halted_) << 1) |
+                 (static_cast<std::uint64_t>(decision_value_) << 8));
+  return h;
+}
+
+std::unique_ptr<Process> KFloodMinProcess::clone() const {
+  return std::make_unique<KFloodMinProcess>(*this);
+}
+
+}  // namespace synran

@@ -1,0 +1,80 @@
+// K-valued FloodMin: the natural multi-valued extension of the
+// deterministic baseline. The synchronous fail-stop model makes multi-value
+// consensus a direct generalization — flood the set of seen values for t+1
+// rounds and decide the minimum. Payloads carry the value set as a bitmask
+// in the (protocol-specific) upper payload bits, while the low two bits keep
+// the binary convention so receipts stay meaningful to the fabric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/process.hpp"
+
+namespace synran {
+
+/// A value in {0..k-1}, k ≤ 32.
+using KValue = std::uint8_t;
+
+struct KFloodMinOptions {
+  std::uint32_t t = 0;  ///< tolerance; runs t+1 exchange rounds
+  std::uint32_t k = 2;  ///< value domain size (≤ 32)
+};
+
+class KFloodMinProcess final : public Process {
+ public:
+  /// `input` (the Bit from the factory interface) is ignored when a k-ary
+  /// input was provided through the k-ary constructor.
+  KFloodMinProcess(ProcessId id, std::uint32_t n, KValue input,
+                   KFloodMinOptions opts);
+
+  std::optional<Payload> on_round(const Receipt* prev,
+                                  CoinSource& coins) override;
+  bool decided() const override { return decided_; }
+  Bit decision() const override {
+    return decision_value_ == 0 ? Bit::Zero : Bit::One;
+  }
+  bool halted() const override { return halted_; }
+  ProcessView view() const override;
+  std::uint64_t state_digest() const override;
+  std::unique_ptr<Process> clone() const override;
+
+  /// The k-ary decision (only valid once decided()).
+  KValue decision_value() const { return decision_value_; }
+  KValue min_seen() const;
+
+ private:
+  static constexpr int kSetShift = 8;  ///< value-set bitmask position
+
+  KFloodMinOptions opts_;
+  std::uint32_t n_ = 0;
+  ProcessId id_ = 0;
+  std::uint32_t set_ = 0;  ///< bitmask of seen values
+  std::uint32_t next_round_ = 1;
+  bool decided_ = false;
+  bool halted_ = false;
+  KValue decision_value_ = 0;
+};
+
+/// Factory over k-ary inputs. The base-class `make` maps Bit inputs to the
+/// values 0/1 so the binary engine APIs keep working.
+class KFloodMinFactory final : public ProcessFactory {
+ public:
+  explicit KFloodMinFactory(KFloodMinOptions opts) : opts_(opts) {}
+
+  std::unique_ptr<Process> make(ProcessId id, std::uint32_t n,
+                                Bit input) const override {
+    return std::make_unique<KFloodMinProcess>(
+        id, n, static_cast<KValue>(to_int(input)), opts_);
+  }
+  std::unique_ptr<KFloodMinProcess> make_k(ProcessId id, std::uint32_t n,
+                                           KValue input) const {
+    return std::make_unique<KFloodMinProcess>(id, n, input, opts_);
+  }
+  const char* name() const override { return "kfloodmin"; }
+
+ private:
+  KFloodMinOptions opts_;
+};
+
+}  // namespace synran

@@ -1,0 +1,103 @@
+#include "protocols/leadercoin.hpp"
+
+#include "common/check.hpp"
+
+namespace synran {
+
+LeaderCoinProcess::LeaderCoinProcess(ProcessId id, std::uint32_t n, Bit input)
+    : id_(id), n_(n), b_(input) {
+  SYNRAN_REQUIRE(n >= 1, "LeaderCoin needs at least one process");
+}
+
+Payload LeaderCoinProcess::make_payload(CoinSource& coins) {
+  Payload p = payload::of_bit(b_);
+  if (leader_of(next_round_, n_) == id_) {
+    // Embed this round's shared coin. The flip happens whether or not the
+    // middle zone will need it — the adversary sees it either way (full
+    // information), and burning one flip keeps the protocol oblivious to
+    // its own future.
+    const bool c = coins.flip();
+    flipped_coin_ = true;
+    p |= c ? kLeaderCoinOne : kLeaderCoinZero;
+  }
+  return p;
+}
+
+std::optional<Payload> LeaderCoinProcess::on_round(const Receipt* prev,
+                                                   CoinSource& coins) {
+  SYNRAN_CHECK_MSG(!halted_, "on_round called on a halted process");
+  flipped_coin_ = false;
+
+  if (prev == nullptr) {
+    SYNRAN_CHECK(next_round_ == 1);
+    const Payload p = make_payload(coins);
+    ++next_round_;
+    return p;
+  }
+
+  if (decided_) {
+    if (help_rounds_left_ == 0) {
+      halted_ = true;
+      return std::nullopt;
+    }
+    --help_rounds_left_;
+  } else {
+    const std::uint64_t ones = prev->ones;
+    const std::uint64_t count = prev->count;
+    SYNRAN_CHECK(count > 0);  // own message always arrives
+    if (10 * ones > 7 * count) {
+      b_ = Bit::One;
+      decided_ = true;
+    } else if (10 * ones > 6 * count) {
+      b_ = Bit::One;
+    } else if (10 * ones < 3 * count) {
+      b_ = Bit::Zero;
+      decided_ = true;
+    } else if (10 * ones < 4 * count) {
+      b_ = Bit::Zero;
+    } else if (prev->or_mask & kLeaderCoinOne) {
+      b_ = Bit::One;  // the shared leader coin arrived
+    } else if (prev->or_mask & kLeaderCoinZero) {
+      b_ = Bit::Zero;
+    } else {
+      // Leader silent (crashed or suppressed): fall back to a local coin.
+      b_ = bit_of(coins.flip());
+      flipped_coin_ = true;
+    }
+  }
+
+  const Payload p = make_payload(coins);
+  ++next_round_;
+  return p;
+}
+
+ProcessView LeaderCoinProcess::view() const {
+  ProcessView v;
+  v.estimate = b_;
+  v.decided = decided_;
+  v.halted = halted_;
+  v.flipped_coin = flipped_coin_;
+  v.deterministic = false;
+  return v;
+}
+
+std::uint64_t LeaderCoinProcess::state_digest() const {
+  auto mix = [](std::uint64_t h, std::uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t h = 0x27d4eb2fu;
+  h = mix(h, id_);
+  h = mix(h, next_round_);
+  h = mix(h, static_cast<std::uint64_t>(b_ == Bit::One) |
+                 (static_cast<std::uint64_t>(decided_) << 1) |
+                 (static_cast<std::uint64_t>(halted_) << 2) |
+                 (static_cast<std::uint64_t>(help_rounds_left_) << 3));
+  return h;
+}
+
+std::unique_ptr<Process> LeaderCoinProcess::clone() const {
+  return std::make_unique<LeaderCoinProcess>(*this);
+}
+
+}  // namespace synran

@@ -1,0 +1,83 @@
+#include "runner/experiment.hpp"
+
+#include "common/check.hpp"
+
+namespace synran {
+
+const char* to_string(InputPattern p) {
+  switch (p) {
+    case InputPattern::AllZero:
+      return "all-0";
+    case InputPattern::AllOne:
+      return "all-1";
+    case InputPattern::Half:
+      return "half";
+    case InputPattern::Random:
+      return "random";
+    case InputPattern::SingleZero:
+      return "single-0";
+  }
+  return "?";
+}
+
+std::vector<Bit> make_inputs(std::uint32_t n, InputPattern pattern,
+                             Xoshiro256& rng) {
+  SYNRAN_REQUIRE(n >= 1, "need at least one process");
+  std::vector<Bit> inputs(n, Bit::Zero);
+  switch (pattern) {
+    case InputPattern::AllZero:
+      break;
+    case InputPattern::AllOne:
+      inputs.assign(n, Bit::One);
+      break;
+    case InputPattern::Half:
+      for (std::uint32_t i = n / 2; i < n; ++i) inputs[i] = Bit::One;
+      break;
+    case InputPattern::Random:
+      for (auto& b : inputs) b = bit_of(rng.flip());
+      break;
+    case InputPattern::SingleZero:
+      inputs.assign(n, Bit::One);
+      inputs[rng.below(n)] = Bit::Zero;
+      break;
+  }
+  return inputs;
+}
+
+AdversaryFactory no_adversary_factory() {
+  return [](std::uint64_t) { return std::make_unique<NoAdversary>(); };
+}
+
+RepeatedRunStats run_repeated(const ProcessFactory& factory,
+                              const AdversaryFactory& adversaries,
+                              const RepeatSpec& spec) {
+  SYNRAN_REQUIRE(spec.reps >= 1, "need at least one repetition");
+  RepeatedRunStats stats;
+  SeedSequence seeds(spec.seed);
+  Xoshiro256 input_rng(seeds.stream(0xabcdefULL));
+
+  for (std::size_t rep = 0; rep < spec.reps; ++rep) {
+    auto inputs = make_inputs(spec.n, spec.pattern, input_rng);
+    auto adversary = adversaries(seeds.stream(1000 + rep));
+    EngineOptions opts = spec.engine;
+    opts.seed = seeds.stream(2000000 + rep);
+
+    const RunResult res = run_once(factory, inputs, *adversary, opts);
+
+    ++stats.reps;
+    if (!res.terminated) {
+      ++stats.non_terminated;
+    } else {
+      stats.rounds_to_decision.add(
+          static_cast<double>(res.rounds_to_decision));
+      stats.rounds_to_halt.add(static_cast<double>(res.rounds_to_halt));
+    }
+    stats.crashes_used.add(static_cast<double>(res.crashes_total));
+    if (res.has_decision && !res.agreement) ++stats.agreement_failures;
+    if (!validity_holds(inputs, res)) ++stats.validity_failures;
+    if (res.agreement && res.decision == Bit::One) ++stats.decided_one;
+  }
+  return stats;
+}
+
+}  // namespace synran

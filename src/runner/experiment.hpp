@@ -1,0 +1,68 @@
+// Repeated-execution harness shared by tests, examples, and the bench
+// tables: input patterns, per-rep seeding, and aggregate verdicts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "common/rng.hpp"
+#include "sim/adversary.hpp"
+#include "sim/engine.hpp"
+
+namespace synran {
+
+/// Input assignments used across the experiment suite.
+enum class InputPattern : std::uint8_t {
+  AllZero,
+  AllOne,
+  Half,      ///< first half 0, second half 1
+  Random,    ///< i.i.d. fair bits (fresh per rep)
+  SingleZero ///< one 0 among 1s (the chain adversary's workload)
+};
+
+const char* to_string(InputPattern p);
+
+std::vector<Bit> make_inputs(std::uint32_t n, InputPattern pattern,
+                             Xoshiro256& rng);
+
+/// Builds a fresh adversary for one repetition; `seed` decorrelates
+/// adversary randomness across reps.
+using AdversaryFactory =
+    std::function<std::unique_ptr<Adversary>(std::uint64_t seed)>;
+
+AdversaryFactory no_adversary_factory();
+
+/// Aggregates over repeated executions.
+struct RepeatedRunStats {
+  Summary rounds_to_decision;
+  Summary rounds_to_halt;
+  Summary crashes_used;
+  std::size_t reps = 0;
+  std::size_t agreement_failures = 0;
+  std::size_t validity_failures = 0;
+  std::size_t non_terminated = 0;
+  std::size_t decided_one = 0;  ///< reps whose common decision was 1
+
+  bool all_safe() const {
+    return agreement_failures == 0 && validity_failures == 0 &&
+           non_terminated == 0;
+  }
+};
+
+struct RepeatSpec {
+  std::uint32_t n = 0;
+  InputPattern pattern = InputPattern::Random;
+  EngineOptions engine;  ///< engine.seed is re-derived per rep
+  std::size_t reps = 1;
+  std::uint64_t seed = 1;  ///< master seed for the whole batch
+};
+
+RepeatedRunStats run_repeated(const ProcessFactory& factory,
+                              const AdversaryFactory& adversaries,
+                              const RepeatSpec& spec);
+
+}  // namespace synran

@@ -1,0 +1,60 @@
+#include "runner/narrate.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <string>
+
+namespace synran {
+
+namespace {
+
+std::string composition_bar(const RoundTrace& r, std::size_t width) {
+  if (r.senders == 0) return std::string(width, '.');
+  const auto ones = static_cast<std::size_t>(
+      static_cast<double>(r.ones) / r.senders * static_cast<double>(width) +
+      0.5);
+  std::string bar(width, '0');
+  for (std::size_t i = 0; i < ones && i < width; ++i) bar[i] = '1';
+  return bar;
+}
+
+bool same_shape(const RoundTrace& a, const RoundTrace& b) {
+  return a.alive == b.alive && a.halted == b.halted &&
+         a.senders == b.senders && a.ones == b.ones && a.zeros == b.zeros &&
+         a.crashes == b.crashes && a.decided == b.decided;
+}
+
+void emit_line(std::ostream& os, const RoundTrace& r, std::size_t repeat,
+               std::size_t width) {
+  os << "r" << std::setw(4) << std::left << r.round << std::right << " ["
+     << composition_bar(r, width) << "] " << std::setw(4) << r.ones << "x1 "
+     << std::setw(4) << r.zeros << "x0  alive " << std::setw(4) << r.alive
+     << "  decided " << std::setw(4) << r.decided;
+  if (r.halted > 0) os << "  halted " << r.halted;
+  if (r.deterministic > 0) os << "  det-stage " << r.deterministic;
+  if (r.crashes > 0) os << "  CRASH x" << r.crashes;
+  if (repeat > 1) os << "   (x" << repeat << " rounds)";
+  os << '\n';
+}
+
+}  // namespace
+
+void narrate(const Trace& trace, std::ostream& os,
+             const NarrateOptions& options) {
+  os << "execution narrative: n = " << trace.n << ", t = " << trace.t_budget
+     << ", " << trace.rounds.size() << " rounds, "
+     << trace.total_crashes() << " crashes\n";
+  std::size_t i = 0;
+  while (i < trace.rounds.size()) {
+    std::size_t j = i + 1;
+    if (options.collapse_repeats) {
+      while (j < trace.rounds.size() &&
+             same_shape(trace.rounds[i], trace.rounds[j]))
+        ++j;
+    }
+    emit_line(os, trace.rounds[i], j - i, options.bar_width);
+    i = j;
+  }
+}
+
+}  // namespace synran

@@ -1,0 +1,24 @@
+// Human-readable execution narration: renders a recorded Trace as the
+// round-by-round story the paper's arguments are about — population,
+// traffic composition, adversary spend — so a single execution can be read
+// like the proof sketches read.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/trace.hpp"
+
+namespace synran {
+
+struct NarrateOptions {
+  /// Collapse runs of identical-looking rounds into one "× k" line.
+  bool collapse_repeats = true;
+  /// Width of the ones/zeros composition bar.
+  std::size_t bar_width = 30;
+};
+
+/// Writes one line per round (or per collapsed run) to `os`.
+void narrate(const Trace& trace, std::ostream& os,
+             const NarrateOptions& options = {});
+
+}  // namespace synran

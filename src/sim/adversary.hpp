@@ -1,0 +1,104 @@
+// The adversary-side interface of the synchronous engine.
+//
+// This is the fail-stop, adaptive, strongly-dynamic, computationally
+// unbounded, full-information adversary of §3.1: each round it observes every
+// process's local state (including fresh coin flips) and every pending
+// message, then picks which processes to crash during the exchange and which
+// subset of each victim's messages still goes out.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/dynbitset.hpp"
+#include "net/types.hpp"
+#include "sim/process.hpp"
+
+namespace synran {
+
+/// Everything the adversary can see when planning a round. Views borrow from
+/// the engine; they are valid only during the plan_round call.
+class WorldView {
+ public:
+  WorldView(Round round, std::uint32_t n, const DynBitset& alive,
+            const DynBitset& halted,
+            std::span<const std::optional<Payload>> payloads,
+            std::span<const std::unique_ptr<Process>> processes,
+            std::uint32_t budget_left, std::uint32_t round_cap)
+      : round_(round),
+        n_(n),
+        alive_(alive),
+        halted_(halted),
+        payloads_(payloads),
+        processes_(processes),
+        budget_left_(budget_left),
+        round_cap_(round_cap) {}
+
+  Round round() const { return round_; }
+  std::uint32_t n() const { return n_; }
+
+  /// Processes not yet crashed by the adversary (halted ones included).
+  const DynBitset& alive() const { return alive_; }
+  /// Processes that voluntarily stopped (decided and exited the loop).
+  const DynBitset& halted() const { return halted_; }
+
+  /// True iff `p` broadcasts this round (alive and not halted).
+  bool sending(ProcessId p) const {
+    return p < n_ && payloads_[p].has_value();
+  }
+  /// The payload `p` wants to broadcast; nullopt if not sending.
+  std::optional<Payload> payload(ProcessId p) const { return payloads_[p]; }
+  std::span<const std::optional<Payload>> payloads() const {
+    return payloads_;
+  }
+
+  /// Full-information introspection of a process's local state.
+  const Process& process(ProcessId p) const { return *processes_[p]; }
+
+  /// Crashes the adversary may still perform over the whole execution.
+  std::uint32_t budget_left() const { return budget_left_; }
+  /// Max crashes allowed this round (0 = unlimited beyond the global budget).
+  std::uint32_t round_cap() const { return round_cap_; }
+
+  /// Effective number of crashes available this round.
+  std::uint32_t round_budget() const {
+    if (round_cap_ == 0) return budget_left_;
+    return round_cap_ < budget_left_ ? round_cap_ : budget_left_;
+  }
+
+ private:
+  Round round_;
+  std::uint32_t n_;
+  const DynBitset& alive_;
+  const DynBitset& halted_;
+  std::span<const std::optional<Payload>> payloads_;
+  std::span<const std::unique_ptr<Process>> processes_;
+  std::uint32_t budget_left_;
+  std::uint32_t round_cap_;
+};
+
+/// Strategy interface. Implementations must respect the budget exposed by the
+/// view; the engine validates and throws on violations (a buggy adversary is
+/// a library bug, not a tolerated input).
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Called once before round 1 of each execution.
+  virtual void begin(std::uint32_t /*n*/, std::uint32_t /*t_budget*/) {}
+
+  /// Chooses this round's crashes and partial deliveries.
+  virtual FaultPlan plan_round(const WorldView& world) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// The trivial adversary: never interferes. Baseline for every experiment.
+class NoAdversary final : public Adversary {
+ public:
+  FaultPlan plan_round(const WorldView&) override { return {}; }
+  const char* name() const override { return "none"; }
+};
+
+}  // namespace synran

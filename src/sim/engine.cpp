@@ -1,0 +1,166 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "net/fabric.hpp"
+
+namespace synran {
+
+Engine::Engine(const ProcessFactory& factory, std::vector<Bit> inputs,
+               Adversary& adversary, EngineOptions options)
+    : factory_(factory),
+      inputs_(std::move(inputs)),
+      adversary_(adversary),
+      options_(options) {
+  SYNRAN_REQUIRE(!inputs_.empty(), "need at least one process");
+  SYNRAN_REQUIRE(options_.t_budget <= inputs_.size(),
+                 "fault budget exceeds process count");
+}
+
+RunResult Engine::run() {
+  const auto n = static_cast<std::uint32_t>(inputs_.size());
+  SeedSequence seeds(options_.seed);
+
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<std::unique_ptr<RandomCoinSource>> coins;
+  procs.reserve(n);
+  coins.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    procs.push_back(factory_.make(i, n, inputs_[i]));
+    coins.push_back(std::make_unique<RandomCoinSource>(seeds.stream(i)));
+  }
+
+  adversary_.begin(n, options_.t_budget);
+
+  DynBitset alive(n, true);   // not crashed by the adversary
+  DynBitset halted(n, false); // voluntarily stopped
+  std::vector<std::optional<Payload>> payloads(n);
+  std::vector<Receipt> receipts(n);
+  std::vector<bool> have_receipt(n, false);
+
+  RunResult res;
+  res.crashed.assign(n, false);
+  res.decided.assign(n, false);
+  res.decisions.assign(n, Bit::Zero);
+  std::uint32_t budget_left = options_.t_budget;
+
+  for (Round r = 1; r <= options_.max_rounds; ++r) {
+    // --- Phase A: local computation, coins, message preparation.
+    bool anyone_sending = false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!alive.test(i) || halted.test(i)) {
+        payloads[i].reset();
+        continue;
+      }
+      const Receipt* prev = have_receipt[i] ? &receipts[i] : nullptr;
+      payloads[i] = procs[i]->on_round(prev, *coins[i]);
+      if (!payloads[i].has_value()) {
+        SYNRAN_CHECK_MSG(procs[i]->decided(),
+                         "process halted without deciding");
+        halted.set(i);
+      } else {
+        anyone_sending = true;
+      }
+    }
+
+    // Decision bookkeeping. A process decides while digesting the previous
+    // round's receipt, so "all decided as of phase A of round r" means the
+    // protocol reached decision in round r-1 (paper counting).
+    if (res.rounds_to_decision == 0 && r > 1) {
+      bool all_decided = true;
+      for (std::uint32_t i = 0; i < n && all_decided; ++i)
+        if (alive.test(i) && !procs[i]->decided()) all_decided = false;
+      if (all_decided) res.rounds_to_decision = r - 1;
+    }
+
+    if (!anyone_sending) {
+      // Everyone alive has halted: the last communication round was r-1.
+      res.rounds_to_halt = r - 1;
+      res.terminated = true;
+      break;
+    }
+
+    // --- Adversary intervention.
+    const std::uint32_t cap = options_.per_round_cap;
+    WorldView world(r, n, alive, halted, payloads, procs, budget_left, cap);
+    FaultPlan plan = adversary_.plan_round(world);
+
+    SYNRAN_CHECK_MSG(plan.crash_count() <= budget_left,
+                     "adversary exceeded global fault budget");
+    SYNRAN_CHECK_MSG(cap == 0 || plan.crash_count() <= cap,
+                     "adversary exceeded per-round cap");
+    for (const auto& c : plan.crashes) {
+      SYNRAN_CHECK_MSG(alive.test(c.victim),
+                       "adversary crashed a dead process");
+    }
+
+    // --- Phase B: delivery to surviving, non-halted receivers.
+    DynBitset receivers = alive;
+    for (const auto& c : plan.crashes) receivers.reset(c.victim);
+    {
+      DynBitset active = receivers;
+      halted.for_each_set([&](std::size_t i) { active.reset(i); });
+      RoundTraffic traffic{payloads, &plan};
+      auto delivered = deliver(n, traffic, active);
+      active.for_each_set([&](std::size_t i) {
+        receipts[i] = delivered[i];
+        have_receipt[i] = true;
+        res.messages_delivered += delivered[i].count;
+      });
+    }
+
+    // Commit the crashes.
+    budget_left -= static_cast<std::uint32_t>(plan.crash_count());
+    res.crashes_total += static_cast<std::uint32_t>(plan.crash_count());
+    res.crashes_per_round.push_back(
+        static_cast<std::uint32_t>(plan.crash_count()));
+    for (const auto& c : plan.crashes) {
+      alive.reset(c.victim);
+      res.crashed[c.victim] = true;
+    }
+  }
+
+  // Harvest final status.
+  bool first = true;
+  bool agree = true;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!alive.test(i)) continue;
+    res.decided[i] = procs[i]->decided();
+    if (!res.decided[i]) continue;
+    res.decisions[i] = procs[i]->decision();
+    res.has_decision = true;
+    if (first) {
+      res.decision = res.decisions[i];
+      first = false;
+    } else if (res.decisions[i] != res.decision) {
+      agree = false;
+    }
+  }
+  res.agreement = res.has_decision && agree;
+  if (!res.terminated) res.rounds_to_halt = options_.max_rounds;
+  return res;
+}
+
+RunResult run_once(const ProcessFactory& factory, std::vector<Bit> inputs,
+                   Adversary& adversary, EngineOptions options) {
+  Engine e(factory, std::move(inputs), adversary, options);
+  return e.run();
+}
+
+bool validity_holds(const std::vector<Bit>& inputs, const RunResult& result) {
+  if (!result.has_decision) return true;  // vacuous
+  const bool all0 = std::all_of(inputs.begin(), inputs.end(),
+                                [](Bit b) { return b == Bit::Zero; });
+  const bool all1 = std::all_of(inputs.begin(), inputs.end(),
+                                [](Bit b) { return b == Bit::One; });
+  if (!all0 && !all1) return true;
+  const Bit required = all0 ? Bit::Zero : Bit::One;
+  for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+    if (result.crashed[i] || !result.decided[i]) continue;
+    if (result.decisions[i] != required) return false;
+  }
+  return true;
+}
+
+}  // namespace synran

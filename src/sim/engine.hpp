@@ -1,0 +1,81 @@
+// The synchronous execution engine.
+//
+// Drives n Process instances against one Adversary under the round structure
+// of §3.1, enforcing the fault budget, collecting the execution metrics every
+// experiment needs (rounds to decision, crashes per round, agreement /
+// validity verdicts), and staying bit-for-bit reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sim/adversary.hpp"
+#include "sim/process.hpp"
+
+namespace synran {
+
+struct EngineOptions {
+  /// Global fault budget t (max processes the adversary may crash).
+  std::uint32_t t_budget = 0;
+  /// Optional per-round crash cap (0 = no per-round cap). The lower-bound
+  /// adversary class B uses 4√(n·ln n)+1 (§3.2).
+  std::uint32_t per_round_cap = 0;
+  /// Safety valve: abort the run (marking it non-terminating) after this many
+  /// rounds. Must comfortably exceed any expected run length.
+  std::uint32_t max_rounds = 100000;
+  /// Master seed; every process stream derives from it.
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one execution.
+struct RunResult {
+  /// First round by whose end every non-crashed process had decided;
+  /// 0 if that never happened (see `terminated`).
+  std::uint32_t rounds_to_decision = 0;
+  /// Round by whose end every non-crashed process had halted.
+  std::uint32_t rounds_to_halt = 0;
+  bool terminated = false;  ///< all survivors decided within max_rounds
+
+  bool agreement = false;       ///< all survivor decisions equal
+  bool has_decision = false;    ///< at least one survivor decided
+  Bit decision = Bit::Zero;     ///< the common value when agreement holds
+
+  std::uint32_t crashes_total = 0;
+  std::vector<std::uint32_t> crashes_per_round;
+  /// Total point-to-point deliveries (communication complexity; a broadcast
+  /// to k receivers counts k).
+  std::uint64_t messages_delivered = 0;
+
+  /// Final per-process status (survivors only meaningful).
+  std::vector<bool> crashed;
+  std::vector<bool> decided;
+  std::vector<Bit> decisions;
+};
+
+/// Runs one execution to completion.
+class Engine {
+ public:
+  Engine(const ProcessFactory& factory, std::vector<Bit> inputs,
+         Adversary& adversary, EngineOptions options);
+
+  RunResult run();
+
+ private:
+  const ProcessFactory& factory_;
+  std::vector<Bit> inputs_;
+  Adversary& adversary_;
+  EngineOptions options_;
+};
+
+/// Convenience: run one execution with everything defaulted from n.
+RunResult run_once(const ProcessFactory& factory, std::vector<Bit> inputs,
+                   Adversary& adversary, EngineOptions options);
+
+/// Checks validity against the inputs: if all inputs equal v, the decision
+/// (when any) must be v. Returns true when the validity condition holds.
+bool validity_holds(const std::vector<Bit>& inputs, const RunResult& result);
+
+}  // namespace synran

@@ -1,0 +1,93 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+std::uint32_t Trace::total_crashes() const {
+  std::uint32_t acc = 0;
+  for (const auto& r : rounds) acc += r.crashes;
+  return acc;
+}
+
+std::uint32_t Trace::max_crashes_per_round() const {
+  std::uint32_t mx = 0;
+  for (const auto& r : rounds) mx = std::max(mx, r.crashes);
+  return mx;
+}
+
+void TracingAdversary::begin(std::uint32_t n, std::uint32_t t_budget) {
+  trace_ = Trace{};
+  trace_.n = n;
+  trace_.t_budget = t_budget;
+  inner_->begin(n, t_budget);
+}
+
+FaultPlan TracingAdversary::plan_round(const WorldView& world) {
+  FaultPlan plan = inner_->plan_round(world);
+
+  RoundTrace rt;
+  rt.round = world.round();
+  rt.alive = static_cast<std::uint32_t>(world.alive().count());
+  rt.halted = static_cast<std::uint32_t>(world.halted().count());
+  rt.budget_left_before = world.budget_left();
+  for (ProcessId i = 0; i < world.n(); ++i) {
+    if (world.alive().test(i) && world.process(i).decided()) ++rt.decided;
+    const auto p = world.payload(i);
+    if (!p.has_value()) continue;
+    ++rt.senders;
+    if (payload::supports(*p, Bit::One)) ++rt.ones;
+    if (payload::supports(*p, Bit::Zero)) ++rt.zeros;
+    if (*p & payload::kDeterministicFlag) ++rt.deterministic;
+  }
+  rt.crashes = static_cast<std::uint32_t>(plan.crash_count());
+  trace_.rounds.push_back(rt);
+  return plan;
+}
+
+InvariantReport check_model_invariants(const Trace& trace) {
+  InvariantReport report;
+  std::uint32_t prev_alive = trace.n;
+  std::uint32_t prev_halted = 0;
+  std::uint32_t budget = trace.t_budget;
+  std::uint32_t prev_crashes = 0;
+
+  for (std::size_t i = 0; i < trace.rounds.size(); ++i) {
+    const RoundTrace& r = trace.rounds[i];
+    const std::string at = "round " + std::to_string(r.round) + ": ";
+
+    if (r.alive > prev_alive)
+      report.fail(at + "alive grew (" + std::to_string(prev_alive) + " -> " +
+                  std::to_string(r.alive) + ")");
+    if (i > 0 && prev_alive - r.alive != prev_crashes)
+      report.fail(at + "alive drop does not match last round's crashes");
+    if (r.halted < prev_halted)
+      report.fail(at + "halted shrank");
+    if (r.halted > r.alive)
+      report.fail(at + "more halted than alive");
+    if (r.senders != r.alive - r.halted)
+      report.fail(at + "senders != alive - halted (" +
+                  std::to_string(r.senders) + " vs " +
+                  std::to_string(r.alive - r.halted) + ")");
+    // Mask-carrying payloads (FloodMin, SynRan's det stage) may support
+    // both values, so each side is bounded by the sender count separately.
+    if (r.ones > r.senders || r.zeros > r.senders)
+      report.fail(at + "payload value counts exceed senders");
+    if (r.budget_left_before != budget)
+      report.fail(at + "budget accounting diverged");
+    if (r.crashes > budget)
+      report.fail(at + "crashes exceed remaining budget");
+    if (r.crashes > r.senders)
+      report.fail(at + "crashed a non-sender");
+
+    budget -= std::min(budget, r.crashes);
+    prev_alive = r.alive;
+    prev_halted = r.halted;
+    prev_crashes = r.crashes;
+  }
+  return report;
+}
+
+}  // namespace synran

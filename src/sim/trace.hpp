@@ -1,0 +1,82 @@
+// Execution tracing and model-invariant checking.
+//
+// A TraceRecorder observes an execution round by round (installed as an
+// adversary wrapper, so it sees exactly the full-information view the model
+// grants) and records the quantities the paper's arguments track: live and
+// halted populations, the 1/0 composition of each round's traffic, and the
+// adversary's spend. TraceInvariants then re-checks the §3.1 model rules on
+// the recorded trace — monotone populations, budget discipline, silence of
+// the dead — so property tests can assert them wholesale.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/adversary.hpp"
+
+namespace synran {
+
+/// One round's observables, captured at the adversary decision point.
+struct RoundTrace {
+  Round round = 0;
+  std::uint32_t alive = 0;    ///< not yet crashed (halted included)
+  std::uint32_t halted = 0;   ///< voluntarily stopped
+  std::uint32_t senders = 0;  ///< broadcast a payload this round
+  std::uint32_t ones = 0;     ///< senders supporting 1
+  std::uint32_t zeros = 0;    ///< senders supporting 0
+  std::uint32_t deterministic = 0;  ///< senders in SynRan's det stage
+  std::uint32_t decided = 0;  ///< processes with decided() true
+  std::uint32_t crashes = 0;  ///< victims of this round's plan
+  std::uint32_t budget_left_before = 0;
+};
+
+/// A recorded execution.
+struct Trace {
+  std::uint32_t n = 0;
+  std::uint32_t t_budget = 0;
+  std::vector<RoundTrace> rounds;
+
+  std::uint32_t total_crashes() const;
+  /// Largest crash count in any single round.
+  std::uint32_t max_crashes_per_round() const;
+};
+
+/// Wraps an inner adversary, recording a Trace while delegating every
+/// decision. Install in the engine exactly like any adversary.
+class TracingAdversary final : public Adversary {
+ public:
+  explicit TracingAdversary(Adversary& inner) : inner_(&inner) {}
+
+  void begin(std::uint32_t n, std::uint32_t t_budget) override;
+  FaultPlan plan_round(const WorldView& world) override;
+  const char* name() const override { return "tracing"; }
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  Adversary* inner_;
+  Trace trace_;
+};
+
+/// Result of checking a trace against the §3.1 model invariants.
+struct InvariantReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string what) {
+    ok = false;
+    violations.push_back(std::move(what));
+  }
+};
+
+/// Checks: alive non-increasing; halted non-decreasing; senders ≤ alive −
+/// halted; ones + zeros bounded by senders (a det-stage payload may carry
+/// both bits, so the sum may exceed senders only by `deterministic`);
+/// crashes ≤ budget remaining and consistent with the alive drop; decided
+/// non-decreasing only while nobody rescinds (SynRan may rescind, so the
+/// decided check is optional).
+InvariantReport check_model_invariants(const Trace& trace);
+
+}  // namespace synran

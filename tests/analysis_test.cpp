@@ -1,0 +1,308 @@
+// Unit tests for src/analysis: summary statistics, exact binomial tails, the
+// paper's Lemma 4.4 bound, Schechtman quantities, theory curves, and fits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/binomial.hpp"
+#include "analysis/fit.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/theory.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace synran {
+namespace {
+
+// ----------------------------------------------------------------- Summary
+
+TEST(SummaryTest, MeanAndVarianceMatchDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  Summary s;
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  double var = 0;
+  for (double x : xs) var += (x - 6.2) * (x - 6.2);
+  var /= 4.0;
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_NEAR(s.sum(), 31.0, 1e-12);
+}
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(SummaryTest, MergeEqualsSequential) {
+  Xoshiro256 rng(1);
+  Summary whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10.0;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(SummaryTest, MergeWithEmptySides) {
+  Summary a, b;
+  a.add(1.0);
+  a.merge(b);  // empty other
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty self
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+// --------------------------------------------------------------- intervals
+
+TEST(WilsonTest, CoversTrueProportion) {
+  const auto iv = wilson_interval(50, 100);
+  EXPECT_LT(iv.lo, 0.5);
+  EXPECT_GT(iv.hi, 0.5);
+  EXPECT_GT(iv.lo, 0.35);
+  EXPECT_LT(iv.hi, 0.65);
+}
+
+TEST(WilsonTest, ExtremesStayInUnitInterval) {
+  const auto zero = wilson_interval(0, 20);
+  EXPECT_GE(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const auto all = wilson_interval(20, 20);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_LE(all.hi, 1.0);
+}
+
+TEST(WilsonTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(wilson_interval(1, 0), ArgumentError);
+  EXPECT_THROW(wilson_interval(5, 4), ArgumentError);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(QuantileTest, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), ArgumentError);
+  EXPECT_THROW(quantile({1.0}, 1.5), ArgumentError);
+}
+
+// ---------------------------------------------------------------- binomial
+
+TEST(BinomialTest, LogBinomialMatchesSmallCases) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(std::exp(log_binomial(7, 0)), 1.0, 1e-12);
+  EXPECT_THROW(log_binomial(3, 4), ArgumentError);
+}
+
+TEST(BinomialTest, PmfSumsToOne) {
+  for (double p : {0.1, 0.5, 0.9}) {
+    double acc = 0;
+    for (std::uint64_t k = 0; k <= 30; ++k) acc += binomial_pmf(30, k, p);
+    EXPECT_NEAR(acc, 1.0, 1e-9);
+  }
+}
+
+TEST(BinomialTest, PmfEdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 11, 0.5), 0.0);
+}
+
+TEST(BinomialTest, TailsAreComplementary) {
+  for (std::uint64_t k = 0; k <= 20; ++k) {
+    const double upper = binomial_upper_tail(20, k, 0.3);
+    const double lower = k == 0 ? 0.0 : binomial_lower_tail(20, k - 1, 0.3);
+    EXPECT_NEAR(upper + lower, 1.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(BinomialTest, TailMonotonicity) {
+  double prev = 1.0;
+  for (std::uint64_t k = 0; k <= 40; ++k) {
+    const double t = binomial_upper_tail(40, k, 0.5);
+    EXPECT_LE(t, prev + 1e-12);
+    prev = t;
+  }
+}
+
+TEST(BinomialTest, FairCoinMedianTail) {
+  // Pr(X >= n/2) > 1/2 for even n (median at n/2).
+  EXPECT_GT(binomial_upper_tail(100, 50, 0.5), 0.5);
+  EXPECT_LT(binomial_upper_tail(100, 51, 0.5), 0.5);
+}
+
+// Lemma 4.4: Pr(x − n/2 ≥ t√n) ≥ e^{−4(t+1)²}/√(2π) for t < √n/8.
+TEST(Lemma44Test, LowerBoundHoldsAgainstExactTail) {
+  for (std::uint64_t n : {64u, 256u, 1024u, 4096u}) {
+    const double sqrt_n = std::sqrt(static_cast<double>(n));
+    for (double t = 0.0; t < sqrt_n / 8.0; t += 0.25) {
+      const auto k = static_cast<std::uint64_t>(
+          std::ceil(n / 2.0 + t * sqrt_n));
+      const double exact = binomial_upper_tail(n, k, 0.5);
+      const double bound = lemma44_lower_bound(t);
+      EXPECT_GE(exact, bound) << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+TEST(Lemma44Test, Corollary45Instantiation) {
+  // t = √(ln n)/8 gives Pr ≥ √(ln n / n) — check the bound chain holds for
+  // the exact tail at a representative n.
+  const std::uint64_t n = 1024;
+  const double t = std::sqrt(std::log(static_cast<double>(n))) / 8.0;
+  const auto k = static_cast<std::uint64_t>(
+      std::ceil(n / 2.0 + t * std::sqrt(static_cast<double>(n))));
+  const double exact = binomial_upper_tail(n, k, 0.5);
+  EXPECT_GE(exact, std::sqrt(std::log(static_cast<double>(n)) /
+                             static_cast<double>(n)));
+}
+
+TEST(HoeffdingTest, UpperBoundsExactTail) {
+  for (std::uint64_t n : {50u, 200u}) {
+    for (double a = 0; a <= n / 2.0; a += 5.0) {
+      const auto k =
+          static_cast<std::uint64_t>(std::ceil(n / 2.0 + a));
+      EXPECT_LE(binomial_upper_tail(n, k, 0.5),
+                hoeffding_upper_bound(static_cast<double>(n), a) + 1e-12);
+    }
+  }
+}
+
+TEST(SchechtmanTest, L0Formula) {
+  EXPECT_NEAR(schechtman_l0(100.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(schechtman_l0(100.0, std::exp(-1.0)), 20.0, 1e-9);
+  EXPECT_THROW(schechtman_l0(100.0, 0.0), ArgumentError);
+}
+
+TEST(SchechtmanTest, BoundShape) {
+  const double n = 64, alpha = 0.1;
+  const double l0 = schechtman_l0(n, alpha);
+  EXPECT_EQ(schechtman_expansion_bound(n, alpha, l0 - 1.0), 0.0);
+  EXPECT_EQ(schechtman_expansion_bound(n, alpha, l0), 0.0);
+  const double b1 = schechtman_expansion_bound(n, alpha, l0 + 4.0);
+  const double b2 = schechtman_expansion_bound(n, alpha, l0 + 8.0);
+  EXPECT_GT(b2, b1);
+  EXPECT_LT(b2, 1.0);
+}
+
+TEST(SchechtmanTest, PaperInstantiation) {
+  // The Lemma 2.1 instantiation: α = 1/n, l = 4√(n·ln n) gives ≥ 1 − 1/n.
+  for (double n : {64.0, 256.0, 4096.0}) {
+    const double l = 4.0 * std::sqrt(n * std::log(n));
+    const double bound = schechtman_expansion_bound(n, 1.0 / n, l);
+    EXPECT_GE(bound, 1.0 - 1.0 / n - 1e-9) << "n=" << n;
+  }
+}
+
+// ------------------------------------------------------------------ theory
+
+TEST(TheoryTest, TightBoundReducesToSqrtRegimes) {
+  // t = √n ⇒ f ≈ √n/√(n·ln3) = 1/√ln3 — constant.
+  const double f = theory::tight_round_bound(10000.0, 100.0);
+  EXPECT_NEAR(f, 1.0 / std::sqrt(std::log(3.0)), 1e-9);
+  // t = n: f = √(n/ln(2+√n)) grows with n.
+  EXPECT_GT(theory::tight_round_bound(4096.0, 4096.0),
+            theory::tight_round_bound(1024.0, 1024.0));
+}
+
+TEST(TheoryTest, MonotoneInT) {
+  double prev = 0.0;
+  for (double t = 0.0; t <= 1024.0; t += 64.0) {
+    const double f = theory::tight_round_bound(1024.0, t);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(TheoryTest, PerRoundBudgetMatchesFormula) {
+  const double n = 1024.0;
+  EXPECT_NEAR(theory::per_round_budget(n),
+              4.0 * std::sqrt(n * std::log(n)) + 1.0, 1e-9);
+}
+
+TEST(TheoryTest, DeterministicStageThreshold) {
+  const double n = 1024.0;
+  EXPECT_NEAR(theory::deterministic_stage_threshold(n),
+              std::sqrt(n / std::log(n)), 1e-9);
+  // Guarded for tiny n.
+  EXPECT_GE(theory::deterministic_stage_threshold(1.0), 1.0);
+  EXPECT_GE(theory::deterministic_stage_rounds(1.0), 2u);
+}
+
+TEST(TheoryTest, ValencyEpsilonClamps) {
+  EXPECT_NEAR(theory::valency_epsilon(100.0, 1.0), 0.1 - 0.01, 1e-12);
+  EXPECT_EQ(theory::valency_epsilon(100.0, 50.0), 0.0);
+}
+
+TEST(TheoryTest, LowerBoundRoundsScales) {
+  // Doubling t doubles the forced-round curve.
+  const double a = theory::lower_bound_rounds(4096.0, 1000.0);
+  const double b = theory::lower_bound_rounds(4096.0, 2000.0);
+  EXPECT_NEAR(b / a, 2.0, 1e-9);
+}
+
+// --------------------------------------------------------------------- fit
+
+TEST(FitTest, ScaleFitRecoversExactProportionality) {
+  std::vector<double> f{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{2.5, 5.0, 7.5, 10.0};
+  const auto fit = fit_scale(f, y);
+  EXPECT_NEAR(fit.scale, 2.5, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.ratio_spread(), 1.0, 1e-12);
+}
+
+TEST(FitTest, RatioSpreadDetectsShapeMismatch) {
+  std::vector<double> f{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{1.0, 4.0, 9.0, 16.0};  // quadratic, not linear
+  const auto fit = fit_scale(f, y);
+  EXPECT_GT(fit.ratio_spread(), 3.0);
+}
+
+TEST(FitTest, ZeroReferencePointsAreSkipped) {
+  std::vector<double> f{0.0, 1.0, 2.0};
+  std::vector<double> y{5.0, 3.0, 6.0};
+  const auto fit = fit_scale(f, y);
+  EXPECT_NEAR(fit.scale, 3.0, 1e-12);
+  EXPECT_EQ(fit.ratios[0], 0.0);
+}
+
+TEST(FitTest, LinearFitRecoversLine) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 3.0, 5.0, 7.0};
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitTest, RejectsDegenerateInput) {
+  std::vector<double> x{1.0};
+  std::vector<double> y{1.0};
+  EXPECT_THROW(fit_linear(x, y), ArgumentError);
+  std::vector<double> same{2.0, 2.0};
+  EXPECT_THROW(fit_linear(same, same), ArgumentError);
+  EXPECT_THROW(fit_scale({}, {}), ArgumentError);
+}
+
+}  // namespace
+}  // namespace synran

@@ -1,0 +1,319 @@
+// Tests for the asynchronous substrate: codec, engine mechanics, schedulers,
+// and the Ben-Or protocol's consensus properties.
+#include <gtest/gtest.h>
+
+#include "async/benor.hpp"
+#include "async/engine.hpp"
+#include "async/scheduler.hpp"
+#include "common/check.hpp"
+
+namespace synran {
+namespace {
+
+std::vector<Bit> bits(std::initializer_list<int> xs) {
+  std::vector<Bit> out;
+  for (int x : xs) out.push_back(x ? Bit::One : Bit::Zero);
+  return out;
+}
+
+// ------------------------------------------------------------------- codec
+
+TEST(BenOrWireTest, RoundTripsAllFields) {
+  using W = BenOrAsyncProcess::Wire;
+  for (bool proposal : {false, true}) {
+    for (std::uint32_t round : {1u, 2u, 77u, 1u << 20}) {
+      for (int value : {-1, 0, 1}) {
+        if (value < 0 && !proposal) continue;  // reports carry real values
+        const W w{proposal, round, value};
+        const W back = BenOrAsyncProcess::decode(BenOrAsyncProcess::encode(w));
+        EXPECT_EQ(back.proposal, proposal);
+        EXPECT_EQ(back.round, round);
+        EXPECT_EQ(back.value, value);
+      }
+    }
+  }
+}
+
+TEST(BenOrWireTest, RejectsBotReport) {
+  EXPECT_THROW(BenOrAsyncProcess::encode({false, 1, -1}), ArgumentError);
+}
+
+// ----------------------------------------------------------------- engine
+
+TEST(AsyncEngineTest, SingleProcessDecidesImmediately) {
+  BenOrAsyncFactory factory;
+  FifoScheduler fifo;
+  const auto res = run_async(factory, bits({1}), fifo, {});
+  EXPECT_TRUE(res.terminated);
+  EXPECT_TRUE(res.agreement);
+  EXPECT_EQ(res.decision, Bit::One);
+  EXPECT_EQ(res.crashes, 0u);
+}
+
+TEST(AsyncEngineTest, ValidityUnderEveryScheduler) {
+  BenOrAsyncFactory factory;
+  for (Bit v : {Bit::Zero, Bit::One}) {
+    const std::vector<Bit> inputs(9, v);
+    AsyncEngineOptions opts;
+    opts.t_budget = 4;
+
+    FifoScheduler fifo;
+    auto res = run_async(factory, inputs, fifo, opts);
+    EXPECT_TRUE(res.terminated);
+    EXPECT_EQ(res.decision, v);
+
+    RandomScheduler rnd(3);
+    res = run_async(factory, inputs, rnd, opts);
+    EXPECT_TRUE(res.terminated);
+    EXPECT_EQ(res.decision, v);
+
+    LaggardScheduler lag(5);
+    res = run_async(factory, inputs, lag, opts);
+    EXPECT_TRUE(res.terminated);
+    EXPECT_EQ(res.decision, v);
+    EXPECT_TRUE(res.agreement);
+  }
+}
+
+TEST(AsyncEngineTest, AgreementOnMixedInputsAcrossSeeds) {
+  BenOrAsyncFactory factory;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    AsyncEngineOptions opts;
+    opts.t_budget = 3;
+    opts.seed = seed;
+    RandomScheduler sched(seed * 7);
+    const auto res =
+        run_async(factory, bits({0, 1, 0, 1, 0, 1, 1}), sched, opts);
+    ASSERT_TRUE(res.terminated) << "seed " << seed;
+    EXPECT_TRUE(res.agreement) << "seed " << seed;
+    EXPECT_GE(res.max_round, 1u);
+  }
+}
+
+TEST(AsyncEngineTest, LaggardSchedulerStillTerminatesAndAgrees) {
+  BenOrAsyncFactory factory;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    AsyncEngineOptions opts;
+    opts.t_budget = 4;
+    opts.seed = seed;
+    LaggardScheduler sched(seed);
+    const auto res =
+        run_async(factory, bits({0, 1, 0, 1, 0, 1, 0, 1, 0}), sched, opts);
+    ASSERT_TRUE(res.terminated) << "seed " << seed;
+    EXPECT_TRUE(res.agreement) << "seed " << seed;
+    EXPECT_LE(res.crashes, 4u);
+  }
+}
+
+TEST(AsyncEngineTest, CoinFlipsAreCounted) {
+  // Mixed inputs with an adversarial scheduler: at least some executions
+  // must reach the coin-flip branch.
+  BenOrAsyncFactory factory;
+  std::uint64_t total_flips = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    AsyncEngineOptions opts;
+    opts.t_budget = 2;
+    opts.seed = seed;
+    LaggardScheduler sched(seed);
+    const auto res = run_async(factory, bits({0, 0, 1, 1, 0, 1}), sched,
+                               opts);
+    total_flips += res.coin_flips;
+  }
+  EXPECT_GT(total_flips, 0u);
+}
+
+TEST(AsyncEngineTest, RejectsTAtLeastHalf) {
+  BenOrAsyncFactory factory;
+  FifoScheduler fifo;
+  AsyncEngineOptions opts;
+  opts.t_budget = 3;  // n = 6: 2t !< n
+  EXPECT_THROW(run_async(factory, bits({0, 1, 0, 1, 0, 1}), fifo, opts),
+               ArgumentError);
+}
+
+TEST(AsyncEngineTest, DeterministicForSeed) {
+  BenOrAsyncFactory factory;
+  AsyncEngineOptions opts;
+  opts.t_budget = 2;
+  opts.seed = 99;
+  RandomScheduler s1(5), s2(5);
+  const auto a = run_async(factory, bits({0, 1, 1, 0, 1}), s1, opts);
+  const auto b = run_async(factory, bits({0, 1, 1, 0, 1}), s2, opts);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.decision, b.decision);
+  EXPECT_EQ(a.coin_flips, b.coin_flips);
+}
+
+// A scheduler that tries to exceed its crash budget — the engine must throw.
+class GreedyCrasher final : public AsyncScheduler {
+ public:
+  AsyncAction step(const AsyncWorld& world) override {
+    for (ProcessId i = 0; i < world.n(); ++i) {
+      if (!world.crashed(i)) {
+        AsyncAction a;
+        a.kind = AsyncAction::Kind::Crash;
+        a.victim = i;
+        return a;
+      }
+    }
+    return {AsyncAction::Kind::Deliver, 0, 0, {}};
+  }
+  const char* name() const override { return "greedy-crasher"; }
+};
+
+TEST(AsyncEngineTest, CrashBudgetIsEnforced) {
+  BenOrAsyncFactory factory;
+  GreedyCrasher sched;
+  AsyncEngineOptions opts;
+  opts.t_budget = 1;  // the second crash must throw
+  EXPECT_THROW(run_async(factory, bits({0, 1, 0}), sched, opts),
+               InvariantError);
+}
+
+TEST(AsyncEngineTest, CrashDropsInTransitTraffic) {
+  // Crash process 0 immediately, dropping everything it sent: the rest
+  // must still decide among themselves.
+  class CrashZeroFirst final : public AsyncScheduler {
+   public:
+    AsyncAction step(const AsyncWorld& world) override {
+      if (!done_ && !world.crashed(0)) {
+        done_ = true;
+        AsyncAction a;
+        a.kind = AsyncAction::Kind::Crash;
+        a.victim = 0;
+        for (std::size_t i = 0; i < world.pending().size(); ++i)
+          if (world.pending()[i].from == 0) a.drop.push_back(i);
+        return a;
+      }
+      return {AsyncAction::Kind::Deliver, 0, 0, {}};
+    }
+    const char* name() const override { return "crash-zero"; }
+
+   private:
+    bool done_ = false;
+  } sched;
+
+  BenOrAsyncFactory factory;
+  AsyncEngineOptions opts;
+  opts.t_budget = 1;
+  // Process 0 holds the only 0: with it gone before anyone heard it, the
+  // system must decide 1.
+  const auto res = run_async(factory, bits({0, 1, 1, 1, 1}), sched, opts);
+  EXPECT_TRUE(res.terminated);
+  EXPECT_TRUE(res.agreement);
+  EXPECT_EQ(res.decision, Bit::One);
+  EXPECT_EQ(res.crashes, 1u);
+}
+
+// --------------------------------------------- the O(1)-for-small-t story
+
+TEST(AsyncBenOrProperty, FastForUnanimousAndSmallT) {
+  // [BO83]: constant expected rounds when t = O(√n); with benign random
+  // scheduling and few crashes the round count stays small.
+  BenOrAsyncFactory factory;
+  std::uint32_t worst_round = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    AsyncEngineOptions opts;
+    opts.t_budget = 2;  // ≈ √n for n = 9
+    opts.seed = seed;
+    RandomScheduler sched(seed);
+    const auto res =
+        run_async(factory, bits({1, 1, 0, 1, 1, 0, 1, 1, 1}), sched, opts);
+    ASSERT_TRUE(res.terminated);
+    worst_round = std::max(worst_round, res.max_round);
+  }
+  EXPECT_LE(worst_round, 12u);
+}
+
+}  // namespace
+}  // namespace synran
+
+namespace synran {
+namespace {
+
+// ------------------------------------------------------ scheduler details
+
+TEST(SchedulerTest, FifoDeliversAValidIndex) {
+  BenOrAsyncFactory factory;
+  FifoScheduler fifo;
+  AsyncEngineOptions opts;
+  const auto res = run_async(factory, bits({1, 0, 1}), fifo, opts);
+  EXPECT_TRUE(res.terminated);
+  EXPECT_GT(res.steps, 0u);
+}
+
+TEST(SchedulerTest, RandomSchedulerIsSeedDeterministic) {
+  BenOrAsyncFactory factory;
+  AsyncEngineOptions opts;
+  opts.t_budget = 1;
+  opts.seed = 4;
+  RandomScheduler s1(9), s2(9), s3(10);
+  const auto a = run_async(factory, bits({1, 0, 1, 0, 1}), s1, opts);
+  const auto b = run_async(factory, bits({1, 0, 1, 0, 1}), s2, opts);
+  const auto c = run_async(factory, bits({1, 0, 1, 0, 1}), s3, opts);
+  EXPECT_EQ(a.steps, b.steps);
+  // A different scheduler seed almost surely changes the trajectory; allow
+  // outcome equality but require SOME observable difference.
+  EXPECT_TRUE(a.steps != c.steps || a.coin_flips != c.coin_flips ||
+              a.max_round != c.max_round);
+}
+
+TEST(SchedulerTest, LaggardPrefersNonLaggardTraffic) {
+  // With 2 laggards out of 6, the first deliveries all come from the
+  // non-lagging majority; verify via a one-step inspection harness.
+  std::vector<AsyncMessage> pending;
+  for (ProcessId from = 0; from < 6; ++from)
+    pending.push_back({from, 5, 0});
+  std::vector<AsyncProcessView> views(6);
+  std::vector<bool> crashed(6, false);
+  AsyncWorld world(pending, views, crashed, 0, 0);
+
+  LaggardScheduler sched(1);
+  sched.begin(6, 2);  // processes 0 and 1 lag
+  const auto action = sched.step(world);
+  ASSERT_EQ(action.kind, AsyncAction::Kind::Deliver);
+  EXPECT_GE(pending[action.index].from, 2u);
+}
+
+TEST(BenOrAsyncTest, StaleMessagesAreIgnoredSafely) {
+  // Feed a process an ancient round's report after it advanced: state must
+  // not regress (exercised by delivering out of order via LIFO).
+  class LifoScheduler final : public AsyncScheduler {
+   public:
+    AsyncAction step(const AsyncWorld& world) override {
+      return {AsyncAction::Kind::Deliver, world.pending().size() - 1, 0, {}};
+    }
+    const char* name() const override { return "lifo"; }
+  } lifo;
+
+  BenOrAsyncFactory factory;
+  AsyncEngineOptions opts;
+  opts.t_budget = 2;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    opts.seed = seed;
+    const auto res =
+        run_async(factory, bits({0, 1, 1, 0, 1, 0, 1}), lifo, opts);
+    ASSERT_TRUE(res.terminated) << seed;
+    EXPECT_TRUE(res.agreement) << seed;
+  }
+}
+
+TEST(BenOrAsyncTest, MinimalSystemsAcrossT) {
+  BenOrAsyncFactory factory;
+  for (std::uint32_t n : {1u, 2u, 3u, 5u}) {
+    const std::uint32_t t = n >= 3 ? (n - 1) / 2 : 0;
+    std::vector<Bit> inputs;
+    for (std::uint32_t i = 0; i < n; ++i)
+      inputs.push_back(i % 2 ? Bit::One : Bit::Zero);
+    RandomScheduler sched(n);
+    AsyncEngineOptions opts;
+    opts.t_budget = t;
+    opts.seed = n;
+    const auto res = run_async(factory, inputs, sched, opts);
+    ASSERT_TRUE(res.terminated) << "n=" << n;
+    EXPECT_TRUE(res.agreement) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace synran

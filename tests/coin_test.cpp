@@ -1,0 +1,422 @@
+// Tests for the one-round coin-flipping games (§2): outcome functions,
+// analytic vs exhaustive forcing agreement, control estimation, the
+// one-side-bias asymmetry, and the exact Schechtman expansion check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/binomial.hpp"
+#include "coin/expansion.hpp"
+#include "coin/forcing.hpp"
+#include "coin/games.hpp"
+#include "common/check.hpp"
+
+namespace synran {
+namespace {
+
+std::vector<GameValue> vals(std::initializer_list<int> xs) {
+  std::vector<GameValue> out;
+  for (int x : xs) out.push_back(static_cast<GameValue>(x));
+  return out;
+}
+
+DynBitset hide(std::uint32_t n, std::initializer_list<std::uint32_t> idx) {
+  DynBitset h(n);
+  for (auto i : idx) h.set(i);
+  return h;
+}
+
+// ------------------------------------------------------------------- games
+
+TEST(MajorityDefaultZero, OutcomeCountsHiddenAsZero) {
+  MajorityDefaultZeroGame g(5);
+  const auto v = vals({1, 1, 1, 0, 0});
+  EXPECT_EQ(g.outcome(v, hide(5, {})), 1u);
+  EXPECT_EQ(g.outcome(v, hide(5, {0})), 0u);  // 2 visible ones of 5 slots
+}
+
+TEST(MajorityDefaultZero, CannotBeForcedToOne) {
+  MajorityDefaultZeroGame g(7);
+  const auto v = vals({1, 1, 1, 0, 0, 0, 0});
+  const auto res = can_force(g, v, 1, 7);
+  EXPECT_FALSE(res.forced);
+  EXPECT_TRUE(res.exact);
+}
+
+TEST(MajorityDefaultZero, ForcingZeroNeedsExactSurplus) {
+  MajorityDefaultZeroGame g(7);
+  const auto v = vals({1, 1, 1, 1, 1, 0, 0});  // 5 ones, need ≥ 2 hidden
+  EXPECT_FALSE(can_force(g, v, 0, 1).forced);
+  const auto res = can_force(g, v, 0, 2);
+  EXPECT_TRUE(res.forced);
+  EXPECT_EQ(res.hiding.count(), 2u);
+  EXPECT_EQ(g.outcome(v, res.hiding), 0u);
+}
+
+TEST(MajorityPresent, TieBreaksTowardZero) {
+  MajorityPresentGame g(4);
+  EXPECT_EQ(g.outcome(vals({1, 1, 0, 0}), hide(4, {})), 0u);
+  EXPECT_EQ(g.outcome(vals({1, 1, 1, 0}), hide(4, {})), 1u);
+}
+
+TEST(MajorityPresent, ForcesBothDirections) {
+  MajorityPresentGame g(6);
+  const auto v = vals({1, 1, 1, 1, 0, 0});
+  // Toward 0: hide 2 ones (4−2 = 2 = zeros → tie → 0).
+  const auto to0 = can_force(g, v, 0, 2);
+  EXPECT_TRUE(to0.forced);
+  // Toward 1 from a 0-majority input: hide zeros.
+  const auto w = vals({0, 0, 0, 0, 1, 1});
+  const auto to1 = can_force(g, w, 1, 3);
+  EXPECT_TRUE(to1.forced);
+  EXPECT_EQ(g.outcome(w, to1.hiding), 1u);
+  EXPECT_FALSE(can_force(g, w, 1, 2).forced);  // needs 3 hidings
+}
+
+TEST(ParityPresent, SingleHidingFlipsOutcome) {
+  ParityPresentGame g(5);
+  const auto v = vals({1, 0, 1, 1, 0});  // parity 1
+  EXPECT_EQ(g.outcome(v, hide(5, {})), 1u);
+  const auto res = can_force(g, v, 0, 1);
+  EXPECT_TRUE(res.forced);
+  EXPECT_EQ(res.hiding.count(), 1u);
+}
+
+TEST(ParityPresent, AllZerosStuckAtZero) {
+  ParityPresentGame g(4);
+  const auto v = vals({0, 0, 0, 0});
+  EXPECT_FALSE(can_force(g, v, 1, 4).forced);
+  EXPECT_TRUE(can_force(g, v, 0, 0).forced);
+}
+
+TEST(ModSum, OutcomeIsSumModK) {
+  ModSumGame g(4, 3);
+  const auto v = vals({2, 2, 1, 0});
+  EXPECT_EQ(g.outcome(v, hide(4, {})), 2u);  // 5 mod 3
+  EXPECT_EQ(g.outcome(v, hide(4, {0})), 0u);
+}
+
+TEST(ModSum, ExhaustiveSearchFindsResidues) {
+  ModSumGame g(6, 4);
+  const auto v = vals({1, 2, 3, 1, 2, 0});  // sum 9 ≡ 1 (mod 4)
+  for (std::uint32_t target = 0; target < 4; ++target) {
+    const auto res = can_force(g, v, target, 3);
+    EXPECT_TRUE(res.forced) << "target " << target;
+    EXPECT_EQ(g.outcome(v, res.hiding), target);
+  }
+}
+
+TEST(LeaderBit, PrefixHidingHandsControl) {
+  LeaderBitGame g(5);
+  const auto v = vals({0, 0, 1, 0, 1});
+  EXPECT_EQ(g.outcome(v, hide(5, {})), 0u);
+  const auto res = can_force(g, v, 1, 2);
+  EXPECT_TRUE(res.forced);
+  EXPECT_EQ(g.outcome(v, res.hiding), 1u);
+  EXPECT_FALSE(can_force(g, v, 1, 1).forced);
+}
+
+TEST(GamesTest, SampleMatchesDomain) {
+  ModSumGame g(50, 5);
+  Xoshiro256 rng(3);
+  std::vector<GameValue> v;
+  g.sample(rng, v);
+  ASSERT_EQ(v.size(), 50u);
+  for (auto x : v) EXPECT_LT(x, 5);
+}
+
+// ----------------------------------------------------------------- forcing
+
+TEST(ForcingTest, AnalyticAgreesWithExhaustiveOnRandomInputs) {
+  // The analytic rules claim completeness; cross-check against a blind
+  // exhaustive search on a game wrapper with the analytic rule hidden.
+  class Blind final : public CoinGame {
+   public:
+    explicit Blind(const CoinGame& inner) : inner_(inner) {}
+    std::uint32_t players() const override { return inner_.players(); }
+    std::uint32_t outcomes() const override { return inner_.outcomes(); }
+    std::uint32_t domain_size() const override {
+      return inner_.domain_size();
+    }
+    std::uint32_t outcome(std::span<const GameValue> values,
+                          const DynBitset& hidden) const override {
+      return inner_.outcome(values, hidden);
+    }
+    const char* name() const override { return "blind"; }
+
+   private:
+    const CoinGame& inner_;
+  };
+
+  Xoshiro256 rng(21);
+  MajorityPresentGame maj(11);
+  MajorityDefaultZeroGame mdz(11);
+  ParityPresentGame par(11);
+  const CoinGame* games[] = {&maj, &mdz, &par};
+  for (const CoinGame* game : games) {
+    Blind blind(*game);
+    std::vector<GameValue> v;
+    for (int rep = 0; rep < 30; ++rep) {
+      game->sample(rng, v);
+      for (std::uint32_t target = 0; target < 2; ++target) {
+        for (std::uint32_t budget : {0u, 1u, 2u, 3u}) {
+          const auto a = can_force(*game, v, target, budget);
+          const auto b = can_force(blind, v, target, budget);
+          ASSERT_TRUE(a.exact);
+          ASSERT_TRUE(b.exact);
+          EXPECT_EQ(a.forced, b.forced)
+              << game->name() << " target=" << target
+              << " budget=" << budget;
+        }
+      }
+    }
+  }
+}
+
+TEST(ForcingTest, WitnessAlwaysValidatesAndFitsBudget) {
+  Xoshiro256 rng(5);
+  MajorityPresentGame g(40);
+  std::vector<GameValue> v;
+  for (int rep = 0; rep < 50; ++rep) {
+    g.sample(rng, v);
+    for (std::uint32_t budget : {0u, 3u, 10u}) {
+      for (std::uint32_t target = 0; target < 2; ++target) {
+        const auto res = can_force(g, v, target, budget);
+        if (res.forced) {
+          EXPECT_LE(res.hiding.count(), budget);
+          EXPECT_EQ(g.outcome(v, res.hiding), target);
+        }
+      }
+    }
+  }
+}
+
+TEST(ForcingTest, RejectsBadArguments) {
+  MajorityPresentGame g(4);
+  const auto v = vals({1, 0, 1, 0});
+  EXPECT_THROW(can_force(g, v, 2, 1), ArgumentError);  // outcome range
+  const auto bad = vals({1, 0});
+  EXPECT_THROW(can_force(g, bad, 0, 1), ArgumentError);  // size mismatch
+}
+
+// ------------------------------------------------------- control estimates
+
+TEST(ControlTest, MajorityPresentControlledWithSqrtBudget) {
+  // With budget 4√(n·ln n) ≫ √n the adversary controls the symmetric
+  // majority game in (essentially) every sample.
+  const std::uint32_t n = 400;
+  const auto budget = static_cast<std::uint32_t>(
+      4.0 * std::sqrt(n * std::log(static_cast<double>(n))));
+  MajorityPresentGame g(n);
+  const auto est = estimate_control(g, budget, 400, 9);
+  EXPECT_TRUE(est.exact);
+  EXPECT_LT(est.min_pr_unforceable(), 1.0 / n + 0.01);
+  // Both directions are cheap for the symmetric game.
+  EXPECT_LT(est.pr_unforceable[0], 0.01);
+  EXPECT_LT(est.pr_unforceable[1], 0.01);
+}
+
+TEST(ControlTest, OneSideBiasShowsInMajorityDefaultZero) {
+  const std::uint32_t n = 400;
+  const auto budget = static_cast<std::uint32_t>(
+      4.0 * std::sqrt(n * std::log(static_cast<double>(n))));
+  MajorityDefaultZeroGame g(n);
+  const auto est = estimate_control(g, budget, 400, 10);
+  // Toward 0: always forceable. Toward 1: only when the draw already has a
+  // 1-majority (probability ≈ 1/2).
+  EXPECT_LT(est.pr_unforceable[0], 0.01);
+  EXPECT_GT(est.pr_unforceable[1], 0.3);
+  EXPECT_LT(est.pr_unforceable[1], 0.7);
+  EXPECT_EQ(est.best_outcome(), 0u);
+}
+
+TEST(ControlTest, ControlImprovesWithBudget) {
+  const std::uint32_t n = 256;
+  MajorityPresentGame g(n);
+  double prev = 1.1;
+  for (std::uint32_t budget : {0u, 8u, 32u, 128u}) {
+    const auto est = estimate_control(g, budget, 200, 11);
+    const double cur = est.min_pr_unforceable();
+    EXPECT_LE(cur, prev + 0.05) << "budget " << budget;
+    prev = cur;
+  }
+}
+
+TEST(ControlTest, ZeroBudgetMeansNoControl) {
+  MajorityPresentGame g(64);
+  const auto est = estimate_control(g, 0, 200, 12);
+  // Without hidings, "forcing v" reduces to "the draw already lands on v":
+  // Pr(U^0) + Pr(U^1) = 1 exactly.
+  EXPECT_NEAR(est.pr_unforceable[0] + est.pr_unforceable[1], 1.0, 1e-12);
+}
+
+// --------------------------------------------------------------- expansion
+
+TEST(ExpansionTest, FullCubeHasMeasureOne) {
+  HypercubeExpansion e(6, [](std::uint64_t) { return true; });
+  EXPECT_DOUBLE_EQ(e.measure(), 1.0);
+  EXPECT_DOUBLE_EQ(e.ball_measure(0), 1.0);
+}
+
+TEST(ExpansionTest, SingletonBallsMatchBinomialSums) {
+  const std::uint32_t n = 10;
+  HypercubeExpansion e(n, [](std::uint64_t x) { return x == 0; });
+  EXPECT_DOUBLE_EQ(e.measure(), 1.0 / 1024.0);
+  double acc = 0.0;
+  for (std::uint32_t l = 0; l <= n; ++l) {
+    acc += std::exp(log_binomial(n, l)) / 1024.0;
+    EXPECT_NEAR(e.ball_measure(l), acc, 1e-9) << "l=" << l;
+  }
+}
+
+TEST(ExpansionTest, EmptySetNeverExpands) {
+  HypercubeExpansion e(8, [](std::uint64_t) { return false; });
+  EXPECT_DOUBLE_EQ(e.measure(), 0.0);
+  EXPECT_DOUBLE_EQ(e.ball_measure(8), 0.0);
+  EXPECT_EQ(e.radius_for(0.5), 9u);
+}
+
+TEST(ExpansionTest, SchechtmanBoundHoldsForRandomSets) {
+  // The theorem is for all sets; spot-check random ones exactly.
+  const std::uint32_t n = 14;
+  Xoshiro256 rng(13);
+  for (int rep = 0; rep < 10; ++rep) {
+    const double density = 0.01 + 0.2 * rng.uniform();
+    std::vector<bool> member(1u << n);
+    std::size_t cnt = 0;
+    for (auto&& m : member) {
+      m = rng.uniform() < density;
+      cnt += m ? 1 : 0;
+    }
+    if (cnt == 0) continue;
+    HypercubeExpansion e(n, [&](std::uint64_t x) { return member[x]; });
+    const double alpha = e.measure();
+    for (std::uint32_t l = 0; l <= n; ++l) {
+      const double bound =
+          schechtman_expansion_bound(static_cast<double>(n), alpha,
+                                     static_cast<double>(l));
+      EXPECT_GE(e.ball_measure(l) + 1e-12, bound)
+          << "rep=" << rep << " l=" << l << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(ExpansionTest, UnforceableSetOfMajorityGame) {
+  // U^0 of the present-majority game with budget b: points where even b
+  // hidings keep a strict 1-majority, i.e. ones − zeros > b.
+  const std::uint32_t n = 12;
+  MajorityPresentGame g(n);
+  const std::uint32_t budget = 2;
+  const auto e = expansion_of_unforceable_set(g, 0, budget);
+  std::uint64_t expected = 0;
+  for (std::uint64_t x = 0; x < (1ULL << n); ++x) {
+    const auto ones = static_cast<std::uint32_t>(__builtin_popcountll(x));
+    const std::uint32_t zeros = n - ones;
+    if (ones > zeros + budget) ++expected;
+  }
+  EXPECT_NEAR(e.measure(),
+              static_cast<double>(expected) / static_cast<double>(1ULL << n),
+              1e-12);
+}
+
+TEST(ExpansionTest, RejectsOversizedCube) {
+  EXPECT_THROW(HypercubeExpansion(30, [](std::uint64_t) { return true; }),
+               ArgumentError);
+}
+
+}  // namespace
+}  // namespace synran
+
+namespace synran {
+namespace {
+
+// ----------------------------------------------------------- exact control
+
+TEST(ExactControlTest, MatchesHandComputedMajorityCounts) {
+  // Majority-present, n = 4, budget 1: U^0 = {ones − zeros > 1} =
+  // {ones ≥ 3} → C(4,3)+C(4,4) = 5 of 16; U^1 = {zeros − ones + 1 > 1,
+  // i.e. need > budget zeros hidden} = {zeros ≥ ... } by the analytic rule:
+  // need = zeros − ones + 1 when not already 1; unforceable iff need > 1
+  // ⇔ zeros ≥ ones + 1... enumerate by hand: ones ∈ {0,1}: zeros−ones+1 ∈
+  // {5−2·ones ≥ 3} > 1 → unforceable; ones=2 (tie→0): need = 1 ≤ 1 OK.
+  // So U^1 = {ones ≤ 1} = 1 + 4 = 5 of 16.
+  MajorityPresentGame g(4);
+  const auto exact = exact_control(g, 1);
+  EXPECT_EQ(exact.samples, 16u);
+  EXPECT_EQ(exact.unforceable_count[0], 5u);
+  EXPECT_EQ(exact.unforceable_count[1], 5u);
+}
+
+TEST(ExactControlTest, SamplingConvergesToExact) {
+  MajorityPresentGame g(12);
+  const std::uint32_t budget = 2;
+  const auto exact = exact_control(g, budget);
+  const auto sampled = estimate_control(g, budget, 4000, 21);
+  for (std::uint32_t v = 0; v < 2; ++v)
+    EXPECT_NEAR(sampled.pr_unforceable[v], exact.pr_unforceable[v], 0.03)
+        << "outcome " << v;
+}
+
+TEST(ExactControlTest, MonotoneInBudget) {
+  MajorityDefaultZeroGame g(10);
+  double prev0 = 1.0;
+  for (std::uint32_t budget : {0u, 1u, 2u, 4u, 8u}) {
+    const auto exact = exact_control(g, budget);
+    EXPECT_LE(exact.pr_unforceable[0], prev0 + 1e-12);
+    prev0 = exact.pr_unforceable[0];
+  }
+  EXPECT_DOUBLE_EQ(prev0, 0.0);  // budget 8 ≥ any 1-surplus on 10 players
+}
+
+TEST(ExactControlTest, AgreesWithUnforceableSetExpansion) {
+  // The same U^v set, measured two ways: exact control enumeration and the
+  // hypercube expansion's distance-0 layer.
+  MajorityPresentGame g(10);
+  for (std::uint32_t budget : {1u, 2u}) {
+    const auto exact = exact_control(g, budget);
+    for (std::uint32_t v = 0; v < 2; ++v) {
+      const auto e = expansion_of_unforceable_set(g, v, budget);
+      EXPECT_NEAR(e.measure(), exact.pr_unforceable[v], 1e-12);
+    }
+  }
+}
+
+TEST(ExactControlTest, RejectsNonBinaryAndBigGames) {
+  ModSumGame k3(6, 3);
+  EXPECT_THROW(exact_control(k3, 1), ArgumentError);
+  MajorityPresentGame big(23);
+  EXPECT_THROW(exact_control(big, 1), ArgumentError);
+}
+
+// ------------------------------------------- Harper-flavoured worst case
+
+TEST(ExpansionTest, HammingBallsExpandSlowestAmongTestedSets) {
+  // Harper's theorem: balls minimize vertex-boundary growth at fixed
+  // measure. Check the testable consequence: a Hamming ball's enlargement
+  // never exceeds that of same-measure random sets by more than sampling
+  // slack — i.e. the ball is the conservative (worst) case our Schechtman
+  // comparisons lean on.
+  const std::uint32_t n = 12;
+  HypercubeExpansion probe(n, [](std::uint64_t x) { return x == 0; });
+  std::uint32_t r = 0;
+  while (probe.ball_measure(r) < 0.05) ++r;
+  HypercubeExpansion ball(n, [r](std::uint64_t x) {
+    return static_cast<std::uint32_t>(__builtin_popcountll(x)) <= r;
+  });
+  const double alpha = ball.measure();
+
+  Xoshiro256 rng(31);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<bool> member(1u << n);
+    for (auto&& m : member) m = rng.uniform() < alpha;
+    HypercubeExpansion random_set(
+        n, [&](std::uint64_t x) { return member[x]; });
+    if (random_set.measure() < alpha / 2) continue;  // too sparse a draw
+    for (std::uint32_t l = 1; l <= n; ++l)
+      EXPECT_LE(ball.ball_measure(l), random_set.ball_measure(l) + 0.02)
+          << "l=" << l << " rep=" << rep;
+  }
+}
+
+}  // namespace
+}  // namespace synran

@@ -1,0 +1,289 @@
+// Unit tests for src/common: PRNG streams, coin sources, DynBitset, Table,
+// and the check macros.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/dynbitset.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace synran {
+namespace {
+
+// ----------------------------------------------------------------- SplitMix
+
+TEST(SplitMix64Test, KnownSequence) {
+  // Reference values for seed 0 from the published splitmix64.c.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64Test, DistinctSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+// ----------------------------------------------------------------- Xoshiro
+
+TEST(Xoshiro256Test, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, SeedsProduceDifferentStreams) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256Test, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256Test, BelowRespectsBound) {
+  Xoshiro256 rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256Test, BelowCoversAllResidues) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256Test, BelowZeroBoundThrows) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(rng.below(0), ArgumentError);
+}
+
+TEST(Xoshiro256Test, FlipIsRoughlyFair) {
+  Xoshiro256 rng(11);
+  int heads = 0;
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i)
+    if (rng.flip()) ++heads;
+  EXPECT_NEAR(static_cast<double>(heads) / reps, 0.5, 0.02);
+}
+
+// ------------------------------------------------------------ SeedSequence
+
+TEST(SeedSequenceTest, StreamsAreDistinct) {
+  SeedSequence seq(99);
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(seq.stream(i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(SeedSequenceTest, StreamsAreStable) {
+  SeedSequence a(5), b(5);
+  EXPECT_EQ(a.stream(3), b.stream(3));
+  EXPECT_NE(a.stream(3), a.stream(4));
+}
+
+// ------------------------------------------------------------- CoinSources
+
+TEST(TapeCoinSourceTest, ReplaysTapeInOrder) {
+  TapeCoinSource tape({true, false, true});
+  EXPECT_TRUE(tape.flip());
+  EXPECT_FALSE(tape.flip());
+  EXPECT_TRUE(tape.flip());
+  EXPECT_EQ(tape.consumed(), 3u);
+}
+
+TEST(TapeCoinSourceTest, ExhaustionThrows) {
+  TapeCoinSource tape({true});
+  tape.flip();
+  EXPECT_THROW(tape.flip(), InvariantError);
+}
+
+TEST(TapeCoinSourceTest, ResetStartsOver) {
+  TapeCoinSource tape({true});
+  tape.flip();
+  tape.reset({false, false});
+  EXPECT_FALSE(tape.flip());
+  EXPECT_EQ(tape.consumed(), 1u);
+}
+
+TEST(CountingCoinSourceTest, CountsDemands) {
+  CountingCoinSource c;
+  EXPECT_EQ(c.count(), 0u);
+  c.flip();
+  c.flip();
+  EXPECT_EQ(c.count(), 2u);
+}
+
+TEST(RandomCoinSourceTest, SeededDeterminism) {
+  RandomCoinSource a(17), b(17);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.flip(), b.flip());
+}
+
+// --------------------------------------------------------------- DynBitset
+
+TEST(DynBitsetTest, StartsClear) {
+  DynBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynBitsetTest, FilledConstructor) {
+  DynBitset b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.test(69));
+}
+
+TEST(DynBitsetTest, SetResetTest) {
+  DynBitset b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynBitsetTest, OutOfRangeThrows) {
+  DynBitset b(10);
+  EXPECT_THROW(b.test(10), InvariantError);
+  EXPECT_THROW(b.set(10), InvariantError);
+}
+
+TEST(DynBitsetTest, BitwiseOps) {
+  DynBitset a(65), b(65);
+  a.set(1);
+  a.set(64);
+  b.set(1);
+  b.set(2);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_EQ((a | b).count(), 3u);
+  EXPECT_EQ((a ^ b).count(), 2u);
+}
+
+TEST(DynBitsetTest, SetAllRespectsTrailingBits) {
+  DynBitset b(66);
+  b.set_all();
+  EXPECT_EQ(b.count(), 66u);
+  b.clear_all();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(DynBitsetTest, ForEachSetVisitsInOrder) {
+  DynBitset b(200);
+  const std::vector<std::size_t> expected{3, 63, 64, 128, 199};
+  for (auto i : expected) b.set(i);
+  std::vector<std::size_t> seen;
+  b.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynBitsetTest, EqualityAndHash) {
+  DynBitset a(50), b(50);
+  a.set(7);
+  b.set(7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(8);
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(DynBitsetTest, MismatchedSizesThrow) {
+  DynBitset a(10), b(11);
+  EXPECT_THROW(a &= b, InvariantError);
+}
+
+// ------------------------------------------------------------------- Table
+
+TEST(TableTest, AlignsColumnsAndPrintsTitle) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row({std::string("x"), 42LL});
+  t.row({std::string("longer"), 7LL});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(TableTest, DoublePrecision) {
+  Table t;
+  t.header({"v"});
+  t.precision(2);
+  t.row({3.14159});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesCommas) {
+  Table t;
+  t.header({"a", "b"});
+  t.row({std::string("x,y"), 1LL});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\",1"), std::string::npos);
+}
+
+TEST(TableTest, RowCount) {
+  Table t;
+  t.header({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row({1LL});
+  t.row({2LL});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+// ------------------------------------------------------------------ Checks
+
+TEST(CheckTest, RequireThrowsArgumentError) {
+  EXPECT_THROW(SYNRAN_REQUIRE(false, "boom"), ArgumentError);
+}
+
+TEST(CheckTest, CheckThrowsInvariantError) {
+  EXPECT_THROW(SYNRAN_CHECK(1 == 2), InvariantError);
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(SYNRAN_CHECK(true));
+  EXPECT_NO_THROW(SYNRAN_REQUIRE(true, "fine"));
+}
+
+// --------------------------------------------------------------------- ids
+
+TEST(BitTest, FlipAndConvert) {
+  EXPECT_EQ(flip(Bit::Zero), Bit::One);
+  EXPECT_EQ(flip(Bit::One), Bit::Zero);
+  EXPECT_EQ(to_int(Bit::One), 1);
+  EXPECT_EQ(bit_of(true), Bit::One);
+  EXPECT_EQ(bit_of(false), Bit::Zero);
+}
+
+}  // namespace
+}  // namespace synran

@@ -1,0 +1,80 @@
+// Tests for the fixed-bin histogram.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/histogram.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace synran {
+namespace {
+
+TEST(HistogramTest, BinsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.9, 9.9}) h.add(x);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // [0,2): 0.5, 1.5
+  EXPECT_EQ(h.bin_count(1), 2u);  // [2,4): 2.5, 2.9
+  EXPECT_EQ(h.bin_count(4), 1u);  // [8,10): 9.9
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramTest, UnderAndOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-1.0);
+  h.add(2.0);
+  h.add(1.0);  // hi is exclusive
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, TailComputation) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_DOUBLE_EQ(h.tail_at_least(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.tail_at_least(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.tail_at_least(9.0), 0.1);
+  EXPECT_DOUBLE_EQ(h.tail_at_least(100.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileApproximatesSample) {
+  Histogram h(0.0, 100.0, 100);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform() * 100.0);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 3.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 3.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 2.0);
+}
+
+TEST(HistogramTest, PrintRendersBars) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  std::ostringstream os;
+  h.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), ArgumentError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ArgumentError);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.bin_count(2), ArgumentError);
+  EXPECT_THROW(h.quantile(1.5), ArgumentError);
+}
+
+TEST(HistogramTest, EmptyHistogramIsSane) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.tail_at_least(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace synran

@@ -1,0 +1,125 @@
+// Tests for exact boolean-function influences, pinned against the classic
+// [BOL89] reference values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/binomial.hpp"
+#include "coin/influence.hpp"
+#include "coin/recursive_games.hpp"
+#include "common/check.hpp"
+
+namespace synran {
+namespace {
+
+TEST(InfluenceTest, DictatorHasInfluenceOne) {
+  const auto prof = influences(5, [](std::uint64_t x) { return x & 1; });
+  EXPECT_DOUBLE_EQ(prof.per_player[0], 1.0);
+  for (int i = 1; i < 5; ++i) EXPECT_DOUBLE_EQ(prof.per_player[i], 0.0);
+  EXPECT_DOUBLE_EQ(prof.expectation, 0.5);
+  EXPECT_EQ(prof.argmax(), 0u);
+  EXPECT_DOUBLE_EQ(prof.total(), 1.0);
+}
+
+TEST(InfluenceTest, ParityGivesEveryoneFullInfluence) {
+  const auto prof = influences(7, [](std::uint64_t x) {
+    return (__builtin_popcountll(x) & 1) != 0;
+  });
+  for (int i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(prof.per_player[i], 1.0);
+  EXPECT_DOUBLE_EQ(prof.total(), 7.0);
+}
+
+TEST(InfluenceTest, ConstantFunctionHasNoInfluence) {
+  const auto prof = influences(6, [](std::uint64_t) { return true; });
+  EXPECT_DOUBLE_EQ(prof.total(), 0.0);
+  EXPECT_DOUBLE_EQ(prof.expectation, 1.0);
+}
+
+TEST(InfluenceTest, MajorityMatchesExactFormula) {
+  // For odd n, I_i(majority) = C(n-1, (n-1)/2) / 2^{n-1} exactly, and all
+  // players are symmetric.
+  for (std::uint32_t n : {3u, 7u, 11u, 15u}) {
+    const auto prof = influences(n, [n](std::uint64_t x) {
+      return 2u * static_cast<std::uint32_t>(__builtin_popcountll(x)) > n;
+    });
+    const double expect =
+        std::exp(log_binomial(n - 1, (n - 1) / 2)) /
+        std::pow(2.0, static_cast<double>(n - 1));
+    for (std::uint32_t i = 0; i < n; ++i)
+      EXPECT_NEAR(prof.per_player[i], expect, 1e-9) << "n=" << n;
+    // And the asymptotic anchor √(2/(πn)):
+    EXPECT_NEAR(prof.per_player[0],
+                std::sqrt(2.0 / (M_PI * n)), 0.1 / n + 0.05);
+  }
+}
+
+TEST(InfluenceTest, MajorityInfluenceShrinksWithN) {
+  double prev = 1.0;
+  for (std::uint32_t n : {3u, 7u, 11u, 15u, 19u}) {
+    const auto prof = influences(n, [n](std::uint64_t x) {
+      return 2u * static_cast<std::uint32_t>(__builtin_popcountll(x)) > n;
+    });
+    EXPECT_LT(prof.max(), prev);
+    prev = prof.max();
+  }
+}
+
+TEST(InfluenceTest, GameAdapterMatchesDirectComputation) {
+  MajorityPresentGame game(9);
+  const auto via_game = game_influences(game);
+  const auto direct = influences(9, [](std::uint64_t x) {
+    return 2 * __builtin_popcountll(x) > 9;
+  });
+  ASSERT_EQ(via_game.per_player.size(), direct.per_player.size());
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_NEAR(via_game.per_player[i], direct.per_player[i], 1e-12);
+}
+
+TEST(InfluenceTest, TribesInfluenceIsUniformAndSmall) {
+  TribesGame game(4, 4);  // 16 players
+  const auto prof = game_influences(game);
+  // Player i is pivotal iff its block's other three are 1 and no other
+  // block is all-1: I = (1/2)^3 · (1 − (1/2)^4)^3 exactly.
+  const double expect = std::pow(0.5, 3) * std::pow(1.0 - 1.0 / 16.0, 3);
+  for (std::uint32_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(prof.per_player[i], expect, 1e-9);
+}
+
+TEST(InfluenceTest, RecursiveMajorityInfluenceDecaysAsTwoThirdsPerLevel) {
+  // Majority-of-3 has per-player influence 1/2 at height 1; composing
+  // multiplies influences: (1/2)·... each leaf's influence at height h is
+  // (1/2)^h · ... — exactly I = (1/2)^h? For maj-3: I_leaf(height h) =
+  // (Pr[pivotal])^h with Pr = 1/2: check the exact recursion numerically.
+  RecursiveMajorityGame g1(1), g2(2);
+  const auto p1 = game_influences(g1);
+  const auto p2 = game_influences(g2);
+  EXPECT_NEAR(p1.per_player[0], 0.5, 1e-12);
+  EXPECT_NEAR(p2.per_player[0], 0.25, 1e-12);
+  // Symmetry across leaves.
+  for (std::uint32_t i = 1; i < g2.players(); ++i)
+    EXPECT_NEAR(p2.per_player[i], p2.per_player[0], 1e-12);
+}
+
+TEST(InfluenceTest, GuardsDomain) {
+  EXPECT_THROW(influences(0, [](std::uint64_t) { return true; }),
+               ArgumentError);
+  EXPECT_THROW(influences(23, [](std::uint64_t) { return true; }),
+               ArgumentError);
+  ModSumGame k3(4, 3);
+  EXPECT_THROW(game_influences(k3), ArgumentError);
+}
+
+TEST(InfluenceTest, HigherInfluenceMeansCheaperControl) {
+  // The [BOL89] connection in executable form: the leader-bit game (a
+  // dictatorship after hidings) concentrates influence, and indeed its
+  // control cost (one prefix hiding) is far below majority's Θ(√n).
+  LeaderBitGame leader(9);
+  MajorityPresentGame maj(9);
+  const auto lp = game_influences(leader);
+  const auto mp = game_influences(maj);
+  EXPECT_GT(lp.max(), mp.max());
+  EXPECT_EQ(lp.argmax(), 0u);  // the first player dictates
+}
+
+}  // namespace
+}  // namespace synran

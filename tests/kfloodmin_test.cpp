@@ -1,0 +1,121 @@
+// Tests for the k-valued FloodMin extension.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/basic.hpp"
+#include "common/check.hpp"
+#include "protocols/kfloodmin.hpp"
+#include "sim/engine.hpp"
+
+namespace synran {
+namespace {
+
+/// Adapter: runs KFloodMin with explicit k-ary inputs through the binary
+/// engine by pre-building the processes.
+class KInputFactory final : public ProcessFactory {
+ public:
+  KInputFactory(KFloodMinOptions opts, std::vector<KValue> inputs)
+      : opts_(opts), inputs_(std::move(inputs)) {}
+  std::unique_ptr<Process> make(ProcessId id, std::uint32_t n,
+                                Bit) const override {
+    return std::make_unique<KFloodMinProcess>(id, n, inputs_[id], opts_);
+  }
+  const char* name() const override { return "kfloodmin-fixed"; }
+
+ private:
+  KFloodMinOptions opts_;
+  std::vector<KValue> inputs_;
+};
+
+std::vector<Bit> dummy_bits(std::size_t n) {
+  return std::vector<Bit>(n, Bit::Zero);
+}
+
+TEST(KFloodMinTest, DecidesMinimumOfKaryInputs) {
+  KInputFactory factory({2, 8}, {5, 3, 7, 6});
+  NoAdversary none;
+  const auto res = run_once(factory, dummy_bits(4), none, {});
+  EXPECT_TRUE(res.terminated);
+  EXPECT_EQ(res.rounds_to_decision, 3u);  // t+1
+  // Every survivor decided value 3.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(res.decided[i]);
+}
+
+TEST(KFloodMinTest, KaryDecisionIsAgreedUnderCrashes) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    KInputFactory factory({3, 16}, {9, 4, 12, 4, 15, 11});
+    RandomCrashAdversary adv({1, 0.8, seed});
+    EngineOptions opts;
+    opts.t_budget = 3;
+    opts.seed = seed;
+    const auto res = run_once(factory, dummy_bits(6), adv, opts);
+    ASSERT_TRUE(res.terminated);
+    // Engine-level binary agreement maps all k > 0 decisions to "1"; the
+    // k-ary agreement is checked through decision_value in the unit test
+    // below, here we check the runs complete and nobody is undecided.
+    for (std::size_t i = 0; i < 6; ++i)
+      if (!res.crashed[i]) EXPECT_TRUE(res.decided[i]) << "seed " << seed;
+  }
+}
+
+TEST(KFloodMinTest, UnitRoundFlow) {
+  KFloodMinProcess p(0, 4, 6, {1, 8});
+  TapeCoinSource coins;
+  const auto out1 = p.on_round(nullptr, coins);
+  ASSERT_TRUE(out1.has_value());
+  // Value set {6} in the upper bits; low bits say "no zero seen".
+  EXPECT_EQ((*out1 >> 8) & 0xff, 1u << 6);
+  EXPECT_TRUE(*out1 & payload::kSupports1);
+
+  Receipt r;
+  r.count = 4;
+  r.or_mask = (Payload{(1u << 6) | (1u << 2)} << 8);
+  const auto out2 = p.on_round(&r, coins);
+  ASSERT_TRUE(out2.has_value());
+  EXPECT_EQ((*out2 >> 8) & 0xff, (1u << 6) | (1u << 2));
+
+  const auto out3 = p.on_round(&r, coins);  // round t+2: decide
+  EXPECT_FALSE(out3.has_value());
+  EXPECT_TRUE(p.decided());
+  EXPECT_EQ(p.decision_value(), 2);
+}
+
+TEST(KFloodMinTest, ValueZeroMapsToBinaryZero) {
+  KInputFactory factory({1, 4}, {0, 3, 2});
+  NoAdversary none;
+  const auto res = run_once(factory, dummy_bits(3), none, {});
+  EXPECT_TRUE(res.agreement);
+  EXPECT_EQ(res.decision, Bit::Zero);
+}
+
+TEST(KFloodMinTest, BinaryFactoryInterop) {
+  // Through the plain ProcessFactory interface it behaves exactly like
+  // binary FloodMin.
+  KFloodMinFactory factory({2, 2});
+  NoAdversary none;
+  std::vector<Bit> inputs{Bit::One, Bit::One, Bit::Zero, Bit::One};
+  const auto res = run_once(factory, inputs, none, {});
+  EXPECT_TRUE(res.agreement);
+  EXPECT_EQ(res.decision, Bit::Zero);
+  EXPECT_EQ(res.rounds_to_decision, 3u);
+}
+
+TEST(KFloodMinTest, GuardsDomain) {
+  EXPECT_THROW(KFloodMinProcess(0, 4, 4, {1, 4}), ArgumentError);  // v ≥ k
+  EXPECT_THROW(KFloodMinProcess(0, 4, 0, {4, 4}), ArgumentError);  // t ≥ n
+  EXPECT_THROW(KFloodMinProcess(0, 4, 0, {1, 1}), ArgumentError);  // k < 2
+  EXPECT_THROW(KFloodMinProcess(0, 4, 0, {1, 40}), ArgumentError); // k > 32
+}
+
+TEST(KFloodMinTest, CloneAndDigest) {
+  KFloodMinProcess p(1, 5, 3, {2, 8});
+  auto c = p.clone();
+  EXPECT_EQ(p.state_digest(), c->state_digest());
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  EXPECT_NE(p.state_digest(), c->state_digest());
+}
+
+}  // namespace
+}  // namespace synran

@@ -1,0 +1,134 @@
+// Tests for the multi-round coin-flipping games (§1.2's Aspnes setting).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coin/multiround.hpp"
+#include "common/check.hpp"
+
+namespace synran {
+namespace {
+
+TEST(MultiRoundTest, PassiveGameIsRoughlyFair) {
+  MultiRoundSpec spec;
+  spec.players = 64;
+  spec.rounds = 4;
+  PassiveMultiRound passive;
+  const double p1 = estimate_multiround_bias(spec, passive, 1, 2000, 3);
+  // Ties break to 0, so Pr(1) sits slightly below 1/2.
+  EXPECT_GT(p1, 0.40);
+  EXPECT_LT(p1, 0.55);
+}
+
+TEST(MultiRoundTest, DeterministicInSeed) {
+  MultiRoundSpec spec;
+  spec.players = 32;
+  spec.rounds = 3;
+  spec.budget = 8;
+  GreedyBiasMultiRound adv(1);
+  const auto a = play_multiround(spec, adv, 99);
+  const auto b = play_multiround(spec, adv, 99);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.kills, b.kills);
+  EXPECT_EQ(a.outcome, b.outcome);
+}
+
+TEST(MultiRoundTest, KillsNeverExceedBudget) {
+  MultiRoundSpec spec;
+  spec.players = 40;
+  spec.rounds = 6;
+  spec.budget = 10;
+  GreedyBiasMultiRound adv(0);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto res = play_multiround(spec, adv, seed);
+    EXPECT_LE(res.kills, 10u);
+  }
+}
+
+TEST(MultiRoundTest, PerRoundCapIsRespected) {
+  // The greedy adversary self-limits; an over-eager one must be caught.
+  class Eager final : public MultiRoundAdversary {
+   public:
+    std::vector<std::uint32_t> kill(const MultiRoundView& view) override {
+      std::vector<std::uint32_t> all;
+      view.alive->for_each_set([&](std::size_t i) {
+        if (all.size() < view.budget_left)
+          all.push_back(static_cast<std::uint32_t>(i));
+      });
+      return all;  // ignores the per-round cap
+    }
+    const char* name() const override { return "eager"; }
+  } eager;
+
+  MultiRoundSpec spec;
+  spec.players = 10;
+  spec.rounds = 2;
+  spec.budget = 6;
+  spec.per_round_cap = 2;
+  EXPECT_THROW(play_multiround(spec, eager, 1), InvariantError);
+}
+
+TEST(MultiRoundTest, GreedyBiasWorksBothDirections) {
+  // Budget ≈ 4√(n·R·ln n) dominates the ±√(nR) fluctuation of the sum
+  // (clamped below the player count, which it cannot exceed).
+  MultiRoundSpec spec;
+  spec.players = 256;
+  spec.rounds = 2;
+  spec.budget = std::min<std::uint32_t>(
+      spec.players - 1,
+      static_cast<std::uint32_t>(
+          4.0 * std::sqrt(256.0 * 2.0 * std::log(256.0))));
+  for (std::uint32_t target : {0u, 1u}) {
+    GreedyBiasMultiRound adv(target);
+    const double p =
+        estimate_multiround_bias(spec, adv, target, 300, 7 + target);
+    EXPECT_GT(p, 0.95) << "target " << target;
+  }
+}
+
+TEST(MultiRoundTest, BiasGrowsWithBudget) {
+  MultiRoundSpec spec;
+  spec.players = 128;
+  spec.rounds = 4;
+  GreedyBiasMultiRound adv(1);
+  double prev = 0.0;
+  for (std::uint32_t budget : {0u, 8u, 32u, 96u}) {
+    spec.budget = budget;
+    const double p = estimate_multiround_bias(spec, adv, 1, 400, 11);
+    EXPECT_GE(p, prev - 0.05) << "budget " << budget;
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.9);  // the largest budget controls the game
+}
+
+TEST(MultiRoundTest, MoreRoundsDiluteAFixedBudget) {
+  // The same budget spread over more rounds of fresh randomness biases
+  // less: variance grows with R while the adversary's shift stays ≈ budget.
+  MultiRoundSpec spec;
+  spec.players = 128;
+  spec.budget = 24;
+  GreedyBiasMultiRound adv(1);
+  spec.rounds = 1;
+  const double short_game =
+      estimate_multiround_bias(spec, adv, 1, 400, 13);
+  spec.rounds = 16;
+  const double long_game =
+      estimate_multiround_bias(spec, adv, 1, 400, 13);
+  EXPECT_GT(short_game, long_game + 0.05);
+}
+
+TEST(MultiRoundTest, GuardsArguments) {
+  PassiveMultiRound passive;
+  MultiRoundSpec spec;
+  spec.players = 0;
+  EXPECT_THROW(play_multiround(spec, passive, 1), ArgumentError);
+  spec.players = 4;
+  spec.rounds = 0;
+  EXPECT_THROW(play_multiround(spec, passive, 1), ArgumentError);
+  spec.rounds = 1;
+  spec.budget = 5;
+  EXPECT_THROW(play_multiround(spec, passive, 1), ArgumentError);
+}
+
+}  // namespace
+}  // namespace synran

@@ -1,0 +1,82 @@
+// Tests for the execution narrator.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adversary/basic.hpp"
+#include "protocols/synran.hpp"
+#include "runner/experiment.hpp"
+#include "runner/narrate.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace synran {
+namespace {
+
+Trace traced_run(Adversary& inner, std::uint32_t n, std::uint32_t t,
+                 std::uint64_t seed) {
+  TracingAdversary tracer(inner);
+  SynRanFactory factory;
+  EngineOptions opts;
+  opts.t_budget = t;
+  opts.seed = seed;
+  Xoshiro256 rng(seed);
+  const auto inputs = make_inputs(n, InputPattern::Half, rng);
+  (void)run_once(factory, inputs, tracer, opts);
+  return tracer.trace();
+}
+
+TEST(NarrateTest, EmitsHeaderAndOneLinePerRound) {
+  NoAdversary none;
+  const Trace tr = traced_run(none, 16, 0, 1);
+  std::ostringstream os;
+  NarrateOptions opts;
+  opts.collapse_repeats = false;
+  narrate(tr, os, opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n = 16"), std::string::npos);
+  EXPECT_NE(out.find("r1"), std::string::npos);
+  // One line per round plus the header.
+  std::size_t lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, tr.rounds.size() + 1);
+}
+
+TEST(NarrateTest, CollapsesIdenticalRounds) {
+  // A deterministic all-ones run repeats its shape; collapsed output must
+  // be shorter than the uncollapsed one when repeats exist.
+  NoAdversary none;
+  TracingAdversary tracer(none);
+  SynRanFactory factory;
+  EngineOptions opts;
+  (void)run_once(factory, std::vector<Bit>(8, Bit::One), tracer, opts);
+
+  std::ostringstream collapsed, full;
+  narrate(tracer.trace(), collapsed, {true, 10});
+  narrate(tracer.trace(), full, {false, 10});
+  EXPECT_LE(collapsed.str().size(), full.str().size());
+}
+
+TEST(NarrateTest, MarksCrashes) {
+  StaticCrashAdversary adv({{1, 0, {}}});
+  const Trace tr = traced_run(adv, 12, 1, 3);
+  std::ostringstream os;
+  narrate(tr, os);
+  EXPECT_NE(os.str().find("CRASH x1"), std::string::npos);
+}
+
+TEST(NarrateTest, BarReflectsComposition) {
+  RoundTrace all_ones;
+  all_ones.round = 1;
+  all_ones.alive = all_ones.senders = all_ones.ones = 4;
+  Trace tr;
+  tr.n = 4;
+  tr.rounds.push_back(all_ones);
+  std::ostringstream os;
+  narrate(tr, os, {false, 8});
+  EXPECT_NE(os.str().find("[11111111]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace synran

@@ -1,0 +1,177 @@
+// Unit tests for src/net: payload conventions, fault-plan validation, and
+// equivalence of the fast delivery path with the naive reference.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "net/fabric.hpp"
+#include "net/types.hpp"
+
+namespace synran {
+namespace {
+
+std::vector<std::optional<Payload>> bits_payloads(
+    const std::vector<int>& bits) {
+  std::vector<std::optional<Payload>> out;
+  out.reserve(bits.size());
+  for (int b : bits) {
+    if (b < 0)
+      out.emplace_back(std::nullopt);  // silent process
+    else
+      out.emplace_back(payload::of_bit(b ? Bit::One : Bit::Zero));
+  }
+  return out;
+}
+
+TEST(PayloadTest, OfBitAndSupports) {
+  EXPECT_TRUE(payload::supports(payload::of_bit(Bit::One), Bit::One));
+  EXPECT_FALSE(payload::supports(payload::of_bit(Bit::One), Bit::Zero));
+  EXPECT_TRUE(payload::supports(payload::kSupports0 | payload::kSupports1,
+                                Bit::Zero));
+}
+
+TEST(FabricTest, FullDeliveryCountsEveryone) {
+  const auto payloads = bits_payloads({1, 0, 1, 1});
+  DynBitset receivers(4, true);
+  RoundTraffic traffic{payloads, nullptr};
+  const auto r = deliver(4, traffic, receivers);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(r[i].count, 4u);
+    EXPECT_EQ(r[i].ones, 3u);
+    EXPECT_EQ(r[i].zeros, 1u);
+    EXPECT_EQ(r[i].or_mask, payload::kSupports0 | payload::kSupports1);
+  }
+}
+
+TEST(FabricTest, SilentSendersAreSkipped) {
+  const auto payloads = bits_payloads({1, -1, 0});
+  DynBitset receivers(3, true);
+  RoundTraffic traffic{payloads, nullptr};
+  const auto r = deliver(3, traffic, receivers);
+  EXPECT_EQ(r[0].count, 2u);
+  EXPECT_EQ(r[0].ones, 1u);
+}
+
+TEST(FabricTest, CrashWithEmptyDeliveryHidesMessage) {
+  const auto payloads = bits_payloads({1, 1, 0});
+  FaultPlan plan;
+  plan.crashes.push_back({0, DynBitset(3)});
+  DynBitset receivers(3, true);
+  receivers.reset(0);  // victim no longer receives
+  RoundTraffic traffic{payloads, &plan};
+  const auto r = deliver(3, traffic, receivers);
+  EXPECT_EQ(r[1].count, 2u);
+  EXPECT_EQ(r[1].ones, 1u);
+  EXPECT_EQ(r[2].count, 2u);
+}
+
+TEST(FabricTest, PartialDeliverySplitsViews) {
+  const auto payloads = bits_payloads({1, 0, 0, 0});
+  FaultPlan plan;
+  DynBitset mask(4);
+  mask.set(1);  // only process 1 still hears the crashed 1-sender
+  plan.crashes.push_back({0, mask});
+  DynBitset receivers(4, true);
+  receivers.reset(0);
+  RoundTraffic traffic{payloads, &plan};
+  const auto r = deliver(4, traffic, receivers);
+  EXPECT_EQ(r[1].count, 4u);
+  EXPECT_EQ(r[1].ones, 1u);
+  EXPECT_EQ(r[2].count, 3u);
+  EXPECT_EQ(r[2].ones, 0u);
+  EXPECT_EQ(r[3].ones, 0u);
+}
+
+TEST(FabricTest, NonReceiversGetNothing) {
+  const auto payloads = bits_payloads({1, 1});
+  DynBitset receivers(2);
+  receivers.set(1);
+  RoundTraffic traffic{payloads, nullptr};
+  const auto r = deliver(2, traffic, receivers);
+  EXPECT_EQ(r[0].count, 0u);
+  EXPECT_EQ(r[1].count, 2u);
+}
+
+TEST(FabricTest, ValidationRejectsBadPlans) {
+  const auto payloads = bits_payloads({1, -1});
+  DynBitset receivers(2, true);
+
+  FaultPlan silent_victim;
+  silent_victim.crashes.push_back({1, DynBitset(2)});
+  RoundTraffic t1{payloads, &silent_victim};
+  EXPECT_THROW(deliver(2, t1, receivers), ArgumentError);
+
+  FaultPlan dup;
+  dup.crashes.push_back({0, DynBitset(2)});
+  dup.crashes.push_back({0, DynBitset(2)});
+  RoundTraffic t2{payloads, &dup};
+  EXPECT_THROW(deliver(2, t2, receivers), ArgumentError);
+
+  FaultPlan bad_mask;
+  bad_mask.crashes.push_back({0, DynBitset(3)});
+  RoundTraffic t3{payloads, &bad_mask};
+  EXPECT_THROW(deliver(2, t3, receivers), ArgumentError);
+
+  FaultPlan out_of_range;
+  out_of_range.crashes.push_back({5, DynBitset(2)});
+  RoundTraffic t4{payloads, &out_of_range};
+  EXPECT_THROW(deliver(2, t4, receivers), ArgumentError);
+}
+
+TEST(FabricTest, WrongPayloadSizeThrows) {
+  const auto payloads = bits_payloads({1, 1});
+  DynBitset receivers(3, true);
+  RoundTraffic traffic{payloads, nullptr};
+  EXPECT_THROW(deliver(3, traffic, receivers), ArgumentError);
+}
+
+// Property: fast path == naive path on random traffic.
+class FabricEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FabricEquivalence, FastMatchesNaive) {
+  Xoshiro256 rng(GetParam());
+  const std::uint32_t n = 3 + static_cast<std::uint32_t>(rng.below(60));
+
+  std::vector<std::optional<Payload>> payloads(n);
+  std::vector<ProcessId> senders;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.8) {
+      payloads[i] = rng.next() & 0x7;  // random low-3-bit payloads
+      senders.push_back(i);
+    }
+  }
+
+  FaultPlan plan;
+  DynBitset receivers(n, true);
+  if (!senders.empty()) {
+    const std::uint32_t crashes = static_cast<std::uint32_t>(
+        rng.below(std::min<std::uint64_t>(senders.size(), 5) + 1));
+    for (std::uint32_t k = 0; k < crashes; ++k) {
+      const std::size_t j = k + rng.below(senders.size() - k);
+      std::swap(senders[k], senders[j]);
+      DynBitset mask(n);
+      for (std::uint32_t r = 0; r < n; ++r)
+        if (rng.flip()) mask.set(r);
+      plan.crashes.push_back({senders[k], mask});
+      receivers.reset(senders[k]);
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (rng.uniform() < 0.2) receivers.reset(i);
+
+  RoundTraffic traffic{payloads, &plan};
+  const auto fast = deliver(n, traffic, receivers);
+  const auto naive = deliver_naive(n, traffic, receivers);
+  ASSERT_EQ(fast.size(), naive.size());
+  for (std::uint32_t i = 0; i < n; ++i)
+    EXPECT_EQ(fast[i], naive[i]) << "receiver " << i << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraffic, FabricEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace synran

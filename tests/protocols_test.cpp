@@ -1,0 +1,509 @@
+// Unit tests for the protocols, driven both directly (crafted receipts
+// against a single process — validating every line of the SynRan pseudocode)
+// and through the engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/theory.hpp"
+#include "common/check.hpp"
+#include "protocols/floodmin.hpp"
+#include "protocols/synran.hpp"
+#include "sim/engine.hpp"
+
+namespace synran {
+namespace {
+
+Receipt bit_receipt(std::uint32_t ones, std::uint32_t zeros) {
+  Receipt r;
+  r.count = ones + zeros;
+  r.ones = ones;
+  r.zeros = zeros;
+  r.or_mask = (ones ? payload::kSupports1 : 0) |
+              (zeros ? payload::kSupports0 : 0);
+  return r;
+}
+
+/// Feeds one receipt with a coin tape and returns the produced payload.
+std::optional<Payload> step(SynRanProcess& p, const Receipt& r,
+                            std::vector<bool> tape = {}) {
+  TapeCoinSource coins(std::move(tape));
+  return p.on_round(&r, coins);
+}
+
+constexpr std::uint32_t kN = 100;  // N^0 = 100 for every fresh process
+
+// --------------------------------------------------- SynRan threshold table
+
+TEST(SynRanThresholds, Round1BroadcastsInput) {
+  SynRanProcess p(0, kN, Bit::One, {});
+  TapeCoinSource coins;
+  const auto out = p.on_round(nullptr, coins);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload::of_bit(Bit::One));
+  EXPECT_FALSE(p.decided());
+}
+
+struct ThresholdCase {
+  std::uint32_t ones;
+  std::uint32_t zeros;
+  Bit expect_b;
+  bool expect_decided;
+  bool expect_coin;  // b comes from the tape
+};
+
+class SynRanThresholdTable
+    : public ::testing::TestWithParam<ThresholdCase> {};
+
+TEST_P(SynRanThresholdTable, MatchesPaperRules) {
+  const auto c = GetParam();
+  SynRanProcess p(0, kN, Bit::Zero, {});
+  TapeCoinSource coins0;
+  (void)p.on_round(nullptr, coins0);  // round 1
+
+  std::vector<bool> tape;
+  if (c.expect_coin) tape.push_back(c.expect_b == Bit::One);
+  const auto out = step(p, bit_receipt(c.ones, c.zeros), tape);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload::of_bit(c.expect_b));
+  EXPECT_EQ(p.decided(), c.expect_decided);
+  EXPECT_EQ(p.view().flipped_coin, c.expect_coin);
+}
+
+// With N^{r-1} = 100: decide-1 above 70, propose-1 above 60, Z=0 ⇒ 1,
+// decide-0 below 40, propose-0 below 50, coin otherwise.
+INSTANTIATE_TEST_SUITE_P(
+    PaperRules, SynRanThresholdTable,
+    ::testing::Values(
+        ThresholdCase{71, 29, Bit::One, true, false},   // O > 7N/10
+        ThresholdCase{70, 30, Bit::One, false, false},  // boundary: propose
+        ThresholdCase{61, 39, Bit::One, false, false},  // O > 6N/10
+        ThresholdCase{30, 0, Bit::One, false, false},   // Z = 0 rule
+        ThresholdCase{39, 61, Bit::Zero, true, false},  // O < 4N/10
+        ThresholdCase{40, 60, Bit::Zero, false, false}, // boundary: propose
+        ThresholdCase{49, 51, Bit::Zero, false, false}, // O < 5N/10
+        ThresholdCase{50, 50, Bit::Zero, false, true},  // coin (tape=0)
+        ThresholdCase{55, 45, Bit::One, false, true},   // coin (tape=1)
+        ThresholdCase{60, 40, Bit::One, false, true})); // boundary: coin
+
+TEST(SynRanThresholds, ZRuleBeatsZeroSideThresholds) {
+  // 30 ones / 0 zeros would decide 0 by count, but Z=0 forces 1.
+  SynRanProcess p(0, kN, Bit::Zero, {});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  const auto out = step(p, bit_receipt(30, 0));
+  EXPECT_EQ(*out, payload::of_bit(Bit::One));
+  EXPECT_FALSE(p.decided());
+  // Control: one single zero message restores the 0-side decision.
+  SynRanProcess q(0, kN, Bit::Zero, {});
+  TapeCoinSource coins2;
+  (void)q.on_round(nullptr, coins2);
+  const auto out2 = step(q, bit_receipt(30, 1));
+  EXPECT_EQ(*out2, payload::of_bit(Bit::Zero));
+  EXPECT_TRUE(q.decided());
+}
+
+TEST(SynRanThresholds, SymmetricAblationUsesCurrentCount) {
+  // 20 ones / 5 zeros: the paper rule compares against N^{r-1}=100 and sees
+  // an 0-side count; the symmetric ablation compares against N^r=25 and
+  // decides 1 (20/25 > 7/10).
+  SynRanOptions sym;
+  sym.coin_rule = CoinRule::Symmetric;
+  SynRanProcess p(0, kN, Bit::Zero, sym);
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  const auto out = step(p, bit_receipt(20, 5));
+  EXPECT_EQ(*out, payload::of_bit(Bit::One));
+  EXPECT_TRUE(p.decided());
+}
+
+TEST(SynRanThresholds, ThresholdsUsePreviousRoundCount) {
+  // Round 2 thresholds must use N^1, not N^0. Feed N^1 = 80, then a round-2
+  // receipt with 50 ones: against N^1=80 that is 10*50 > 6*80 ⇒ propose 1;
+  // against N^0=100 it would have been a coin flip (and the empty tape
+  // would throw), so a wrong reference count cannot pass silently.
+  SynRanProcess p(0, kN, Bit::Zero, {});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  (void)step(p, bit_receipt(44, 36), {});  // N^1=80, 440<500: propose 0
+  EXPECT_EQ(p.estimate(), Bit::Zero);
+  const auto out = step(p, bit_receipt(50, 25));
+  EXPECT_EQ(*out, payload::of_bit(Bit::One));
+  EXPECT_FALSE(p.decided());
+}
+
+// ------------------------------------------------------- SynRan stop rule
+
+TEST(SynRanStopRule, StopsWhenCountsAreStable) {
+  SynRanProcess p(0, kN, Bit::Zero, {});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  (void)step(p, bit_receipt(71, 29));  // decide 1 at round 1
+  ASSERT_TRUE(p.decided());
+  // Round-2 receipt with no collapse: diff = N^{-1}−N^2 = 0 ≤ N^0/10 ⇒ STOP.
+  const auto out = step(p, bit_receipt(70, 30));
+  EXPECT_FALSE(out.has_value());
+  EXPECT_TRUE(p.halted());
+  EXPECT_TRUE(p.decided());
+  EXPECT_EQ(p.decision(), Bit::One);
+}
+
+TEST(SynRanStopRule, CollapseRescindsTheDecision) {
+  SynRanProcess p(0, kN, Bit::Zero, {});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  (void)step(p, bit_receipt(71, 29));  // decide 1
+  ASSERT_TRUE(p.decided());
+  // diff = 100 − 85 = 15 > N^0/10 = 10 ⇒ un-decide and keep going
+  // (61 ones against N^1=100 then merely proposes 1).
+  const auto out = step(p, bit_receipt(61, 24));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(p.halted());
+  EXPECT_FALSE(p.decided());
+}
+
+TEST(SynRanStopRule, StopUsesTheShiftedWindow) {
+  // Decide at round 3; the stop check at round 4 uses N^1−N^4 vs N^2/10.
+  SynRanProcess p(0, kN, Bit::Zero, {});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  (void)step(p, bit_receipt(55, 45), {true});   // N^1=100, coin -> 1
+  (void)step(p, bit_receipt(55, 35), {true});   // N^2=90, coin -> 1
+  (void)step(p, bit_receipt(71, 9));            // N^3=80: 710 > 7*90? 630 ✓
+  ASSERT_TRUE(p.decided());
+  // diff = N^1−N^4 = 100−80 = 20 > N^2/10 = 9 ⇒ rescind; the subsequent
+  // threshold update on 50/80 only proposes (500 > 6*80=480), so decided
+  // stays rescinded.
+  (void)step(p, bit_receipt(50, 30));
+  EXPECT_FALSE(p.decided());
+}
+
+// --------------------------------------------------- SynRan hand-off stage
+
+TEST(SynRanDeterministicStage, HandoffBelowThreshold) {
+  // threshold = √(100/ln 100) ≈ 4.66: a 4-message round triggers hand-off.
+  SynRanProcess p(0, kN, Bit::One, {});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  const auto out = step(p, bit_receipt(4, 0));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(*out & payload::kDeterministicFlag);
+  EXPECT_TRUE(p.in_deterministic_stage());
+  EXPECT_FALSE(p.decided());
+}
+
+TEST(SynRanDeterministicStage, FloodsAndDecidesMin) {
+  SynRanProcess p(0, kN, Bit::One, {});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  (void)step(p, bit_receipt(4, 0));  // hand-off
+  // Hand-off receipt: sees a 0 somewhere.
+  auto out = step(p, bit_receipt(3, 1));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(*out & payload::kSupports0);  // the 0 entered the flood set
+  // Flood until the stage ends; only 1s arrive now but the 0 persists.
+  const auto det_rounds = theory::deterministic_stage_rounds(kN) + 1;
+  for (std::uint32_t i = 0; i < det_rounds + 2 && out.has_value(); ++i)
+    out = step(p, bit_receipt(3, 0));
+  EXPECT_FALSE(out.has_value()) << "deterministic stage must terminate";
+  EXPECT_TRUE(p.decided());
+  EXPECT_TRUE(p.halted());
+  EXPECT_EQ(p.decision(), Bit::Zero);  // min of {0,1}
+}
+
+TEST(SynRanDeterministicStage, DisabledByOption) {
+  SynRanOptions opts;
+  opts.det_handoff = false;
+  SynRanProcess p(0, kN, Bit::One, opts);
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  const auto out = step(p, bit_receipt(2, 1));  // tiny count, but no handoff
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(*out & payload::kDeterministicFlag);
+  EXPECT_FALSE(p.in_deterministic_stage());
+}
+
+// ------------------------------------------------------ SynRan bookkeeping
+
+TEST(SynRanProcessTest, CloneIsDeepAndDigestTracksState) {
+  SynRanProcess p(0, kN, Bit::One, {});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  auto c = p.clone();
+  EXPECT_EQ(p.state_digest(), c->state_digest());
+  (void)step(p, bit_receipt(71, 29));
+  EXPECT_NE(p.state_digest(), c->state_digest());
+  EXPECT_FALSE(c->decided());
+  EXPECT_TRUE(p.decided());
+}
+
+TEST(SynRanProcessTest, HaltedProcessRejectsFurtherRounds) {
+  SynRanProcess p(0, kN, Bit::Zero, {});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  (void)step(p, bit_receipt(71, 29));
+  (void)step(p, bit_receipt(71, 29));  // STOP
+  ASSERT_TRUE(p.halted());
+  Receipt r = bit_receipt(1, 1);
+  TapeCoinSource more;
+  EXPECT_THROW(p.on_round(&r, more), InvariantError);
+}
+
+TEST(SynRanProcessTest, RequiresAtLeastOneProcess) {
+  EXPECT_THROW(SynRanProcess(0, 0, Bit::Zero, {}), ArgumentError);
+}
+
+// --------------------------------------------------- SynRan via the engine
+
+TEST(SynRanEngine, UnanimousOneDecidesInOneRound) {
+  SynRanFactory factory;
+  NoAdversary adv;
+  const auto res =
+      run_once(factory, std::vector<Bit>(32, Bit::One), adv, {});
+  EXPECT_TRUE(res.terminated);
+  EXPECT_TRUE(res.agreement);
+  EXPECT_EQ(res.decision, Bit::One);
+  EXPECT_EQ(res.rounds_to_decision, 1u);
+}
+
+TEST(SynRanEngine, UnanimousZeroDecidesInOneRound) {
+  SynRanFactory factory;
+  NoAdversary adv;
+  const auto res =
+      run_once(factory, std::vector<Bit>(32, Bit::Zero), adv, {});
+  EXPECT_TRUE(res.agreement);
+  EXPECT_EQ(res.decision, Bit::Zero);
+  EXPECT_EQ(res.rounds_to_decision, 1u);
+}
+
+TEST(SynRanEngine, MixedInputsTerminateQuicklyWithoutAdversary) {
+  SynRanFactory factory;
+  NoAdversary adv;
+  std::vector<Bit> inputs(64, Bit::Zero);
+  for (std::size_t i = 0; i < 32; ++i) inputs[i] = Bit::One;
+  EngineOptions opts;
+  opts.max_rounds = 1000;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    opts.seed = seed;
+    const auto res = run_once(factory, inputs, adv, opts);
+    EXPECT_TRUE(res.terminated) << "seed " << seed;
+    EXPECT_TRUE(res.agreement) << "seed " << seed;
+    EXPECT_LE(res.rounds_to_decision, 30u) << "seed " << seed;
+  }
+}
+
+TEST(SynRanEngine, SingleProcessDecidesItsInput) {
+  SynRanFactory factory;
+  NoAdversary adv;
+  const auto res = run_once(factory, {Bit::One}, adv, {});
+  EXPECT_TRUE(res.terminated);
+  EXPECT_EQ(res.decision, Bit::One);
+}
+
+// ---------------------------------------------------------------- FloodMin
+
+TEST(FloodMinTest, TakesExactlyTPlusOneRounds) {
+  for (std::uint32_t t : {0u, 1u, 3u, 7u}) {
+    FloodMinFactory factory({t, false});
+    NoAdversary adv;
+    std::vector<Bit> inputs(10, Bit::One);
+    inputs[3] = Bit::Zero;
+    const auto res = run_once(factory, inputs, adv, {});
+    EXPECT_TRUE(res.terminated);
+    EXPECT_EQ(res.rounds_to_decision, t + 1) << "t=" << t;
+    EXPECT_EQ(res.decision, Bit::Zero);  // min value wins
+  }
+}
+
+TEST(FloodMinTest, AllOnesDecideOne) {
+  FloodMinFactory factory({2, false});
+  NoAdversary adv;
+  const auto res = run_once(factory, std::vector<Bit>(6, Bit::One), adv, {});
+  EXPECT_EQ(res.decision, Bit::One);
+  EXPECT_TRUE(res.agreement);
+}
+
+TEST(FloodMinTest, EarlyDecidingStopsAtFPlus2WithoutFailures) {
+  FloodMinFactory factory({5, true});
+  NoAdversary adv;
+  std::vector<Bit> inputs(8, Bit::One);
+  inputs[0] = Bit::Zero;
+  const auto res = run_once(factory, inputs, adv, {});
+  EXPECT_TRUE(res.terminated);
+  // Decision is fixed at the first clean round (round 2, since rounds 1 and
+  // 2 deliver identical counts), though flooding continues to t+1 = 6.
+  EXPECT_EQ(res.rounds_to_halt, 6u);
+  EXPECT_EQ(res.decision, Bit::Zero);
+}
+
+TEST(FloodMinTest, EarlyDecidingRecordsDecisionRound) {
+  FloodMinProcess p(0, 4, Bit::One, {3, true});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  Receipt r1 = bit_receipt(3, 1);
+  (void)p.on_round(&r1, coins);  // first receipt: nothing to compare yet
+  EXPECT_FALSE(p.decided());
+  Receipt r2 = bit_receipt(3, 1);
+  (void)p.on_round(&r2, coins);  // same count: clean round
+  EXPECT_TRUE(p.decided());
+  EXPECT_EQ(p.decision_round(), 2u);
+  EXPECT_EQ(p.decision(), Bit::Zero);
+}
+
+TEST(FloodMinTest, DirtyRoundsDelayEarlyDecision) {
+  FloodMinProcess p(0, 6, Bit::One, {4, true});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  Receipt r1 = bit_receipt(6, 0);
+  (void)p.on_round(&r1, coins);
+  Receipt r2 = bit_receipt(5, 0);  // count dropped: not clean
+  (void)p.on_round(&r2, coins);
+  EXPECT_FALSE(p.decided());
+  Receipt r3 = bit_receipt(5, 0);  // clean now
+  (void)p.on_round(&r3, coins);
+  EXPECT_TRUE(p.decided());
+  EXPECT_EQ(p.decision_round(), 3u);
+}
+
+TEST(FloodMinTest, RejectsTNotBelowN) {
+  EXPECT_THROW(FloodMinProcess(0, 3, Bit::Zero, {3, false}), ArgumentError);
+}
+
+TEST(FloodMinTest, CloneIsIndependent) {
+  FloodMinProcess p(0, 4, Bit::One, {2, false});
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  auto c = p.clone();
+  EXPECT_EQ(p.state_digest(), c->state_digest());
+  Receipt r = bit_receipt(2, 2);
+  (void)p.on_round(&r, coins);
+  EXPECT_NE(p.state_digest(), c->state_digest());
+}
+
+}  // namespace
+}  // namespace synran
+
+namespace synran {
+namespace {
+
+// ---------------------------------------- symmetric-mode threshold table
+
+struct SymCase {
+  std::uint32_t ones;
+  std::uint32_t zeros;
+  Bit expect_b;
+  bool expect_decided;
+  bool expect_coin;
+};
+
+class SymmetricThresholdTable : public ::testing::TestWithParam<SymCase> {};
+
+TEST_P(SymmetricThresholdTable, MatchesBenOrStyleRules) {
+  const auto c = GetParam();
+  SynRanOptions o;
+  o.coin_rule = CoinRule::Symmetric;
+  SynRanProcess p(0, kN, Bit::Zero, o);
+  TapeCoinSource coins0;
+  (void)p.on_round(nullptr, coins0);
+
+  std::vector<bool> tape;
+  if (c.expect_coin) tape.push_back(c.expect_b == Bit::One);
+  const auto out = step(p, bit_receipt(c.ones, c.zeros), tape);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload::of_bit(c.expect_b));
+  EXPECT_EQ(p.decided(), c.expect_decided);
+  EXPECT_EQ(p.view().flipped_coin, c.expect_coin);
+}
+
+// Symmetric mode compares against the CURRENT round's count (here 100):
+// decide-1 above 7/10, propose-1 above 6/10, decide-0 below 3/10,
+// propose-0 below 4/10, coin between.
+INSTANTIATE_TEST_SUITE_P(
+    BenOrStyle, SymmetricThresholdTable,
+    ::testing::Values(SymCase{71, 29, Bit::One, true, false},
+                      SymCase{70, 30, Bit::One, false, false},
+                      SymCase{61, 39, Bit::One, false, false},
+                      SymCase{60, 40, Bit::One, false, true},
+                      SymCase{50, 50, Bit::Zero, false, true},
+                      SymCase{40, 60, Bit::Zero, false, true},
+                      SymCase{39, 61, Bit::Zero, false, false},
+                      SymCase{30, 70, Bit::Zero, false, false},
+                      SymCase{29, 71, Bit::Zero, true, false}));
+
+// ------------------------------------------------ threshold-margin guard
+
+TEST(SynRanOptionsTest, InvalidMarginCombinationsAreRejected) {
+  SynRanOptions o;
+  o.decide_one_num = 6;  // must exceed propose_one_num (6)
+  EXPECT_FALSE(o.margins_valid());
+  EXPECT_THROW(SynRanProcess(0, 8, Bit::Zero, o), ArgumentError);
+
+  SynRanOptions o2;
+  o2.propose_zero_num = 4;
+  o2.decide_zero_num = 4;  // propose must exceed decide
+  EXPECT_FALSE(o2.margins_valid());
+  EXPECT_THROW(SynRanProcess(0, 8, Bit::Zero, o2), ArgumentError);
+
+  SynRanOptions o3;
+  o3.decide_one_num = 11;  // numerator over the denominator
+  EXPECT_FALSE(o3.margins_valid());
+}
+
+TEST(SynRanOptionsTest, CustomMarginsShiftTheWindow) {
+  SynRanOptions o;
+  o.decide_one_num = 8;
+  o.propose_one_num = 7;
+  o.propose_zero_num = 4;
+  o.decide_zero_num = 3;
+  ASSERT_TRUE(o.margins_valid());
+  SynRanProcess p(0, kN, Bit::Zero, o);
+  TapeCoinSource coins;
+  (void)p.on_round(nullptr, coins);
+  // 65 ones: under the paper's margins this proposes 1; with the widened
+  // window it lands in coin territory.
+  const auto out = step(p, bit_receipt(65, 35), {false});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload::of_bit(Bit::Zero));
+  EXPECT_TRUE(p.view().flipped_coin);
+}
+
+// ---------------------------------------------- SynRan/engine edge cases
+
+TEST(SynRanEngine, TwoProcessesAgreeUnderEveryInputPair) {
+  SynRanFactory factory;
+  NoAdversary none;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      EngineOptions opts;
+      opts.seed = 17 + a * 2 + b;
+      opts.max_rounds = 2000;
+      const auto res = run_once(
+          factory, {a ? Bit::One : Bit::Zero, b ? Bit::One : Bit::Zero},
+          none, opts);
+      ASSERT_TRUE(res.terminated) << a << b;
+      EXPECT_TRUE(res.agreement) << a << b;
+      if (a == b)
+        EXPECT_EQ(res.decision, a ? Bit::One : Bit::Zero);
+    }
+  }
+}
+
+TEST(SynRanEngine, SymmetricVariantSafeWithoutAdversary) {
+  SynRanOptions o;
+  o.coin_rule = CoinRule::Symmetric;
+  SynRanFactory factory(o);
+  NoAdversary none;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EngineOptions opts;
+    opts.seed = seed;
+    opts.max_rounds = 5000;
+    std::vector<Bit> inputs(20, Bit::Zero);
+    for (int i = 0; i < 10; ++i) inputs[i] = Bit::One;
+    const auto res = run_once(factory, inputs, none, opts);
+    ASSERT_TRUE(res.terminated) << seed;
+    EXPECT_TRUE(res.agreement) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace synran

@@ -1,0 +1,144 @@
+// Tests for the structured coin-flipping games (recursive majority-of-3 and
+// tribes) and their interaction with the forcing search.
+#include <gtest/gtest.h>
+
+#include "coin/forcing.hpp"
+#include "coin/recursive_games.hpp"
+#include "common/check.hpp"
+
+namespace synran {
+namespace {
+
+std::vector<GameValue> vals(std::initializer_list<int> xs) {
+  std::vector<GameValue> out;
+  for (int x : xs) out.push_back(static_cast<GameValue>(x));
+  return out;
+}
+
+// ------------------------------------------------------ recursive majority
+
+TEST(RecursiveMajorityTest, HeightOneIsPlainMajority) {
+  RecursiveMajorityGame g(1);
+  EXPECT_EQ(g.players(), 3u);
+  const DynBitset none(3);
+  EXPECT_EQ(g.outcome(vals({1, 1, 0}), none), 1u);
+  EXPECT_EQ(g.outcome(vals({1, 0, 0}), none), 0u);
+}
+
+TEST(RecursiveMajorityTest, HeightTwoComposesMajorities) {
+  RecursiveMajorityGame g(2);
+  EXPECT_EQ(g.players(), 9u);
+  const DynBitset none(9);
+  // Blocks (1,1,0)=1, (0,0,1)=0, (1,0,1)=1 -> majority(1,0,1) = 1.
+  EXPECT_EQ(g.outcome(vals({1, 1, 0, 0, 0, 1, 1, 0, 1}), none), 1u);
+  // Blocks 0,1,0 -> 0.
+  EXPECT_EQ(g.outcome(vals({0, 0, 1, 1, 1, 0, 0, 1, 0}), none), 0u);
+}
+
+TEST(RecursiveMajorityTest, HiddenLeavesDefaultToZero) {
+  RecursiveMajorityGame g(1);
+  DynBitset hidden(3);
+  hidden.set(0);
+  // (—,1,0) with default 0 -> majority(0,1,0) = 0.
+  EXPECT_EQ(g.outcome(vals({1, 1, 0}), hidden), 0u);
+}
+
+TEST(RecursiveMajorityTest, OneSided) {
+  // Like majority-default-0: hiding can never turn a 0 outcome into 1.
+  RecursiveMajorityGame g(2);
+  Xoshiro256 rng(3);
+  std::vector<GameValue> v;
+  const DynBitset none(9);
+  int checked = 0;
+  for (int rep = 0; rep < 40; ++rep) {
+    g.sample(rng, v);
+    if (g.outcome(v, none) == 1) continue;
+    const auto res = can_force(g, v, 1, 9);
+    EXPECT_FALSE(res.forced);
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(RecursiveMajorityTest, ForcingZeroNeedsOnePerCriticalPath) {
+  // All-ones tree of height 2: flipping the root needs two blocks broken,
+  // each by hiding 2 leaves (hidden -> 0, block majority needs two zeros).
+  RecursiveMajorityGame g(2);
+  const auto v = vals({1, 1, 1, 1, 1, 1, 1, 1, 1});
+  ForcingOptions fo;
+  fo.exhaustive_max_players = 9;
+  fo.exhaustive_max_budget = 4;
+  EXPECT_FALSE(can_force(g, v, 0, 3, fo).forced);
+  const auto res = can_force(g, v, 0, 4, fo);
+  EXPECT_TRUE(res.forced);
+  EXPECT_EQ(res.hiding.count(), 4u);
+  EXPECT_EQ(g.outcome(v, res.hiding), 0u);
+}
+
+TEST(RecursiveMajorityTest, GuardsHeight) {
+  EXPECT_THROW(RecursiveMajorityGame(0), ArgumentError);
+  EXPECT_THROW(RecursiveMajorityGame(11), ArgumentError);
+}
+
+// ------------------------------------------------------------------ tribes
+
+TEST(TribesTest, OutcomeIsOrOfAnds) {
+  TribesGame g(2, 3);
+  const DynBitset none(6);
+  EXPECT_EQ(g.outcome(vals({1, 1, 1, 0, 0, 0}), none), 1u);
+  EXPECT_EQ(g.outcome(vals({1, 1, 0, 0, 1, 1}), none), 0u);
+  EXPECT_EQ(g.outcome(vals({0, 0, 0, 1, 1, 1}), none), 1u);
+}
+
+TEST(TribesTest, OneHidingVetoesABlock) {
+  TribesGame g(2, 2);
+  const auto v = vals({1, 1, 0, 1});
+  const auto res = can_force(g, v, 0, 1);
+  EXPECT_TRUE(res.forced);
+  EXPECT_EQ(res.hiding.count(), 1u);
+  EXPECT_EQ(g.outcome(v, res.hiding), 0u);
+}
+
+TEST(TribesTest, ForcingZeroCostsOnePerWinningBlock) {
+  TribesGame g(3, 2);
+  const auto v = vals({1, 1, 1, 1, 0, 1});  // two winning blocks
+  EXPECT_FALSE(can_force(g, v, 0, 1).forced);
+  const auto res = can_force(g, v, 0, 2);
+  EXPECT_TRUE(res.forced);
+  EXPECT_EQ(res.hiding.count(), 2u);
+}
+
+TEST(TribesTest, CannotForceOne) {
+  TribesGame g(2, 2);
+  const auto v = vals({1, 0, 0, 1});
+  const auto res = can_force(g, v, 1, 4);
+  EXPECT_FALSE(res.forced);
+  EXPECT_TRUE(res.exact);
+}
+
+TEST(TribesTest, AlreadyWinningNeedsNoHiding) {
+  TribesGame g(2, 2);
+  const auto v = vals({1, 1, 0, 0});
+  const auto res = can_force(g, v, 1, 0);
+  EXPECT_TRUE(res.forced);
+  EXPECT_EQ(res.hiding.count(), 0u);
+}
+
+TEST(TribesTest, ControlIsHeavilyZeroBiased) {
+  // Wide blocks make a winning block unlikely, so Pr(U^1) is large while
+  // Pr(U^0) is near zero (vetoes are cheap).
+  TribesGame g(8, 8);
+  const auto est = estimate_control(g, 8, 300, 5);
+  EXPECT_LT(est.pr_unforceable[0], 0.01);
+  EXPECT_GT(est.pr_unforceable[1], 0.5);
+  EXPECT_EQ(est.best_outcome(), 0u);
+}
+
+TEST(TribesTest, GuardsShape) {
+  EXPECT_THROW(TribesGame(0, 3), ArgumentError);
+  EXPECT_THROW(TribesGame(3, 0), ArgumentError);
+  EXPECT_THROW(TribesGame(100, 100), ArgumentError);
+}
+
+}  // namespace
+}  // namespace synran

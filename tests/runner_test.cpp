@@ -1,0 +1,103 @@
+// Tests for the experiment harness: input patterns, repetition accounting,
+// and seed discipline.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "protocols/floodmin.hpp"
+#include "protocols/synran.hpp"
+#include "runner/experiment.hpp"
+
+namespace synran {
+namespace {
+
+TEST(MakeInputsTest, PatternsHaveTheRightComposition) {
+  Xoshiro256 rng(1);
+  const auto all0 = make_inputs(9, InputPattern::AllZero, rng);
+  EXPECT_EQ(std::count(all0.begin(), all0.end(), Bit::One), 0);
+
+  const auto all1 = make_inputs(9, InputPattern::AllOne, rng);
+  EXPECT_EQ(std::count(all1.begin(), all1.end(), Bit::One), 9);
+
+  const auto half = make_inputs(9, InputPattern::Half, rng);
+  EXPECT_EQ(std::count(half.begin(), half.end(), Bit::One), 5);
+  EXPECT_EQ(half[0], Bit::Zero);
+  EXPECT_EQ(half[8], Bit::One);
+
+  const auto single = make_inputs(9, InputPattern::SingleZero, rng);
+  EXPECT_EQ(std::count(single.begin(), single.end(), Bit::Zero), 1);
+}
+
+TEST(MakeInputsTest, RandomIsSeedDriven) {
+  Xoshiro256 a(7), b(7), c(8);
+  const auto x = make_inputs(64, InputPattern::Random, a);
+  const auto y = make_inputs(64, InputPattern::Random, b);
+  const auto z = make_inputs(64, InputPattern::Random, c);
+  EXPECT_EQ(x, y);
+  EXPECT_NE(x, z);
+}
+
+TEST(MakeInputsTest, RejectsZeroProcesses) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(make_inputs(0, InputPattern::AllZero, rng), ArgumentError);
+}
+
+TEST(PatternNamesTest, AllNamed) {
+  EXPECT_STREQ(to_string(InputPattern::AllZero), "all-0");
+  EXPECT_STREQ(to_string(InputPattern::AllOne), "all-1");
+  EXPECT_STREQ(to_string(InputPattern::Half), "half");
+  EXPECT_STREQ(to_string(InputPattern::Random), "random");
+  EXPECT_STREQ(to_string(InputPattern::SingleZero), "single-0");
+}
+
+TEST(RunRepeatedTest, AccountsEveryRepetition) {
+  FloodMinFactory factory({2, false});
+  RepeatSpec spec;
+  spec.n = 6;
+  spec.pattern = InputPattern::Half;
+  spec.reps = 25;
+  spec.seed = 3;
+  const auto stats = run_repeated(factory, no_adversary_factory(), spec);
+  EXPECT_EQ(stats.reps, 25u);
+  EXPECT_TRUE(stats.all_safe());
+  EXPECT_EQ(stats.rounds_to_decision.count(), 25u);
+  // FloodMin is deterministic: every rep takes exactly t+1 = 3 rounds.
+  EXPECT_DOUBLE_EQ(stats.rounds_to_decision.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.rounds_to_decision.stddev(), 0.0);
+  // Half-pattern inputs always contain a 0: FloodMin decides 0 every time.
+  EXPECT_EQ(stats.decided_one, 0u);
+}
+
+TEST(RunRepeatedTest, MasterSeedReproducesBatches) {
+  SynRanFactory factory;
+  RepeatSpec spec;
+  spec.n = 16;
+  spec.pattern = InputPattern::Random;
+  spec.reps = 10;
+  spec.seed = 42;
+  const auto a = run_repeated(factory, no_adversary_factory(), spec);
+  const auto b = run_repeated(factory, no_adversary_factory(), spec);
+  EXPECT_DOUBLE_EQ(a.rounds_to_decision.mean(), b.rounds_to_decision.mean());
+  EXPECT_EQ(a.decided_one, b.decided_one);
+  spec.seed = 43;
+  const auto c = run_repeated(factory, no_adversary_factory(), spec);
+  // Different master seed: different inputs and coins. (Means may
+  // coincide; the decided-one counts across random inputs rarely do, but
+  // guard loosely: at least one aggregate should differ.)
+  const bool differs =
+      a.decided_one != c.decided_one ||
+      a.rounds_to_decision.mean() != c.rounds_to_decision.mean() ||
+      a.rounds_to_halt.mean() != c.rounds_to_halt.mean();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RunRepeatedTest, RejectsZeroReps) {
+  SynRanFactory factory;
+  RepeatSpec spec;
+  spec.n = 4;
+  spec.reps = 0;
+  EXPECT_THROW(run_repeated(factory, no_adversary_factory(), spec),
+               ArgumentError);
+}
+
+}  // namespace
+}  // namespace synran

@@ -1,0 +1,149 @@
+// Tests for the trace recorder and the §3.1 model-invariant checker, plus
+// trace-driven property tests across protocols and adversaries.
+#include <gtest/gtest.h>
+
+#include "adversary/basic.hpp"
+#include "adversary/coinbias.hpp"
+#include "protocols/floodmin.hpp"
+#include "protocols/synran.hpp"
+#include "runner/experiment.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace synran {
+namespace {
+
+Trace record_run(const ProcessFactory& factory, Adversary& inner,
+                 std::uint32_t n, std::uint32_t t, std::uint64_t seed,
+                 InputPattern pattern = InputPattern::Half) {
+  TracingAdversary tracer(inner);
+  EngineOptions opts;
+  opts.t_budget = t;
+  opts.seed = seed;
+  opts.max_rounds = 50000;
+  Xoshiro256 rng(seed);
+  const auto inputs = make_inputs(n, pattern, rng);
+  const auto res = run_once(factory, inputs, tracer, opts);
+  EXPECT_TRUE(res.terminated);
+  return tracer.trace();
+}
+
+TEST(TraceTest, RecordsBasicShape) {
+  SynRanFactory factory;
+  NoAdversary none;
+  const Trace tr = record_run(factory, none, 16, 0, 1);
+  ASSERT_FALSE(tr.rounds.empty());
+  EXPECT_EQ(tr.n, 16u);
+  EXPECT_EQ(tr.rounds.front().round, 1u);
+  EXPECT_EQ(tr.rounds.front().alive, 16u);
+  EXPECT_EQ(tr.rounds.front().senders, 16u);
+  EXPECT_EQ(tr.total_crashes(), 0u);
+}
+
+TEST(TraceTest, CountsCrashesAndComposition) {
+  SynRanFactory factory;
+  StaticCrashAdversary adv({{1, 0, {}}, {2, 1, {}}});
+  const Trace tr = record_run(factory, adv, 12, 2, 3);
+  EXPECT_EQ(tr.total_crashes(), 2u);
+  EXPECT_EQ(tr.max_crashes_per_round(), 1u);
+  // Half-pattern round 1: six 1-payloads, six 0-payloads.
+  EXPECT_EQ(tr.rounds.front().ones, 6u);
+  EXPECT_EQ(tr.rounds.front().zeros, 6u);
+}
+
+TEST(TraceInvariantsTest, CleanRunsPass) {
+  SynRanFactory synran;
+  FloodMinFactory flood({4, false});
+  NoAdversary none;
+  for (const ProcessFactory* f :
+       {static_cast<const ProcessFactory*>(&synran),
+        static_cast<const ProcessFactory*>(&flood)}) {
+    const Trace tr = record_run(*f, none, 10, 0, 7);
+    const auto report = check_model_invariants(tr);
+    EXPECT_TRUE(report.ok)
+        << (report.violations.empty() ? "" : report.violations.front());
+  }
+}
+
+TEST(TraceInvariantsTest, HoldAcrossAdversariesAndSeeds) {
+  SynRanFactory factory;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    {
+      RandomCrashAdversary adv({2, 0.7, seed});
+      const Trace tr = record_run(factory, adv, 24, 12, seed);
+      const auto report = check_model_invariants(tr);
+      EXPECT_TRUE(report.ok)
+          << "random seed " << seed << ": "
+          << (report.violations.empty() ? "" : report.violations.front());
+    }
+    {
+      CoinBiasAdversary adv({0.55, true, seed});
+      const Trace tr = record_run(factory, adv, 24, 23, seed);
+      const auto report = check_model_invariants(tr);
+      EXPECT_TRUE(report.ok)
+          << "coinbias seed " << seed << ": "
+          << (report.violations.empty() ? "" : report.violations.front());
+    }
+  }
+}
+
+TEST(TraceInvariantsTest, DetectsCorruptedTraces) {
+  SynRanFactory factory;
+  NoAdversary none;
+  Trace tr = record_run(factory, none, 8, 0, 1);
+  ASSERT_GE(tr.rounds.size(), 2u);
+
+  {
+    Trace bad = tr;
+    bad.rounds[1].alive = bad.rounds[0].alive + 1;  // resurrection
+    EXPECT_FALSE(check_model_invariants(bad).ok);
+  }
+  {
+    Trace bad = tr;
+    bad.rounds[1].halted = 0;
+    bad.rounds[0].halted = 5;  // halted shrank
+    EXPECT_FALSE(check_model_invariants(bad).ok);
+  }
+  {
+    Trace bad = tr;
+    bad.rounds[0].crashes = bad.t_budget + 1;  // over budget
+    EXPECT_FALSE(check_model_invariants(bad).ok);
+  }
+  {
+    Trace bad = tr;
+    bad.rounds[0].senders = bad.rounds[0].alive + 3;  // ghost senders
+    EXPECT_FALSE(check_model_invariants(bad).ok);
+  }
+}
+
+TEST(TraceTest, SynRanTrafficCompositionIsConsistent) {
+  // In every recorded round, ones + zeros must equal senders as long as no
+  // process is in the deterministic stage (each probabilistic payload
+  // carries exactly one value bit).
+  SynRanFactory factory;
+  CoinBiasAdversary adv({0.55, true, 11});
+  const Trace tr = record_run(factory, adv, 32, 16, 13);
+  for (const auto& r : tr.rounds) {
+    if (r.deterministic > 0) continue;
+    EXPECT_EQ(r.ones + r.zeros, r.senders) << "round " << r.round;
+  }
+}
+
+TEST(TraceTest, StallKeepsCollapsingCounts) {
+  // Against all-1 inputs with the stall rule on, the adversary must keep
+  // the sender count collapsing (Lemma 4.1's 10% rule) — visible as a
+  // strictly decreasing sender sequence while budget remains.
+  SynRanFactory factory;
+  CoinBiasAdversary adv({0.55, true, 5});
+  const Trace tr =
+      record_run(factory, adv, 40, 39, 9, InputPattern::AllOne);
+  ASSERT_GE(tr.rounds.size(), 3u);
+  EXPECT_GT(tr.total_crashes(), 0u);
+  bool decreased = false;
+  for (std::size_t i = 1; i < tr.rounds.size(); ++i)
+    if (tr.rounds[i].senders < tr.rounds[i - 1].senders) decreased = true;
+  EXPECT_TRUE(decreased);
+}
+
+}  // namespace
+}  // namespace synran

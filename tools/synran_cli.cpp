@@ -1,0 +1,306 @@
+// synran — command-line front end to the library.
+//
+//   synran run      --protocol synran --adversary coinbias --n 256 --t 128
+//   synran coin     --game majority --n 1024 --budget 300 --samples 500
+//   synran valency  --n 3 --t 1 --depth 14
+//   synran narrate  --n 96 --t 95 --adversary coinbias --seed 11
+//
+// Every subcommand prints an aligned table (or narrative) and exits 0 on a
+// safe, successful run.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "adversary/basic.hpp"
+#include "adversary/coinbias.hpp"
+#include "adversary/nonadaptive.hpp"
+#include "coin/forcing.hpp"
+#include "coin/games.hpp"
+#include "coin/recursive_games.hpp"
+#include "common/table.hpp"
+#include "lowerbound/valency.hpp"
+#include "protocols/floodmin.hpp"
+#include "protocols/leadercoin.hpp"
+#include "protocols/synran.hpp"
+#include "runner/experiment.hpp"
+#include "runner/narrate.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace synran;
+
+/// Minimal --key value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::cerr << "expected --key value pairs, got '" << argv[i] << "'\n";
+        ok_ = false;
+        return;
+      }
+      kv_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  bool ok() const { return ok_; }
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+  std::uint64_t num(const std::string& key, std::uint64_t dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::stoull(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  bool ok_ = true;
+};
+
+std::unique_ptr<ProcessFactory> make_protocol(const std::string& name,
+                                              std::uint32_t t) {
+  if (name == "synran") return std::make_unique<SynRanFactory>();
+  if (name == "benor-sym") {
+    SynRanOptions o;
+    o.coin_rule = CoinRule::Symmetric;
+    return std::make_unique<SynRanFactory>(o);
+  }
+  if (name == "synran-nodet") {
+    SynRanOptions o;
+    o.det_handoff = false;
+    return std::make_unique<SynRanFactory>(o);
+  }
+  if (name == "floodmin")
+    return std::make_unique<FloodMinFactory>(FloodMinOptions{t, false});
+  if (name == "floodmin-early")
+    return std::make_unique<FloodMinFactory>(FloodMinOptions{t, true});
+  if (name == "leadercoin") return std::make_unique<LeaderCoinFactory>();
+  return nullptr;
+}
+
+AdversaryFactory make_adversary(const std::string& name) {
+  if (name == "none") return no_adversary_factory();
+  if (name == "random")
+    return [](std::uint64_t s) {
+      return std::make_unique<RandomCrashAdversary>(
+          RandomCrashAdversary::Options{2, 0.6, s});
+    };
+  if (name == "chain")
+    return [](std::uint64_t) {
+      return std::make_unique<ChainHidingAdversary>();
+    };
+  if (name == "coinbias")
+    return [](std::uint64_t s) {
+      return std::make_unique<CoinBiasAdversary>(
+          CoinBiasOptions{0.55, true, s});
+    };
+  if (name == "oblivious")
+    return [](std::uint64_t s) {
+      return std::make_unique<ObliviousAdversary>(ObliviousOptions{64, s});
+    };
+  if (name == "leader-killer")
+    return [](std::uint64_t) {
+      return std::make_unique<LeaderKillerAdversary>();
+    };
+  return nullptr;
+}
+
+InputPattern parse_pattern(const std::string& name) {
+  if (name == "all-0") return InputPattern::AllZero;
+  if (name == "all-1") return InputPattern::AllOne;
+  if (name == "half") return InputPattern::Half;
+  if (name == "single-0") return InputPattern::SingleZero;
+  return InputPattern::Random;
+}
+
+int cmd_run(const Args& args) {
+  const auto n = static_cast<std::uint32_t>(args.num("n", 128));
+  const auto t = static_cast<std::uint32_t>(args.num("t", n / 2));
+  const auto proto = args.get("protocol", "synran");
+  const auto adv = args.get("adversary", "coinbias");
+
+  const auto factory = make_protocol(proto, t);
+  const auto adversaries = make_adversary(adv);
+  if (!factory || !adversaries) {
+    std::cerr << "unknown protocol or adversary\n";
+    return 2;
+  }
+
+  RepeatSpec spec;
+  spec.n = n;
+  spec.pattern = parse_pattern(args.get("pattern", "random"));
+  spec.reps = args.num("reps", 50);
+  spec.seed = args.num("seed", 1);
+  spec.engine.t_budget = t;
+  spec.engine.max_rounds = args.num("max-rounds", 100000);
+
+  const auto stats = run_repeated(*factory, adversaries, spec);
+
+  Table table(proto + " vs " + adv);
+  table.header({"metric", "value"});
+  table.row({std::string("n / t / reps"),
+             std::to_string(n) + " / " + std::to_string(t) + " / " +
+                 std::to_string(stats.reps)});
+  table.row({std::string("rounds to decision (mean)"),
+             stats.rounds_to_decision.mean()});
+  table.row({std::string("rounds to decision (sd)"),
+             stats.rounds_to_decision.stddev()});
+  table.row({std::string("rounds to halt (mean)"),
+             stats.rounds_to_halt.mean()});
+  table.row({std::string("crashes used (mean)"), stats.crashes_used.mean()});
+  table.row({std::string("decided 1 / reps"),
+             std::to_string(stats.decided_one) + " / " +
+                 std::to_string(stats.reps)});
+  table.row({std::string("agreement failures"),
+             static_cast<long long>(stats.agreement_failures)});
+  table.row({std::string("validity failures"),
+             static_cast<long long>(stats.validity_failures)});
+  table.row({std::string("non-terminated"),
+             static_cast<long long>(stats.non_terminated)});
+  table.print(std::cout);
+  return stats.all_safe() ? 0 : 1;
+}
+
+int cmd_coin(const Args& args) {
+  const auto n = static_cast<std::uint32_t>(args.num("n", 256));
+  const auto game_name = args.get("game", "majority");
+  std::unique_ptr<CoinGame> game;
+  if (game_name == "majority")
+    game = std::make_unique<MajorityPresentGame>(n);
+  else if (game_name == "majority0")
+    game = std::make_unique<MajorityDefaultZeroGame>(n);
+  else if (game_name == "parity")
+    game = std::make_unique<ParityPresentGame>(n);
+  else if (game_name == "leader")
+    game = std::make_unique<LeaderBitGame>(n);
+  else if (game_name == "tribes")
+    game = std::make_unique<TribesGame>(n / 8 ? n / 8 : 1, 8);
+  if (!game) {
+    std::cerr << "unknown game (majority|majority0|parity|leader|tribes)\n";
+    return 2;
+  }
+
+  const auto budget = static_cast<std::uint32_t>(args.num("budget", 0));
+  const auto samples = args.num("samples", 400);
+  const auto est =
+      estimate_control(*game, budget, samples, args.num("seed", 1));
+
+  Table table(std::string(game->name()) + " control");
+  table.header({"outcome", "Pr(U^v)", "< 1/n?"});
+  table.precision(4);
+  for (std::uint32_t v = 0; v < game->outcomes(); ++v)
+    table.row({static_cast<long long>(v), est.pr_unforceable[v],
+               std::string(est.pr_unforceable[v] <
+                                   1.0 / game->players() + 0.01
+                               ? "yes"
+                               : "no")});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_valency(const Args& args) {
+  const auto n = static_cast<std::uint32_t>(args.num("n", 3));
+  ValencyOptions opts;
+  opts.t_budget = static_cast<std::uint32_t>(args.num("t", 1));
+  opts.max_depth = static_cast<std::uint32_t>(args.num("depth", 14));
+  SynRanFactory factory;
+
+  Table table("SynRan initial-state valencies");
+  table.header({"inputs", "min r", "max r", "classes"});
+  table.precision(3);
+  for (std::uint32_t x = 0; x < (1u << n); ++x) {
+    std::vector<Bit> inputs;
+    std::string label;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      inputs.push_back((x >> i) & 1 ? Bit::One : Bit::Zero);
+      label += (x >> i) & 1 ? '1' : '0';
+    }
+    const auto v = evaluate_initial_state(factory, inputs, opts);
+    std::string classes;
+    for (int c = 0; c < 4; ++c)
+      if (v.classes & (1u << c)) {
+        if (!classes.empty()) classes += "|";
+        classes += to_string(static_cast<Valency>(c));
+      }
+    table.row({label,
+               "[" + std::to_string(v.min_r.lo).substr(0, 5) + "," +
+                   std::to_string(v.min_r.hi).substr(0, 5) + "]",
+               "[" + std::to_string(v.max_r.lo).substr(0, 5) + "," +
+                   std::to_string(v.max_r.hi).substr(0, 5) + "]",
+               classes});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_narrate(const Args& args) {
+  const auto n = static_cast<std::uint32_t>(args.num("n", 96));
+  const auto t = static_cast<std::uint32_t>(args.num("t", n - 1));
+  const auto seed = args.num("seed", 11);
+  const auto adversaries = make_adversary(args.get("adversary", "coinbias"));
+  if (!adversaries) {
+    std::cerr << "unknown adversary\n";
+    return 2;
+  }
+  auto inner = adversaries(seed);
+  TracingAdversary tracer(*inner);
+  SynRanFactory factory;
+  EngineOptions opts;
+  opts.t_budget = t;
+  opts.seed = seed;
+  opts.max_rounds = 100000;
+  Xoshiro256 rng(seed);
+  const auto inputs =
+      make_inputs(n, parse_pattern(args.get("pattern", "half")), rng);
+  const auto res = run_once(factory, inputs, tracer, opts);
+  narrate(tracer.trace(), std::cout);
+  std::cout << "decision "
+            << (res.has_decision ? std::to_string(to_int(res.decision)) : "-")
+            << " @ round " << res.rounds_to_decision << ", agreement "
+            << (res.agreement ? "yes" : "NO") << "\n";
+  return res.agreement ? 0 : 1;
+}
+
+void usage() {
+  std::cout <<
+      "synran <command> [--key value ...]\n"
+      "\n"
+      "commands:\n"
+      "  run      repeated executions: --protocol synran|benor-sym|\n"
+      "           synran-nodet|floodmin|floodmin-early|leadercoin\n"
+      "           --adversary none|random|chain|coinbias|oblivious|\n"
+      "           leader-killer --n --t --reps --seed --pattern\n"
+      "  coin     one-round game control: --game majority|majority0|\n"
+      "           parity|leader|tribes --n --budget --samples\n"
+      "  valency  exact initial-state valencies (tiny n): --n --t --depth\n"
+      "  narrate  round-by-round story of one run: --n --t --seed\n"
+      "           --adversary --pattern\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Args args(argc, argv, 2);
+  if (!args.ok()) return 2;
+  try {
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "coin") return cmd_coin(args);
+    if (cmd == "valency") return cmd_valency(args);
+    if (cmd == "narrate") return cmd_narrate(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage();
+  return 2;
+}
