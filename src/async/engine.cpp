@@ -20,7 +20,9 @@ class CountingRandomCoins final : public CoinSource {
   std::uint64_t count() const { return count_; }
 
  private:
-  Xoshiro256 rng_;
+  // This *is* a CoinSource implementation (the production-path PRNG behind
+  // flip()), so the direct generator is the point, not a leak around it.
+  Xoshiro256 rng_;  // synran-lint: allow(coin-source)
   std::uint64_t count_ = 0;
 };
 

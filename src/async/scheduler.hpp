@@ -79,7 +79,9 @@ class RandomScheduler final : public AsyncScheduler {
   const char* name() const override { return "random"; }
 
  private:
-  Xoshiro256 rng_;
+  // Scheduler randomness is *adversary-side*: it picks the schedule, not the
+  // protocol's coins, so it is outside the CoinSource enumeration contract.
+  Xoshiro256 rng_;  // synran-lint: allow(coin-source)
 };
 
 /// Adaptive: starves the messages of a rotating laggard set of up to t
@@ -94,7 +96,8 @@ class LaggardScheduler final : public AsyncScheduler {
   const char* name() const override { return "laggard"; }
 
  private:
-  Xoshiro256 rng_;
+  // Adversary-side randomness, as above.
+  Xoshiro256 rng_;  // synran-lint: allow(coin-source)
   std::uint32_t t_ = 0;
   std::vector<bool> lagging_;
 };

@@ -59,15 +59,25 @@ class Xoshiro256 {
     return result;
   }
 
-  /// Uniform in [0, bound). Uses Lemire's multiply-shift rejection method.
+  /// Uniform in [0, bound). Lemire's multiply-shift rejection method
+  /// ("Fast Random Integer Generation in an Interval", ACM TOMACS 2019):
+  /// the high word of a 64×64→128-bit product maps next() into [0, bound)
+  /// without division on the common path; the low word is rejected below
+  /// 2^64 mod bound to remove the bias, computing that remainder only when
+  /// a rejection is actually possible.
   std::uint64_t below(std::uint64_t bound) {
     SYNRAN_REQUIRE(bound > 0, "below() needs a positive bound");
-    // Rejection to remove modulo bias.
-    const std::uint64_t threshold = -bound % bound;
-    for (;;) {
-      const std::uint64_t r = next();
-      if (r >= threshold) return r % bound;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;  // 2^64 mod bound
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
     }
+    return static_cast<std::uint64_t>(m >> 64);
   }
 
   /// Uniform double in [0, 1) with 53 bits of precision.

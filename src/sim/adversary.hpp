@@ -55,6 +55,9 @@ class WorldView {
 
   /// Full-information introspection of a process's local state.
   const Process& process(ProcessId p) const { return *processes_[p]; }
+  std::span<const std::unique_ptr<Process>> processes() const {
+    return processes_;
+  }
 
   /// Crashes the adversary may still perform over the whole execution.
   std::uint32_t budget_left() const { return budget_left_; }

@@ -1,0 +1,120 @@
+// Runtime invariant auditor for the §3.1 adversary model.
+//
+// The engine's correctness story has two layers: TracingAdversary +
+// check_model_invariants re-verify a *finished* execution from its recorded
+// trace, while this auditor validates every round *as it happens*, with
+// enough context to name the offender. It enforces, per round:
+//
+//   * cumulative crashes never exceed the global budget t;
+//   * per-round crashes respect the per-round cap (class-B adversaries);
+//   * a crashed process never acts again (no payloads, no halting, no
+//     re-crash) — "silence of the dead";
+//   * a decided process never flips its decision, and decided() never
+//     reverts (the paper's "cannot change its decision");
+//   * messages_delivered is exactly the surviving-sender broadcast count:
+//     full broadcasts reach every active receiver, a crashed sender reaches
+//     exactly deliver_to ∩ active.
+//
+// Violations throw InvariantError with a round-stamped narrative naming the
+// process and the budget arithmetic involved. The predicates are cheap
+// (bitset ops, O(n) per round) so the engine keeps them always on;
+// AuditedAdversary additionally lets tests and fuzzers wrap any third-party
+// Adversary and validate it in isolation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/dynbitset.hpp"
+#include "common/ids.hpp"
+#include "net/types.hpp"
+#include "sim/adversary.hpp"
+
+namespace synran {
+
+/// Stateful round-by-round validator. Drive it in engine order:
+/// begin → (on_phase_a → on_plan → on_deliveries)* per round.
+class RunAuditor {
+ public:
+  /// Resets all state for a fresh execution.
+  void begin(std::uint32_t n, std::uint32_t t_budget,
+             std::uint32_t per_round_cap);
+
+  /// After phase A: `payloads[i]` is what process i wants to broadcast
+  /// (nullopt = halted or silent), `decided/decisions` its current verdict
+  /// state, `halted` the voluntary-stop set. Checks silence of the dead and
+  /// decision latching.
+  void on_phase_a(Round round,
+                  std::span<const std::optional<Payload>> payloads,
+                  const DynBitset& halted,
+                  std::span<const std::unique_ptr<Process>> processes);
+
+  /// Validates a fault plan against the §3.1 budget rules and records its
+  /// crashes. Call before applying the plan.
+  void on_plan(Round round, const FaultPlan& plan,
+               std::span<const std::optional<Payload>> payloads);
+
+  /// Cross-checks one round's delivery count against the surviving-sender
+  /// broadcast count implied by (payloads, plan, active receivers).
+  /// `delivered` is the point-to-point total the engine accumulated for
+  /// this round.
+  void on_deliveries(Round round, const FaultPlan& plan,
+                     std::span<const std::optional<Payload>> payloads,
+                     const DynBitset& active_receivers,
+                     std::uint64_t delivered);
+
+  /// Strict mode additionally requires decisions to latch: decided() never
+  /// reverts and the decision bit never changes. Off by default because the
+  /// paper's SynRan rescinds decisions until STOP (only halting freezes the
+  /// verdict); latching protocols (FloodMin, k-FloodMin) can opt in.
+  void set_strict_decisions(bool strict) { strict_decisions_ = strict; }
+  /// The cap is fixed per execution in the engine but only visible to a
+  /// wrapper through WorldView, hence a setter rather than a begin() arg.
+  void set_per_round_cap(std::uint32_t cap) { per_round_cap_ = cap; }
+
+  std::uint32_t crashes_so_far() const { return cum_crashes_; }
+  std::uint32_t budget_left() const { return t_budget_ - cum_crashes_; }
+  const DynBitset& crashed() const { return crashed_; }
+
+ private:
+  [[noreturn]] void fail(Round round, const std::string& what) const;
+
+  std::uint32_t n_ = 0;
+  std::uint32_t t_budget_ = 0;
+  std::uint32_t per_round_cap_ = 0;
+  std::uint32_t cum_crashes_ = 0;
+  bool strict_decisions_ = false;
+  DynBitset crashed_;
+  std::vector<Round> crash_round_;
+  std::vector<bool> was_decided_;
+  std::vector<Bit> decision_was_;
+  std::vector<bool> was_halted_;
+};
+
+/// Wraps any Adversary and audits each plan it emits before handing it to
+/// the engine. The engine runs its own auditor regardless; this wrapper
+/// exists so tests and fuzz drivers can pinpoint *which* adversary
+/// misbehaved, and so adversaries can be validated against hand-built
+/// WorldViews without an engine at all.
+class AuditedAdversary final : public Adversary {
+ public:
+  explicit AuditedAdversary(Adversary& inner) : inner_(&inner) {}
+
+  void begin(std::uint32_t n, std::uint32_t t_budget) override;
+  FaultPlan plan_round(const WorldView& world) override;
+  const char* name() const override { return "audited"; }
+
+  const RunAuditor& auditor() const { return auditor_; }
+  Adversary& inner() { return *inner_; }
+
+ private:
+  Adversary* inner_;
+  RunAuditor auditor_;
+  bool begun_ = false;
+};
+
+}  // namespace synran

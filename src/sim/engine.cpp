@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "net/fabric.hpp"
+#include "sim/audit.hpp"
 
 namespace synran {
 
@@ -32,6 +33,12 @@ RunResult Engine::run() {
   }
 
   adversary_.begin(n, options_.t_budget);
+
+  // Always-on model audit (§3.1): cheap per-round predicates that validate
+  // the adversary's spend and the engine's own delivery accounting.
+  RunAuditor auditor;
+  auditor.begin(n, options_.t_budget, options_.per_round_cap);
+  auditor.set_strict_decisions(options_.strict_decision_audit);
 
   DynBitset alive(n, true);   // not crashed by the adversary
   DynBitset halted(n, false); // voluntarily stopped
@@ -74,6 +81,8 @@ RunResult Engine::run() {
       if (all_decided) res.rounds_to_decision = r - 1;
     }
 
+    auditor.on_phase_a(r, payloads, halted, procs);
+
     if (!anyone_sending) {
       // Everyone alive has halted: the last communication round was r-1.
       res.rounds_to_halt = r - 1;
@@ -85,15 +94,7 @@ RunResult Engine::run() {
     const std::uint32_t cap = options_.per_round_cap;
     WorldView world(r, n, alive, halted, payloads, procs, budget_left, cap);
     FaultPlan plan = adversary_.plan_round(world);
-
-    SYNRAN_CHECK_MSG(plan.crash_count() <= budget_left,
-                     "adversary exceeded global fault budget");
-    SYNRAN_CHECK_MSG(cap == 0 || plan.crash_count() <= cap,
-                     "adversary exceeded per-round cap");
-    for (const auto& c : plan.crashes) {
-      SYNRAN_CHECK_MSG(alive.test(c.victim),
-                       "adversary crashed a dead process");
-    }
+    auditor.on_plan(r, plan, payloads);
 
     // --- Phase B: delivery to surviving, non-halted receivers.
     DynBitset receivers = alive;
@@ -103,11 +104,14 @@ RunResult Engine::run() {
       halted.for_each_set([&](std::size_t i) { active.reset(i); });
       RoundTraffic traffic{payloads, &plan};
       auto delivered = deliver(n, traffic, active);
+      const std::uint64_t before = res.messages_delivered;
       active.for_each_set([&](std::size_t i) {
         receipts[i] = delivered[i];
         have_receipt[i] = true;
         res.messages_delivered += delivered[i].count;
       });
+      auditor.on_deliveries(r, plan, payloads, active,
+                            res.messages_delivered - before);
     }
 
     // Commit the crashes.

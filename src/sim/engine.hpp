@@ -28,6 +28,9 @@ struct EngineOptions {
   std::uint32_t max_rounds = 100000;
   /// Master seed; every process stream derives from it.
   std::uint64_t seed = 1;
+  /// Audit decisions as latching (see RunAuditor::set_strict_decisions).
+  /// Leave off for SynRan-family protocols, which rescind until STOP.
+  bool strict_decision_audit = false;
 };
 
 /// Outcome of one execution.

@@ -75,6 +75,44 @@ TEST(Xoshiro256Test, BelowZeroBoundThrows) {
   EXPECT_THROW(rng.below(0), ArgumentError);
 }
 
+TEST(Xoshiro256Test, BelowPinnedLemireSequence) {
+  // Regression pin for Lemire's multiply-shift rejection: below() feeds
+  // every seeded adversary and experiment, so its exact outputs for a fixed
+  // seed are part of the bit-for-bit reproducibility contract. If this test
+  // breaks, every recorded experiment number is stale.
+  Xoshiro256 rng(0x5eed);
+  const struct {
+    std::uint64_t bound;
+    std::uint64_t want;
+  } pins[] = {
+      {1, 0x0},
+      {2, 0x1},
+      {3, 0x2},
+      {7, 0x6},
+      {10, 0x6},
+      {100, 0x34},
+      {1000, 0x131},
+      {1ULL << 33, 0xd827fa4bULL},
+      {0xffffffffffffffffULL, 0xc68396bba4130cfbULL},
+      {6, 0x4},
+      {6, 0x1},
+      {6, 0x4},
+  };
+  for (const auto& pin : pins) {
+    EXPECT_EQ(rng.below(pin.bound), pin.want) << "bound " << pin.bound;
+  }
+}
+
+TEST(Xoshiro256Test, BelowIsHighWordOfProductForPowerOfTwo) {
+  // For bound 2^k the multiply-shift map is exactly the top k bits of
+  // next() — a closed form that pins the algorithm (the old modulo-rejection
+  // method would return the *bottom* bits instead).
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.below(1ULL << 32), b.next() >> 32);
+  }
+}
+
 TEST(Xoshiro256Test, FlipIsRoughlyFair) {
   Xoshiro256 rng(11);
   int heads = 0;
@@ -97,6 +135,30 @@ TEST(SeedSequenceTest, StreamsAreStable) {
   SeedSequence a(5), b(5);
   EXPECT_EQ(a.stream(3), b.stream(3));
   EXPECT_NE(a.stream(3), a.stream(4));
+  EXPECT_EQ(a.master(), 5u);
+}
+
+TEST(SeedSequenceTest, DistinctMastersDecorrelate) {
+  // The same stream id under different master seeds must not collide —
+  // otherwise two "independent" experiment repetitions share randomness.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t master = 0; master < 500; ++master) {
+    seeds.insert(SeedSequence(master).stream(7));
+  }
+  EXPECT_EQ(seeds.size(), 500u);
+}
+
+TEST(SeedSequenceTest, StreamsSeedDecorrelatedGenerators) {
+  // Adjacent stream ids are the common case (one per process id); the
+  // generators they seed must diverge immediately. Distinct sub-seeds alone
+  // are not enough if the expansion collapses them.
+  SeedSequence seq(42);
+  std::set<std::uint64_t> first_outputs;
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    Xoshiro256 rng(seq.stream(id));
+    first_outputs.insert(rng.next());
+  }
+  EXPECT_EQ(first_outputs.size(), 500u);
 }
 
 // ------------------------------------------------------------- CoinSources
@@ -123,12 +185,48 @@ TEST(TapeCoinSourceTest, ResetStartsOver) {
   EXPECT_EQ(tape.consumed(), 1u);
 }
 
+TEST(TapeCoinSourceTest, EmptyTapeIsExhaustedImmediately) {
+  TapeCoinSource empty;
+  EXPECT_EQ(empty.consumed(), 0u);
+  EXPECT_THROW(empty.flip(), InvariantError);
+}
+
+TEST(TapeCoinSourceTest, ResetRearmsAnExhaustedTape) {
+  // The valency engine reuses one tape object across enumerated branches:
+  // exhaustion must be recoverable by reset, and consumed() must restart.
+  TapeCoinSource tape({true, false});
+  tape.flip();
+  tape.flip();
+  EXPECT_THROW(tape.flip(), InvariantError);
+  tape.reset({false});
+  EXPECT_EQ(tape.consumed(), 0u);
+  EXPECT_FALSE(tape.flip());
+  EXPECT_EQ(tape.consumed(), 1u);
+  EXPECT_THROW(tape.flip(), InvariantError);
+}
+
+TEST(TapeCoinSourceTest, ResetToEmptyLeavesNothingToFlip) {
+  TapeCoinSource tape({true});
+  tape.reset({});
+  EXPECT_EQ(tape.consumed(), 0u);
+  EXPECT_THROW(tape.flip(), InvariantError);
+}
+
 TEST(CountingCoinSourceTest, CountsDemands) {
   CountingCoinSource c;
   EXPECT_EQ(c.count(), 0u);
   c.flip();
   c.flip();
   EXPECT_EQ(c.count(), 2u);
+}
+
+TEST(CountingCoinSourceTest, AlwaysReturnsTailsWhileCounting) {
+  // The counting pass discovers how many coins a round wants *before*
+  // enumeration; its answers must be deterministic (all false) so the probe
+  // run itself is reproducible.
+  CountingCoinSource c;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(c.flip());
+  EXPECT_EQ(c.count(), 100u);
 }
 
 TEST(RandomCoinSourceTest, SeededDeterminism) {

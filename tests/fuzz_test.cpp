@@ -177,8 +177,9 @@ TEST(FuzzGrid, MessageAccountingMatchesTraces) {
       upper += static_cast<std::uint64_t>(r.senders) *
                (r.alive - r.halted);
     EXPECT_LE(res.messages_delivered, upper) << cfg.label;
-    if (res.rounds_to_halt > 0)
+    if (res.rounds_to_halt > 0) {
       EXPECT_GT(res.messages_delivered, 0u) << cfg.label;
+    }
   }
 }
 

@@ -54,8 +54,9 @@ TEST(KFloodMinTest, KaryDecisionIsAgreedUnderCrashes) {
     // Engine-level binary agreement maps all k > 0 decisions to "1"; the
     // k-ary agreement is checked through decision_value in the unit test
     // below, here we check the runs complete and nobody is undecided.
-    for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t i = 0; i < 6; ++i) {
       if (!res.crashed[i]) EXPECT_TRUE(res.decided[i]) << "seed " << seed;
+    }
   }
 }
 

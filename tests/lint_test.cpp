@@ -1,0 +1,200 @@
+// Unit tests for the synran_lint core: every banned pattern must be caught,
+// every legitimate idiom must pass, and the allow-trailer must suppress.
+// The banned tokens appearing below as fixture strings carry allow-trailers
+// so the lint's own sweep over tests/ stays clean — which doubles as a live
+// demonstration of the suppression syntax.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "synran_lint/lint.hpp"
+
+namespace synran::lint {
+namespace {
+
+std::size_t count_rule(const std::vector<Finding>& findings,
+                      const std::string& rule) {
+  std::size_t n = 0;
+  for (const auto& f : findings)
+    if (f.rule == rule) ++n;
+  return n;
+}
+
+// ---------------------------------------------------------- classification
+
+TEST(LintClassify, RootsAndRoles) {
+  EXPECT_TRUE(classify("src/sim/engine.cpp").scanned);
+  EXPECT_TRUE(classify("tests/sim_test.cpp").scanned);
+  EXPECT_TRUE(classify("bench/bench_util.hpp").scanned);
+  EXPECT_TRUE(classify("examples/quickstart.cpp").scanned);
+  EXPECT_FALSE(classify("tools/synran_cli.cpp").scanned);
+  EXPECT_FALSE(classify("build/generated.cpp").scanned);
+
+  EXPECT_TRUE(classify("src/common/rng.hpp").is_rng_header);
+  EXPECT_TRUE(classify("src/protocols/synran.cpp").protocol_code);
+  EXPECT_TRUE(classify("src/async/benor.cpp").protocol_code);
+  EXPECT_FALSE(classify("src/adversary/basic.cpp").protocol_code);
+
+  EXPECT_TRUE(classify("src/sim/engine.cpp").library_code);
+  EXPECT_FALSE(classify("src/runner/experiment.cpp").library_code);
+  EXPECT_FALSE(classify("examples/quickstart.cpp").library_code);
+}
+
+// ---------------------------------------------------------- banned-random
+
+TEST(LintBannedRandom, EachPrimitiveIsCaught) {
+  const char* lines[] = {
+      "std::mt19937 gen(42);",          // synran-lint: allow(banned-random)
+      "std::mt19937_64 gen;",           // synran-lint: allow(banned-random)
+      "std::random_device rd;",         // synran-lint: allow(banned-random)
+      "int x = rand() % 6;",            // synran-lint: allow(banned-random)
+      "srand(42);",                     // synran-lint: allow(banned-random)
+      "int y = std::rand();",           // synran-lint: allow(banned-random)
+      "seed = time(nullptr);",          // synran-lint: allow(banned-random)
+      "seed = std::time(0);",           // synran-lint: allow(banned-random)
+  };
+  for (const char* line : lines) {
+    const auto f = scan_file("src/sim/foo.cpp", line);
+    EXPECT_EQ(count_rule(f, "banned-random"), 1u) << line;
+  }
+}
+
+TEST(LintBannedRandom, RngHeaderIsExemptAndLookalikesPass) {
+  const std::string ok =
+      std::string("#pragma once\n") +
+      "std::mt19937 would_be_fine_here;";  // synran-lint: allow(banned-random)
+  EXPECT_TRUE(scan_file("src/common/rng.hpp", ok).empty());
+  // Identifier boundaries: these merely *contain* banned substrings.
+  EXPECT_TRUE(scan_file("src/sim/foo.cpp", "int operand(int);").empty());
+  EXPECT_TRUE(scan_file("src/sim/foo.cpp", "auto brand(Bit b);").empty());
+  EXPECT_TRUE(
+      scan_file("src/sim/foo.cpp", "double runtime(Round r);").empty());
+}
+
+TEST(LintBannedRandom, AllowTrailerSuppresses) {
+  const std::string line =
+      std::string("std::mt19937 g; ") +  // synran-lint: allow(banned-random)
+      "// synran-lint: allow(banned-random)";
+  EXPECT_TRUE(scan_file("src/sim/foo.cpp", line).empty());
+}
+
+// ------------------------------------------------------------ coin-source
+
+TEST(LintCoinSource, DirectGeneratorInProtocolCodeFails) {
+  const char* line = "Xoshiro256 rng_(seed);";
+  EXPECT_EQ(count_rule(scan_file("src/protocols/p.cpp", line), "coin-source"),
+            1u);
+  EXPECT_EQ(count_rule(scan_file("src/async/p.cpp", line), "coin-source"),
+            1u);
+  // The same construction is fine in adversaries, tests, and the engine.
+  EXPECT_TRUE(scan_file("src/adversary/a.cpp", line).empty());
+  EXPECT_TRUE(scan_file("tests/a_test.cpp", line).empty());
+}
+
+TEST(LintCoinSource, CoinSourceUseIsFine) {
+  EXPECT_TRUE(
+      scan_file("src/protocols/p.cpp", "b_ = bit_of(coins.flip());").empty());
+}
+
+// ------------------------------------------------- header hygiene rules
+
+TEST(LintHeaders, MissingPragmaOnceFails) {
+  const auto f = scan_file("src/sim/h.hpp", "#include <vector>\n");
+  ASSERT_EQ(count_rule(f, "pragma-once"), 1u);
+  EXPECT_EQ(f.front().line, 1u);
+  EXPECT_TRUE(
+      scan_file("src/sim/h.hpp", "#pragma once\n#include <vector>\n")
+          .empty());
+  // Sources don't need it.
+  EXPECT_TRUE(scan_file("src/sim/h.cpp", "#include <vector>\n").empty());
+}
+
+TEST(LintHeaders, UsingNamespaceInHeaderFails) {
+  const std::string h = "#pragma once\nusing namespace std;\n";
+  EXPECT_EQ(count_rule(scan_file("src/sim/h.hpp", h), "using-namespace"),
+            1u);
+  // Fine in a .cpp (examples and tools do this deliberately).
+  EXPECT_TRUE(
+      scan_file("examples/e.cpp", "using namespace synran;\n").empty());
+}
+
+TEST(LintIostream, LibraryCodeMayNotPrint) {
+  const char* line = "#include <iostream>";
+  EXPECT_EQ(count_rule(scan_file("src/sim/engine.cpp", line), "iostream"),
+            1u);
+  // The runner, examples, tests, and bench may print.
+  EXPECT_TRUE(scan_file("src/runner/experiment.cpp", line).empty());
+  EXPECT_TRUE(scan_file("examples/e.cpp", line).empty());
+  EXPECT_EQ(count_rule(scan_file("bench/bench_util.hpp", line), "iostream"),
+            0u);
+  // <ostream> for operator<< is fine anywhere.
+  EXPECT_TRUE(scan_file("src/sim/trace.cpp", "#include <ostream>").empty());
+}
+
+// ------------------------------------------------------------ bare-assert
+
+TEST(LintBareAssert, AssertAndAbortFail) {
+  const char* a = "assert(x > 0);";     // synran-lint: allow(bare-assert)
+  const char* b = "std::abort();";      // synran-lint: allow(bare-assert)
+  EXPECT_EQ(count_rule(scan_file("src/sim/f.cpp", a), "bare-assert"), 1u);
+  EXPECT_EQ(count_rule(scan_file("src/sim/f.cpp", b), "bare-assert"), 1u);
+}
+
+TEST(LintBareAssert, StaticAssertAndGtestMacrosPass) {
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "static_assert(sizeof(int) == 4);").empty());
+  EXPECT_TRUE(scan_file("tests/t.cpp", "ASSERT_TRUE(ok);").empty());
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "SYNRAN_CHECK(budget <= t);").empty());
+}
+
+// --------------------------------------------------- tree walk + summary
+
+TEST(LintTree, WalksFixtureTreeAndReportsPerFile) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(testing::TempDir()) / "synran_lint_fixture";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "protocols");
+  fs::create_directories(root / "src" / "common");
+  fs::create_directories(root / "tools");
+
+  const auto write = [](const fs::path& p, const std::string& text) {
+    std::ofstream out(p);
+    out << text;
+  };
+  const std::string bad_random =
+      std::string("std::mt19937 gen;\n");  // synran-lint: allow(banned-random)
+  write(root / "src" / "protocols" / "bad.cpp",
+        "Xoshiro256 rng(1);\n" + bad_random);
+  write(root / "src" / "common" / "ok.hpp",
+        "#pragma once\ninline int two() { return 2; }\n");
+  // Outside the scanned roots: never visited even with violations.
+  write(root / "tools" / "ignored.cpp", bad_random);
+
+  std::size_t files = 0;
+  const auto findings = scan_tree(root.string(), &files);
+  EXPECT_EQ(files, 2u);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/protocols/bad.cpp");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[0].rule, "coin-source");
+  EXPECT_EQ(findings[1].line, 2u);
+  EXPECT_EQ(findings[1].rule, "banned-random");
+
+  EXPECT_EQ(summary_json(findings, files),
+            "{\"files_scanned\":2,\"findings\":2,\"by_rule\":"
+            "{\"banned-random\":1,\"coin-source\":1}}");
+  fs::remove_all(root);
+}
+
+TEST(LintTree, CleanTreeSummary) {
+  const std::vector<Finding> none;
+  EXPECT_EQ(summary_json(none, 7),
+            "{\"files_scanned\":7,\"findings\":0,\"by_rule\":{}}");
+}
+
+}  // namespace
+}  // namespace synran::lint

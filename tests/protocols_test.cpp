@@ -482,8 +482,9 @@ TEST(SynRanEngine, TwoProcessesAgreeUnderEveryInputPair) {
           none, opts);
       ASSERT_TRUE(res.terminated) << a << b;
       EXPECT_TRUE(res.agreement) << a << b;
-      if (a == b)
+      if (a == b) {
         EXPECT_EQ(res.decision, a ? Bit::One : Bit::Zero);
+      }
     }
   }
 }

@@ -331,6 +331,42 @@ TEST(ValidityTest, IgnoresCrashedProcesses) {
   EXPECT_TRUE(validity_holds(bits({0, 0}), res));
 }
 
+TEST(ValidityTest, VacuousWhenNoSurvivorDecided) {
+  // has_decision can be set while every survivor is still undecided (and the
+  // only decided process crashed): with nobody's verdict in scope the
+  // unanimity requirement is vacuously met, stale decision values included.
+  RunResult res;
+  res.has_decision = true;
+  res.decided = {true, false, false};
+  res.crashed = {true, false, false};
+  res.decisions = {Bit::One, Bit::One, Bit::One};
+  EXPECT_TRUE(validity_holds(bits({0, 0, 0}), res));
+}
+
+TEST(ValidityTest, MixedInputsPermitEitherDecision) {
+  // With non-unanimous inputs §2's validity clause imposes nothing: even
+  // survivors split across both values are fine.
+  RunResult res;
+  res.has_decision = true;
+  res.decided = {true, true, true};
+  res.crashed = {false, false, false};
+  res.decisions = {Bit::One, Bit::Zero, Bit::One};
+  EXPECT_TRUE(validity_holds(bits({0, 1, 0}), res));
+  EXPECT_TRUE(validity_holds(bits({1, 0, 1}), res));
+}
+
+TEST(ValidityTest, UnanimousInputsButNoDecisionIsVacuous) {
+  // A run cut off before any decision (has_decision == false) cannot violate
+  // validity regardless of what stale per-process state it carries.
+  RunResult res;
+  res.has_decision = false;
+  res.decided = {true, true};
+  res.crashed = {false, false};
+  res.decisions = {Bit::One, Bit::One};
+  EXPECT_TRUE(validity_holds(bits({0, 0}), res));
+  EXPECT_TRUE(validity_holds(bits({1, 1}), res));
+}
+
 // ----------------------------------------------------------------- rollout
 
 TEST(RolloutTest, ForkReproducesDeterministicOutcome) {
@@ -387,8 +423,9 @@ TEST(RolloutTest, BudgetIsThreadedThroughFork) {
     for (ProcessId i = 0; i < w.n() && plan.crashes.size() <= w.budget_left();
          ++i)
       if (w.sending(i)) plan.crashes.push_back({i, DynBitset(w.n())});
-    if (plan.crash_count() > w.budget_left())
+    if (plan.crash_count() > w.budget_left()) {
       EXPECT_THROW(fork.deliver_with(plan), InvariantError);
+    }
     probed = true;
     return FaultPlan{};
   });

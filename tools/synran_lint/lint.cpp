@@ -1,0 +1,253 @@
+#include "synran_lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace synran::lint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// True iff `token` occurs in `line` at an identifier boundary (the
+/// preceding character, if any, is not part of an identifier; same for the
+/// following character when `right_boundary` is set).
+bool has_token(std::string_view line, std::string_view token,
+               bool right_boundary = false) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok =
+        !right_boundary || end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// Rules suppressed on this line via `// synran-lint: allow(rule[, rule])`.
+std::vector<std::string> allowed_rules(std::string_view line) {
+  std::vector<std::string> out;
+  const std::string_view marker = "synran-lint: allow(";
+  const std::size_t at = line.find(marker);
+  if (at == std::string_view::npos) return out;
+  const std::size_t open = at + marker.size();
+  const std::size_t close = line.find(')', open);
+  if (close == std::string_view::npos) return out;
+  std::string name;
+  for (std::size_t i = open; i <= close; ++i) {
+    const char c = i < close ? line[i] : ',';
+    if (c == ',' || c == ' ') {
+      if (!name.empty()) out.push_back(name);
+      name.clear();
+    } else {
+      name.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool allows(std::string_view line, std::string_view rule) {
+  const auto rules = allowed_rules(line);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+struct TokenRule {
+  std::string_view token;
+  bool right_boundary;
+  std::string_view message;
+};
+
+constexpr std::string_view kRandomMessage =
+    "banned randomness primitive; all randomness must derive from the "
+    "master seed via Xoshiro256/SeedSequence in src/common/rng.hpp";
+
+constexpr std::array<TokenRule, 9> kBannedRandom{{
+    {"std::mt19937", false, kRandomMessage},
+    {"mt19937", false, kRandomMessage},
+    {"std::random_device", false, kRandomMessage},
+    {"random_device", false, kRandomMessage},
+    {"std::rand(", false, kRandomMessage},
+    {"srand(", false, kRandomMessage},
+    {"rand(", false, kRandomMessage},
+    {"std::time(", false,
+     "time(...)-derived values are seeds that change run to run; derive "
+     "seeds from the experiment's master seed instead"},
+    {"time(nullptr", false,
+     "time(...)-derived values are seeds that change run to run; derive "
+     "seeds from the experiment's master seed instead"},
+}};
+
+}  // namespace
+
+FileClass classify(std::string_view rel_path) {
+  FileClass fc;
+  fc.scanned = starts_with(rel_path, "src/") ||
+               starts_with(rel_path, "tests/") ||
+               starts_with(rel_path, "bench/") ||
+               starts_with(rel_path, "examples/");
+  fc.is_header = ends_with(rel_path, ".hpp");
+  fc.is_rng_header = rel_path == "src/common/rng.hpp";
+  fc.protocol_code = starts_with(rel_path, "src/protocols/") ||
+                     starts_with(rel_path, "src/async/");
+  fc.library_code =
+      starts_with(rel_path, "src/") && !starts_with(rel_path, "src/runner/");
+  return fc;
+}
+
+std::vector<Finding> scan_file(std::string_view rel_path,
+                               std::string_view contents) {
+  const FileClass fc = classify(rel_path);
+  std::vector<Finding> findings;
+  if (!fc.scanned) return findings;
+
+  const auto report = [&](std::size_t line_no, std::string_view rule,
+                          std::string_view message) {
+    findings.push_back(Finding{std::string(rel_path), line_no,
+                               std::string(rule), std::string(message)});
+  };
+
+  bool saw_pragma_once = false;
+  bool pragma_once_allowed = false;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= contents.size()) {
+    const std::size_t nl = contents.find('\n', pos);
+    const std::string_view line =
+        contents.substr(pos, nl == std::string_view::npos ? std::string_view::npos
+                                                          : nl - pos);
+    ++line_no;
+    pos = nl == std::string_view::npos ? contents.size() + 1 : nl + 1;
+    if (line.empty() && pos > contents.size()) break;
+
+    std::size_t first = line.find_first_not_of(" \t");
+    const std::string_view trimmed =
+        first == std::string_view::npos ? std::string_view{}
+                                        : line.substr(first);
+
+    if (starts_with(trimmed, "#pragma once")) saw_pragma_once = true;
+    if (allows(line, "pragma-once")) pragma_once_allowed = true;
+
+    if (!fc.is_rng_header && !allows(line, "banned-random")) {
+      for (const auto& rule : kBannedRandom) {
+        if (has_token(line, rule.token, rule.right_boundary)) {
+          report(line_no, "banned-random", rule.message);
+          break;
+        }
+      }
+    }
+
+    if (fc.protocol_code && !allows(line, "coin-source") &&
+        has_token(line, "Xoshiro256", true)) {
+      report(line_no, "coin-source",
+             "direct Xoshiro256 use in protocol code; draw coins through "
+             "CoinSource::flip() so the valency engine can enumerate "
+             "outcomes instead of sampling them");
+    }
+
+    if (fc.is_header && !allows(line, "using-namespace") &&
+        has_token(line, "using namespace")) {
+      report(line_no, "using-namespace",
+             "'using namespace' in a header leaks into every includer");
+    }
+
+    if (fc.library_code && !allows(line, "iostream") &&
+        starts_with(trimmed, "#include") &&
+        line.find("<iostream>") != std::string_view::npos) {
+      report(line_no, "iostream",
+             "<iostream> in library code; only tools/, examples/, and "
+             "src/runner/ may print");
+    }
+
+    if (!allows(line, "bare-assert")) {
+      if (has_token(line, "assert(")) {
+        report(line_no, "bare-assert",
+               "bare assert() compiles out in release builds; use "
+               "SYNRAN_CHECK / SYNRAN_REQUIRE (always-on, throwing)");
+      } else if (has_token(line, "abort(")) {
+        report(line_no, "bare-assert",
+               "abort() gives no diagnostic; use SYNRAN_CHECK / "
+               "SYNRAN_REQUIRE (always-on, throwing)");
+      }
+    }
+  }
+
+  if (fc.is_header && !saw_pragma_once && !pragma_once_allowed) {
+    report(1, "pragma-once", "header is missing #pragma once");
+  }
+
+  // scan_file reports in file order except the file-level rule above; keep
+  // the list sorted by line for stable output.
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> scan_tree(const std::string& root,
+                               std::size_t* files_scanned) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const char* dir : {"src", "tests", "bench", "examples"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      paths.push_back(
+          fs::relative(entry.path(), fs::path(root)).generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<Finding> findings;
+  for (const auto& rel : paths) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string contents = buf.str();
+    auto file_findings = scan_file(rel, contents);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  if (files_scanned != nullptr) *files_scanned = paths.size();
+  return findings;
+}
+
+std::string summary_json(const std::vector<Finding>& findings,
+                         std::size_t files_scanned) {
+  std::map<std::string, std::size_t> by_rule;
+  for (const auto& f : findings) ++by_rule[f.rule];
+  std::ostringstream os;
+  os << "{\"files_scanned\":" << files_scanned
+     << ",\"findings\":" << findings.size() << ",\"by_rule\":{";
+  bool first = true;
+  for (const auto& [rule, count] : by_rule) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << rule << "\":" << count;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace synran::lint

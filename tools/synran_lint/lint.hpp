@@ -1,0 +1,67 @@
+// synran_lint — repo-invariant static checks.
+//
+// The two properties the whole reproduction rests on — bit-for-bit
+// reproducibility from a master seed, and protocols drawing *all* randomness
+// through CoinSource so the exact-valency engine can enumerate coin outcomes
+// — are invisible to the compiler. This lint makes them machine-checked:
+//
+//   banned-random    no std::rand / rand() / srand / std::mt19937 /
+//                    std::random_device / time(...)-derived seeds anywhere
+//                    outside src/common/rng.hpp. One stray generator breaks
+//                    seed-reproducibility silently.
+//   coin-source      src/protocols/ and src/async/ never construct
+//                    Xoshiro256 directly; protocol randomness flows through
+//                    CoinSource::flip() so tapes can replace sampling.
+//   pragma-once      every header uses #pragma once.
+//   using-namespace  headers never contain `using namespace`.
+//   iostream         no <iostream> in library code (src/ minus src/runner/);
+//                    only tools, examples, and the runner may print.
+//   bare-assert      SYNRAN_CHECK / SYNRAN_REQUIRE instead of bare assert()
+//                    or abort(): checks must stay on in release builds and
+//                    throw typed exceptions.
+//
+// A finding on one specific line can be suppressed with an explicit trailer:
+//     legit_line();  // synran-lint: allow(<rule>)
+// For the file-scoped pragma-once rule the trailer may sit on any line.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace synran::lint {
+
+struct Finding {
+  std::string file;  ///< repo-relative path
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// How the rules apply to one path (repo-relative, '/'-separated).
+struct FileClass {
+  bool scanned = false;      ///< under src/, tests/, bench/, examples/
+  bool is_header = false;    ///< *.hpp
+  bool is_rng_header = false;///< src/common/rng.hpp — the one place PRNGs live
+  bool protocol_code = false;///< src/protocols/ or src/async/
+  bool library_code = false; ///< src/ minus src/runner/ — may not print
+};
+
+FileClass classify(std::string_view rel_path);
+
+/// Scans one file's contents. `rel_path` decides which rules apply.
+std::vector<Finding> scan_file(std::string_view rel_path,
+                               std::string_view contents);
+
+/// Walks `root`'s src/, tests/, bench/, examples/ trees (*.hpp, *.cpp) and
+/// scans every file. `files_scanned` (optional) receives the file count.
+std::vector<Finding> scan_tree(const std::string& root,
+                               std::size_t* files_scanned = nullptr);
+
+/// One-line machine-readable summary, e.g.
+/// {"files_scanned":120,"findings":2,"by_rule":{"banned-random":2}}
+std::string summary_json(const std::vector<Finding>& findings,
+                         std::size_t files_scanned);
+
+}  // namespace synran::lint

@@ -1,0 +1,52 @@
+// synran_lint CLI: walk a repo root and report invariant violations.
+//
+// Usage: synran_lint [root]        (root defaults to ".")
+// Prints one `file:line: [rule] message` diagnostic per finding, then a
+// single machine-readable JSON summary line. Exit code 1 iff any finding,
+// 2 on usage errors or a root that yields nothing to scan (a typo'd path
+// must not read as a clean pass in CI).
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "synran_lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  if (argc > 2) {
+    std::cerr << "synran_lint: expected at most one argument (repo root); "
+              << "see --help\n";
+    return 2;
+  }
+  if (argc > 1) {
+    const std::string arg = argv[1];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: synran_lint [repo-root]\n"
+                << "Scans src/, tests/, bench/, examples/ for repo-invariant "
+                << "violations.\nSuppress a finding with a trailing "
+                << "'// synran-lint: allow(<rule>)'.\n";
+      return 0;
+    }
+    root = arg;
+  }
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "synran_lint: " << root << " is not a directory\n";
+    return 2;
+  }
+
+  std::size_t files_scanned = 0;
+  const auto findings = synran::lint::scan_tree(root, &files_scanned);
+  if (files_scanned == 0) {
+    std::cerr << "synran_lint: no source files under " << root
+              << " (wrong root?)\n";
+    return 2;
+  }
+  for (const auto& f : findings) {
+    std::cout << f.file << ':' << f.line << ": [" << f.rule << "] "
+              << f.message << '\n';
+  }
+  std::cout << "synran-lint: "
+            << synran::lint::summary_json(findings, files_scanned)
+            << std::endl;
+  return findings.empty() ? 0 : 1;
+}
