@@ -50,10 +50,10 @@ void tables() {
     spec.engine.t_budget = 128;
     spec.engine.max_rounds = 100000;
     const auto stats = run_repeated(factory, coinbias_factory(true), spec);
-    table.row({std::string(m.label), stats.rounds_to_decision.mean(),
-               stats.rounds_to_decision.stderr_mean(),
-               static_cast<long long>(stats.agreement_failures),
-               static_cast<long long>(stats.validity_failures)});
+    table.row({std::string(m.label), stats.rounds_to_decision().mean(),
+               stats.rounds_to_decision().stderr_mean(),
+               static_cast<long long>(stats.agreement_failures()),
+               static_cast<long long>(stats.validity_failures())});
   }
   emit(table);
 

@@ -48,10 +48,10 @@ void tables() {
   for (std::uint32_t t : {8u, 32u, 64u, 128u, 255u}) {
     const auto obl = with_adversary(leader, oblivious, n, t, kSeed + t);
     const auto kil = with_adversary(leader, killer, n, t, kSeed + 31 * t);
-    table.row({static_cast<long long>(t), obl.rounds_to_decision.mean(),
-               kil.rounds_to_decision.mean(),
-               kil.rounds_to_decision.mean() /
-                   std::max(1.0, obl.rounds_to_decision.mean())});
+    table.row({static_cast<long long>(t), obl.rounds_to_decision().mean(),
+               kil.rounds_to_decision().mean(),
+               kil.rounds_to_decision().mean() /
+                   std::max(1.0, obl.rounds_to_decision().mean())});
     if (!obl.all_safe() || !kil.all_safe()) emit(table, false);
   }
   emit(table);
@@ -67,8 +67,8 @@ void tables() {
     const auto kil = with_adversary(synran, killer, n, t, kSeed + 7 * t);
     const auto cb = attack_run(synran, n, t, InputPattern::Half,
                                reps_for(n), kSeed + 13 * t);
-    cmp.row({static_cast<long long>(t), obl.rounds_to_decision.mean(),
-             kil.rounds_to_decision.mean(), cb.rounds_to_decision.mean()});
+    cmp.row({static_cast<long long>(t), obl.rounds_to_decision().mean(),
+             kil.rounds_to_decision().mean(), cb.rounds_to_decision().mean()});
   }
   emit(cmp);
 }

@@ -26,16 +26,16 @@ void table_for(const char* title, double t_fraction, bool fit_shape) {
         theory::tight_round_bound(static_cast<double>(n),
                                   static_cast<double>(t));
     theory_pts.push_back(th);
-    measured.push_back(stats.rounds_to_decision.mean());
+    measured.push_back(stats.rounds_to_decision().mean());
     // Theorem 2's O(·) with an implied constant well above 1; 3 is a very
     // conservative consistency threshold for the upper-bound check.
-    if (stats.rounds_to_decision.mean() > 3.0 * th) within_bound = false;
+    if (stats.rounds_to_decision().mean() > 3.0 * th) within_bound = false;
     table.row({static_cast<long long>(n), static_cast<long long>(t),
-               static_cast<long long>(stats.reps),
-               stats.rounds_to_decision.mean(),
-               stats.rounds_to_decision.stderr_mean(), th,
-               stats.rounds_to_decision.mean() / th,
-               stats.crashes_used.mean()});
+               static_cast<long long>(stats.reps()),
+               stats.rounds_to_decision().mean(),
+               stats.rounds_to_decision().stderr_mean(), th,
+               stats.rounds_to_decision().mean() / th,
+               stats.crashes_used().mean()});
     if (!stats.all_safe()) emit(table, false);
   }
   emit(table);
@@ -76,9 +76,9 @@ void tables() {
                               reps_for(n), kSeed + 7 * n);
     const auto b = attack_run(plain, n, n / 2, InputPattern::Half,
                               reps_for(n), kSeed + 7 * n);
-    table.row({static_cast<long long>(n), a.rounds_to_decision.mean(),
-               b.rounds_to_decision.mean(),
-               a.rounds_to_decision.mean() - b.rounds_to_decision.mean()});
+    table.row({static_cast<long long>(n), a.rounds_to_decision().mean(),
+               b.rounds_to_decision().mean(),
+               a.rounds_to_decision().mean() - b.rounds_to_decision().mean()});
   }
   emit(table);
 }

@@ -24,14 +24,14 @@ void tables() {
                                   reps_for(n), kSeed + t);
     const double th = theory::tight_round_bound(n, t);
     theory_pts.push_back(th);
-    measured.push_back(stats.rounds_to_decision.mean());
+    measured.push_back(stats.rounds_to_decision().mean());
     ts.push_back(t);
     table.row({static_cast<long long>(t),
                static_cast<double>(t) / 32.0,
-               static_cast<long long>(stats.reps),
-               stats.rounds_to_decision.mean(),
-               stats.rounds_to_decision.stderr_mean(), th,
-               stats.rounds_to_decision.mean() / th});
+               static_cast<long long>(stats.reps()),
+               stats.rounds_to_decision().mean(),
+               stats.rounds_to_decision().stderr_mean(), th,
+               stats.rounds_to_decision().mean() / th});
     if (!stats.all_safe()) emit(table, false);
   }
   emit(table);

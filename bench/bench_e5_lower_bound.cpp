@@ -79,10 +79,10 @@ void tables() {
     base.engine.t_budget = 0;
     const auto baseline = run_repeated(synran, no_adversary_factory(), base);
     mc.row({static_cast<long long>(n), static_cast<long long>(t),
-            attacked.rounds_to_decision.mean(),
-            baseline.rounds_to_decision.mean(),
-            attacked.rounds_to_decision.mean() /
-                std::max(1.0, baseline.rounds_to_decision.mean())});
+            attacked.rounds_to_decision().mean(),
+            baseline.rounds_to_decision().mean(),
+            attacked.rounds_to_decision().mean() /
+                std::max(1.0, baseline.rounds_to_decision().mean())});
   }
   emit(mc);
 
@@ -110,12 +110,12 @@ void tables() {
     spec.engine.t_budget = n / 2;
     spec.engine.max_rounds = 20000;
     const auto b = run_repeated(sym, coinbias_factory(true), spec);
-    const double sym_rounds = b.rounds_to_decision.count() > 0
-                                  ? b.rounds_to_decision.mean()
+    const double sym_rounds = b.rounds_to_decision().count() > 0
+                                  ? b.rounds_to_decision().mean()
                                   : 20000.0;
-    abl.row({static_cast<long long>(n), a.rounds_to_decision.mean(),
-             sym_rounds, static_cast<long long>(b.non_terminated),
-             sym_rounds / std::max(1.0, a.rounds_to_decision.mean())});
+    abl.row({static_cast<long long>(n), a.rounds_to_decision().mean(),
+             sym_rounds, static_cast<long long>(b.non_terminated()),
+             sym_rounds / std::max(1.0, a.rounds_to_decision().mean())});
   }
   emit(abl);
 }

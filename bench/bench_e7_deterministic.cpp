@@ -39,7 +39,7 @@ void tables() {
 
     const auto sr = attack_run(synran, n, t, InputPattern::Half,
                                reps_for(n), kSeed + t);
-    const double sr_rounds = sr.rounds_to_decision.mean();
+    const double sr_rounds = sr.rounds_to_decision().mean();
     table.row({static_cast<long long>(t),
                static_cast<long long>(base.rounds_to_decision),
                static_cast<long long>(fast.rounds_to_decision),
@@ -60,7 +60,7 @@ void tables() {
       const auto sr = attack_run(synran, nn, t, InputPattern::Half,
                                  std::max<std::size_t>(20, reps_for(nn) / 2),
                                  kSeed + nn + t);
-      if (sr.rounds_to_decision.mean() < static_cast<double>(t + 1)) {
+      if (sr.rounds_to_decision().mean() < static_cast<double>(t + 1)) {
         crossover = t;
         break;
       }

@@ -58,9 +58,9 @@ void tables() {
                                   reps_for(n), kSeed + (capped ? 1 : 2),
                                   capped);
     abl.row({std::string(capped ? "capped (class B)" : "uncapped"),
-             stats.rounds_to_decision.mean(), stats.crashes_used.mean(),
-             stats.crashes_used.mean() /
-                 std::max(1.0, stats.rounds_to_decision.mean())});
+             stats.rounds_to_decision().mean(), stats.crashes_used().mean(),
+             stats.crashes_used().mean() /
+                 std::max(1.0, stats.rounds_to_decision().mean())});
   }
   emit(abl);
 
@@ -71,7 +71,7 @@ void tables() {
         attack_run(synran, 512, 511, InputPattern::AllOne, 60,
                    kSeed + (stall_opt ? 3 : 4), false, stall_opt);
     stall.row({std::string(stall_opt ? "yes" : "no"),
-               stats.rounds_to_decision.mean(), stats.crashes_used.mean()});
+               stats.rounds_to_decision().mean(), stats.crashes_used().mean()});
   }
   emit(stall);
 }

@@ -3,22 +3,39 @@
 // Every bench binary regenerates one experiment's table (EXPERIMENTS.md):
 // it prints the paper-shaped rows first (deterministic, seeded), then hands
 // over to google-benchmark for wall-clock timings of the underlying kernels.
+// Besides the human tables, each binary writes a machine-readable
+// BENCH_<experiment>.json report (schema "synran-bench/1": seed, git rev,
+// n/t grid, every emitted table, google-benchmark timings) so the repo
+// accumulates a perf trajectory; see EXPERIMENTS.md for the schema.
+//
+// Environment hooks:
+//   SYNRAN_CSV_DIR     also write every emitted table as CSV into this dir
+//   SYNRAN_TRACE_DIR   write a JSONL run trace per attack_run batch here
+//   SYNRAN_BENCH_DIR   where BENCH_<experiment>.json lands (default ".")
+//   SYNRAN_REPS_BUDGET lower the rep budget (CI smoke runs)
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cctype>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "adversary/coinbias.hpp"
 #include "analysis/fit.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/theory.hpp"
 #include "common/table.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_writer.hpp"
 #include "protocols/synran.hpp"
 #include "runner/experiment.hpp"
 
@@ -28,12 +45,196 @@ namespace synran::bench {
 /// reproducible as a unit.
 inline constexpr std::uint64_t kSeed = 0x5ee01dULL;
 
+inline constexpr const char* kBenchSchema = "synran-bench/1";
+
 /// Standard rep count, scaled down for large systems so tables regenerate in
 /// seconds on a laptop (the paper's curves are about shape, not ±1%).
+/// SYNRAN_REPS_BUDGET overrides the budget (and drops the 30-rep floor) so
+/// CI smoke runs finish in seconds while exercising the full pipeline.
 inline std::size_t reps_for(std::uint32_t n, std::size_t budget = 40000) {
+  std::size_t floor = 30;
+  if (const char* env = std::getenv("SYNRAN_REPS_BUDGET");
+      env != nullptr && *env != '\0') {
+    budget = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    floor = 1;
+  }
   const std::size_t r = budget / std::max<std::uint32_t>(1, n);
-  return std::max<std::size_t>(30, std::min<std::size_t>(400, r));
+  return std::max<std::size_t>(floor, std::min<std::size_t>(400, r));
 }
+
+// ---------------------------------------------------------------- reporting
+
+/// Lower-cases a table title into a file-name slug ("E1a: t = n/2" ->
+/// "e1a-t-n-2").
+inline std::string csv_slug(const std::string& title) {
+  std::string name;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      name += static_cast<char>(std::tolower(c));
+    else if (!name.empty() && name.back() != '-')
+      name += '-';
+  }
+  while (!name.empty() && name.back() == '-') name.pop_back();
+  if (name.empty()) name = "table";
+  return name;
+}
+
+/// Hands out collision-free CSV base names within one process: two tables
+/// whose titles slug identically get "slug" and "slug-2" instead of silently
+/// overwriting each other in SYNRAN_CSV_DIR.
+class CsvNameRegistry {
+ public:
+  static CsvNameRegistry& instance() {
+    static CsvNameRegistry r;
+    return r;
+  }
+
+  std::string unique(const std::string& slug) {
+    const int k = ++used_[slug];
+    if (k == 1) return slug;
+    return slug + "-" + std::to_string(k);
+  }
+
+  void reset() { used_.clear(); }
+
+ private:
+  std::map<std::string, int> used_;
+};
+
+/// Accumulates one binary's machine-readable report and writes it as
+/// BENCH_<experiment>.json. Everything except "timings" is derived from the
+/// seeded tables, so those fields are byte-identical across runs with the
+/// same seed; "timings" carries google-benchmark's wall-clock measurements.
+class BenchReport {
+ public:
+  static BenchReport& instance() {
+    static BenchReport r;
+    return r;
+  }
+
+  void set_experiment(std::string name) { experiment_ = std::move(name); }
+  const std::string& experiment() const { return experiment_; }
+
+  /// Records an (n, t) grid point once, in first-seen order.
+  void note_grid(std::uint32_t n, std::uint32_t t) {
+    for (const auto& [gn, gt] : grid_)
+      if (gn == n && gt == t) return;
+    grid_.emplace_back(n, t);
+  }
+
+  void add_table(const Table& table) {
+    obs::JsonValue columns = obs::JsonValue::array();
+    for (const auto& col : table.header()) columns.push(obs::JsonValue(col));
+    obs::JsonValue rows = obs::JsonValue::array();
+    for (const auto& row : table.rows()) {
+      obs::JsonValue cells = obs::JsonValue::array();
+      for (const auto& cell : row) {
+        if (const auto* s = std::get_if<std::string>(&cell))
+          cells.push(obs::JsonValue(*s));
+        else if (const auto* i = std::get_if<long long>(&cell))
+          cells.push(obs::JsonValue(static_cast<std::int64_t>(*i)));
+        else
+          cells.push(obs::JsonValue(std::get<double>(cell)));
+      }
+      rows.push(std::move(cells));
+    }
+    tables_.push(obs::JsonValue::object()
+                     .set("title", obs::JsonValue(table.title()))
+                     .set("columns", std::move(columns))
+                     .set("rows", std::move(rows)));
+  }
+
+  void set_timings(obs::JsonValue timings) { timings_ = std::move(timings); }
+
+  obs::JsonValue to_json() const {
+    obs::JsonValue grid = obs::JsonValue::array();
+    for (const auto& [n, t] : grid_)
+      grid.push(obs::JsonValue::object()
+                    .set("n", obs::JsonValue(n))
+                    .set("t", obs::JsonValue(t)));
+    return obs::JsonValue::object()
+        .set("schema", obs::JsonValue(kBenchSchema))
+        .set("experiment", obs::JsonValue(experiment_))
+        .set("seed", obs::JsonValue(kSeed))
+        .set("git_rev", obs::JsonValue(git_rev()))
+        .set("grid", std::move(grid))
+        .set("tables", tables_)
+        .set("timings", timings_);
+  }
+
+  /// Writes BENCH_<experiment>.json into `dir`; returns the path, or ""
+  /// when the file could not be opened.
+  std::string write(const std::string& dir) const {
+    const std::string path = dir + "/BENCH_" + experiment_ + ".json";
+    std::ofstream out(path);
+    if (!out) return {};
+    out << to_json().dump() << "\n";
+    return path;
+  }
+
+  void reset() {
+    experiment_ = "experiment";
+    grid_.clear();
+    tables_ = obs::JsonValue::array();
+    timings_ = obs::JsonValue::array();
+  }
+
+  static std::string git_rev() {
+#ifdef SYNRAN_GIT_REV
+    return SYNRAN_GIT_REV;
+#else
+    return "unknown";
+#endif
+  }
+
+ private:
+  std::string experiment_ = "experiment";
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> grid_;
+  obs::JsonValue tables_ = obs::JsonValue::array();
+  obs::JsonValue timings_ = obs::JsonValue::array();
+};
+
+/// "path/to/bench_e1_synran_scaling" -> "e1_synran_scaling".
+inline std::string experiment_name_from(const char* argv0) {
+  std::string name = std::filesystem::path(argv0).filename().string();
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  if (name.empty()) name = "experiment";
+  return name;
+}
+
+// ----------------------------------------------------------------- tracing
+
+/// Holds an open JSONL trace (file + writer) for one batch of runs; empty
+/// (observer() == nullptr) when SYNRAN_TRACE_DIR is unset. Heap members keep
+/// the writer's borrowed stream stable across moves.
+struct ScopedTrace {
+  std::unique_ptr<std::ofstream> out;
+  std::unique_ptr<obs::JsonlTraceWriter> writer;
+
+  obs::EngineObserver* observer() { return writer.get(); }
+};
+
+/// Opens "<SYNRAN_TRACE_DIR>/<experiment>-<seq>-<tag>.jsonl"; the sequence
+/// number keeps same-tag batches within one binary apart.
+inline ScopedTrace open_trace(const std::string& tag) {
+  ScopedTrace t;
+  const char* dir = std::getenv("SYNRAN_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') return t;
+  static int seq = 0;
+  const std::string path = std::string(dir) + "/" +
+                           BenchReport::instance().experiment() + "-" +
+                           std::to_string(++seq) + "-" + tag + ".jsonl";
+  auto out = std::make_unique<std::ofstream>(path);
+  if (!*out) {
+    std::cout << "  [trace: cannot write " << path << "]\n";
+    return t;
+  }
+  t.out = std::move(out);
+  t.writer = std::make_unique<obs::JsonlTraceWriter>(*t.out);
+  return t;
+}
+
+// ------------------------------------------------------------ experiments
 
 /// The CoinBias adversary factory used across experiments.
 inline AdversaryFactory coinbias_factory(bool stall = true) {
@@ -44,12 +245,14 @@ inline AdversaryFactory coinbias_factory(bool stall = true) {
 }
 
 /// Runs SynRan (or an ablation) under the CoinBias adversary and returns the
-/// aggregate — the workhorse of E1/E2/E5/E8.
+/// aggregate — the workhorse of E1/E2/E5/E8. Grid points land in the bench
+/// report; with SYNRAN_TRACE_DIR set, the batch also writes a JSONL trace.
 inline RepeatedRunStats attack_run(const ProcessFactory& factory,
                                    std::uint32_t n, std::uint32_t t,
                                    InputPattern pattern, std::size_t reps,
                                    std::uint64_t seed, bool capped = false,
                                    bool stall = true) {
+  BenchReport::instance().note_grid(n, t);
   RepeatSpec spec;
   spec.n = n;
   spec.pattern = pattern;
@@ -60,28 +263,26 @@ inline RepeatedRunStats attack_run(const ProcessFactory& factory,
   if (capped)
     spec.engine.per_round_cap = static_cast<std::uint32_t>(
         theory::per_round_budget(static_cast<double>(n)));
+  ScopedTrace trace =
+      open_trace("n" + std::to_string(n) + "-t" + std::to_string(t));
+  spec.engine.observer = trace.observer();
   return run_repeated(factory, coinbias_factory(stall), spec);
 }
 
 /// Prints the table and a one-line safety verdict (every experiment demands
-/// zero agreement/validity/termination failures). When the environment
-/// variable SYNRAN_CSV_DIR is set, the table is also written there as CSV
-/// (file name derived from the table title) for downstream plotting.
+/// zero agreement/validity/termination failures), and adds the table to the
+/// binary's BENCH_*.json report. When SYNRAN_CSV_DIR is set, the table is
+/// also written there as CSV (collision-free name derived from the title)
+/// for downstream plotting.
 inline void emit(Table& table, bool all_safe = true) {
   table.print(std::cout);
   if (!all_safe)
     std::cout << "WARNING: safety violations occurred — see rows above\n";
+  BenchReport::instance().add_table(table);
   if (const char* dir = std::getenv("SYNRAN_CSV_DIR");
       dir != nullptr && *dir != '\0') {
-    std::string name;
-    for (char c : table.title()) {
-      if (std::isalnum(static_cast<unsigned char>(c)))
-        name += static_cast<char>(std::tolower(c));
-      else if (!name.empty() && name.back() != '-')
-        name += '-';
-    }
-    while (!name.empty() && name.back() == '-') name.pop_back();
-    if (name.empty()) name = "table";
+    const std::string name =
+        CsvNameRegistry::instance().unique(csv_slug(table.title()));
     const std::string path = std::string(dir) + "/" + name + ".csv";
     std::ofstream csv(path);
     if (csv) {
@@ -94,13 +295,70 @@ inline void emit(Table& table, bool all_safe = true) {
   std::cout << std::endl;
 }
 
-/// Shared main: print the experiment table(s) via `tables`, then run the
-/// registered google-benchmark timings.
+// --------------------------------------------------------------- timings
+
+/// Extracts the "benchmarks" array from google-benchmark's JSON output,
+/// keeping the stable fields our schema documents.
+inline obs::JsonValue extract_timings(const std::string& gbench_json) {
+  obs::JsonValue timings = obs::JsonValue::array();
+  const auto doc = obs::JsonValue::parse(gbench_json);
+  if (!doc.has_value()) return timings;
+  const auto* benches = doc->find("benchmarks");
+  if (benches == nullptr || !benches->is_array()) return timings;
+  for (const auto& b : benches->as_array()) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    for (const char* key :
+         {"name", "iterations", "real_time", "cpu_time", "time_unit"}) {
+      if (const auto* v = b.find(key); v != nullptr) entry.set(key, *v);
+    }
+    timings.push(std::move(entry));
+  }
+  return timings;
+}
+
+/// Shared main: print the experiment table(s) via `tables`, run the
+/// registered google-benchmark timings (captured as JSON through a side
+/// file), then write BENCH_<experiment>.json.
 inline int run_main(int argc, char** argv, void (*tables)()) {
+  BenchReport::instance().set_experiment(experiment_name_from(argv[0]));
   tables();
-  ::benchmark::Initialize(&argc, argv);
+
+  const char* bench_dir_env = std::getenv("SYNRAN_BENCH_DIR");
+  const std::string bench_dir =
+      (bench_dir_env != nullptr && *bench_dir_env != '\0') ? bench_dir_env
+                                                           : ".";
+  const std::string timings_path =
+      bench_dir + "/." + BenchReport::instance().experiment() +
+      ".timings.json";
+
+  // Route google-benchmark's JSON through a side file (its file reporter
+  // demands --benchmark_out); injected last so it wins over duplicates.
+  std::vector<std::string> args_storage(argv, argv + argc);
+  args_storage.push_back("--benchmark_out=" + timings_path);
+  args_storage.push_back("--benchmark_out_format=json");
+  std::vector<char*> args;
+  args.reserve(args_storage.size());
+  for (auto& a : args_storage) args.push_back(a.data());
+  int args_count = static_cast<int>(args.size());
+
+  ::benchmark::Initialize(&args_count, args.data());
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+
+  {
+    std::ifstream in(timings_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    BenchReport::instance().set_timings(extract_timings(buf.str()));
+    std::error_code ec;
+    std::filesystem::remove(timings_path, ec);
+  }
+
+  const std::string report = BenchReport::instance().write(bench_dir);
+  if (!report.empty())
+    std::cout << "[bench report: " << report << "]\n";
+  else
+    std::cout << "[bench report: cannot write into " << bench_dir << "]\n";
   return 0;
 }
 

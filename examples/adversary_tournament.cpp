@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
       spec.engine.t_budget = t;
       spec.engine.max_rounds = 100000;
       const auto stats = run_repeated(*proto, adv.make, spec);
-      std::string cell = std::to_string(stats.rounds_to_decision.mean());
+      std::string cell = std::to_string(stats.rounds_to_decision().mean());
       cell.resize(std::min<std::size_t>(cell.size(), 6));
       if (!stats.all_safe()) cell += " *";
       row.push_back(cell);

@@ -73,11 +73,11 @@ int main(int argc, char** argv) {
       },
       spec);
 
-  std::cout << "\nover " << stats.reps
+  std::cout << "\nover " << stats.reps()
             << " attacked executions: mean rounds = "
-            << stats.rounds_to_decision.mean()
-            << " (sd " << stats.rounds_to_decision.stddev() << "), "
-            << "agreement failures = " << stats.agreement_failures
-            << ", validity failures = " << stats.validity_failures << "\n";
+            << stats.rounds_to_decision().mean()
+            << " (sd " << stats.rounds_to_decision().stddev() << "), "
+            << "agreement failures = " << stats.agreement_failures()
+            << ", validity failures = " << stats.validity_failures() << "\n";
   return stats.all_safe() ? 0 : 1;
 }

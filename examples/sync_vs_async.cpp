@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   Table table("mean rounds to decision (half-0/half-1 inputs)");
   table.header({"model", "protocol", "adversary", "t", "rounds(mean)",
-                "safe"});
+                "msgs(mean)", "safe"});
 
   // Synchronous rows.
   {
@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
       table.row({std::string("sync"), std::string("synran"),
                  std::string(attack ? "coin-bias" : "none"),
                  static_cast<long long>(spec.engine.t_budget),
-                 stats.rounds_to_decision.mean(),
+                 stats.rounds_to_decision().mean(),
+                 stats.messages_delivered().mean(),
                  std::string(stats.all_safe() ? "yes" : "NO")});
     }
   }
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
     Xoshiro256 input_rng(seeds.stream(1));
     for (bool attack : {false, true}) {
       Summary rounds;
+      Summary msgs;
       bool safe = true;
       for (std::size_t rep = 0; rep < reps; ++rep) {
         AsyncEngineOptions opts;
@@ -78,11 +80,15 @@ int main(int argc, char** argv) {
           res = run_async(factory, inputs, sched, opts);
         }
         if (!res.terminated || !res.agreement) safe = false;
-        if (res.terminated) rounds.add(static_cast<double>(res.max_round));
+        if (res.terminated) {
+          rounds.add(static_cast<double>(res.max_round));
+          msgs.add(static_cast<double>(res.messages_delivered));
+        }
       }
       table.row({std::string("async"), std::string("benor"),
                  std::string(attack ? "laggard sched" : "random sched"),
                  static_cast<long long>(n / 2 - 1), rounds.mean(),
+                 msgs.mean(),
                  std::string(safe ? "yes" : "NO")});
     }
   }

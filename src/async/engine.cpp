@@ -124,6 +124,7 @@ AsyncRunResult run_async(const AsyncProcessFactory& factory,
       procs[msg.to]->on_message(msg, out, *coins[msg.to]);
       pump(msg.to, out);
     }
+    ++res.messages_delivered;
     ++res.steps;
   }
 

@@ -22,7 +22,11 @@ struct AsyncRunResult {
   bool terminated = false;  ///< every live process decided
   bool agreement = false;
   Bit decision = Bit::Zero;
-  std::uint64_t steps = 0;        ///< messages delivered
+  std::uint64_t steps = 0;        ///< scheduler delivery steps taken
+  /// Messages handed to a recipient's on_message — the same event the sync
+  /// engine's RunResult::messages_delivered counts, so the two models'
+  /// message complexities compare directly (examples/sync_vs_async.cpp).
+  std::uint64_t messages_delivered = 0;
   std::uint32_t max_round = 0;    ///< highest protocol round reached
   std::uint64_t coin_flips = 0;   ///< total across processes
   std::uint32_t crashes = 0;

@@ -37,6 +37,9 @@ class Table {
 
   std::size_t row_count() const { return rows_.size(); }
   const std::string& title() const { return title_; }
+  /// Structured read-back for machine-readable reporters (bench JSON).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<Cell>>& rows() const { return rows_; }
 
  private:
   std::string render_cell(const Cell& c) const;

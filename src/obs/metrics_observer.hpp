@@ -1,0 +1,39 @@
+// EngineObserver that folds executions into a MetricsRegistry.
+//
+// One MetricsObserver can watch many runs (e.g. every rep of a repeated
+// experiment); counters accumulate across them, so registry totals are the
+// batch totals and the summaries/histograms are per-run distributions.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+
+namespace synran::obs {
+
+/// Metric names written by MetricsObserver (all under the engine's view):
+///   counters   runs, runs_terminated, runs_agreement, rounds,
+///              crashes, messages_delivered
+///   histograms crashes_per_round (bounds 0,1,2,4,...,1024)
+///   summaries  rounds_to_decision, rounds_to_halt, crashes_total,
+///              messages_total  (one sample per terminated run)
+class MetricsObserver final : public EngineObserver {
+ public:
+  MetricsObserver();
+  /// Accumulate into an external registry instead of the internal one.
+  explicit MetricsObserver(MetricsRegistry& registry);
+
+  void on_run_begin(const RunInfo& info) override;
+  void on_round_end(const RoundObservation& round) override;
+  void on_run_end(const RunObservation& result) override;
+
+  const MetricsRegistry& metrics() const { return *registry_; }
+  MetricsRegistry& metrics() { return *registry_; }
+
+ private:
+  void pre_register();
+
+  MetricsRegistry own_;
+  MetricsRegistry* registry_;
+};
+
+}  // namespace synran::obs

@@ -1,0 +1,61 @@
+#include "obs/trace_writer.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace synran::obs {
+
+void JsonlTraceWriter::write_line(const JsonValue& event) {
+  *out_ << event.dump() << '\n';
+  if (flush_each_) out_->flush();
+  ++events_;
+}
+
+void JsonlTraceWriter::on_run_begin(const RunInfo& info) {
+  ++runs_;
+  write_line(JsonValue::object()
+                 .set("event", "run_begin")
+                 .set("schema", kTraceSchema)
+                 .set("run", JsonValue(runs_ - 1))
+                 .set("n", JsonValue(info.n))
+                 .set("t", JsonValue(info.t_budget))
+                 .set("per_round_cap", JsonValue(info.per_round_cap))
+                 .set("seed", JsonValue(info.seed)));
+}
+
+void JsonlTraceWriter::on_round_end(const RoundObservation& r) {
+  write_line(JsonValue::object()
+                 .set("event", "round")
+                 .set("run", JsonValue(runs_ == 0 ? 0 : runs_ - 1))
+                 .set("round", JsonValue(r.round))
+                 .set("alive", JsonValue(r.alive))
+                 .set("halted", JsonValue(r.halted))
+                 .set("senders", JsonValue(r.senders))
+                 .set("ones", JsonValue(r.ones))
+                 .set("zeros", JsonValue(r.zeros))
+                 .set("det", JsonValue(r.deterministic))
+                 .set("decided", JsonValue(r.decided))
+                 .set("crashes", JsonValue(r.crashes))
+                 .set("budget_left", JsonValue(r.budget_left))
+                 .set("delivered", JsonValue(r.delivered)));
+}
+
+void JsonlTraceWriter::on_run_end(const RunObservation& res) {
+  write_line(
+      JsonValue::object()
+          .set("event", "run_end")
+          .set("run", JsonValue(runs_ == 0 ? 0 : runs_ - 1))
+          .set("terminated", JsonValue(res.terminated))
+          .set("agreement", JsonValue(res.agreement))
+          .set("decision", res.has_decision ? JsonValue(res.decision)
+                                            : JsonValue(nullptr))
+          .set("rounds_to_decision", JsonValue(res.rounds_to_decision))
+          .set("rounds_to_halt", JsonValue(res.rounds_to_halt))
+          .set("crashes", JsonValue(res.crashes_total))
+          .set("delivered", JsonValue(res.messages_delivered))
+          .set("survivors", JsonValue(res.survivors)));
+  out_->flush();
+}
+
+}  // namespace synran::obs

@@ -1,0 +1,52 @@
+// JSONL run traces: one schema-versioned JSON event per line.
+//
+// Event stream per execution (schema "synran-trace/1"):
+//
+//   {"event":"run_begin","schema":"synran-trace/1","run":K,
+//    "n":N,"t":T,"per_round_cap":C,"seed":S}
+//   {"event":"round","run":K,"round":R,"alive":A,"halted":H,"senders":P,
+//    "ones":O,"zeros":Z,"det":D,"decided":Q,"crashes":X,"budget_left":B,
+//    "delivered":M}                       — one line per communication round
+//   {"event":"run_end","run":K,"terminated":tf,"agreement":tf,
+//    "decision":0|1|null,"rounds_to_decision":R1,"rounds_to_halt":R2,
+//    "crashes":X,"delivered":M,"survivors":V}
+//
+// "run" is a 0-based index so several executions (the reps of one
+// experiment) can share a file. "budget_left" is the crash budget *before*
+// the round's plan was applied. The stream is deterministic: identical
+// seeds produce byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "obs/observer.hpp"
+
+namespace synran::obs {
+
+inline constexpr const char* kTraceSchema = "synran-trace/1";
+
+/// Writes the event stream to a borrowed ostream. Lines are flushed per
+/// event only when `flush_each` is set (useful while debugging a crash).
+class JsonlTraceWriter final : public EngineObserver {
+ public:
+  explicit JsonlTraceWriter(std::ostream& out, bool flush_each = false)
+      : out_(&out), flush_each_(flush_each) {}
+
+  void on_run_begin(const RunInfo& info) override;
+  void on_round_end(const RoundObservation& round) override;
+  void on_run_end(const RunObservation& result) override;
+
+  std::uint64_t events_written() const { return events_; }
+  std::uint64_t runs_written() const { return runs_; }
+
+ private:
+  void write_line(const class JsonValue& event);
+
+  std::ostream* out_;
+  bool flush_each_ = false;
+  std::uint64_t events_ = 0;
+  std::uint64_t runs_ = 0;  ///< run_begin events so far; "run" = runs_ - 1
+};
+
+}  // namespace synran::obs

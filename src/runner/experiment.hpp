@@ -10,6 +10,7 @@
 
 #include "analysis/stats.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/adversary.hpp"
 #include "sim/engine.hpp"
 
@@ -36,21 +37,46 @@ using AdversaryFactory =
 
 AdversaryFactory no_adversary_factory();
 
-/// Aggregates over repeated executions.
-struct RepeatedRunStats {
-  Summary rounds_to_decision;
-  Summary rounds_to_halt;
-  Summary crashes_used;
-  std::size_t reps = 0;
-  std::size_t agreement_failures = 0;
-  std::size_t validity_failures = 0;
-  std::size_t non_terminated = 0;
-  std::size_t decided_one = 0;  ///< reps whose common decision was 1
+/// Aggregates over repeated executions, backed by a metrics registry so the
+/// whole batch serializes to JSON in one call (metrics().to_json()). The
+/// named accessors are thin adapters over the registry entries; anything a
+/// new experiment wants to track rides along in the same registry without
+/// touching this struct again.
+///
+/// Registry contents:
+///   summaries  rounds_to_decision, rounds_to_halt (terminated reps only),
+///              crashes_used, messages_delivered (all reps)
+///   counters   reps, agreement_failures, validity_failures,
+///              non_terminated, decided_one
+class RepeatedRunStats {
+ public:
+  RepeatedRunStats();
+
+  /// Expected rounds to decision across terminated reps.
+  const Summary& rounds_to_decision() const;
+  const Summary& rounds_to_halt() const;
+  /// Adversary crash spend per rep (all reps).
+  const Summary& crashes_used() const;
+  /// Point-to-point deliveries per rep (communication complexity).
+  const Summary& messages_delivered() const;
+
+  std::size_t reps() const;
+  std::size_t agreement_failures() const;
+  std::size_t validity_failures() const;
+  std::size_t non_terminated() const;
+  /// Reps whose common decision was 1.
+  std::size_t decided_one() const;
 
   bool all_safe() const {
-    return agreement_failures == 0 && validity_failures == 0 &&
-           non_terminated == 0;
+    return agreement_failures() == 0 && validity_failures() == 0 &&
+           non_terminated() == 0;
   }
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  obs::MetricsRegistry metrics_;
 };
 
 struct RepeatSpec {

@@ -4,9 +4,38 @@
 
 #include "common/check.hpp"
 #include "net/fabric.hpp"
+#include "obs/observer.hpp"
 #include "sim/audit.hpp"
 
 namespace synran {
+
+namespace {
+
+/// Snapshot of the engine state right after phase A, in observer vocabulary.
+obs::RoundObservation observe_round(
+    Round round, std::uint32_t n, const DynBitset& alive,
+    const DynBitset& halted,
+    const std::vector<std::optional<Payload>>& payloads,
+    const std::vector<std::unique_ptr<Process>>& procs,
+    std::uint32_t budget_left) {
+  obs::RoundObservation ro;
+  ro.round = round;
+  ro.alive = static_cast<std::uint32_t>(alive.count());
+  ro.halted = static_cast<std::uint32_t>(halted.count());
+  ro.budget_left = budget_left;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (alive.test(i) && procs[i]->decided()) ++ro.decided;
+    const auto& p = payloads[i];
+    if (!p.has_value()) continue;
+    ++ro.senders;
+    if (payload::supports(*p, Bit::One)) ++ro.ones;
+    if (payload::supports(*p, Bit::Zero)) ++ro.zeros;
+    if (*p & payload::kDeterministicFlag) ++ro.deterministic;
+  }
+  return ro;
+}
+
+}  // namespace
 
 Engine::Engine(const ProcessFactory& factory, std::vector<Bit> inputs,
                Adversary& adversary, EngineOptions options)
@@ -33,6 +62,13 @@ RunResult Engine::run() {
   }
 
   adversary_.begin(n, options_.t_budget);
+
+  obs::EngineObserver* observer = options_.observer;
+  if (observer != nullptr) {
+    observer->on_run_begin(obs::RunInfo{n, options_.t_budget,
+                                        options_.per_round_cap,
+                                        options_.seed});
+  }
 
   // Always-on model audit (§3.1): cheap per-round predicates that validate
   // the adversary's spend and the engine's own delivery accounting.
@@ -90,13 +126,22 @@ RunResult Engine::run() {
       break;
     }
 
+    obs::RoundObservation round_obs;
+    if (observer != nullptr) {
+      round_obs = observe_round(r, n, alive, halted, payloads, procs,
+                                budget_left);
+      observer->on_round_begin(round_obs);
+    }
+
     // --- Adversary intervention.
     const std::uint32_t cap = options_.per_round_cap;
     WorldView world(r, n, alive, halted, payloads, procs, budget_left, cap);
     FaultPlan plan = adversary_.plan_round(world);
     auditor.on_plan(r, plan, payloads);
+    if (observer != nullptr) observer->on_fault_plan(r, plan);
 
     // --- Phase B: delivery to surviving, non-halted receivers.
+    std::uint64_t round_delivered = 0;
     DynBitset receivers = alive;
     for (const auto& c : plan.crashes) receivers.reset(c.victim);
     {
@@ -110,8 +155,9 @@ RunResult Engine::run() {
         have_receipt[i] = true;
         res.messages_delivered += delivered[i].count;
       });
-      auditor.on_deliveries(r, plan, payloads, active,
-                            res.messages_delivered - before);
+      round_delivered = res.messages_delivered - before;
+      auditor.on_deliveries(r, plan, payloads, active, round_delivered);
+      if (observer != nullptr) observer->on_deliveries(r, round_delivered);
     }
 
     // Commit the crashes.
@@ -122,6 +168,11 @@ RunResult Engine::run() {
     for (const auto& c : plan.crashes) {
       alive.reset(c.victim);
       res.crashed[c.victim] = true;
+    }
+    if (observer != nullptr) {
+      round_obs.crashes = static_cast<std::uint32_t>(plan.crash_count());
+      round_obs.delivered = round_delivered;
+      observer->on_round_end(round_obs);
     }
   }
 
@@ -143,6 +194,20 @@ RunResult Engine::run() {
   }
   res.agreement = res.has_decision && agree;
   if (!res.terminated) res.rounds_to_halt = options_.max_rounds;
+
+  if (observer != nullptr) {
+    obs::RunObservation ro;
+    ro.terminated = res.terminated;
+    ro.agreement = res.agreement;
+    ro.has_decision = res.has_decision;
+    ro.decision = to_int(res.decision);
+    ro.rounds_to_decision = res.rounds_to_decision;
+    ro.rounds_to_halt = res.rounds_to_halt;
+    ro.crashes_total = res.crashes_total;
+    ro.messages_delivered = res.messages_delivered;
+    ro.survivors = static_cast<std::uint32_t>(alive.count());
+    observer->on_run_end(ro);
+  }
   return res;
 }
 

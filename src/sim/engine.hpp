@@ -17,6 +17,10 @@
 
 namespace synran {
 
+namespace obs {
+class EngineObserver;
+}  // namespace obs
+
 struct EngineOptions {
   /// Global fault budget t (max processes the adversary may crash).
   std::uint32_t t_budget = 0;
@@ -31,6 +35,10 @@ struct EngineOptions {
   /// Audit decisions as latching (see RunAuditor::set_strict_decisions).
   /// Leave off for SynRan-family protocols, which rescind until STOP.
   bool strict_decision_audit = false;
+  /// Optional observability hook (borrowed, may be null): receives the
+  /// round-granular callbacks of obs/observer.hpp. Use obs::MultiObserver to
+  /// install several. Observers see, they never steer.
+  obs::EngineObserver* observer = nullptr;
 };
 
 /// Outcome of one execution.

@@ -202,8 +202,8 @@ TEST(CoinBiasTest, DelaysSynRanBeyondAdversaryFreeBaseline) {
 
   ASSERT_TRUE(baseline.all_safe());
   ASSERT_TRUE(attacked.all_safe());
-  EXPECT_GT(attacked.rounds_to_decision.mean(),
-            baseline.rounds_to_decision.mean() + 2.0);
+  EXPECT_GT(attacked.rounds_to_decision().mean(),
+            baseline.rounds_to_decision().mean() + 2.0);
 }
 
 TEST(CoinBiasTest, RejectsBadTargetRatio) {

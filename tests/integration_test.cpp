@@ -162,7 +162,7 @@ TEST_P(ConsensusGrid, SafetyLivenessAndBudget) {
   const auto stats =
       run_repeated(*factory, make_adversaries(adv, n), spec);
 
-  EXPECT_EQ(stats.non_terminated, 0u)
+  EXPECT_EQ(stats.non_terminated(), 0u)
       << proto_name(proto) << " vs " << adv_name(adv);
   // The symmetric ablation exists to show what the one-side-bias machinery
   // buys: its agreement guarantee does not survive the adaptive split
@@ -179,12 +179,12 @@ TEST_P(ConsensusGrid, SafetyLivenessAndBudget) {
       !(proto == ProtoKind::BenOrSym && adaptive_attack) &&
       !(proto == ProtoKind::LeaderCoin && partial_views);
   if (safety_expected) {
-    EXPECT_EQ(stats.agreement_failures, 0u)
+    EXPECT_EQ(stats.agreement_failures(), 0u)
         << proto_name(proto) << " vs " << adv_name(adv);
-    EXPECT_EQ(stats.validity_failures, 0u)
+    EXPECT_EQ(stats.validity_failures(), 0u)
         << proto_name(proto) << " vs " << adv_name(adv);
   }
-  EXPECT_LE(stats.crashes_used.max(), static_cast<double>(t));
+  EXPECT_LE(stats.crashes_used().max(), static_cast<double>(t));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -315,7 +315,7 @@ TEST(ComparisonProperty, SynRanBeatsDeterministicForLargeT) {
       },
       spec);
   ASSERT_TRUE(attacked.all_safe());
-  EXPECT_LT(attacked.rounds_to_decision.mean(), 40.0);
+  EXPECT_LT(attacked.rounds_to_decision().mean(), 40.0);
 
   FloodMinFactory flood({t, false});
   NoAdversary none;

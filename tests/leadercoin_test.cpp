@@ -120,7 +120,7 @@ TEST(LeaderCoinTest, EngineRunsSafeWithoutAdversary) {
   spec.seed = 5;
   const auto stats = run_repeated(factory, no_adversary_factory(), spec);
   EXPECT_TRUE(stats.all_safe());
-  EXPECT_LT(stats.rounds_to_decision.mean(), 6.0);
+  EXPECT_LT(stats.rounds_to_decision().mean(), 6.0);
 }
 
 // ------------------------------------------------------- oblivious / killer

@@ -40,6 +40,11 @@ TEST(LintClassify, RootsAndRoles) {
   EXPECT_TRUE(classify("src/sim/engine.cpp").library_code);
   EXPECT_FALSE(classify("src/runner/experiment.cpp").library_code);
   EXPECT_FALSE(classify("examples/quickstart.cpp").library_code);
+
+  EXPECT_TRUE(classify("src/obs/metrics.cpp").clock_allowed);
+  EXPECT_TRUE(classify("bench/bench_util.hpp").clock_allowed);
+  EXPECT_FALSE(classify("src/sim/engine.cpp").clock_allowed);
+  EXPECT_FALSE(classify("tests/sim_test.cpp").clock_allowed);
 }
 
 // ---------------------------------------------------------- banned-random
@@ -148,6 +153,43 @@ TEST(LintBareAssert, StaticAssertAndGtestMacrosPass) {
   EXPECT_TRUE(scan_file("tests/t.cpp", "ASSERT_TRUE(ok);").empty());
   EXPECT_TRUE(
       scan_file("src/sim/f.cpp", "SYNRAN_CHECK(budget <= t);").empty());
+}
+
+// ------------------------------------------------------------- wall-clock
+
+TEST(LintWallClock, ClockReadsOutsideObsAndBenchFail) {
+  const char* lines[] = {
+      "#include <chrono>",                      // synran-lint: allow(wall-clock)
+      "auto t0 = std::chrono::steady_clock::now();",  // synran-lint: allow(wall-clock)
+      "steady_clock::time_point tp;",           // synran-lint: allow(wall-clock)
+      "system_clock::time_point tp;",           // synran-lint: allow(wall-clock)
+      "auto t = high_resolution_clock::now();", // synran-lint: allow(wall-clock)
+  };
+  for (const char* line : lines) {
+    EXPECT_EQ(count_rule(scan_file("src/sim/f.cpp", line), "wall-clock"), 1u)
+        << line;
+    EXPECT_EQ(count_rule(scan_file("tests/t.cpp", line), "wall-clock"), 1u)
+        << line;
+    // Timing belongs to the observability layer and the bench harness.
+    EXPECT_EQ(count_rule(scan_file("src/obs/metrics.cpp", line), "wall-clock"),
+              0u)
+        << line;
+    EXPECT_EQ(count_rule(scan_file("bench/bench_util.hpp", line), "wall-clock"),
+              0u)
+        << line;
+  }
+}
+
+TEST(LintWallClock, LookalikesAndTrailerPass) {
+  // "synchronous" contains "chrono": identifier boundaries must reject it.
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "// the synchronous engine of §3.1").empty());
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "void steady_clockwork(int);").empty());
+  const std::string line =
+      std::string("auto t0 = std::chrono::steady_clock::now(); ") +  // synran-lint: allow(wall-clock)
+      "// synran-lint: allow(wall-clock)";
+  EXPECT_TRUE(scan_file("src/sim/f.cpp", line).empty());
 }
 
 // --------------------------------------------------- tree walk + summary

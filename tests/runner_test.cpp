@@ -57,14 +57,14 @@ TEST(RunRepeatedTest, AccountsEveryRepetition) {
   spec.reps = 25;
   spec.seed = 3;
   const auto stats = run_repeated(factory, no_adversary_factory(), spec);
-  EXPECT_EQ(stats.reps, 25u);
+  EXPECT_EQ(stats.reps(), 25u);
   EXPECT_TRUE(stats.all_safe());
-  EXPECT_EQ(stats.rounds_to_decision.count(), 25u);
+  EXPECT_EQ(stats.rounds_to_decision().count(), 25u);
   // FloodMin is deterministic: every rep takes exactly t+1 = 3 rounds.
-  EXPECT_DOUBLE_EQ(stats.rounds_to_decision.mean(), 3.0);
-  EXPECT_DOUBLE_EQ(stats.rounds_to_decision.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.rounds_to_decision().mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.rounds_to_decision().stddev(), 0.0);
   // Half-pattern inputs always contain a 0: FloodMin decides 0 every time.
-  EXPECT_EQ(stats.decided_one, 0u);
+  EXPECT_EQ(stats.decided_one(), 0u);
 }
 
 TEST(RunRepeatedTest, MasterSeedReproducesBatches) {
@@ -76,17 +76,17 @@ TEST(RunRepeatedTest, MasterSeedReproducesBatches) {
   spec.seed = 42;
   const auto a = run_repeated(factory, no_adversary_factory(), spec);
   const auto b = run_repeated(factory, no_adversary_factory(), spec);
-  EXPECT_DOUBLE_EQ(a.rounds_to_decision.mean(), b.rounds_to_decision.mean());
-  EXPECT_EQ(a.decided_one, b.decided_one);
+  EXPECT_DOUBLE_EQ(a.rounds_to_decision().mean(), b.rounds_to_decision().mean());
+  EXPECT_EQ(a.decided_one(), b.decided_one());
   spec.seed = 43;
   const auto c = run_repeated(factory, no_adversary_factory(), spec);
   // Different master seed: different inputs and coins. (Means may
   // coincide; the decided-one counts across random inputs rarely do, but
   // guard loosely: at least one aggregate should differ.)
   const bool differs =
-      a.decided_one != c.decided_one ||
-      a.rounds_to_decision.mean() != c.rounds_to_decision.mean() ||
-      a.rounds_to_halt.mean() != c.rounds_to_halt.mean();
+      a.decided_one() != c.decided_one() ||
+      a.rounds_to_decision().mean() != c.rounds_to_decision().mean() ||
+      a.rounds_to_halt().mean() != c.rounds_to_halt().mean();
   EXPECT_TRUE(differs);
 }
 

@@ -1,0 +1,298 @@
+// bench_schema_check — validates the machine-readable artifacts the
+// observability layer emits, for CI and for humans wiring up downstream
+// tooling.
+//
+//   bench_schema_check BENCH_e1.json ...         # synran-bench/1 reports
+//   bench_schema_check --trace run.jsonl ...     # synran-trace/1 JSONL
+//
+// Prints one verdict line per file; exits 0 iff every file validates.
+// EXPERIMENTS.md documents both schemas field by field.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace {
+
+using synran::obs::JsonValue;
+
+/// Collects every problem in one file so a broken report shows all its
+/// defects at once instead of one per CI round-trip.
+struct Check {
+  std::vector<std::string> problems;
+
+  void fail(const std::string& what) { problems.push_back(what); }
+
+  const JsonValue* field(const JsonValue& obj, const std::string& key) {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) fail("missing field \"" + key + "\"");
+    return v;
+  }
+
+  const JsonValue* typed(const JsonValue& obj, const std::string& key,
+                         bool (JsonValue::*pred)() const,
+                         const char* type_name) {
+    const JsonValue* v = field(obj, key);
+    if (v != nullptr && !(v->*pred)()) {
+      fail("field \"" + key + "\" is not " + type_name);
+      return nullptr;
+    }
+    return v;
+  }
+};
+
+void check_bench_report(const JsonValue& doc, Check& c) {
+  if (!doc.is_object()) {
+    c.fail("document is not a JSON object");
+    return;
+  }
+  if (const auto* schema =
+          c.typed(doc, "schema", &JsonValue::is_string, "a string");
+      schema != nullptr && schema->as_string() != "synran-bench/1")
+    c.fail("schema is \"" + schema->as_string() +
+           "\", expected \"synran-bench/1\"");
+  if (const auto* exp =
+          c.typed(doc, "experiment", &JsonValue::is_string, "a string");
+      exp != nullptr && exp->as_string().empty())
+    c.fail("experiment name is empty");
+  c.typed(doc, "seed", &JsonValue::is_int, "an integer");
+  c.typed(doc, "git_rev", &JsonValue::is_string, "a string");
+
+  if (const auto* grid =
+          c.typed(doc, "grid", &JsonValue::is_array, "an array")) {
+    for (std::size_t i = 0; i < grid->as_array().size(); ++i) {
+      const auto& pt = grid->as_array()[i];
+      const std::string at = "grid[" + std::to_string(i) + "]";
+      if (!pt.is_object()) {
+        c.fail(at + " is not an object");
+        continue;
+      }
+      for (const char* key : {"n", "t"}) {
+        const auto* v = pt.find(key);
+        if (v == nullptr || !v->is_int())
+          c.fail(at + "." + key + " is not an integer");
+      }
+    }
+  }
+
+  if (const auto* tables =
+          c.typed(doc, "tables", &JsonValue::is_array, "an array")) {
+    for (std::size_t i = 0; i < tables->as_array().size(); ++i) {
+      const auto& table = tables->as_array()[i];
+      const std::string at = "tables[" + std::to_string(i) + "]";
+      if (!table.is_object()) {
+        c.fail(at + " is not an object");
+        continue;
+      }
+      const auto* title = table.find("title");
+      if (title == nullptr || !title->is_string())
+        c.fail(at + ".title is not a string");
+      const auto* columns = table.find("columns");
+      std::size_t width = 0;
+      if (columns == nullptr || !columns->is_array()) {
+        c.fail(at + ".columns is not an array");
+      } else {
+        width = columns->as_array().size();
+        for (const auto& col : columns->as_array())
+          if (!col.is_string()) c.fail(at + ".columns has a non-string");
+      }
+      const auto* rows = table.find("rows");
+      if (rows == nullptr || !rows->is_array()) {
+        c.fail(at + ".rows is not an array");
+      } else {
+        for (std::size_t r = 0; r < rows->as_array().size(); ++r) {
+          const auto& row = rows->as_array()[r];
+          if (!row.is_array()) {
+            c.fail(at + ".rows[" + std::to_string(r) + "] is not an array");
+            continue;
+          }
+          if (columns != nullptr && columns->is_array() &&
+              row.as_array().size() > width)
+            c.fail(at + ".rows[" + std::to_string(r) + "] is wider than "
+                   "the header");
+          for (const auto& cell : row.as_array())
+            if (!cell.is_string() && !cell.is_number())
+              c.fail(at + ".rows[" + std::to_string(r) +
+                     "] has a cell that is neither string nor number");
+        }
+      }
+    }
+  }
+
+  if (const auto* timings =
+          c.typed(doc, "timings", &JsonValue::is_array, "an array")) {
+    for (std::size_t i = 0; i < timings->as_array().size(); ++i) {
+      const auto& t = timings->as_array()[i];
+      const std::string at = "timings[" + std::to_string(i) + "]";
+      if (!t.is_object()) {
+        c.fail(at + " is not an object");
+        continue;
+      }
+      const auto* name = t.find("name");
+      if (name == nullptr || !name->is_string())
+        c.fail(at + ".name is not a string");
+      if (const auto* v = t.find("iterations"); v != nullptr && !v->is_int())
+        c.fail(at + ".iterations is not an integer");
+      for (const char* key : {"real_time", "cpu_time"})
+        if (const auto* v = t.find(key); v != nullptr && !v->is_number())
+          c.fail(at + "." + key + " is not a number");
+      if (const auto* v = t.find("time_unit"); v != nullptr && !v->is_string())
+        c.fail(at + ".time_unit is not a string");
+    }
+  }
+}
+
+/// Validates one synran-trace/1 JSONL stream: every line parses, events come
+/// in run_begin → round* → run_end order, and each run's round-level crash
+/// and delivery counts sum to the totals its run_end claims.
+void check_trace_stream(std::istream& in, Check& c) {
+  std::string line;
+  std::size_t line_no = 0;
+  bool in_run = false;
+  std::int64_t expected_run = 0;
+  std::int64_t crashes_sum = 0;
+  std::int64_t delivered_sum = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string at = "line " + std::to_string(line_no);
+    std::string err;
+    const auto parsed = JsonValue::parse(line, &err);
+    if (!parsed.has_value()) {
+      c.fail(at + ": parse error: " + err);
+      continue;
+    }
+    if (!parsed->is_object()) {
+      c.fail(at + ": event is not an object");
+      continue;
+    }
+    const auto* event = parsed->find("event");
+    if (event == nullptr || !event->is_string()) {
+      c.fail(at + ": missing \"event\"");
+      continue;
+    }
+    const auto* run = parsed->find("run");
+    if (run == nullptr || !run->is_int()) {
+      c.fail(at + ": missing integer \"run\"");
+      continue;
+    }
+    const std::string& kind = event->as_string();
+
+    if (kind == "run_begin") {
+      if (in_run) c.fail(at + ": run_begin inside an open run");
+      const auto* schema = parsed->find("schema");
+      if (schema == nullptr || !schema->is_string() ||
+          schema->as_string() != synran::obs::kTraceSchema)
+        c.fail(at + ": run_begin schema is not \"" +
+               std::string(synran::obs::kTraceSchema) + "\"");
+      if (run->as_int() != expected_run)
+        c.fail(at + ": run index " + std::to_string(run->as_int()) +
+               ", expected " + std::to_string(expected_run));
+      for (const char* key : {"n", "t", "per_round_cap", "seed"})
+        if (const auto* v = parsed->find(key); v == nullptr || !v->is_int())
+          c.fail(at + ": run_begin." + key + " is not an integer");
+      in_run = true;
+      crashes_sum = 0;
+      delivered_sum = 0;
+    } else if (kind == "round") {
+      if (!in_run) c.fail(at + ": round outside a run");
+      for (const char* key :
+           {"round", "alive", "halted", "senders", "ones", "zeros", "det",
+            "decided", "crashes", "budget_left", "delivered"})
+        if (const auto* v = parsed->find(key); v == nullptr || !v->is_int())
+          c.fail(at + ": round." + key + " is not an integer");
+      if (const auto* v = parsed->find("crashes"); v != nullptr && v->is_int())
+        crashes_sum += v->as_int();
+      if (const auto* v = parsed->find("delivered");
+          v != nullptr && v->is_int())
+        delivered_sum += v->as_int();
+    } else if (kind == "run_end") {
+      if (!in_run) c.fail(at + ": run_end outside a run");
+      for (const char* key : {"terminated", "agreement"})
+        if (const auto* v = parsed->find(key); v == nullptr || !v->is_bool())
+          c.fail(at + ": run_end." + key + " is not a boolean");
+      const auto* decision = parsed->find("decision");
+      if (decision == nullptr ||
+          (!decision->is_null() && !decision->is_int()))
+        c.fail(at + ": run_end.decision is neither null nor an integer");
+      for (const char* key : {"rounds_to_decision", "rounds_to_halt",
+                              "crashes", "delivered", "survivors"})
+        if (const auto* v = parsed->find(key); v == nullptr || !v->is_int())
+          c.fail(at + ": run_end." + key + " is not an integer");
+      if (const auto* v = parsed->find("crashes");
+          v != nullptr && v->is_int() && v->as_int() != crashes_sum)
+        c.fail(at + ": run_end.crashes (" + std::to_string(v->as_int()) +
+               ") != sum of round crashes (" + std::to_string(crashes_sum) +
+               ")");
+      if (const auto* v = parsed->find("delivered");
+          v != nullptr && v->is_int() && v->as_int() != delivered_sum)
+        c.fail(at + ": run_end.delivered (" + std::to_string(v->as_int()) +
+               ") != sum of round deliveries (" +
+               std::to_string(delivered_sum) + ")");
+      in_run = false;
+      ++expected_run;
+    } else {
+      c.fail(at + ": unknown event \"" + kind + "\"");
+    }
+  }
+  if (in_run) c.fail("stream ends inside an open run (no run_end)");
+  if (line_no == 0) c.fail("stream is empty");
+}
+
+int check_file(const std::string& path, bool trace_mode) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return 1;
+  }
+  Check c;
+  if (trace_mode) {
+    check_trace_stream(in, c);
+  } else {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    const auto doc = JsonValue::parse(buf.str(), &err);
+    if (!doc.has_value())
+      c.fail("parse error: " + err);
+    else
+      check_bench_report(*doc, c);
+  }
+  if (c.problems.empty()) {
+    std::cout << path << ": ok\n";
+    return 0;
+  }
+  std::cout << path << ": INVALID\n";
+  for (const auto& p : c.problems) std::cout << "  " << p << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool trace_mode = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace")
+      trace_mode = true;
+    else
+      files.push_back(arg);
+  }
+  if (files.empty()) {
+    std::cerr << "usage: bench_schema_check [--trace] FILE...\n"
+                 "  validates synran-bench/1 reports (default) or\n"
+                 "  synran-trace/1 JSONL streams (--trace)\n";
+    return 2;
+  }
+  int rc = 0;
+  for (const auto& f : files)
+    if (check_file(f, trace_mode) != 0) rc = 1;
+  return rc;
+}

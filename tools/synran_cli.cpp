@@ -5,9 +5,13 @@
 //   synran valency  --n 3 --t 1 --depth 14
 //   synran narrate  --n 96 --t 95 --adversary coinbias --seed 11
 //
+// `run` and `narrate` accept --trace-out=FILE to write a JSONL trace
+// (schema "synran-trace/1", one event per round — see EXPERIMENTS.md).
+//
 // Every subcommand prints an aligned table (or narrative) and exits 0 on a
 // safe, successful run.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -21,6 +25,7 @@
 #include "coin/recursive_games.hpp"
 #include "common/table.hpp"
 #include "lowerbound/valency.hpp"
+#include "obs/trace_writer.hpp"
 #include "protocols/floodmin.hpp"
 #include "protocols/leadercoin.hpp"
 #include "protocols/synran.hpp"
@@ -33,17 +38,27 @@ namespace {
 
 using namespace synran;
 
-/// Minimal --key value argument parser.
+/// Minimal argument parser: accepts both "--key value" and "--key=value".
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::cerr << "expected --key value pairs, got '" << argv[i] << "'\n";
         ok_ = false;
         return;
       }
-      kv_[argv[i] + 2] = argv[i + 1];
+      const std::string arg = argv[i] + 2;
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for '--" << arg << "'\n";
+        ok_ = false;
+        return;
+      }
+      kv_[arg] = argv[++i];
     }
   }
 
@@ -139,29 +154,41 @@ int cmd_run(const Args& args) {
   spec.engine.t_budget = t;
   spec.engine.max_rounds = args.num("max-rounds", 100000);
 
+  std::ofstream trace_out;
+  std::unique_ptr<obs::JsonlTraceWriter> tracer;
+  if (const auto path = args.get("trace-out", ""); !path.empty()) {
+    trace_out.open(path);
+    if (!trace_out) {
+      std::cerr << "cannot write trace file '" << path << "'\n";
+      return 2;
+    }
+    tracer = std::make_unique<obs::JsonlTraceWriter>(trace_out);
+    spec.engine.observer = tracer.get();
+  }
+
   const auto stats = run_repeated(*factory, adversaries, spec);
 
   Table table(proto + " vs " + adv);
   table.header({"metric", "value"});
   table.row({std::string("n / t / reps"),
              std::to_string(n) + " / " + std::to_string(t) + " / " +
-                 std::to_string(stats.reps)});
+                 std::to_string(stats.reps())});
   table.row({std::string("rounds to decision (mean)"),
-             stats.rounds_to_decision.mean()});
+             stats.rounds_to_decision().mean()});
   table.row({std::string("rounds to decision (sd)"),
-             stats.rounds_to_decision.stddev()});
+             stats.rounds_to_decision().stddev()});
   table.row({std::string("rounds to halt (mean)"),
-             stats.rounds_to_halt.mean()});
-  table.row({std::string("crashes used (mean)"), stats.crashes_used.mean()});
+             stats.rounds_to_halt().mean()});
+  table.row({std::string("crashes used (mean)"), stats.crashes_used().mean()});
   table.row({std::string("decided 1 / reps"),
-             std::to_string(stats.decided_one) + " / " +
-                 std::to_string(stats.reps)});
+             std::to_string(stats.decided_one()) + " / " +
+                 std::to_string(stats.reps())});
   table.row({std::string("agreement failures"),
-             static_cast<long long>(stats.agreement_failures)});
+             static_cast<long long>(stats.agreement_failures())});
   table.row({std::string("validity failures"),
-             static_cast<long long>(stats.validity_failures)});
+             static_cast<long long>(stats.validity_failures())});
   table.row({std::string("non-terminated"),
-             static_cast<long long>(stats.non_terminated)});
+             static_cast<long long>(stats.non_terminated())});
   table.print(std::cout);
   return stats.all_safe() ? 0 : 1;
 }
@@ -254,6 +281,17 @@ int cmd_narrate(const Args& args) {
   opts.t_budget = t;
   opts.seed = seed;
   opts.max_rounds = 100000;
+  std::ofstream trace_out;
+  std::unique_ptr<obs::JsonlTraceWriter> jsonl;
+  if (const auto path = args.get("trace-out", ""); !path.empty()) {
+    trace_out.open(path);
+    if (!trace_out) {
+      std::cerr << "cannot write trace file '" << path << "'\n";
+      return 2;
+    }
+    jsonl = std::make_unique<obs::JsonlTraceWriter>(trace_out);
+    opts.observer = jsonl.get();
+  }
   Xoshiro256 rng(seed);
   const auto inputs =
       make_inputs(n, parse_pattern(args.get("pattern", "half")), rng);
@@ -275,11 +313,12 @@ void usage() {
       "           synran-nodet|floodmin|floodmin-early|leadercoin\n"
       "           --adversary none|random|chain|coinbias|oblivious|\n"
       "           leader-killer --n --t --reps --seed --pattern\n"
+      "           --trace-out=FILE (JSONL round trace)\n"
       "  coin     one-round game control: --game majority|majority0|\n"
       "           parity|leader|tribes --n --budget --samples\n"
       "  valency  exact initial-state valencies (tiny n): --n --t --depth\n"
       "  narrate  round-by-round story of one run: --n --t --seed\n"
-      "           --adversary --pattern\n";
+      "           --adversary --pattern --trace-out=FILE\n";
 }
 
 }  // namespace

@@ -94,6 +94,19 @@ constexpr std::array<TokenRule, 9> kBannedRandom{{
      "seeds from the experiment's master seed instead"},
 }};
 
+constexpr std::string_view kClockMessage =
+    "wall-clock read outside src/obs/ and bench/; seeded runs must not "
+    "observe real time — move timing into the observability layer or the "
+    "bench harness";
+
+constexpr std::array<TokenRule, 5> kWallClock{{
+    {"std::chrono", false, kClockMessage},
+    {"<chrono>", false, kClockMessage},
+    {"steady_clock", true, kClockMessage},
+    {"system_clock", true, kClockMessage},
+    {"high_resolution_clock", true, kClockMessage},
+}};
+
 }  // namespace
 
 FileClass classify(std::string_view rel_path) {
@@ -108,6 +121,8 @@ FileClass classify(std::string_view rel_path) {
                      starts_with(rel_path, "src/async/");
   fc.library_code =
       starts_with(rel_path, "src/") && !starts_with(rel_path, "src/runner/");
+  fc.clock_allowed =
+      starts_with(rel_path, "src/obs/") || starts_with(rel_path, "bench/");
   return fc;
 }
 
@@ -149,6 +164,15 @@ std::vector<Finding> scan_file(std::string_view rel_path,
       for (const auto& rule : kBannedRandom) {
         if (has_token(line, rule.token, rule.right_boundary)) {
           report(line_no, "banned-random", rule.message);
+          break;
+        }
+      }
+    }
+
+    if (!fc.clock_allowed && !allows(line, "wall-clock")) {
+      for (const auto& rule : kWallClock) {
+        if (has_token(line, rule.token, rule.right_boundary)) {
+          report(line_no, "wall-clock", rule.message);
           break;
         }
       }

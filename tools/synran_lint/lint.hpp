@@ -19,6 +19,10 @@
 //   bare-assert      SYNRAN_CHECK / SYNRAN_REQUIRE instead of bare assert()
 //                    or abort(): checks must stay on in release builds and
 //                    throw typed exceptions.
+//   wall-clock       no std::chrono / <chrono> / *_clock outside src/obs/
+//                    and bench/: wall-clock reads in protocol or analysis
+//                    paths make seeded runs non-reproducible. Timing belongs
+//                    to the observability layer and the bench harness.
 //
 // A finding on one specific line can be suppressed with an explicit trailer:
 //     legit_line();  // synran-lint: allow(<rule>)
@@ -46,6 +50,7 @@ struct FileClass {
   bool is_rng_header = false;///< src/common/rng.hpp — the one place PRNGs live
   bool protocol_code = false;///< src/protocols/ or src/async/
   bool library_code = false; ///< src/ minus src/runner/ — may not print
+  bool clock_allowed = false;///< src/obs/ or bench/ — may read wall clocks
 };
 
 FileClass classify(std::string_view rel_path);
