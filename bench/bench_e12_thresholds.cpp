@@ -46,6 +46,7 @@ void tables() {
     spec.n = 256;
     spec.pattern = InputPattern::Half;
     spec.reps = 60;
+    spec.threads = bench_threads();
     spec.seed = kSeed + m.d1 * 1000 + m.d0;
     spec.engine.t_budget = 128;
     spec.engine.max_rounds = 100000;

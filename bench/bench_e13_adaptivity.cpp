@@ -20,6 +20,7 @@ RepeatedRunStats with_adversary(const ProcessFactory& factory,
   spec.n = n;
   spec.pattern = InputPattern::Half;
   spec.reps = reps_for(n);
+  spec.threads = bench_threads();
   spec.seed = seed;
   spec.engine.t_budget = t;
   spec.engine.max_rounds = 100000;

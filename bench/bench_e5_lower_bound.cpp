@@ -35,15 +35,16 @@ void tables() {
     spec.engine.max_rounds = 200000;
 
     // Collect the distribution, not just the mean: the theorem is a
-    // with-high-probability statement.
+    // with-high-probability statement. Serial per-rep loop (run_repeated
+    // only keeps the aggregate) on the synran-seed/2 per-rep streams.
     std::vector<double> rounds;
     Summary s;
-    SeedSequence seeds(spec.seed);
-    Xoshiro256 input_rng(seeds.stream(1));
     for (std::size_t rep = 0; rep < spec.reps; ++rep) {
-      CoinBiasAdversary adv({0.55, true, seeds.stream(100 + rep)});
+      Xoshiro256 input_rng = input_rng_for_rep(spec.seed, rep);
+      CoinBiasAdversary adv(
+          {0.55, true, adversary_seed_for_rep(spec.seed, rep)});
       EngineOptions opts = spec.engine;
-      opts.seed = seeds.stream(5000 + rep);
+      opts.seed = engine_seed_for_rep(spec.seed, rep);
       auto inputs = make_inputs(n, spec.pattern, input_rng);
       const auto res = run_once(synran, inputs, adv, opts);
       s.add(static_cast<double>(res.rounds_to_decision));
@@ -63,6 +64,7 @@ void tables() {
     spec.n = n;
     spec.pattern = InputPattern::Half;
     spec.reps = 15;
+    spec.threads = bench_threads();
     spec.seed = kSeed + 11 * n;
     spec.engine.t_budget = t;
     spec.engine.max_rounds = 100000;
@@ -106,6 +108,7 @@ void tables() {
     spec.n = n;
     spec.pattern = InputPattern::Half;
     spec.reps = 30;
+    spec.threads = bench_threads();
     spec.seed = kSeed + 13 * n;
     spec.engine.t_budget = n / 2;
     spec.engine.max_rounds = 20000;

@@ -13,12 +13,17 @@
 //   SYNRAN_TRACE_DIR   write a JSONL run trace per attack_run batch here
 //   SYNRAN_BENCH_DIR   where BENCH_<experiment>.json lands (default ".")
 //   SYNRAN_REPS_BUDGET lower the rep budget (CI smoke runs)
+//   SYNRAN_THREADS     worker threads for every repeated-run batch
+//                      (--threads=N on the command line wins). Per-cell
+//                      statistics are bit-identical at any thread count; the
+//                      resolved count is recorded as "threads" in the report.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -26,6 +31,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -34,6 +40,7 @@
 #include "analysis/stats.hpp"
 #include "analysis/theory.hpp"
 #include "common/table.hpp"
+#include "exec/executor.hpp"
 #include "obs/json.hpp"
 #include "obs/trace_writer.hpp"
 #include "protocols/synran.hpp"
@@ -60,6 +67,18 @@ inline std::size_t reps_for(std::uint32_t n, std::size_t budget = 40000) {
   }
   const std::size_t r = budget / std::max<std::uint32_t>(1, n);
   return std::max<std::size_t>(floor, std::min<std::size_t>(400, r));
+}
+
+/// The worker-thread count every repeated-run batch in this binary uses:
+/// --threads=N (recorded by run_main) when given, else SYNRAN_THREADS, else
+/// serial. Resolved once so the tables and the report agree.
+inline unsigned& bench_threads_setting() {
+  static unsigned threads = 0;  // 0 = defer to the environment
+  return threads;
+}
+
+inline unsigned bench_threads() {
+  return exec::resolve_threads(bench_threads_setting());
 }
 
 // ---------------------------------------------------------------- reporting
@@ -157,6 +176,11 @@ class BenchReport {
         .set("experiment", obs::JsonValue(experiment_))
         .set("seed", obs::JsonValue(kSeed))
         .set("git_rev", obs::JsonValue(git_rev()))
+        // Additive since schema synran-bench/1 first shipped: the worker
+        // threads the seeded tables ran with. Statistics are thread-count
+        // invariant; this records how fast the run was allowed to be.
+        .set("threads",
+             obs::JsonValue(static_cast<std::int64_t>(bench_threads())))
         .set("grid", std::move(grid))
         .set("tables", tables_)
         .set("timings", timings_);
@@ -246,7 +270,9 @@ inline AdversaryFactory coinbias_factory(bool stall = true) {
 
 /// Runs SynRan (or an ablation) under the CoinBias adversary and returns the
 /// aggregate — the workhorse of E1/E2/E5/E8. Grid points land in the bench
-/// report; with SYNRAN_TRACE_DIR set, the batch also writes a JSONL trace.
+/// report; with SYNRAN_TRACE_DIR set, the batch also writes a JSONL trace
+/// (serial runs only: observers are rejected at >1 thread, so a parallel
+/// batch skips tracing with a notice rather than racing on the writer).
 inline RepeatedRunStats attack_run(const ProcessFactory& factory,
                                    std::uint32_t n, std::uint32_t t,
                                    InputPattern pattern, std::size_t reps,
@@ -258,14 +284,20 @@ inline RepeatedRunStats attack_run(const ProcessFactory& factory,
   spec.pattern = pattern;
   spec.reps = reps;
   spec.seed = seed;
+  spec.threads = bench_threads();
   spec.engine.t_budget = t;
   spec.engine.max_rounds = 200000;
   if (capped)
     spec.engine.per_round_cap = static_cast<std::uint32_t>(
         theory::per_round_budget(static_cast<double>(n)));
-  ScopedTrace trace =
-      open_trace("n" + std::to_string(n) + "-t" + std::to_string(t));
-  spec.engine.observer = trace.observer();
+  ScopedTrace trace;
+  if (spec.threads <= 1) {
+    trace = open_trace("n" + std::to_string(n) + "-t" + std::to_string(t));
+    spec.engine.observer = trace.observer();
+  } else if (std::getenv("SYNRAN_TRACE_DIR") != nullptr) {
+    std::cout << "  [trace: skipped — tracing requires a serial run, got "
+              << spec.threads << " threads]\n";
+  }
   return run_repeated(factory, coinbias_factory(stall), spec);
 }
 
@@ -321,6 +353,23 @@ inline obs::JsonValue extract_timings(const std::string& gbench_json) {
 /// file), then write BENCH_<experiment>.json.
 inline int run_main(int argc, char** argv, void (*tables)()) {
   BenchReport::instance().set_experiment(experiment_name_from(argv[0]));
+
+  // Strip --threads=N before google-benchmark sees argv (it rejects flags it
+  // does not know). Must happen before tables() runs the seeded batches.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      bench_threads_setting() = static_cast<unsigned>(
+          std::strtoul(argv[i] + std::strlen("--threads="), nullptr, 10));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (bench_threads() > 1)
+    std::cout << "[threads: " << bench_threads() << "]\n";
+
   tables();
 
   const char* bench_dir_env = std::getenv("SYNRAN_BENCH_DIR");

@@ -39,7 +39,11 @@ class SplitMix64 {
 class Xoshiro256 {
  public:
   /// Seeds all 256 bits of state via SplitMix64 per the authors' guidance.
-  explicit Xoshiro256(std::uint64_t seed) {
+  explicit Xoshiro256(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-initializes in place to the same state `Xoshiro256(seed)` would
+  /// produce; lets long-lived workspaces restart streams without reallocating.
+  void reseed(std::uint64_t seed) {
     SplitMix64 sm(seed);
     for (auto& s : s_) s = sm.next();
     // A zero state is a fixed point; SplitMix64 cannot emit four zeros in a
@@ -128,6 +132,10 @@ class RandomCoinSource final : public CoinSource {
  public:
   explicit RandomCoinSource(std::uint64_t seed) : rng_(seed) {}
   bool flip() override { return rng_.flip(); }
+
+  /// Restarts the stream as if freshly constructed from `seed`; engine
+  /// workspaces reuse one source per process slot across repetitions.
+  void reseed(std::uint64_t seed) { rng_.reseed(seed); }
 
   Xoshiro256& rng() { return rng_; }
 

@@ -1,0 +1,131 @@
+#include "exec/batch.hpp"
+
+#include "common/check.hpp"
+
+namespace synran {
+
+const char* to_string(InputPattern p) {
+  switch (p) {
+    case InputPattern::AllZero:
+      return "all-0";
+    case InputPattern::AllOne:
+      return "all-1";
+    case InputPattern::Half:
+      return "half";
+    case InputPattern::Random:
+      return "random";
+    case InputPattern::SingleZero:
+      return "single-0";
+  }
+  return "?";
+}
+
+void make_inputs(std::vector<Bit>& out, std::uint32_t n, InputPattern pattern,
+                 Xoshiro256& rng) {
+  SYNRAN_REQUIRE(n >= 1, "need at least one process");
+  out.assign(n, Bit::Zero);
+  switch (pattern) {
+    case InputPattern::AllZero:
+      break;
+    case InputPattern::AllOne:
+      out.assign(n, Bit::One);
+      break;
+    case InputPattern::Half:
+      for (std::uint32_t i = n / 2; i < n; ++i) out[i] = Bit::One;
+      break;
+    case InputPattern::Random:
+      for (auto& b : out) b = bit_of(rng.flip());
+      break;
+    case InputPattern::SingleZero:
+      out.assign(n, Bit::One);
+      out[rng.below(n)] = Bit::Zero;
+      break;
+  }
+}
+
+std::vector<Bit> make_inputs(std::uint32_t n, InputPattern pattern,
+                             Xoshiro256& rng) {
+  std::vector<Bit> inputs;
+  make_inputs(inputs, n, pattern, rng);
+  return inputs;
+}
+
+Xoshiro256 input_rng_for_rep(std::uint64_t seed, std::size_t rep) {
+  return Xoshiro256(SeedSequence(seed).stream(kInputStreamBase + rep));
+}
+
+std::uint64_t adversary_seed_for_rep(std::uint64_t seed, std::size_t rep) {
+  return SeedSequence(seed).stream(kAdversaryStreamBase + rep);
+}
+
+std::uint64_t engine_seed_for_rep(std::uint64_t seed, std::size_t rep) {
+  return SeedSequence(seed).stream(kEngineStreamBase + rep);
+}
+
+AdversaryFactory no_adversary_factory() {
+  return [](std::uint64_t) { return std::make_unique<NoAdversary>(); };
+}
+
+RepeatedRunStats::RepeatedRunStats() {
+  // Pre-register everything the accessors expose so a zero-rep aggregate
+  // still reads back as zeros instead of "unknown metric".
+  metrics_.summary("rounds_to_decision");
+  metrics_.summary("rounds_to_halt");
+  metrics_.summary("crashes_used");
+  metrics_.summary("messages_delivered");
+  metrics_.counter("reps");
+  metrics_.counter("agreement_failures");
+  metrics_.counter("validity_failures");
+  metrics_.counter("non_terminated");
+  metrics_.counter("decided_one");
+}
+
+void RepeatedRunStats::add(const RunSummary& rep) {
+  metrics_.counter("reps").inc();
+  if (!rep.terminated) {
+    metrics_.counter("non_terminated").inc();
+  } else {
+    metrics_.summary("rounds_to_decision")
+        .add(static_cast<double>(rep.rounds_to_decision));
+    metrics_.summary("rounds_to_halt")
+        .add(static_cast<double>(rep.rounds_to_halt));
+  }
+  metrics_.summary("crashes_used").add(static_cast<double>(rep.crashes_total));
+  metrics_.summary("messages_delivered")
+      .add(static_cast<double>(rep.messages_delivered));
+  if (rep.has_decision && !rep.agreement)
+    metrics_.counter("agreement_failures").inc();
+  if (!rep.validity) metrics_.counter("validity_failures").inc();
+  if (rep.agreement && rep.decision == Bit::One)
+    metrics_.counter("decided_one").inc();
+}
+
+const Summary& RepeatedRunStats::rounds_to_decision() const {
+  return metrics_.summary_at("rounds_to_decision");
+}
+const Summary& RepeatedRunStats::rounds_to_halt() const {
+  return metrics_.summary_at("rounds_to_halt");
+}
+const Summary& RepeatedRunStats::crashes_used() const {
+  return metrics_.summary_at("crashes_used");
+}
+const Summary& RepeatedRunStats::messages_delivered() const {
+  return metrics_.summary_at("messages_delivered");
+}
+std::size_t RepeatedRunStats::reps() const {
+  return metrics_.counter_at("reps").value();
+}
+std::size_t RepeatedRunStats::agreement_failures() const {
+  return metrics_.counter_at("agreement_failures").value();
+}
+std::size_t RepeatedRunStats::validity_failures() const {
+  return metrics_.counter_at("validity_failures").value();
+}
+std::size_t RepeatedRunStats::non_terminated() const {
+  return metrics_.counter_at("non_terminated").value();
+}
+std::size_t RepeatedRunStats::decided_one() const {
+  return metrics_.counter_at("decided_one").value();
+}
+
+}  // namespace synran

@@ -1,0 +1,141 @@
+// Batch-execution vocabulary shared by the executor, the runner harness,
+// tests, examples, and the bench tables: input patterns, the per-rep seeding
+// schema, and aggregate verdicts.
+//
+// Seeding schema (version 2, "synran-seed/2"): with S = SeedSequence(seed),
+// repetition k of a batch uses
+//   inputs     Xoshiro256(S.stream(kInputStreamBase + k))
+//   adversary  S.stream(kAdversaryStreamBase + k)
+//   engine     S.stream(kEngineStreamBase + k)
+// Every stream is a pure function of (master seed, k): repetition k's inputs,
+// adversary, and coins do not depend on repetitions 0..k-1, so any scheduler
+// — serial, sharded across threads, or resumed mid-batch — reproduces the
+// same executions. Schema 1 drew Random/SingleZero inputs from one shared
+// sequential RNG, which coupled rep k to every rep before it; bumping to 2
+// changed those two patterns' input streams (AllZero/AllOne/Half never
+// consume input randomness and are unchanged).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "sim/adversary.hpp"
+#include "sim/engine.hpp"
+#include "sim/workspace.hpp"
+
+namespace synran {
+
+/// Version of the per-rep seed derivation documented above. Bumped whenever
+/// the mapping (master seed, rep) → (inputs, adversary seed, engine seed)
+/// changes, because every seeded expectation downstream moves with it.
+inline constexpr int kSeedSchemaVersion = 2;
+
+/// Stream-id bases for SeedSequence::stream. Disjoint for any batch with
+/// fewer than ~2^31 repetitions.
+inline constexpr std::uint64_t kAdversaryStreamBase = 1000;
+inline constexpr std::uint64_t kEngineStreamBase = 2000000;
+inline constexpr std::uint64_t kInputStreamBase = 0x494e505554ULL;  // "INPUT"
+
+/// Input assignments used across the experiment suite.
+enum class InputPattern : std::uint8_t {
+  AllZero,
+  AllOne,
+  Half,      ///< first half 0, second half 1
+  Random,    ///< i.i.d. fair bits (fresh per rep)
+  SingleZero ///< one 0 among 1s (the chain adversary's workload)
+};
+
+const char* to_string(InputPattern p);
+
+/// Fills `out` (resized to n) with the pattern, drawing any randomness from
+/// `rng`. The in-place form lets workspaces recycle the input allocation.
+void make_inputs(std::vector<Bit>& out, std::uint32_t n, InputPattern pattern,
+                 Xoshiro256& rng);
+
+std::vector<Bit> make_inputs(std::uint32_t n, InputPattern pattern,
+                             Xoshiro256& rng);
+
+/// The input RNG for repetition `rep` of a batch with master seed `seed`
+/// (seeding schema 2): a fresh stream per rep, independent of all others.
+Xoshiro256 input_rng_for_rep(std::uint64_t seed, std::size_t rep);
+
+/// Per-rep adversary and engine seeds of the same schema.
+std::uint64_t adversary_seed_for_rep(std::uint64_t seed, std::size_t rep);
+std::uint64_t engine_seed_for_rep(std::uint64_t seed, std::size_t rep);
+
+/// Builds a fresh adversary for one repetition; `seed` decorrelates
+/// adversary randomness across reps. Factories are invoked from worker
+/// threads when a batch runs parallel, so they must be safe to call
+/// concurrently (stateless lambdas — the norm everywhere in this repo —
+/// trivially are).
+using AdversaryFactory =
+    std::function<std::unique_ptr<Adversary>(std::uint64_t seed)>;
+
+AdversaryFactory no_adversary_factory();
+
+/// Aggregates over repeated executions, backed by a metrics registry so the
+/// whole batch serializes to JSON in one call (metrics().to_json()). The
+/// named accessors are thin adapters over the registry entries; anything a
+/// new experiment wants to track rides along in the same registry without
+/// touching this struct again.
+///
+/// Registry contents:
+///   summaries  rounds_to_decision, rounds_to_halt (terminated reps only),
+///              crashes_used, messages_delivered (all reps)
+///   counters   reps, agreement_failures, validity_failures,
+///              non_terminated, decided_one
+class RepeatedRunStats {
+ public:
+  RepeatedRunStats();
+
+  /// Folds one repetition's summary into the aggregate. The registry's
+  /// floating-point state depends on fold order; callers that must match the
+  /// serial run fold in rep order.
+  void add(const RunSummary& rep);
+
+  /// Expected rounds to decision across terminated reps.
+  const Summary& rounds_to_decision() const;
+  const Summary& rounds_to_halt() const;
+  /// Adversary crash spend per rep (all reps).
+  const Summary& crashes_used() const;
+  /// Point-to-point deliveries per rep (communication complexity).
+  const Summary& messages_delivered() const;
+
+  std::size_t reps() const;
+  std::size_t agreement_failures() const;
+  std::size_t validity_failures() const;
+  std::size_t non_terminated() const;
+  /// Reps whose common decision was 1.
+  std::size_t decided_one() const;
+
+  bool all_safe() const {
+    return agreement_failures() == 0 && validity_failures() == 0 &&
+           non_terminated() == 0;
+  }
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  obs::MetricsRegistry metrics_;
+};
+
+struct RepeatSpec {
+  std::uint32_t n = 0;
+  InputPattern pattern = InputPattern::Random;
+  EngineOptions engine;  ///< engine.seed is re-derived per rep
+  std::size_t reps = 1;
+  std::uint64_t seed = 1;  ///< master seed for the whole batch
+  /// Worker threads for the batch: 1 = serial on the calling thread,
+  /// N > 1 = that many workers, 0 = auto (SYNRAN_THREADS when set, else
+  /// serial). Statistics are bit-identical at every thread count.
+  unsigned threads = 0;
+};
+
+}  // namespace synran

@@ -1,0 +1,107 @@
+#include "exec/executor.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace synran::exec {
+
+namespace {
+
+/// Runs one repetition into `ws`/`engine` and returns its summary. This is
+/// the single definition of what a repetition *is*; serial and parallel
+/// batches both call it, which is what makes their results identical.
+RunSummary run_rep(const ProcessFactory& factory,
+                   const AdversaryFactory& adversaries, const RepeatSpec& spec,
+                   std::size_t rep, Engine& engine, EngineWorkspace& ws) {
+  Xoshiro256 input_rng = input_rng_for_rep(spec.seed, rep);
+  make_inputs(ws.inputs(), spec.n, spec.pattern, input_rng);
+  auto adversary = adversaries(adversary_seed_for_rep(spec.seed, rep));
+  EngineOptions opts = spec.engine;
+  opts.seed = engine_seed_for_rep(spec.seed, rep);
+  return engine.run(factory, ws.inputs(), *adversary, opts);
+}
+
+}  // namespace
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SYNRAN_THREADS");
+      env != nullptr && *env != '\0') {
+    const unsigned long n = std::strtoul(env, nullptr, 10);
+    return n >= 1 ? static_cast<unsigned>(n) : 1u;
+  }
+  return 1;
+}
+
+RepeatedRunStats BatchExecutor::run(const ProcessFactory& factory,
+                                    const AdversaryFactory& adversaries,
+                                    const RepeatSpec& spec) const {
+  SYNRAN_REQUIRE(spec.reps >= 1, "need at least one repetition");
+  unsigned threads =
+      resolve_threads(spec.threads != 0 ? spec.threads : options_.threads);
+  if (threads > spec.reps) threads = static_cast<unsigned>(spec.reps);
+  SYNRAN_REQUIRE(spec.engine.observer == nullptr || threads == 1,
+                 "engine observers are serial-only: round callbacks from "
+                 "concurrent reps would interleave nondeterministically — "
+                 "run observed batches at 1 thread");
+
+  RepeatedRunStats stats;
+
+  if (threads == 1) {
+    // Serial fast path on the calling thread: one workspace, reps in order.
+    EngineWorkspace ws;
+    Engine engine(ws);
+    for (std::size_t rep = 0; rep < spec.reps; ++rep)
+      stats.add(run_rep(factory, adversaries, spec, rep, engine, ws));
+    return stats;
+  }
+
+  // Parallel path. Workers fill disjoint slots of `summaries`; the only
+  // shared mutable state is the first-failure slot below.
+  std::vector<RunSummary> summaries(spec.reps);
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::size_t> error_reps(threads, spec.reps);
+
+  auto worker = [&](unsigned w) {
+    EngineWorkspace ws;
+    Engine engine(ws);
+    for (std::size_t rep = w; rep < spec.reps; rep += threads) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        summaries[rep] = run_rep(factory, adversaries, spec, rep, engine, ws);
+      } catch (...) {
+        errors[w] = std::current_exception();
+        error_reps[w] = rep;
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+  for (auto& t : pool) t.join();
+
+  if (failed.load()) {
+    // Deterministic error selection: rethrow the failure of the earliest
+    // rep, regardless of which worker hit its error first in wall time.
+    unsigned first = 0;
+    for (unsigned w = 1; w < threads; ++w)
+      if (error_reps[w] < error_reps[first]) first = w;
+    std::rethrow_exception(errors[first]);
+  }
+
+  // Fold in rep order — the serial run's exact floating-point sequence.
+  for (std::size_t rep = 0; rep < spec.reps; ++rep) stats.add(summaries[rep]);
+  return stats;
+}
+
+}  // namespace synran::exec

@@ -1,0 +1,68 @@
+// Deterministic thread-pooled batch execution.
+//
+// BatchExecutor runs the repetitions of one RepeatSpec across worker
+// threads and produces a RepeatedRunStats that is bit-identical to the
+// serial run at any thread count. Three design rules make that hold:
+//
+//  1. Static seed-indexed schedule. Repetition k always derives its inputs,
+//     adversary, and engine seed from per-rep streams of the master seed
+//     (seeding schema 2, exec/batch.hpp), never from shared mutable state —
+//     so which worker runs a rep, and in what order, cannot change what the
+//     rep computes. Worker w owns reps {k : k mod threads == w}.
+//  2. Reusable workspaces. Each worker drives one Engine bound to one
+//     EngineWorkspace, so a worker's thousands of reps reuse one set of
+//     buffers instead of reallocating per rep.
+//  3. Rep-order aggregation. Workers record a lightweight RunSummary per
+//     rep into disjoint slots of one pre-sized array; after the join, the
+//     summaries are folded into the registry serially in rep order. Folding
+//     per-rep scalars in rep order reproduces the serial run's
+//     floating-point operations exactly — which a tree-merge of per-worker
+//     Welford accumulators would not.
+//
+// Engine observers are a serial-only feature: round-granular callbacks from
+// concurrent reps would interleave nondeterministically, so the executor
+// rejects a configured observer at more than one thread instead of racing
+// on it.
+//
+// This subsystem is the one place in the repo allowed to use threading
+// primitives (tools/synran_lint enforces the boundary with its `threads`
+// rule).
+#pragma once
+
+#include "exec/batch.hpp"
+#include "sim/process.hpp"
+
+namespace synran::exec {
+
+/// Resolves a requested thread count: N > 0 means N workers; 0 means auto —
+/// the SYNRAN_THREADS environment variable when set (clamped to ≥ 1), else 1
+/// (serial, the deterministic default that never surprises a caller).
+unsigned resolve_threads(unsigned requested);
+
+struct ExecOptions {
+  /// Worker threads; interpreted by resolve_threads.
+  unsigned threads = 0;
+};
+
+/// Runs batches of independent seeded executions. Stateless apart from its
+/// options; one executor may run many batches.
+class BatchExecutor {
+ public:
+  BatchExecutor() = default;
+  explicit BatchExecutor(ExecOptions options) : options_(options) {}
+
+  /// Runs spec.reps executions and returns the aggregate. spec.threads,
+  /// when non-zero, overrides the executor's own thread option for this
+  /// batch. Requires spec.engine.observer == nullptr unless the batch
+  /// resolves to one thread.
+  RepeatedRunStats run(const ProcessFactory& factory,
+                       const AdversaryFactory& adversaries,
+                       const RepeatSpec& spec) const;
+
+  ExecOptions options() const { return options_; }
+
+ private:
+  ExecOptions options_;
+};
+
+}  // namespace synran::exec

@@ -1,130 +1,11 @@
 #include "runner/experiment.hpp"
 
-#include "common/check.hpp"
-
 namespace synran {
-
-const char* to_string(InputPattern p) {
-  switch (p) {
-    case InputPattern::AllZero:
-      return "all-0";
-    case InputPattern::AllOne:
-      return "all-1";
-    case InputPattern::Half:
-      return "half";
-    case InputPattern::Random:
-      return "random";
-    case InputPattern::SingleZero:
-      return "single-0";
-  }
-  return "?";
-}
-
-std::vector<Bit> make_inputs(std::uint32_t n, InputPattern pattern,
-                             Xoshiro256& rng) {
-  SYNRAN_REQUIRE(n >= 1, "need at least one process");
-  std::vector<Bit> inputs(n, Bit::Zero);
-  switch (pattern) {
-    case InputPattern::AllZero:
-      break;
-    case InputPattern::AllOne:
-      inputs.assign(n, Bit::One);
-      break;
-    case InputPattern::Half:
-      for (std::uint32_t i = n / 2; i < n; ++i) inputs[i] = Bit::One;
-      break;
-    case InputPattern::Random:
-      for (auto& b : inputs) b = bit_of(rng.flip());
-      break;
-    case InputPattern::SingleZero:
-      inputs.assign(n, Bit::One);
-      inputs[rng.below(n)] = Bit::Zero;
-      break;
-  }
-  return inputs;
-}
-
-AdversaryFactory no_adversary_factory() {
-  return [](std::uint64_t) { return std::make_unique<NoAdversary>(); };
-}
-
-RepeatedRunStats::RepeatedRunStats() {
-  // Pre-register everything the accessors expose so a zero-rep aggregate
-  // still reads back as zeros instead of "unknown metric".
-  metrics_.summary("rounds_to_decision");
-  metrics_.summary("rounds_to_halt");
-  metrics_.summary("crashes_used");
-  metrics_.summary("messages_delivered");
-  metrics_.counter("reps");
-  metrics_.counter("agreement_failures");
-  metrics_.counter("validity_failures");
-  metrics_.counter("non_terminated");
-  metrics_.counter("decided_one");
-}
-
-const Summary& RepeatedRunStats::rounds_to_decision() const {
-  return metrics_.summary_at("rounds_to_decision");
-}
-const Summary& RepeatedRunStats::rounds_to_halt() const {
-  return metrics_.summary_at("rounds_to_halt");
-}
-const Summary& RepeatedRunStats::crashes_used() const {
-  return metrics_.summary_at("crashes_used");
-}
-const Summary& RepeatedRunStats::messages_delivered() const {
-  return metrics_.summary_at("messages_delivered");
-}
-std::size_t RepeatedRunStats::reps() const {
-  return metrics_.counter_at("reps").value();
-}
-std::size_t RepeatedRunStats::agreement_failures() const {
-  return metrics_.counter_at("agreement_failures").value();
-}
-std::size_t RepeatedRunStats::validity_failures() const {
-  return metrics_.counter_at("validity_failures").value();
-}
-std::size_t RepeatedRunStats::non_terminated() const {
-  return metrics_.counter_at("non_terminated").value();
-}
-std::size_t RepeatedRunStats::decided_one() const {
-  return metrics_.counter_at("decided_one").value();
-}
 
 RepeatedRunStats run_repeated(const ProcessFactory& factory,
                               const AdversaryFactory& adversaries,
                               const RepeatSpec& spec) {
-  SYNRAN_REQUIRE(spec.reps >= 1, "need at least one repetition");
-  RepeatedRunStats stats;
-  obs::MetricsRegistry& m = stats.metrics();
-  SeedSequence seeds(spec.seed);
-  Xoshiro256 input_rng(seeds.stream(0xabcdefULL));
-
-  for (std::size_t rep = 0; rep < spec.reps; ++rep) {
-    auto inputs = make_inputs(spec.n, spec.pattern, input_rng);
-    auto adversary = adversaries(seeds.stream(1000 + rep));
-    EngineOptions opts = spec.engine;
-    opts.seed = seeds.stream(2000000 + rep);
-
-    const RunResult res = run_once(factory, inputs, *adversary, opts);
-
-    m.counter("reps").inc();
-    if (!res.terminated) {
-      m.counter("non_terminated").inc();
-    } else {
-      m.summary("rounds_to_decision")
-          .add(static_cast<double>(res.rounds_to_decision));
-      m.summary("rounds_to_halt").add(static_cast<double>(res.rounds_to_halt));
-    }
-    m.summary("crashes_used").add(static_cast<double>(res.crashes_total));
-    m.summary("messages_delivered")
-        .add(static_cast<double>(res.messages_delivered));
-    if (res.has_decision && !res.agreement)
-      m.counter("agreement_failures").inc();
-    if (!validity_holds(inputs, res)) m.counter("validity_failures").inc();
-    if (res.agreement && res.decision == Bit::One)
-      m.counter("decided_one").inc();
-  }
-  return stats;
+  return exec::BatchExecutor().run(factory, adversaries, spec);
 }
 
 }  // namespace synran

@@ -1,92 +1,18 @@
 // Repeated-execution harness shared by tests, examples, and the bench
-// tables: input patterns, per-rep seeding, and aggregate verdicts.
+// tables. The batch vocabulary (InputPattern, RepeatSpec, RepeatedRunStats,
+// seeding schema) lives in exec/batch.hpp; run_repeated is a thin front over
+// the deterministic batch executor in exec/executor.hpp, so the same spec
+// produces bit-identical statistics at any thread count.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "analysis/stats.hpp"
-#include "common/rng.hpp"
-#include "obs/metrics.hpp"
-#include "sim/adversary.hpp"
-#include "sim/engine.hpp"
+#include "exec/batch.hpp"
+#include "exec/executor.hpp"
 
 namespace synran {
 
-/// Input assignments used across the experiment suite.
-enum class InputPattern : std::uint8_t {
-  AllZero,
-  AllOne,
-  Half,      ///< first half 0, second half 1
-  Random,    ///< i.i.d. fair bits (fresh per rep)
-  SingleZero ///< one 0 among 1s (the chain adversary's workload)
-};
-
-const char* to_string(InputPattern p);
-
-std::vector<Bit> make_inputs(std::uint32_t n, InputPattern pattern,
-                             Xoshiro256& rng);
-
-/// Builds a fresh adversary for one repetition; `seed` decorrelates
-/// adversary randomness across reps.
-using AdversaryFactory =
-    std::function<std::unique_ptr<Adversary>(std::uint64_t seed)>;
-
-AdversaryFactory no_adversary_factory();
-
-/// Aggregates over repeated executions, backed by a metrics registry so the
-/// whole batch serializes to JSON in one call (metrics().to_json()). The
-/// named accessors are thin adapters over the registry entries; anything a
-/// new experiment wants to track rides along in the same registry without
-/// touching this struct again.
-///
-/// Registry contents:
-///   summaries  rounds_to_decision, rounds_to_halt (terminated reps only),
-///              crashes_used, messages_delivered (all reps)
-///   counters   reps, agreement_failures, validity_failures,
-///              non_terminated, decided_one
-class RepeatedRunStats {
- public:
-  RepeatedRunStats();
-
-  /// Expected rounds to decision across terminated reps.
-  const Summary& rounds_to_decision() const;
-  const Summary& rounds_to_halt() const;
-  /// Adversary crash spend per rep (all reps).
-  const Summary& crashes_used() const;
-  /// Point-to-point deliveries per rep (communication complexity).
-  const Summary& messages_delivered() const;
-
-  std::size_t reps() const;
-  std::size_t agreement_failures() const;
-  std::size_t validity_failures() const;
-  std::size_t non_terminated() const;
-  /// Reps whose common decision was 1.
-  std::size_t decided_one() const;
-
-  bool all_safe() const {
-    return agreement_failures() == 0 && validity_failures() == 0 &&
-           non_terminated() == 0;
-  }
-
-  obs::MetricsRegistry& metrics() { return metrics_; }
-  const obs::MetricsRegistry& metrics() const { return metrics_; }
-
- private:
-  obs::MetricsRegistry metrics_;
-};
-
-struct RepeatSpec {
-  std::uint32_t n = 0;
-  InputPattern pattern = InputPattern::Random;
-  EngineOptions engine;  ///< engine.seed is re-derived per rep
-  std::size_t reps = 1;
-  std::uint64_t seed = 1;  ///< master seed for the whole batch
-};
-
+/// Runs spec.reps seeded executions (spec.threads workers; see RepeatSpec)
+/// and returns the aggregate. Equivalent to
+/// exec::BatchExecutor().run(factory, adversaries, spec).
 RepeatedRunStats run_repeated(const ProcessFactory& factory,
                               const AdversaryFactory& adversaries,
                               const RepeatSpec& spec);

@@ -37,58 +37,59 @@ obs::RoundObservation observe_round(
 
 }  // namespace
 
-Engine::Engine(const ProcessFactory& factory, std::vector<Bit> inputs,
-               Adversary& adversary, EngineOptions options)
-    : factory_(factory),
-      inputs_(std::move(inputs)),
-      adversary_(adversary),
-      options_(options) {
-  SYNRAN_REQUIRE(!inputs_.empty(), "need at least one process");
-  SYNRAN_REQUIRE(options_.t_budget <= inputs_.size(),
-                 "fault budget exceeds process count");
+RunSummary Engine::run(const ProcessFactory& factory,
+                       std::span<const Bit> inputs, Adversary& adversary,
+                       const EngineOptions& options) {
+  return run_impl(factory, inputs, adversary, options, nullptr);
 }
 
-RunResult Engine::run() {
-  const auto n = static_cast<std::uint32_t>(inputs_.size());
-  SeedSequence seeds(options_.seed);
+RunSummary Engine::run(const ProcessFactory& factory,
+                       std::span<const Bit> inputs, Adversary& adversary,
+                       const EngineOptions& options, RunResult& full) {
+  return run_impl(factory, inputs, adversary, options, &full);
+}
 
-  std::vector<std::unique_ptr<Process>> procs;
-  std::vector<std::unique_ptr<RandomCoinSource>> coins;
-  procs.reserve(n);
-  coins.reserve(n);
+RunSummary Engine::run_impl(const ProcessFactory& factory,
+                            std::span<const Bit> inputs, Adversary& adversary,
+                            const EngineOptions& options, RunResult* full) {
+  SYNRAN_REQUIRE(!inputs.empty(), "need at least one process");
+  SYNRAN_REQUIRE(options.t_budget <= inputs.size(),
+                 "fault budget exceeds process count");
+  const auto n = static_cast<std::uint32_t>(inputs.size());
+  SeedSequence seeds(options.seed);
+
+  ws_.prepare(n);
+  auto& procs = ws_.procs_;
+  auto& coins = ws_.coins_;
   for (std::uint32_t i = 0; i < n; ++i) {
-    procs.push_back(factory_.make(i, n, inputs_[i]));
-    coins.push_back(std::make_unique<RandomCoinSource>(seeds.stream(i)));
+    procs[i] = factory.make(i, n, inputs[i]);
+    coins[i].reseed(seeds.stream(i));
   }
 
-  adversary_.begin(n, options_.t_budget);
+  adversary.begin(n, options.t_budget);
 
-  obs::EngineObserver* observer = options_.observer;
+  obs::EngineObserver* observer = options.observer;
   if (observer != nullptr) {
-    observer->on_run_begin(obs::RunInfo{n, options_.t_budget,
-                                        options_.per_round_cap,
-                                        options_.seed});
+    observer->on_run_begin(obs::RunInfo{n, options.t_budget,
+                                        options.per_round_cap, options.seed});
   }
 
   // Always-on model audit (§3.1): cheap per-round predicates that validate
   // the adversary's spend and the engine's own delivery accounting.
   RunAuditor auditor;
-  auditor.begin(n, options_.t_budget, options_.per_round_cap);
-  auditor.set_strict_decisions(options_.strict_decision_audit);
+  auditor.begin(n, options.t_budget, options.per_round_cap);
+  auditor.set_strict_decisions(options.strict_decision_audit);
 
-  DynBitset alive(n, true);   // not crashed by the adversary
-  DynBitset halted(n, false); // voluntarily stopped
-  std::vector<std::optional<Payload>> payloads(n);
-  std::vector<Receipt> receipts(n);
-  std::vector<bool> have_receipt(n, false);
+  DynBitset& alive = ws_.alive_;    // not crashed by the adversary
+  DynBitset& halted = ws_.halted_;  // voluntarily stopped
+  auto& payloads = ws_.payloads_;
+  auto& receipts = ws_.receipts_;
+  auto& have_receipt = ws_.have_receipt_;
 
-  RunResult res;
-  res.crashed.assign(n, false);
-  res.decided.assign(n, false);
-  res.decisions.assign(n, Bit::Zero);
-  std::uint32_t budget_left = options_.t_budget;
+  RunSummary sum;
+  std::uint32_t budget_left = options.t_budget;
 
-  for (Round r = 1; r <= options_.max_rounds; ++r) {
+  for (Round r = 1; r <= options.max_rounds; ++r) {
     // --- Phase A: local computation, coins, message preparation.
     bool anyone_sending = false;
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -96,8 +97,8 @@ RunResult Engine::run() {
         payloads[i].reset();
         continue;
       }
-      const Receipt* prev = have_receipt[i] ? &receipts[i] : nullptr;
-      payloads[i] = procs[i]->on_round(prev, *coins[i]);
+      const Receipt* prev = have_receipt[i] != 0 ? &receipts[i] : nullptr;
+      payloads[i] = procs[i]->on_round(prev, coins[i]);
       if (!payloads[i].has_value()) {
         SYNRAN_CHECK_MSG(procs[i]->decided(),
                          "process halted without deciding");
@@ -110,33 +111,33 @@ RunResult Engine::run() {
     // Decision bookkeeping. A process decides while digesting the previous
     // round's receipt, so "all decided as of phase A of round r" means the
     // protocol reached decision in round r-1 (paper counting).
-    if (res.rounds_to_decision == 0 && r > 1) {
+    if (sum.rounds_to_decision == 0 && r > 1) {
       bool all_decided = true;
       for (std::uint32_t i = 0; i < n && all_decided; ++i)
         if (alive.test(i) && !procs[i]->decided()) all_decided = false;
-      if (all_decided) res.rounds_to_decision = r - 1;
+      if (all_decided) sum.rounds_to_decision = r - 1;
     }
 
     auditor.on_phase_a(r, payloads, halted, procs);
 
     if (!anyone_sending) {
       // Everyone alive has halted: the last communication round was r-1.
-      res.rounds_to_halt = r - 1;
-      res.terminated = true;
+      sum.rounds_to_halt = r - 1;
+      sum.terminated = true;
       break;
     }
 
     obs::RoundObservation round_obs;
     if (observer != nullptr) {
-      round_obs = observe_round(r, n, alive, halted, payloads, procs,
-                                budget_left);
+      round_obs =
+          observe_round(r, n, alive, halted, payloads, procs, budget_left);
       observer->on_round_begin(round_obs);
     }
 
     // --- Adversary intervention.
-    const std::uint32_t cap = options_.per_round_cap;
+    const std::uint32_t cap = options.per_round_cap;
     WorldView world(r, n, alive, halted, payloads, procs, budget_left, cap);
-    FaultPlan plan = adversary_.plan_round(world);
+    FaultPlan plan = adversary.plan_round(world);
     auditor.on_plan(r, plan, payloads);
     if (observer != nullptr) observer->on_fault_plan(r, plan);
 
@@ -149,26 +150,24 @@ RunResult Engine::run() {
       halted.for_each_set([&](std::size_t i) { active.reset(i); });
       RoundTraffic traffic{payloads, &plan};
       auto delivered = deliver(n, traffic, active);
-      const std::uint64_t before = res.messages_delivered;
+      const std::uint64_t before = sum.messages_delivered;
       active.for_each_set([&](std::size_t i) {
         receipts[i] = delivered[i];
-        have_receipt[i] = true;
-        res.messages_delivered += delivered[i].count;
+        have_receipt[i] = 1;
+        sum.messages_delivered += delivered[i].count;
       });
-      round_delivered = res.messages_delivered - before;
+      round_delivered = sum.messages_delivered - before;
       auditor.on_deliveries(r, plan, payloads, active, round_delivered);
       if (observer != nullptr) observer->on_deliveries(r, round_delivered);
     }
 
     // Commit the crashes.
     budget_left -= static_cast<std::uint32_t>(plan.crash_count());
-    res.crashes_total += static_cast<std::uint32_t>(plan.crash_count());
-    res.crashes_per_round.push_back(
-        static_cast<std::uint32_t>(plan.crash_count()));
-    for (const auto& c : plan.crashes) {
-      alive.reset(c.victim);
-      res.crashed[c.victim] = true;
-    }
+    sum.crashes_total += static_cast<std::uint32_t>(plan.crash_count());
+    if (full != nullptr)
+      ws_.crashes_per_round_.push_back(
+          static_cast<std::uint32_t>(plan.crash_count()));
+    for (const auto& c : plan.crashes) alive.reset(c.victim);
     if (observer != nullptr) {
       round_obs.crashes = static_cast<std::uint32_t>(plan.crash_count());
       round_obs.delivered = round_delivered;
@@ -176,45 +175,87 @@ RunResult Engine::run() {
     }
   }
 
-  // Harvest final status.
+  // Harvest final status: agreement across surviving deciders, and the
+  // validity verdict while the inputs are still in hand.
   bool first = true;
   bool agree = true;
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (!alive.test(i)) continue;
-    res.decided[i] = procs[i]->decided();
-    if (!res.decided[i]) continue;
-    res.decisions[i] = procs[i]->decision();
-    res.has_decision = true;
+    if (!alive.test(i) || !procs[i]->decided()) continue;
+    const Bit d = procs[i]->decision();
+    sum.has_decision = true;
     if (first) {
-      res.decision = res.decisions[i];
+      sum.decision = d;
       first = false;
-    } else if (res.decisions[i] != res.decision) {
+    } else if (d != sum.decision) {
       agree = false;
     }
   }
-  res.agreement = res.has_decision && agree;
-  if (!res.terminated) res.rounds_to_halt = options_.max_rounds;
+  sum.agreement = sum.has_decision && agree;
+  if (!sum.terminated) sum.rounds_to_halt = options.max_rounds;
+
+  if (sum.has_decision) {
+    const bool all0 = std::all_of(inputs.begin(), inputs.end(),
+                                  [](Bit b) { return b == Bit::Zero; });
+    const bool all1 = std::all_of(inputs.begin(), inputs.end(),
+                                  [](Bit b) { return b == Bit::One; });
+    if (all0 || all1) {
+      const Bit required = all0 ? Bit::Zero : Bit::One;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!alive.test(i) || !procs[i]->decided()) continue;
+        if (procs[i]->decision() != required) {
+          sum.validity = false;
+          break;
+        }
+      }
+    }
+  }
+
+  if (full != nullptr) {
+    full->rounds_to_decision = sum.rounds_to_decision;
+    full->rounds_to_halt = sum.rounds_to_halt;
+    full->terminated = sum.terminated;
+    full->agreement = sum.agreement;
+    full->has_decision = sum.has_decision;
+    full->decision = sum.decision;
+    full->crashes_total = sum.crashes_total;
+    full->messages_delivered = sum.messages_delivered;
+    full->crashes_per_round = ws_.crashes_per_round_;
+    full->crashed.assign(n, false);
+    full->decided.assign(n, false);
+    full->decisions.assign(n, Bit::Zero);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!alive.test(i)) {
+        full->crashed[i] = true;
+        continue;
+      }
+      full->decided[i] = procs[i]->decided();
+      if (full->decided[i]) full->decisions[i] = procs[i]->decision();
+    }
+  }
 
   if (observer != nullptr) {
     obs::RunObservation ro;
-    ro.terminated = res.terminated;
-    ro.agreement = res.agreement;
-    ro.has_decision = res.has_decision;
-    ro.decision = to_int(res.decision);
-    ro.rounds_to_decision = res.rounds_to_decision;
-    ro.rounds_to_halt = res.rounds_to_halt;
-    ro.crashes_total = res.crashes_total;
-    ro.messages_delivered = res.messages_delivered;
+    ro.terminated = sum.terminated;
+    ro.agreement = sum.agreement;
+    ro.has_decision = sum.has_decision;
+    ro.decision = to_int(sum.decision);
+    ro.rounds_to_decision = sum.rounds_to_decision;
+    ro.rounds_to_halt = sum.rounds_to_halt;
+    ro.crashes_total = sum.crashes_total;
+    ro.messages_delivered = sum.messages_delivered;
     ro.survivors = static_cast<std::uint32_t>(alive.count());
     observer->on_run_end(ro);
   }
-  return res;
+  return sum;
 }
 
 RunResult run_once(const ProcessFactory& factory, std::vector<Bit> inputs,
                    Adversary& adversary, EngineOptions options) {
-  Engine e(factory, std::move(inputs), adversary, options);
-  return e.run();
+  EngineWorkspace ws;
+  Engine e(ws);
+  RunResult res;
+  e.run(factory, inputs, adversary, options, res);
+  return res;
 }
 
 bool validity_holds(const std::vector<Bit>& inputs, const RunResult& result) {

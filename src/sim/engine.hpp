@@ -8,12 +8,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "sim/adversary.hpp"
 #include "sim/process.hpp"
+#include "sim/workspace.hpp"
 
 namespace synran {
 
@@ -66,22 +68,36 @@ struct RunResult {
   std::vector<Bit> decisions;
 };
 
-/// Runs one execution to completion.
+/// Runs executions to completion. An Engine binds to one EngineWorkspace
+/// and is reusable: each run() resets the workspace buffers in place, so a
+/// batch of repetitions pays no per-rep allocation for engine state. One
+/// engine serves one thread at a time.
 class Engine {
  public:
-  Engine(const ProcessFactory& factory, std::vector<Bit> inputs,
-         Adversary& adversary, EngineOptions options);
+  explicit Engine(EngineWorkspace& workspace) : ws_(workspace) {}
 
-  RunResult run();
+  /// Summary-only hot path: runs one execution and returns the aggregate
+  /// scalars. Per-process status vectors and per-round crash counts are not
+  /// materialized. `inputs` may alias workspace.inputs().
+  RunSummary run(const ProcessFactory& factory, std::span<const Bit> inputs,
+                 Adversary& adversary, const EngineOptions& options);
+
+  /// Full-detail run: additionally fills `full` with the per-process status
+  /// vectors and per-round crash counts (narration, audits, tests).
+  RunSummary run(const ProcessFactory& factory, std::span<const Bit> inputs,
+                 Adversary& adversary, const EngineOptions& options,
+                 RunResult& full);
 
  private:
-  const ProcessFactory& factory_;
-  std::vector<Bit> inputs_;
-  Adversary& adversary_;
-  EngineOptions options_;
+  RunSummary run_impl(const ProcessFactory& factory,
+                      std::span<const Bit> inputs, Adversary& adversary,
+                      const EngineOptions& options, RunResult* full);
+
+  EngineWorkspace& ws_;
 };
 
-/// Convenience: run one execution with everything defaulted from n.
+/// Convenience: run one execution with a throwaway workspace and collect the
+/// full result.
 RunResult run_once(const ProcessFactory& factory, std::vector<Bit> inputs,
                    Adversary& adversary, EngineOptions options);
 

@@ -1,0 +1,100 @@
+// Reusable per-worker execution state for the synchronous engine.
+//
+// Every repeated-run experiment used to pay one full set of heap
+// allocations per repetition: payload/receipt/status vectors inside
+// Engine::run plus the per-process coin sources. An EngineWorkspace owns all
+// of those buffers once; the engine resets them in place at the start of
+// each run, so a worker executing thousands of repetitions allocates only
+// what the protocol processes themselves need. One workspace serves one
+// thread — workspaces are never shared concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/dynbitset.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/types.hpp"
+#include "sim/process.hpp"
+
+namespace synran {
+
+/// The aggregate-facing outcome of one execution: every scalar the repeated
+/// harness folds into its statistics, and nothing per-process. The full
+/// RunResult (per-process status vectors, per-round crash counts) is
+/// materialized only on request — narration and tests want it, the
+/// hot aggregate path does not.
+struct RunSummary {
+  /// First round by whose end every non-crashed process had decided;
+  /// 0 if that never happened (see `terminated`).
+  std::uint32_t rounds_to_decision = 0;
+  /// Round by whose end every non-crashed process had halted.
+  std::uint32_t rounds_to_halt = 0;
+  bool terminated = false;  ///< all survivors decided within max_rounds
+
+  bool agreement = false;     ///< all survivor decisions equal
+  bool has_decision = false;  ///< at least one survivor decided
+  Bit decision = Bit::Zero;   ///< the common value when agreement holds
+  /// Validity verdict against this run's inputs (computed while the engine
+  /// still holds the inputs, so summary-only callers never need them back).
+  bool validity = true;
+
+  std::uint32_t crashes_total = 0;
+  /// Total point-to-point deliveries (communication complexity; a broadcast
+  /// to k receivers counts k).
+  std::uint64_t messages_delivered = 0;
+};
+
+/// Pre-sized buffers for Engine runs, reused across repetitions. The input
+/// buffer is writable by callers (make_inputs fills it in place); everything
+/// else belongs to the engine.
+class EngineWorkspace {
+ public:
+  EngineWorkspace() = default;
+  EngineWorkspace(const EngineWorkspace&) = delete;
+  EngineWorkspace& operator=(const EngineWorkspace&) = delete;
+
+  /// Scratch input vector for the next run; callers may fill and pass it to
+  /// Engine::run (the engine reads inputs through a span, so any vector
+  /// works — this one just recycles its allocation).
+  std::vector<Bit>& inputs() { return inputs_; }
+  const std::vector<Bit>& inputs() const { return inputs_; }
+
+ private:
+  friend class Engine;
+
+  /// Sizes every buffer for system size `n` (first use or n change) or
+  /// clears them in place (steady state; no allocation).
+  void prepare(std::uint32_t n) {
+    if (alive_.size() != n) {
+      alive_ = DynBitset(n, true);
+      halted_ = DynBitset(n, false);
+      payloads_.assign(n, std::nullopt);
+      receipts_.assign(n, Receipt{});
+      have_receipt_.assign(n, 0);
+      procs_.resize(n);
+      coins_.assign(n, RandomCoinSource(0));
+    } else {
+      alive_.set_all();
+      halted_.clear_all();
+      for (auto& p : payloads_) p.reset();
+      for (auto& h : have_receipt_) h = 0;
+    }
+    crashes_per_round_.clear();
+  }
+
+  std::vector<Bit> inputs_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<RandomCoinSource> coins_;
+  DynBitset alive_;
+  DynBitset halted_;
+  std::vector<std::optional<Payload>> payloads_;
+  std::vector<Receipt> receipts_;
+  std::vector<std::uint8_t> have_receipt_;
+  std::vector<std::uint32_t> crashes_per_round_;  ///< full-result runs only
+};
+
+}  // namespace synran

@@ -54,8 +54,7 @@ TEST(StaticCrashTest, RejectsOutOfRangeRecipients) {
   FloodMinFactory factory({1, false});
   EngineOptions opts;
   opts.t_budget = 1;
-  Engine e(factory, half_inputs(4), adv, opts);
-  EXPECT_THROW(e.run(), ArgumentError);
+  EXPECT_THROW(run_once(factory, half_inputs(4), adv, opts), ArgumentError);
 }
 
 // ------------------------------------------------------------------ random
@@ -211,8 +210,7 @@ TEST(CoinBiasTest, RejectsBadTargetRatio) {
   SynRanFactory factory;
   EngineOptions opts;
   opts.t_budget = 4;
-  Engine e(factory, half_inputs(8), adv, opts);
-  EXPECT_THROW(e.run(), ArgumentError);
+  EXPECT_THROW(run_once(factory, half_inputs(8), adv, opts), ArgumentError);
 }
 
 // ---------------------------------------------------------- valency (MC)

@@ -250,9 +250,8 @@ TEST(AuditTest, StrictModeCatchesDecisionFlips) {
   NoAdversary none;
   EngineOptions opts;
   opts.strict_decision_audit = true;
-  Engine e(factory, ones(3), none, opts);
   try {
-    e.run();
+    run_once(factory, ones(3), none, opts);
     FAIL() << "expected an InvariantError";
   } catch (const InvariantError& err) {
     const std::string what = err.what();

@@ -153,8 +153,8 @@ TEST(ExactValencyAdversaryTest, RefusesLargeSystems) {
   ExactValencyAdversary adv;
   EngineOptions opts;
   opts.t_budget = 2;
-  Engine e(factory, std::vector<Bit>(8, Bit::One), adv, opts);
-  EXPECT_THROW(e.run(), ArgumentError);
+  EXPECT_THROW(run_once(factory, std::vector<Bit>(8, Bit::One), adv, opts),
+               ArgumentError);
 }
 
 }  // namespace

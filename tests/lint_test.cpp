@@ -45,6 +45,11 @@ TEST(LintClassify, RootsAndRoles) {
   EXPECT_TRUE(classify("bench/bench_util.hpp").clock_allowed);
   EXPECT_FALSE(classify("src/sim/engine.cpp").clock_allowed);
   EXPECT_FALSE(classify("tests/sim_test.cpp").clock_allowed);
+
+  EXPECT_TRUE(classify("src/exec/executor.cpp").threads_allowed);
+  EXPECT_TRUE(classify("src/exec/batch.hpp").threads_allowed);
+  EXPECT_FALSE(classify("src/sim/engine.cpp").threads_allowed);
+  EXPECT_FALSE(classify("bench/bench_util.hpp").threads_allowed);
 }
 
 // ---------------------------------------------------------- banned-random
@@ -189,6 +194,47 @@ TEST(LintWallClock, LookalikesAndTrailerPass) {
   const std::string line =
       std::string("auto t0 = std::chrono::steady_clock::now(); ") +  // synran-lint: allow(wall-clock)
       "// synran-lint: allow(wall-clock)";
+  EXPECT_TRUE(scan_file("src/sim/f.cpp", line).empty());
+}
+
+// ---------------------------------------------------------------- threads
+
+TEST(LintThreads, ThreadingPrimitivesOutsideExecFail) {
+  const char* lines[] = {
+      "std::thread worker(fn);",        // synran-lint: allow(threads)
+      "std::jthread worker(fn);",       // synran-lint: allow(threads)
+      "auto f = std::async(fn);",       // synran-lint: allow(threads)
+      "std::mutex m;",                  // synran-lint: allow(threads)
+      "std::shared_mutex m;",           // synran-lint: allow(threads)
+      "#include <thread>",              // synran-lint: allow(threads)
+      "#include <mutex>",               // synran-lint: allow(threads)
+      "#include <future>",              // synran-lint: allow(threads)
+  };
+  for (const char* line : lines) {
+    EXPECT_EQ(count_rule(scan_file("src/sim/f.cpp", line), "threads"), 1u)
+        << line;
+    EXPECT_EQ(count_rule(scan_file("bench/b.cpp", line), "threads"), 1u)
+        << line;
+    EXPECT_EQ(count_rule(scan_file("tests/t.cpp", line), "threads"), 1u)
+        << line;
+    // The executor is the one concurrency boundary.
+    EXPECT_EQ(count_rule(scan_file("src/exec/executor.cpp", line), "threads"),
+              0u)
+        << line;
+  }
+}
+
+TEST(LintThreads, LookalikesAndTrailerPass) {
+  // Non-std names and substrings must not trip the identifier-boundary scan.
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "unsigned threads = spec.threads;").empty());
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "// one workspace per thread").empty());
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "#include <thread_local_store.hpp>").empty());
+  const std::string line =
+      std::string("std::mutex trace_gate; ") +  // synran-lint: allow(threads)
+      "// synran-lint: allow(threads)";
   EXPECT_TRUE(scan_file("src/sim/f.cpp", line).empty());
 }
 

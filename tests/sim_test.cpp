@@ -181,8 +181,8 @@ TEST(EngineTest, BudgetOverrunIsAnInvariantViolation) {
   });
   EngineOptions opts;
   opts.t_budget = 0;
-  Engine e(factory, bits({1, 1, 1}), adv, opts);
-  EXPECT_THROW(e.run(), InvariantError);
+  EXPECT_THROW(run_once(factory, bits({1, 1, 1}), adv, opts),
+               InvariantError);
 }
 
 TEST(EngineTest, PerRoundCapIsEnforced) {
@@ -198,8 +198,8 @@ TEST(EngineTest, PerRoundCapIsEnforced) {
   EngineOptions opts;
   opts.t_budget = 3;
   opts.per_round_cap = 1;
-  Engine e(factory, bits({1, 1, 1}), adv, opts);
-  EXPECT_THROW(e.run(), InvariantError);
+  EXPECT_THROW(run_once(factory, bits({1, 1, 1}), adv, opts),
+               InvariantError);
 }
 
 TEST(EngineTest, CrashingDeadProcessIsRejected) {
@@ -227,8 +227,8 @@ TEST(EngineTest, CrashingDeadProcessIsRejected) {
   } adv(probe);
   EngineOptions opts;
   opts.t_budget = 2;
-  Engine e(factory, bits({1, 1, 1}), adv, opts);
-  EXPECT_THROW(e.run(), InvariantError);
+  EXPECT_THROW(run_once(factory, bits({1, 1, 1}), adv, opts),
+               InvariantError);
   EXPECT_EQ(calls, 2);
 }
 
@@ -295,13 +295,13 @@ TEST(EngineTest, RejectsOversizedBudget) {
   NoAdversary adv;
   EngineOptions opts;
   opts.t_budget = 4;
-  EXPECT_THROW(Engine(factory, bits({1, 1}), adv, opts), ArgumentError);
+  EXPECT_THROW(run_once(factory, bits({1, 1}), adv, opts), ArgumentError);
 }
 
 TEST(EngineTest, EmptyInputsRejected) {
   EchoFactory factory(1);
   NoAdversary adv;
-  EXPECT_THROW(Engine(factory, {}, adv, {}), ArgumentError);
+  EXPECT_THROW(run_once(factory, {}, adv, {}), ArgumentError);
 }
 
 // ---------------------------------------------------------- validity_holds

@@ -62,6 +62,12 @@ void check_bench_report(const JsonValue& doc, Check& c) {
     c.fail("experiment name is empty");
   c.typed(doc, "seed", &JsonValue::is_int, "an integer");
   c.typed(doc, "git_rev", &JsonValue::is_string, "a string");
+  // Additive field (absent in pre-executor artifacts): if present it must be
+  // a positive integer worker count.
+  if (const auto* threads = doc.find("threads"); threads != nullptr) {
+    if (!threads->is_int() || threads->as_int() < 1)
+      c.fail("threads is present but not a positive integer");
+  }
 
   if (const auto* grid =
           c.typed(doc, "grid", &JsonValue::is_array, "an array")) {

@@ -151,12 +151,20 @@ int cmd_run(const Args& args) {
   spec.pattern = parse_pattern(args.get("pattern", "random"));
   spec.reps = args.num("reps", 50);
   spec.seed = args.num("seed", 1);
+  spec.threads = static_cast<unsigned>(args.num("threads", 0));
   spec.engine.t_budget = t;
   spec.engine.max_rounds = args.num("max-rounds", 100000);
 
   std::ofstream trace_out;
   std::unique_ptr<obs::JsonlTraceWriter> tracer;
   if (const auto path = args.get("trace-out", ""); !path.empty()) {
+    if (exec::resolve_threads(spec.threads) > 1) {
+      std::cerr << "--trace-out needs a serial run: JSONL traces are "
+                   "round-ordered, so drop --threads (and SYNRAN_THREADS) "
+                   "or set --threads 1\n";
+      return 2;
+    }
+    spec.threads = 1;
     trace_out.open(path);
     if (!trace_out) {
       std::cerr << "cannot write trace file '" << path << "'\n";
@@ -313,7 +321,9 @@ void usage() {
       "           synran-nodet|floodmin|floodmin-early|leadercoin\n"
       "           --adversary none|random|chain|coinbias|oblivious|\n"
       "           leader-killer --n --t --reps --seed --pattern\n"
-      "           --trace-out=FILE (JSONL round trace)\n"
+      "           --threads N (0 = SYNRAN_THREADS or serial; statistics\n"
+      "           are identical at any thread count)\n"
+      "           --trace-out=FILE (JSONL round trace; serial only)\n"
       "  coin     one-round game control: --game majority|majority0|\n"
       "           parity|leader|tribes --n --budget --samples\n"
       "  valency  exact initial-state valencies (tiny n): --n --t --depth\n"

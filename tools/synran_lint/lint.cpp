@@ -107,6 +107,22 @@ constexpr std::array<TokenRule, 5> kWallClock{{
     {"high_resolution_clock", true, kClockMessage},
 }};
 
+constexpr std::string_view kThreadsMessage =
+    "threading primitive outside src/exec/; the batch executor is the one "
+    "concurrency boundary — route parallel work through "
+    "exec::BatchExecutor so rep scheduling stays deterministic";
+
+constexpr std::array<TokenRule, 8> kThreads{{
+    {"std::thread", false, kThreadsMessage},
+    {"std::jthread", false, kThreadsMessage},
+    {"std::async", false, kThreadsMessage},
+    {"std::mutex", false, kThreadsMessage},
+    {"std::shared_mutex", false, kThreadsMessage},
+    {"<thread>", false, kThreadsMessage},
+    {"<mutex>", false, kThreadsMessage},
+    {"<future>", false, kThreadsMessage},
+}};
+
 }  // namespace
 
 FileClass classify(std::string_view rel_path) {
@@ -123,6 +139,7 @@ FileClass classify(std::string_view rel_path) {
       starts_with(rel_path, "src/") && !starts_with(rel_path, "src/runner/");
   fc.clock_allowed =
       starts_with(rel_path, "src/obs/") || starts_with(rel_path, "bench/");
+  fc.threads_allowed = starts_with(rel_path, "src/exec/");
   return fc;
 }
 
@@ -173,6 +190,15 @@ std::vector<Finding> scan_file(std::string_view rel_path,
       for (const auto& rule : kWallClock) {
         if (has_token(line, rule.token, rule.right_boundary)) {
           report(line_no, "wall-clock", rule.message);
+          break;
+        }
+      }
+    }
+
+    if (!fc.threads_allowed && !allows(line, "threads")) {
+      for (const auto& rule : kThreads) {
+        if (has_token(line, rule.token, rule.right_boundary)) {
+          report(line_no, "threads", rule.message);
           break;
         }
       }

@@ -23,6 +23,12 @@
 //                    and bench/: wall-clock reads in protocol or analysis
 //                    paths make seeded runs non-reproducible. Timing belongs
 //                    to the observability layer and the bench harness.
+//   threads          no std::thread / std::async / std::mutex (or <thread>,
+//                    <mutex>, <future>) outside src/exec/: the batch
+//                    executor is the one concurrency boundary, and its
+//                    determinism contract (static rep schedule, rep-order
+//                    aggregation) only holds if nothing else spawns or
+//                    synchronizes threads behind its back.
 //
 // A finding on one specific line can be suppressed with an explicit trailer:
 //     legit_line();  // synran-lint: allow(<rule>)
@@ -51,6 +57,7 @@ struct FileClass {
   bool protocol_code = false;///< src/protocols/ or src/async/
   bool library_code = false; ///< src/ minus src/runner/ — may not print
   bool clock_allowed = false;///< src/obs/ or bench/ — may read wall clocks
+  bool threads_allowed = false;///< src/exec/ — the one concurrency boundary
 };
 
 FileClass classify(std::string_view rel_path);
