@@ -1,0 +1,151 @@
+// E15 (robustness) — graceful degradation of SynRan under omission faults.
+// The paper's model is fail-stop (§3.1): a crashed process is gone for good.
+// This experiment deliberately steps outside it and asks how SynRan behaves
+// when messages are *dropped* but the senders stay alive — the send-omission
+// regime of the general-omission literature.
+//
+//   E15a sweeps the per-link drop rate p (ChaosAdversary, i.i.d. seeded
+//        drops, unlimited directive budget) at fixed n and measures agreement
+//        probability, expected rounds to decision, and the omission volume.
+//   E15b repeats the midpoint drop rate across n to show how system size
+//        shifts the degradation knee.
+//   E15c aims a targeted OmissionAdversary at the 6/10 and 5/10 threshold
+//        margins under a directive budget, as the crash-free analogue of the
+//        CoinBias attack.
+//
+// Every configuration lands in the report's additive "omissions" array
+// (drop_rate, budget) next to the usual n/t grid.
+#include "bench_util.hpp"
+
+#include "adversary/omission.hpp"
+
+namespace synran::bench {
+namespace {
+
+/// Runs SynRan under ChaosAdversary link drops (no crashes) and returns the
+/// aggregate. `budget` caps omission directives; kUnlimited studies the pure
+/// drop-rate regime.
+constexpr std::uint32_t kUnlimited = 0xffffffffu;
+
+RepeatedRunStats chaos_run(std::uint32_t n, double drop_rate,
+                           std::uint32_t budget, std::size_t reps,
+                           std::uint64_t seed) {
+  BenchReport::instance().note_grid(n, 0);
+  BenchReport::instance().note_omission(drop_rate, budget);
+  RepeatSpec spec;
+  spec.n = n;
+  spec.pattern = InputPattern::Half;
+  spec.reps = reps;
+  spec.seed = seed;
+  spec.threads = bench_threads();
+  spec.engine.t_budget = 0;  // no crashes: isolate the omission effect
+  spec.engine.omission_budget = budget;
+  spec.engine.max_rounds = 200000;
+  SynRanFactory factory;
+  const AdversaryFactory adversaries = [drop_rate](std::uint64_t s) {
+    ChaosOptions opts;
+    opts.drop_rate = drop_rate;
+    opts.seed = s;
+    return std::make_unique<ChaosAdversary>(opts);
+  };
+  return run_repeated(factory, adversaries, spec);
+}
+
+void tables() {
+  std::cout << "E15 — SynRan graceful degradation under omission faults\n\n";
+
+  // E15a: drop-rate sweep at fixed n. SynRan's thresholds compare against
+  // the previous round's message count, so uniform drops mostly cancel —
+  // agreement should survive far beyond the fail-stop budget's reach, with
+  // rounds growing as drops push receivers out of the decide window.
+  const std::uint32_t n_fixed = 128;
+  Table sweep("E15a: drop rate vs agreement and rounds (n = 128, t = 0)");
+  sweep.header({"drop rate", "Pr[agreement]", "rounds(mean)", "±stderr",
+                "omitted links(mean)", "non-term"});
+  for (double p : {0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4}) {
+    const auto reps = reps_for(n_fixed);
+    const auto stats =
+        chaos_run(n_fixed, p, kUnlimited, reps,
+                  kSeed + static_cast<std::uint64_t>(p * 1000));
+    const double pr_agree =
+        stats.reps() == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(stats.agreement_failures()) /
+                        static_cast<double>(stats.reps());
+    sweep.row({p, pr_agree, stats.rounds_to_decision().mean(),
+               stats.rounds_to_decision().stderr_mean(),
+               stats.messages_omitted().mean(),
+               static_cast<long long>(stats.non_terminated())});
+  }
+  emit(sweep);
+
+  // E15b: the same midpoint drop rate across n — does size buy resilience?
+  Table across("E15b: n vs degradation at drop rate 0.2 (t = 0)");
+  across.header({"n", "Pr[agreement]", "rounds(mean)", "±stderr",
+                 "omissions(mean)"});
+  for (std::uint32_t n : {32u, 64u, 128u, 256u}) {
+    const auto stats = chaos_run(n, 0.2, kUnlimited, reps_for(n), kSeed + n);
+    const double pr_agree =
+        stats.reps() == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(stats.agreement_failures()) /
+                        static_cast<double>(stats.reps());
+    across.row({static_cast<long long>(n), pr_agree,
+                stats.rounds_to_decision().mean(),
+                stats.rounds_to_decision().stderr_mean(),
+                stats.omissions_used().mean()});
+  }
+  emit(across);
+
+  // E15c: targeted threshold attack under a directive budget — the
+  // crash-free analogue of CoinBias. Budgets are directive counts, so n
+  // directives ≈ one fully-suppressed round.
+  Table targeted("E15c: targeted omission attack vs budget (n = 128, t = 0)");
+  targeted.header({"omission budget", "rounds(mean)", "±stderr",
+                   "omissions used(mean)", "agreement fails"});
+  for (std::uint32_t budget : {0u, 64u, 256u, 1024u, kUnlimited}) {
+    BenchReport::instance().note_omission(0.0, budget);
+    RepeatSpec spec;
+    spec.n = 128;
+    spec.pattern = InputPattern::Half;
+    spec.reps = reps_for(128);
+    spec.seed = kSeed + budget;
+    spec.threads = bench_threads();
+    spec.engine.t_budget = 0;
+    spec.engine.omission_budget = budget;
+    spec.engine.max_rounds = 200000;
+    SynRanFactory factory;
+    const AdversaryFactory adversaries = [](std::uint64_t s) {
+      return std::make_unique<OmissionAdversary>(
+          OmissionAttackOptions{0.55, s});
+    };
+    const auto stats = run_repeated(factory, adversaries, spec);
+    targeted.row({budget == kUnlimited ? std::string("unlimited")
+                                       : std::to_string(budget),
+                  stats.rounds_to_decision().mean(),
+                  stats.rounds_to_decision().stderr_mean(),
+                  stats.omissions_used().mean(),
+                  static_cast<long long>(stats.agreement_failures())});
+  }
+  emit(targeted);
+
+  std::cout << "  reading: uniform link drops degrade SynRan gracefully — "
+               "agreement holds while\n  rounds stretch; a targeted attacker "
+               "needs a standing omission budget every round\n  to keep the "
+               "execution away from the decide thresholds.\n\n";
+}
+
+void BM_ChaosDelivery(::benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto stats = chaos_run(n, 0.1, kUnlimited, 1, ++seed);
+    ::benchmark::DoNotOptimize(stats.reps());
+  }
+}
+BENCHMARK(BM_ChaosDelivery)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace synran::bench
+
+SYNRAN_BENCH_MAIN(synran::bench::tables)

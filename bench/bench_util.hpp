@@ -141,6 +141,15 @@ class BenchReport {
     grid_.emplace_back(n, t);
   }
 
+  /// Records an omission configuration (drop rate, directive budget) once.
+  /// Reports that never call this keep the exact pre-omission JSON shape;
+  /// otherwise an additive top-level "omissions" array rides along.
+  void note_omission(double drop_rate, std::uint32_t budget) {
+    for (const auto& [r, b] : omissions_)
+      if (r == drop_rate && b == budget) return;
+    omissions_.emplace_back(drop_rate, budget);
+  }
+
   void add_table(const Table& table) {
     obs::JsonValue columns = obs::JsonValue::array();
     for (const auto& col : table.header()) columns.push(obs::JsonValue(col));
@@ -171,34 +180,62 @@ class BenchReport {
       grid.push(obs::JsonValue::object()
                     .set("n", obs::JsonValue(n))
                     .set("t", obs::JsonValue(t)));
-    return obs::JsonValue::object()
-        .set("schema", obs::JsonValue(kBenchSchema))
-        .set("experiment", obs::JsonValue(experiment_))
-        .set("seed", obs::JsonValue(kSeed))
-        .set("git_rev", obs::JsonValue(git_rev()))
-        // Additive since schema synran-bench/1 first shipped: the worker
-        // threads the seeded tables ran with. Statistics are thread-count
-        // invariant; this records how fast the run was allowed to be.
-        .set("threads",
-             obs::JsonValue(static_cast<std::int64_t>(bench_threads())))
-        .set("grid", std::move(grid))
-        .set("tables", tables_)
-        .set("timings", timings_);
+    obs::JsonValue report =
+        obs::JsonValue::object()
+            .set("schema", obs::JsonValue(kBenchSchema))
+            .set("experiment", obs::JsonValue(experiment_))
+            .set("seed", obs::JsonValue(kSeed))
+            .set("git_rev", obs::JsonValue(git_rev()))
+            // Additive since schema synran-bench/1 first shipped: the worker
+            // threads the seeded tables ran with. Statistics are thread-count
+            // invariant; this records how fast the run was allowed to be.
+            .set("threads",
+                 obs::JsonValue(static_cast<std::int64_t>(bench_threads())))
+            .set("grid", std::move(grid));
+    if (!omissions_.empty()) {
+      // Additive, like "threads": present only for omission experiments.
+      obs::JsonValue oms = obs::JsonValue::array();
+      for (const auto& [rate, budget] : omissions_)
+        oms.push(obs::JsonValue::object()
+                     .set("drop_rate", obs::JsonValue(rate))
+                     .set("budget", obs::JsonValue(budget)));
+      report.set("omissions", std::move(oms));
+    }
+    return report.set("tables", tables_).set("timings", timings_);
   }
 
-  /// Writes BENCH_<experiment>.json into `dir`; returns the path, or ""
-  /// when the file could not be opened.
+  /// Writes BENCH_<experiment>.json into `dir` via a temp file + atomic
+  /// rename, so a crash or full disk never leaves a truncated report under
+  /// the final name. Returns the path, or "" on any failure (open, write,
+  /// close, or rename — the stream state is checked at each step).
   std::string write(const std::string& dir) const {
     const std::string path = dir + "/BENCH_" + experiment_ + ".json";
-    std::ofstream out(path);
-    if (!out) return {};
-    out << to_json().dump() << "\n";
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return {};
+      out << to_json().dump() << "\n";
+      out.flush();
+      if (!out.good()) {
+        out.close();
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        return {};
+      }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      std::filesystem::remove(tmp, ec);
+      return {};
+    }
     return path;
   }
 
   void reset() {
     experiment_ = "experiment";
     grid_.clear();
+    omissions_.clear();
     tables_ = obs::JsonValue::array();
     timings_ = obs::JsonValue::array();
   }
@@ -214,6 +251,7 @@ class BenchReport {
  private:
   std::string experiment_ = "experiment";
   std::vector<std::pair<std::uint32_t, std::uint32_t>> grid_;
+  std::vector<std::pair<double, std::uint32_t>> omissions_;
   obs::JsonValue tables_ = obs::JsonValue::array();
   obs::JsonValue timings_ = obs::JsonValue::array();
 };
@@ -228,14 +266,18 @@ inline std::string experiment_name_from(const char* argv0) {
 
 // ----------------------------------------------------------------- tracing
 
-/// Holds an open JSONL trace (file + writer) for one batch of runs; empty
-/// (observer() == nullptr) when SYNRAN_TRACE_DIR is unset. Heap members keep
-/// the writer's borrowed stream stable across moves.
+/// Holds an open JSONL trace writer for one batch of runs; empty
+/// (observer() == nullptr) when SYNRAN_TRACE_DIR is unset. The writer owns
+/// its file and streams into "<path>.tmp"; close() atomically renames onto
+/// the final name and throws obs::IoError on any stream failure, so a batch
+/// never leaves a truncated trace behind under the final name.
 struct ScopedTrace {
-  std::unique_ptr<std::ofstream> out;
   std::unique_ptr<obs::JsonlTraceWriter> writer;
 
   obs::EngineObserver* observer() { return writer.get(); }
+  void close() {
+    if (writer != nullptr) writer->close();
+  }
 };
 
 /// Opens "<SYNRAN_TRACE_DIR>/<experiment>-<seq>-<tag>.jsonl"; the sequence
@@ -248,13 +290,11 @@ inline ScopedTrace open_trace(const std::string& tag) {
   const std::string path = std::string(dir) + "/" +
                            BenchReport::instance().experiment() + "-" +
                            std::to_string(++seq) + "-" + tag + ".jsonl";
-  auto out = std::make_unique<std::ofstream>(path);
-  if (!*out) {
-    std::cout << "  [trace: cannot write " << path << "]\n";
-    return t;
+  try {
+    t.writer = std::make_unique<obs::JsonlTraceWriter>(path);
+  } catch (const obs::IoError& e) {
+    std::cout << "  [" << e.what() << "]\n";
   }
-  t.out = std::move(out);
-  t.writer = std::make_unique<obs::JsonlTraceWriter>(*t.out);
   return t;
 }
 
@@ -298,7 +338,9 @@ inline RepeatedRunStats attack_run(const ProcessFactory& factory,
     std::cout << "  [trace: skipped — tracing requires a serial run, got "
               << spec.threads << " threads]\n";
   }
-  return run_repeated(factory, coinbias_factory(stall), spec);
+  auto stats = run_repeated(factory, coinbias_factory(stall), spec);
+  trace.close();
+  return stats;
 }
 
 /// Prints the table and a one-line safety verdict (every experiment demands
@@ -316,11 +358,29 @@ inline void emit(Table& table, bool all_safe = true) {
     const std::string name =
         CsvNameRegistry::instance().unique(csv_slug(table.title()));
     const std::string path = std::string(dir) + "/" + name + ".csv";
-    std::ofstream csv(path);
-    if (csv) {
-      table.write_csv(csv);
+    const std::string tmp = path + ".tmp";
+    // Temp file + atomic rename, with the stream state checked before the
+    // rename: a full disk yields a diagnostic and no file at the final name,
+    // never a silently truncated CSV.
+    bool ok = false;
+    {
+      std::ofstream csv(tmp, std::ios::binary | std::ios::trunc);
+      if (csv) {
+        table.write_csv(csv);
+        csv.flush();
+        ok = csv.good();
+      }
+    }
+    if (ok) {
+      std::error_code ec;
+      std::filesystem::rename(tmp, path, ec);
+      ok = !ec;
+    }
+    if (ok) {
       std::cout << "  [csv: " << path << "]\n";
     } else {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
       std::cout << "  [csv: cannot write " << path << "]\n";
     }
   }

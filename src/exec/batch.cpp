@@ -73,6 +73,8 @@ RepeatedRunStats::RepeatedRunStats() {
   metrics_.summary("rounds_to_halt");
   metrics_.summary("crashes_used");
   metrics_.summary("messages_delivered");
+  metrics_.summary("omissions_used");
+  metrics_.summary("messages_omitted");
   metrics_.counter("reps");
   metrics_.counter("agreement_failures");
   metrics_.counter("validity_failures");
@@ -93,6 +95,10 @@ void RepeatedRunStats::add(const RunSummary& rep) {
   metrics_.summary("crashes_used").add(static_cast<double>(rep.crashes_total));
   metrics_.summary("messages_delivered")
       .add(static_cast<double>(rep.messages_delivered));
+  metrics_.summary("omissions_used")
+      .add(static_cast<double>(rep.omissions_total));
+  metrics_.summary("messages_omitted")
+      .add(static_cast<double>(rep.messages_omitted));
   if (rep.has_decision && !rep.agreement)
     metrics_.counter("agreement_failures").inc();
   if (!rep.validity) metrics_.counter("validity_failures").inc();
@@ -111,6 +117,12 @@ const Summary& RepeatedRunStats::crashes_used() const {
 }
 const Summary& RepeatedRunStats::messages_delivered() const {
   return metrics_.summary_at("messages_delivered");
+}
+const Summary& RepeatedRunStats::omissions_used() const {
+  return metrics_.summary_at("omissions_used");
+}
+const Summary& RepeatedRunStats::messages_omitted() const {
+  return metrics_.summary_at("messages_omitted");
 }
 std::size_t RepeatedRunStats::reps() const {
   return metrics_.counter_at("reps").value();

@@ -87,7 +87,8 @@ AdversaryFactory no_adversary_factory();
 ///
 /// Registry contents:
 ///   summaries  rounds_to_decision, rounds_to_halt (terminated reps only),
-///              crashes_used, messages_delivered (all reps)
+///              crashes_used, messages_delivered, omissions_used,
+///              messages_omitted (all reps)
 ///   counters   reps, agreement_failures, validity_failures,
 ///              non_terminated, decided_one
 class RepeatedRunStats {
@@ -106,6 +107,10 @@ class RepeatedRunStats {
   const Summary& crashes_used() const;
   /// Point-to-point deliveries per rep (communication complexity).
   const Summary& messages_delivered() const;
+  /// Omission directives spent per rep (all zero under fail-stop defaults).
+  const Summary& omissions_used() const;
+  /// Links actually suppressed by omissions per rep.
+  const Summary& messages_omitted() const;
 
   std::size_t reps() const;
   std::size_t agreement_failures() const;

@@ -1,6 +1,8 @@
 #include "net/fabric.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 
 #include "common/check.hpp"
 
@@ -27,6 +29,78 @@ void validate(std::uint32_t n, const RoundTraffic& traffic) {
     SYNRAN_REQUIRE(c.deliver_to.size() == n, "deliver_to mask has wrong size");
     seen.set(c.victim);
   }
+  DynBitset omitted(n);
+  for (const auto& o : traffic.plan->omissions) {
+    SYNRAN_REQUIRE(o.sender < n, "omission sender out of range");
+    SYNRAN_REQUIRE(traffic.payloads[o.sender].has_value(),
+                   "omission sender is not sending this round");
+    SYNRAN_REQUIRE(!seen.test(o.sender),
+                   "omission sender is also a crash victim");
+    SYNRAN_REQUIRE(!omitted.test(o.sender), "duplicate omission sender");
+    SYNRAN_REQUIRE(o.drop_for.size() == n, "drop_for mask has wrong size");
+    omitted.set(o.sender);
+  }
+}
+
+/// Subtracts the plan's omitted deliveries from receipts pre-filled with the
+/// full-sender aggregate. Counts are additive, so removal is a decrement; the
+/// OR of payload masks is not invertible, so affected receivers get their
+/// or_mask rebuilt exactly from per-bit sender counts: bit b survives for
+/// receiver r iff some full-aggregate sender whose message still reaches r
+/// carries it. Total cost O(n·|payload bits| + Σ dropped links), so the
+/// fast path keeps its O(n + faults·n_bits/64) shape even when nearly every
+/// sender has a small drop set (the chaos regime).
+void subtract_omissions(std::uint32_t n, const RoundTraffic& traffic,
+                        const DynBitset& receivers, const DynBitset& crashed,
+                        const Receipt& full, std::vector<Receipt>& out) {
+  // Per-bit population over the full-aggregate senders (every sender that is
+  // sending and not crashed this round; omitted senders are among them).
+  std::array<std::uint32_t, 64> base_bits{};
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!traffic.payloads[i].has_value() || crashed.test(i)) continue;
+    Payload bits = *traffic.payloads[i];
+    while (bits != 0) {
+      base_bits[static_cast<std::size_t>(std::countr_zero(bits))] += 1;
+      bits &= bits - 1;
+    }
+  }
+
+  // Per-receiver dropped-sender counts, one lazily-sized column per payload
+  // bit in use (a handful in practice: the value bits + the det flag).
+  std::array<std::vector<std::uint32_t>, 64> drop_bits;
+  DynBitset affected(n);
+  for (const auto& o : traffic.plan->omissions) {
+    const Payload p = *traffic.payloads[o.sender];
+    o.drop_for.for_each_set([&](std::size_t r) {
+      if (!receivers.test(r)) return;
+      Receipt& out_r = out[r];
+      --out_r.count;
+      if (p & payload::kSupports1) --out_r.ones;
+      if (p & payload::kSupports0) --out_r.zeros;
+      affected.set(r);
+      Payload bits = p;
+      while (bits != 0) {
+        auto& column = drop_bits[static_cast<std::size_t>(
+            std::countr_zero(bits))];
+        if (column.empty()) column.assign(n, 0);
+        column[r] += 1;
+        bits &= bits - 1;
+      }
+    });
+  }
+
+  affected.for_each_set([&](std::size_t r) {
+    Payload mask = 0;
+    Payload bits = full.or_mask;
+    while (bits != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const std::uint32_t dropped =
+          drop_bits[b].empty() ? 0 : drop_bits[b][r];
+      if (base_bits[b] > dropped) mask |= Payload{1} << b;
+    }
+    out[r].or_mask = mask;
+  });
 }
 
 }  // namespace
@@ -36,7 +110,8 @@ std::vector<Receipt> deliver(std::uint32_t n, const RoundTraffic& traffic,
   validate(n, traffic);
   SYNRAN_REQUIRE(receivers.size() == n, "receivers mask has wrong size");
 
-  // Aggregate over senders that deliver everywhere.
+  // Aggregate over senders that deliver everywhere. Omitted senders stay in
+  // the aggregate; their dropped links are subtracted per receiver below.
   DynBitset crashed_now(n);
   if (traffic.plan != nullptr) {
     for (const auto& c : traffic.plan->crashes) crashed_now.set(c.victim);
@@ -50,6 +125,13 @@ std::vector<Receipt> deliver(std::uint32_t n, const RoundTraffic& traffic,
 
   std::vector<Receipt> out(n);
   receivers.for_each_set([&](std::size_t i) { out[i] = full; });
+
+  // Omission subtraction must precede the crash additions: it rebuilds
+  // affected receivers' or_mask from the aggregate senders alone, and the
+  // partial crash deliveries then OR their payloads back on top.
+  if (traffic.plan != nullptr && !traffic.plan->omissions.empty()) {
+    subtract_omissions(n, traffic, receivers, crashed_now, full, out);
+  }
 
   // Per-receiver adjustments for partially delivered senders.
   if (traffic.plan != nullptr) {
@@ -74,6 +156,7 @@ std::vector<Receipt> deliver_naive(std::uint32_t n, const RoundTraffic& traffic,
     if (!traffic.payloads[s].has_value()) continue;
     const Payload p = *traffic.payloads[s];
     const DynBitset* mask = nullptr;
+    const DynBitset* drop = nullptr;
     if (traffic.plan != nullptr) {
       for (const auto& c : traffic.plan->crashes) {
         if (c.victim == s) {
@@ -81,10 +164,17 @@ std::vector<Receipt> deliver_naive(std::uint32_t n, const RoundTraffic& traffic,
           break;
         }
       }
+      for (const auto& o : traffic.plan->omissions) {
+        if (o.sender == s) {
+          drop = &o.drop_for;
+          break;
+        }
+      }
     }
     for (std::uint32_t r = 0; r < n; ++r) {
       if (!receivers.test(r)) continue;
       if (mask != nullptr && !mask->test(r)) continue;
+      if (drop != nullptr && drop->test(r)) continue;
       accumulate(out[r], p);
     }
   }

@@ -57,13 +57,28 @@ struct CrashDirective {
   DynBitset deliver_to;  ///< size n; recipients that still get the message
 };
 
+/// A transient, non-crashing fault: one live sender's round message is
+/// suppressed for a chosen subset of receivers. Unlike a crash the sender
+/// stays alive and broadcasts normally in later rounds. This extends the
+/// paper's strictly fail-stop §3.1 model (see DESIGN.md, "Omission faults").
+struct OmissionDirective {
+  ProcessId sender = 0;
+  DynBitset drop_for;  ///< size n; receivers that do NOT get the message
+};
+
 /// The adversary's action for one round. Processes not listed deliver to all
-/// alive recipients; listed processes are failed and silent forever after.
+/// alive recipients; crash victims are failed and silent forever after;
+/// omission senders lose this round's message to `drop_for` receivers but
+/// keep running. A sender may not appear both as a crash victim and as an
+/// omission sender in the same plan (the crash's deliver_to already fully
+/// determines its delivery).
 struct FaultPlan {
   std::vector<CrashDirective> crashes;
+  std::vector<OmissionDirective> omissions;
 
-  bool empty() const { return crashes.empty(); }
+  bool empty() const { return crashes.empty() && omissions.empty(); }
   std::size_t crash_count() const { return crashes.size(); }
+  std::size_t omission_count() const { return omissions.size(); }
 };
 
 }  // namespace synran

@@ -36,6 +36,8 @@ struct RunInfo {
   std::uint32_t t_budget = 0;
   std::uint32_t per_round_cap = 0;  ///< 0 = uncapped
   std::uint64_t seed = 0;
+  std::uint32_t omission_budget = 0;    ///< 0 = omissions forbidden
+  std::uint32_t omission_round_cap = 0;  ///< 0 = uncapped
 };
 
 /// One round's observables. At on_round_begin the crash/delivery fields are
@@ -52,6 +54,8 @@ struct RoundObservation {
   std::uint32_t budget_left = 0;    ///< crash budget before this round
   std::uint32_t crashes = 0;        ///< victims of this round's plan
   std::uint64_t delivered = 0;      ///< point-to-point deliveries this round
+  std::uint32_t omissions = 0;      ///< omission directives in this plan
+  std::uint64_t omitted = 0;        ///< links suppressed this round
 };
 
 /// Final verdicts of one execution (a flattened RunResult, kept here so the
@@ -65,6 +69,8 @@ struct RunObservation {
   std::uint32_t rounds_to_halt = 0;
   std::uint32_t crashes_total = 0;
   std::uint64_t messages_delivered = 0;
+  std::uint32_t omissions_total = 0;     ///< omission directives spent
+  std::uint64_t messages_omitted = 0;    ///< links suppressed in total
   std::uint32_t survivors = 0;  ///< processes never crashed
 };
 

@@ -1,10 +1,61 @@
 #include "obs/trace_writer.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <ostream>
+#include <system_error>
 
 #include "obs/json.hpp"
 
 namespace synran::obs {
+
+JsonlTraceWriter::JsonlTraceWriter(std::ostream& out, bool flush_each)
+    : out_(&out), flush_each_(flush_each) {}
+
+JsonlTraceWriter::JsonlTraceWriter(const std::string& path, bool flush_each)
+    : flush_each_(flush_each),
+      file_(std::make_unique<std::ofstream>()),
+      final_path_(path),
+      tmp_path_(path + ".tmp") {
+  file_->open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!file_->is_open()) {
+    throw IoError("trace: cannot open '" + tmp_path_ + "' for writing");
+  }
+  out_ = file_.get();
+}
+
+JsonlTraceWriter::~JsonlTraceWriter() {
+  if (file_ == nullptr || closed_) return;
+  // Best-effort finalize: never throw from a destructor. A failure leaves
+  // the ".tmp" file behind and the final path untouched.
+  file_->flush();
+  const bool ok = file_->good();
+  file_->close();
+  if (ok && file_->good()) {
+    std::error_code ec;
+    std::filesystem::rename(tmp_path_, final_path_, ec);
+  }
+}
+
+void JsonlTraceWriter::close() {
+  if (file_ == nullptr || closed_) return;
+  file_->flush();
+  if (!file_->good()) {
+    throw IoError("trace: write failure on '" + tmp_path_ +
+                  "' (disk full or I/O error)");
+  }
+  file_->close();
+  if (file_->fail()) {
+    throw IoError("trace: failed to close '" + tmp_path_ + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, final_path_, ec);
+  if (ec) {
+    throw IoError("trace: cannot rename '" + tmp_path_ + "' onto '" +
+                  final_path_ + "': " + ec.message());
+  }
+  closed_ = true;
+}
 
 void JsonlTraceWriter::write_line(const JsonValue& event) {
   *out_ << event.dump() << '\n';
@@ -14,35 +65,46 @@ void JsonlTraceWriter::write_line(const JsonValue& event) {
 
 void JsonlTraceWriter::on_run_begin(const RunInfo& info) {
   ++runs_;
-  write_line(JsonValue::object()
-                 .set("event", "run_begin")
-                 .set("schema", kTraceSchema)
-                 .set("run", JsonValue(runs_ - 1))
-                 .set("n", JsonValue(info.n))
-                 .set("t", JsonValue(info.t_budget))
-                 .set("per_round_cap", JsonValue(info.per_round_cap))
-                 .set("seed", JsonValue(info.seed)));
+  emit_omissions_ = info.omission_budget > 0 || info.omission_round_cap > 0;
+  JsonValue ev = JsonValue::object()
+                     .set("event", "run_begin")
+                     .set("schema", kTraceSchema)
+                     .set("run", JsonValue(runs_ - 1))
+                     .set("n", JsonValue(info.n))
+                     .set("t", JsonValue(info.t_budget))
+                     .set("per_round_cap", JsonValue(info.per_round_cap))
+                     .set("seed", JsonValue(info.seed));
+  if (emit_omissions_) {
+    ev.set("omission_budget", JsonValue(info.omission_budget))
+        .set("omission_round_cap", JsonValue(info.omission_round_cap));
+  }
+  write_line(ev);
 }
 
 void JsonlTraceWriter::on_round_end(const RoundObservation& r) {
-  write_line(JsonValue::object()
-                 .set("event", "round")
-                 .set("run", JsonValue(runs_ == 0 ? 0 : runs_ - 1))
-                 .set("round", JsonValue(r.round))
-                 .set("alive", JsonValue(r.alive))
-                 .set("halted", JsonValue(r.halted))
-                 .set("senders", JsonValue(r.senders))
-                 .set("ones", JsonValue(r.ones))
-                 .set("zeros", JsonValue(r.zeros))
-                 .set("det", JsonValue(r.deterministic))
-                 .set("decided", JsonValue(r.decided))
-                 .set("crashes", JsonValue(r.crashes))
-                 .set("budget_left", JsonValue(r.budget_left))
-                 .set("delivered", JsonValue(r.delivered)));
+  JsonValue ev = JsonValue::object()
+                     .set("event", "round")
+                     .set("run", JsonValue(runs_ == 0 ? 0 : runs_ - 1))
+                     .set("round", JsonValue(r.round))
+                     .set("alive", JsonValue(r.alive))
+                     .set("halted", JsonValue(r.halted))
+                     .set("senders", JsonValue(r.senders))
+                     .set("ones", JsonValue(r.ones))
+                     .set("zeros", JsonValue(r.zeros))
+                     .set("det", JsonValue(r.deterministic))
+                     .set("decided", JsonValue(r.decided))
+                     .set("crashes", JsonValue(r.crashes))
+                     .set("budget_left", JsonValue(r.budget_left))
+                     .set("delivered", JsonValue(r.delivered));
+  if (emit_omissions_) {
+    ev.set("omissions", JsonValue(r.omissions))
+        .set("omitted", JsonValue(r.omitted));
+  }
+  write_line(ev);
 }
 
 void JsonlTraceWriter::on_run_end(const RunObservation& res) {
-  write_line(
+  JsonValue ev =
       JsonValue::object()
           .set("event", "run_end")
           .set("run", JsonValue(runs_ == 0 ? 0 : runs_ - 1))
@@ -54,7 +116,12 @@ void JsonlTraceWriter::on_run_end(const RunObservation& res) {
           .set("rounds_to_halt", JsonValue(res.rounds_to_halt))
           .set("crashes", JsonValue(res.crashes_total))
           .set("delivered", JsonValue(res.messages_delivered))
-          .set("survivors", JsonValue(res.survivors)));
+          .set("survivors", JsonValue(res.survivors));
+  if (emit_omissions_) {
+    ev.set("omissions", JsonValue(res.omissions_total))
+        .set("omitted", JsonValue(res.messages_omitted));
+  }
+  write_line(ev);
   out_->flush();
 }
 

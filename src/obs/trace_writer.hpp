@@ -15,10 +15,21 @@
 // experiment) can share a file. "budget_left" is the crash budget *before*
 // the round's plan was applied. The stream is deterministic: identical
 // seeds produce byte-identical files.
+//
+// Runs executed with a non-zero omission budget (or per-round omission cap)
+// additionally carry, per event, the additive fields
+//   run_begin: "omission_budget":OB, "omission_round_cap":OC
+//   round:     "omissions":OM (directives), "omitted":OL (suppressed links)
+//   run_end:   "omissions":OM, "omitted":OL (run totals)
+// Runs under the fail-stop default (both limits zero) omit these fields
+// entirely, so existing traces stay byte-identical.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "obs/observer.hpp"
 
@@ -26,16 +37,42 @@ namespace synran::obs {
 
 inline constexpr const char* kTraceSchema = "synran-trace/1";
 
-/// Writes the event stream to a borrowed ostream. Lines are flushed per
-/// event only when `flush_each` is set (useful while debugging a crash).
+/// A trace artifact could not be persisted (stream failure or the final
+/// atomic rename failed). The message names the path involved.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes the event stream to a borrowed ostream, or — with the path
+/// constructor — to an owned file. The owning mode writes to `path + ".tmp"`
+/// and atomically renames onto `path` in close(), so a crash or a full disk
+/// never leaves a truncated artifact under the final name. close() verifies
+/// the stream state and throws IoError on any failure; the destructor
+/// finalizes best-effort without throwing. Lines are flushed per event only
+/// when `flush_each` is set (useful while debugging a crash).
 class JsonlTraceWriter final : public EngineObserver {
  public:
-  explicit JsonlTraceWriter(std::ostream& out, bool flush_each = false)
-      : out_(&out), flush_each_(flush_each) {}
+  explicit JsonlTraceWriter(std::ostream& out, bool flush_each = false);
+
+  /// Owning mode: stream events into `path + ".tmp"`; close() renames the
+  /// temp file onto `path`. Throws IoError if the temp file cannot be opened.
+  explicit JsonlTraceWriter(const std::string& path, bool flush_each = false);
+
+  ~JsonlTraceWriter() override;
 
   void on_run_begin(const RunInfo& info) override;
   void on_round_end(const RoundObservation& round) override;
   void on_run_end(const RunObservation& result) override;
+
+  /// Owning mode only: true until close() succeeded.
+  bool is_open() const { return file_ != nullptr && !closed_; }
+
+  /// Finalizes an owning writer: flushes, verifies the stream, closes the
+  /// temp file and renames it onto the final path. Throws IoError with the
+  /// offending path on any failure. No-op for borrowed-stream writers and
+  /// for already-closed writers.
+  void close();
 
   std::uint64_t events_written() const { return events_; }
   std::uint64_t runs_written() const { return runs_; }
@@ -43,10 +80,17 @@ class JsonlTraceWriter final : public EngineObserver {
  private:
   void write_line(const class JsonValue& event);
 
-  std::ostream* out_;
+  std::ostream* out_ = nullptr;
   bool flush_each_ = false;
+  bool emit_omissions_ = false;  ///< latched per run from RunInfo
   std::uint64_t events_ = 0;
   std::uint64_t runs_ = 0;  ///< run_begin events so far; "run" = runs_ - 1
+
+  // Owning mode (null/empty for the borrowed-stream constructor).
+  std::unique_ptr<std::ofstream> file_;
+  std::string final_path_;
+  std::string tmp_path_;
+  bool closed_ = false;
 };
 
 }  // namespace synran::obs

@@ -4,7 +4,10 @@
 // unbounded, full-information adversary of §3.1: each round it observes every
 // process's local state (including fresh coin flips) and every pending
 // message, then picks which processes to crash during the exchange and which
-// subset of each victim's messages still goes out.
+// subset of each victim's messages still goes out. When the engine grants an
+// omission budget (EngineOptions::omission_budget — a deliberate extension
+// beyond the paper's model), the plan may additionally suppress live senders'
+// messages for chosen receiver subsets without killing anyone.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +28,9 @@ class WorldView {
             const DynBitset& halted,
             std::span<const std::optional<Payload>> payloads,
             std::span<const std::unique_ptr<Process>> processes,
-            std::uint32_t budget_left, std::uint32_t round_cap)
+            std::uint32_t budget_left, std::uint32_t round_cap,
+            std::uint32_t omission_budget_left = 0,
+            std::uint32_t omission_round_cap = 0)
       : round_(round),
         n_(n),
         alive_(alive),
@@ -33,7 +38,9 @@ class WorldView {
         payloads_(payloads),
         processes_(processes),
         budget_left_(budget_left),
-        round_cap_(round_cap) {}
+        round_cap_(round_cap),
+        omission_budget_left_(omission_budget_left),
+        omission_round_cap_(omission_round_cap) {}
 
   Round round() const { return round_; }
   std::uint32_t n() const { return n_; }
@@ -70,6 +77,20 @@ class WorldView {
     return round_cap_ < budget_left_ ? round_cap_ : budget_left_;
   }
 
+  /// Omission directives the adversary may still spend over the whole
+  /// execution (0 = omissions forbidden, the fail-stop default).
+  std::uint32_t omission_budget_left() const { return omission_budget_left_; }
+  /// Max omission directives allowed this round (0 = no per-round cap).
+  std::uint32_t omission_round_cap() const { return omission_round_cap_; }
+
+  /// Effective number of omission directives available this round.
+  std::uint32_t omission_round_budget() const {
+    if (omission_round_cap_ == 0) return omission_budget_left_;
+    return omission_round_cap_ < omission_budget_left_
+               ? omission_round_cap_
+               : omission_budget_left_;
+  }
+
  private:
   Round round_;
   std::uint32_t n_;
@@ -79,6 +100,8 @@ class WorldView {
   std::span<const std::unique_ptr<Process>> processes_;
   std::uint32_t budget_left_;
   std::uint32_t round_cap_;
+  std::uint32_t omission_budget_left_;
+  std::uint32_t omission_round_cap_;
 };
 
 /// Strategy interface. Implementations must respect the budget exposed by the

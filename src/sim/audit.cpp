@@ -8,12 +8,17 @@
 namespace synran {
 
 void RunAuditor::begin(std::uint32_t n, std::uint32_t t_budget,
-                       std::uint32_t per_round_cap) {
+                       std::uint32_t per_round_cap,
+                       std::uint32_t omission_budget,
+                       std::uint32_t omission_round_cap) {
   SYNRAN_REQUIRE(n >= 1, "auditor needs at least one process");
   n_ = n;
   t_budget_ = t_budget;
   per_round_cap_ = per_round_cap;
   cum_crashes_ = 0;
+  omission_budget_ = omission_budget;
+  omission_round_cap_ = omission_round_cap;
+  cum_omissions_ = 0;
   crashed_ = DynBitset(n);
   crash_round_.assign(n, 0);
   was_decided_.assign(n, false);
@@ -144,11 +149,65 @@ void RunAuditor::on_plan(Round round, const FaultPlan& plan,
     }
     in_plan.set(c.victim);
   }
+  const auto m = static_cast<std::uint32_t>(plan.omission_count());
+  if (omission_round_cap_ != 0 && m > omission_round_cap_) {
+    std::ostringstream os;
+    os << "plan issues " << m << " omission directives but the per-round "
+       << "omission cap is " << omission_round_cap_;
+    fail(round, os.str());
+  }
+  if (cum_omissions_ + m > omission_budget_) {
+    std::ostringstream os;
+    os << "plan issues " << m << " omission directives on top of "
+       << cum_omissions_ << " already spent, exceeding the omission budget "
+       << omission_budget_
+       << (omission_budget_ == 0
+               ? " (omissions are forbidden under the fail-stop model "
+                 "unless EngineOptions grants a budget)"
+               : "");
+    fail(round, os.str());
+  }
+  DynBitset omitted(n_);
+  for (const auto& o : plan.omissions) {
+    if (o.sender >= n_) {
+      std::ostringstream os;
+      os << "omission sender " << o.sender << " is not a process (n=" << n_
+         << ")";
+      fail(round, os.str());
+    }
+    if (in_plan.test(o.sender)) {
+      std::ostringstream os;
+      os << "process " << o.sender << " is both crashed and omitted in one "
+         << "fault plan — a crash's deliver_to already fixes its delivery";
+      fail(round, os.str());
+    }
+    if (omitted.test(o.sender)) {
+      std::ostringstream os;
+      os << "omission sender " << o.sender
+         << " appears twice in one fault plan";
+      fail(round, os.str());
+    }
+    if (!payloads[o.sender].has_value()) {
+      std::ostringstream os;
+      os << "plan omits messages of process " << o.sender
+         << ", which is not sending this round (an omission for a "
+         << "non-sender suppresses nothing and is outside the model)";
+      fail(round, os.str());
+    }
+    if (o.drop_for.size() != n_) {
+      std::ostringstream os;
+      os << "drop_for mask for omission sender " << o.sender << " has size "
+         << o.drop_for.size() << ", expected n=" << n_;
+      fail(round, os.str());
+    }
+    omitted.set(o.sender);
+  }
   for (const auto& c : plan.crashes) {
     crashed_.set(c.victim);
     crash_round_[c.victim] = round;
   }
   cum_crashes_ += k;
+  cum_omissions_ += m;
 }
 
 void RunAuditor::on_deliveries(
@@ -167,13 +226,19 @@ void RunAuditor::on_deliveries(
   for (const auto& c : plan.crashes) {
     expected += (c.deliver_to & active_receivers).count();
   }
+  std::uint64_t omitted = 0;
+  for (const auto& o : plan.omissions) {
+    omitted += (o.drop_for & active_receivers).count();
+  }
+  expected -= omitted;
   if (delivered != expected) {
     std::ostringstream os;
     os << "delivered " << delivered << " point-to-point messages but the "
        << "surviving-sender broadcast count is " << expected << " ("
        << full_senders << " full broadcasts to "
        << active_receivers.count() << " active receivers plus "
-       << plan.crash_count() << " partial deliveries)";
+       << plan.crash_count() << " partial deliveries minus " << omitted
+       << " omitted links)";
     fail(round, os.str());
   }
 }
@@ -181,17 +246,30 @@ void RunAuditor::on_deliveries(
 void AuditedAdversary::begin(std::uint32_t n, std::uint32_t t_budget) {
   auditor_.begin(n, t_budget, 0);
   begun_ = true;
+  omission_budget_synced_ = false;
   inner_->begin(n, t_budget);
 }
 
 FaultPlan AuditedAdversary::plan_round(const WorldView& world) {
   SYNRAN_CHECK_MSG(begun_, "AuditedAdversary::plan_round before begin()");
   auditor_.set_per_round_cap(world.round_cap());
+  auditor_.set_omission_round_cap(world.omission_round_cap());
+  if (!omission_budget_synced_) {
+    auditor_.set_omission_budget(world.omission_budget_left());
+    omission_budget_synced_ = true;
+  }
   if (world.budget_left() != auditor_.budget_left()) {
     std::ostringstream os;
     os << "audit: round " << world.round() << ": engine reports "
        << world.budget_left() << " crashes left but the audited spend "
        << "leaves " << auditor_.budget_left();
+    throw InvariantError(os.str());
+  }
+  if (world.omission_budget_left() != auditor_.omission_budget_left()) {
+    std::ostringstream os;
+    os << "audit: round " << world.round() << ": engine reports "
+       << world.omission_budget_left() << " omissions left but the audited "
+       << "spend leaves " << auditor_.omission_budget_left();
     throw InvariantError(os.str());
   }
   auditor_.on_phase_a(world.round(), world.payloads(), world.halted(),

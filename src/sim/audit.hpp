@@ -7,13 +7,17 @@
 //
 //   * cumulative crashes never exceed the global budget t;
 //   * per-round crashes respect the per-round cap (class-B adversaries);
+//   * omission directives target live senders only, never duplicate or
+//     overlap a crash victim, and respect their own global budget and
+//     per-round cap (0 budget = omissions forbidden, the fail-stop default);
 //   * a crashed process never acts again (no payloads, no halting, no
 //     re-crash) — "silence of the dead";
 //   * a decided process never flips its decision, and decided() never
 //     reverts (the paper's "cannot change its decision");
 //   * messages_delivered is exactly the surviving-sender broadcast count:
 //     full broadcasts reach every active receiver, a crashed sender reaches
-//     exactly deliver_to ∩ active.
+//     exactly deliver_to ∩ active, and each omission subtracts exactly
+//     drop_for ∩ active.
 //
 // Violations throw InvariantError with a round-stamped narrative naming the
 // process and the budget arithmetic involved. The predicates are cheap
@@ -40,9 +44,11 @@ namespace synran {
 /// begin → (on_phase_a → on_plan → on_deliveries)* per round.
 class RunAuditor {
  public:
-  /// Resets all state for a fresh execution.
+  /// Resets all state for a fresh execution. Omissions default to forbidden
+  /// (budget 0), matching the paper's fail-stop model.
   void begin(std::uint32_t n, std::uint32_t t_budget,
-             std::uint32_t per_round_cap);
+             std::uint32_t per_round_cap, std::uint32_t omission_budget = 0,
+             std::uint32_t omission_round_cap = 0);
 
   /// After phase A: `payloads[i]` is what process i wants to broadcast
   /// (nullopt = halted or silent), `decided/decisions` its current verdict
@@ -75,9 +81,19 @@ class RunAuditor {
   /// The cap is fixed per execution in the engine but only visible to a
   /// wrapper through WorldView, hence a setter rather than a begin() arg.
   void set_per_round_cap(std::uint32_t cap) { per_round_cap_ = cap; }
+  /// Same late-binding story for the omission limits (AuditedAdversary syncs
+  /// them from the WorldView; the engine passes them to begin() directly).
+  void set_omission_budget(std::uint32_t budget) { omission_budget_ = budget; }
+  void set_omission_round_cap(std::uint32_t cap) {
+    omission_round_cap_ = cap;
+  }
 
   std::uint32_t crashes_so_far() const { return cum_crashes_; }
   std::uint32_t budget_left() const { return t_budget_ - cum_crashes_; }
+  std::uint32_t omissions_so_far() const { return cum_omissions_; }
+  std::uint32_t omission_budget_left() const {
+    return omission_budget_ - cum_omissions_;
+  }
   const DynBitset& crashed() const { return crashed_; }
 
  private:
@@ -87,6 +103,9 @@ class RunAuditor {
   std::uint32_t t_budget_ = 0;
   std::uint32_t per_round_cap_ = 0;
   std::uint32_t cum_crashes_ = 0;
+  std::uint32_t omission_budget_ = 0;
+  std::uint32_t omission_round_cap_ = 0;
+  std::uint32_t cum_omissions_ = 0;
   bool strict_decisions_ = false;
   DynBitset crashed_;
   std::vector<Round> crash_round_;
@@ -115,6 +134,10 @@ class AuditedAdversary final : public Adversary {
   Adversary* inner_;
   RunAuditor auditor_;
   bool begun_ = false;
+  /// The omission budget is invisible to Adversary::begin, so it is adopted
+  /// from the first WorldView (nothing can have been spent before round 1)
+  /// and cross-checked against the engine's arithmetic afterwards.
+  bool omission_budget_synced_ = false;
 };
 
 }  // namespace synran

@@ -29,6 +29,14 @@ struct EngineOptions {
   /// Optional per-round crash cap (0 = no per-round cap). The lower-bound
   /// adversary class B uses 4√(n·ln n)+1 (§3.2).
   std::uint32_t per_round_cap = 0;
+  /// Global omission budget: max omission directives (one live sender's
+  /// message suppressed for a receiver subset) over the whole execution.
+  /// 0 — the default — forbids omissions entirely, preserving the paper's
+  /// fail-stop model bit for bit.
+  std::uint32_t omission_budget = 0;
+  /// Optional per-round omission-directive cap (0 = no per-round cap),
+  /// mirroring per_round_cap.
+  std::uint32_t omission_round_cap = 0;
   /// Safety valve: abort the run (marking it non-terminating) after this many
   /// rounds. Must comfortably exceed any expected run length.
   std::uint32_t max_rounds = 100000;
@@ -61,6 +69,9 @@ struct RunResult {
   /// Total point-to-point deliveries (communication complexity; a broadcast
   /// to k receivers counts k).
   std::uint64_t messages_delivered = 0;
+  /// Omission directives spent / links suppressed (see RunSummary).
+  std::uint32_t omissions_total = 0;
+  std::uint64_t messages_omitted = 0;
 
   /// Final per-process status (survivors only meaningful).
   std::vector<bool> crashed;

@@ -46,6 +46,12 @@ struct RunSummary {
   /// Total point-to-point deliveries (communication complexity; a broadcast
   /// to k receivers counts k).
   std::uint64_t messages_delivered = 0;
+
+  /// Omission directives the adversary spent (0 under the fail-stop default).
+  std::uint32_t omissions_total = 0;
+  /// Point-to-point messages actually suppressed by omissions (each directive
+  /// contributes |drop_for ∩ active receivers|).
+  std::uint64_t messages_omitted = 0;
 };
 
 /// Pre-sized buffers for Engine runs, reused across repetitions. The input

@@ -19,11 +19,14 @@ namespace synran {
 namespace {
 
 /// Emits plans drawn from raw randomness with no regard for the model:
-/// victims may be dead, halted, silent, duplicated, or over budget, and
-/// deliver_to masks are random (occasionally even mis-sized).
-class ChaosAdversary final : public Adversary {
+/// crash victims may be dead, halted, silent, duplicated, or over budget;
+/// omission senders may be silent, duplicated, crash-overlapping, or past
+/// the omission budget; and masks are random (occasionally even mis-sized).
+/// (Not the seeded link-drop injector in adversary/omission.hpp — this one
+/// exists to be *wrong*.)
+class MalformedPlanAdversary final : public Adversary {
  public:
-  explicit ChaosAdversary(std::uint64_t seed) : rng_(seed) {}
+  explicit MalformedPlanAdversary(std::uint64_t seed) : rng_(seed) {}
 
   FaultPlan plan_round(const WorldView& w) override {
     FaultPlan plan;
@@ -40,9 +43,21 @@ class ChaosAdversary final : public Adversary {
       }
       plan.crashes.push_back(std::move(c));
     }
+    const std::uint64_t m = rng_.below(3);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      OmissionDirective o;
+      o.sender = static_cast<ProcessId>(rng_.below(w.n()));
+      const std::uint32_t mask_size =
+          rng_.below(20) == 0 ? w.n() + 1 : w.n();
+      o.drop_for = DynBitset(mask_size);
+      for (std::uint32_t b = 0; b < mask_size; ++b) {
+        if (rng_.flip()) o.drop_for.set(b);
+      }
+      plan.omissions.push_back(std::move(o));
+    }
     return plan;
   }
-  const char* name() const override { return "chaos"; }
+  const char* name() const override { return "malformed-plan"; }
 
  private:
   Xoshiro256 rng_;
@@ -137,17 +152,23 @@ TEST(AuditFuzz, ChaoticPlansNeverSurviveOverBudget) {
   for (int iter = 0; iter < 150; ++iter) {
     const auto n = 4 + static_cast<std::uint32_t>(rng.below(16));
     const auto t = static_cast<std::uint32_t>(rng.below(n));
-    ChaosAdversary chaos(rng.next());
+    MalformedPlanAdversary chaos(rng.next());
     const auto factory = draw_factory(rng, t);
     EngineOptions opts;
     opts.t_budget = t;
     opts.per_round_cap = rng.flip() ? 2 : 0;
+    // A third of the runs forbid omissions outright (the fail-stop default),
+    // the rest grant a small budget the malformed plans routinely bust.
+    opts.omission_budget =
+        rng.below(3) == 0 ? 0 : static_cast<std::uint32_t>(rng.below(12));
+    opts.omission_round_cap = rng.flip() ? 1 : 0;
     opts.seed = rng.next();
     opts.max_rounds = 30000;
     try {
       const auto res = run_once(*factory, draw_inputs(rng, n), chaos, opts);
       // A chaotic run that completed must nonetheless be model-clean.
       EXPECT_LE(res.crashes_total, t) << "iter " << iter;
+      EXPECT_LE(res.omissions_total, opts.omission_budget) << "iter " << iter;
       if (opts.per_round_cap != 0) {
         for (auto c : res.crashes_per_round)
           EXPECT_LE(c, opts.per_round_cap) << "iter " << iter;

@@ -173,5 +173,142 @@ TEST_P(FabricEquivalence, FastMatchesNaive) {
 INSTANTIATE_TEST_SUITE_P(RandomTraffic, FabricEquivalence,
                          ::testing::Range<std::uint64_t>(1, 41));
 
+TEST(OmissionFabricTest, DropsLinksForChosenReceivers) {
+  const auto payloads = bits_payloads({1, 0, 1, 0});
+  FaultPlan plan;
+  DynBitset drop(4);
+  drop.set(1);
+  drop.set(2);  // sender 0's message vanishes for receivers 1 and 2
+  plan.omissions.push_back({0, drop});
+  DynBitset receivers(4, true);
+  RoundTraffic traffic{payloads, &plan};
+  const auto r = deliver(4, traffic, receivers);
+  EXPECT_EQ(r[0].count, 4u);
+  EXPECT_EQ(r[1].count, 3u);
+  EXPECT_EQ(r[1].ones, 1u);  // only sender 2's 1 remains
+  EXPECT_EQ(r[2].count, 3u);
+  EXPECT_EQ(r[3].count, 4u);
+  EXPECT_EQ(r[3].ones, 2u);
+}
+
+TEST(OmissionFabricTest, OrMaskRebuiltExactly) {
+  // Senders 0 and 1 are the only kSupports1 carriers; hiding both from
+  // receiver 2 must clear that bit in its or_mask, while receiver 3 (which
+  // loses only sender 0) keeps it.
+  const auto payloads = bits_payloads({1, 1, 0, 0});
+  FaultPlan plan;
+  DynBitset drop_both(4);
+  drop_both.set(2);
+  DynBitset drop_one(4);
+  drop_one.set(2);
+  drop_one.set(3);
+  plan.omissions.push_back({1, drop_both});
+  plan.omissions.push_back({0, drop_one});
+  DynBitset receivers(4, true);
+  RoundTraffic traffic{payloads, &plan};
+  const auto r = deliver(4, traffic, receivers);
+  EXPECT_EQ(r[2].count, 2u);
+  EXPECT_EQ(r[2].ones, 0u);
+  EXPECT_FALSE(r[2].or_mask & payload::kSupports1);
+  EXPECT_TRUE(r[2].or_mask & payload::kSupports0);
+  EXPECT_EQ(r[3].count, 3u);
+  EXPECT_EQ(r[3].ones, 1u);
+  EXPECT_TRUE(r[3].or_mask & payload::kSupports1);
+}
+
+TEST(OmissionFabricTest, ValidationRejectsBadOmissions) {
+  const auto payloads = bits_payloads({1, -1, 1});
+  DynBitset receivers(3, true);
+
+  FaultPlan non_sender;
+  non_sender.omissions.push_back({1, DynBitset(3)});
+  RoundTraffic t1{payloads, &non_sender};
+  EXPECT_THROW(deliver(3, t1, receivers), ArgumentError);
+
+  FaultPlan dup;
+  dup.omissions.push_back({0, DynBitset(3)});
+  dup.omissions.push_back({0, DynBitset(3)});
+  RoundTraffic t2{payloads, &dup};
+  EXPECT_THROW(deliver(3, t2, receivers), ArgumentError);
+
+  FaultPlan bad_mask;
+  bad_mask.omissions.push_back({0, DynBitset(2)});
+  RoundTraffic t3{payloads, &bad_mask};
+  EXPECT_THROW(deliver(3, t3, receivers), ArgumentError);
+
+  FaultPlan out_of_range;
+  out_of_range.omissions.push_back({7, DynBitset(3)});
+  RoundTraffic t4{payloads, &out_of_range};
+  EXPECT_THROW(deliver(3, t4, receivers), ArgumentError);
+
+  FaultPlan crash_and_omit;
+  crash_and_omit.crashes.push_back({0, DynBitset(3)});
+  crash_and_omit.omissions.push_back({0, DynBitset(3)});
+  RoundTraffic t5{payloads, &crash_and_omit};
+  EXPECT_THROW(deliver(3, t5, receivers), ArgumentError);
+}
+
+// Property: fast path == naive path under mixed crash + omission plans.
+class OmissionFabricEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OmissionFabricEquivalence, FastMatchesNaive) {
+  Xoshiro256 rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+  const std::uint32_t n = 3 + static_cast<std::uint32_t>(rng.below(60));
+
+  std::vector<std::optional<Payload>> payloads(n);
+  std::vector<ProcessId> senders;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.8) {
+      payloads[i] = rng.next() & 0x7;  // random low-3-bit payloads
+      senders.push_back(i);
+    }
+  }
+
+  FaultPlan plan;
+  DynBitset receivers(n, true);
+  std::size_t used = 0;  // prefix of `senders` consumed by crash directives
+  if (!senders.empty()) {
+    const std::uint32_t crashes = static_cast<std::uint32_t>(
+        rng.below(std::min<std::uint64_t>(senders.size(), 4) + 1));
+    for (std::uint32_t k = 0; k < crashes; ++k) {
+      const std::size_t j = used + rng.below(senders.size() - used);
+      std::swap(senders[used], senders[j]);
+      DynBitset mask(n);
+      for (std::uint32_t r = 0; r < n; ++r)
+        if (rng.flip()) mask.set(r);
+      plan.crashes.push_back({senders[used], mask});
+      receivers.reset(senders[used]);
+      ++used;
+    }
+  }
+  // Omissions target live senders only (the remaining suffix of `senders`).
+  if (used < senders.size()) {
+    const std::uint32_t omissions = static_cast<std::uint32_t>(rng.below(
+        std::min<std::uint64_t>(senders.size() - used, 6) + 1));
+    for (std::uint32_t k = 0; k < omissions; ++k) {
+      const std::size_t j = used + rng.below(senders.size() - used);
+      std::swap(senders[used], senders[j]);
+      DynBitset drop(n);
+      for (std::uint32_t r = 0; r < n; ++r)
+        if (rng.uniform() < 0.4) drop.set(r);
+      plan.omissions.push_back({senders[used], drop});
+      ++used;
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (rng.uniform() < 0.2) receivers.reset(i);
+
+  RoundTraffic traffic{payloads, &plan};
+  const auto fast = deliver(n, traffic, receivers);
+  const auto naive = deliver_naive(n, traffic, receivers);
+  ASSERT_EQ(fast.size(), naive.size());
+  for (std::uint32_t i = 0; i < n; ++i)
+    EXPECT_EQ(fast[i], naive[i]) << "receiver " << i << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(MixedFaultTraffic, OmissionFabricEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 61));
+
 }  // namespace
 }  // namespace synran

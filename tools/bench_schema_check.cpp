@@ -68,6 +68,32 @@ void check_bench_report(const JsonValue& doc, Check& c) {
     if (!threads->is_int() || threads->as_int() < 1)
       c.fail("threads is present but not a positive integer");
   }
+  // Additive field (omission experiments only): an array of
+  // {drop_rate in [0,1], budget >= 0} configurations.
+  if (const auto* oms = doc.find("omissions"); oms != nullptr) {
+    if (!oms->is_array()) {
+      c.fail("omissions is present but not an array");
+    } else {
+      for (std::size_t i = 0; i < oms->as_array().size(); ++i) {
+        const auto& om = oms->as_array()[i];
+        const std::string at = "omissions[" + std::to_string(i) + "]";
+        if (!om.is_object()) {
+          c.fail(at + " is not an object");
+          continue;
+        }
+        const auto* rate = om.find("drop_rate");
+        if (rate == nullptr || !rate->is_number())
+          c.fail(at + ".drop_rate is not a number");
+        else if (rate->as_double() < 0.0 || rate->as_double() > 1.0)
+          c.fail(at + ".drop_rate is outside [0, 1]");
+        const auto* budget = om.find("budget");
+        if (budget == nullptr || !budget->is_int())
+          c.fail(at + ".budget is not an integer");
+        else if (budget->as_int() < 0)
+          c.fail(at + ".budget is negative");
+      }
+    }
+  }
 
   if (const auto* grid =
           c.typed(doc, "grid", &JsonValue::is_array, "an array")) {
@@ -163,6 +189,8 @@ void check_trace_stream(std::istream& in, Check& c) {
   std::int64_t expected_run = 0;
   std::int64_t crashes_sum = 0;
   std::int64_t delivered_sum = 0;
+  std::int64_t omissions_sum = 0;
+  std::int64_t omitted_sum = 0;
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -203,9 +231,15 @@ void check_trace_stream(std::istream& in, Check& c) {
       for (const char* key : {"n", "t", "per_round_cap", "seed"})
         if (const auto* v = parsed->find(key); v == nullptr || !v->is_int())
           c.fail(at + ": run_begin." + key + " is not an integer");
+      // Additive fields, emitted only for runs with an omission budget.
+      for (const char* key : {"omission_budget", "omission_round_cap"})
+        if (const auto* v = parsed->find(key); v != nullptr && !v->is_int())
+          c.fail(at + ": run_begin." + key + " is present but not an integer");
       in_run = true;
       crashes_sum = 0;
       delivered_sum = 0;
+      omissions_sum = 0;
+      omitted_sum = 0;
     } else if (kind == "round") {
       if (!in_run) c.fail(at + ": round outside a run");
       for (const char* key :
@@ -218,6 +252,15 @@ void check_trace_stream(std::istream& in, Check& c) {
       if (const auto* v = parsed->find("delivered");
           v != nullptr && v->is_int())
         delivered_sum += v->as_int();
+      // Additive round fields under an omission budget.
+      for (const char* key : {"omissions", "omitted"})
+        if (const auto* v = parsed->find(key); v != nullptr && !v->is_int())
+          c.fail(at + ": round." + key + " is present but not an integer");
+      if (const auto* v = parsed->find("omissions");
+          v != nullptr && v->is_int())
+        omissions_sum += v->as_int();
+      if (const auto* v = parsed->find("omitted"); v != nullptr && v->is_int())
+        omitted_sum += v->as_int();
     } else if (kind == "run_end") {
       if (!in_run) c.fail(at + ": run_end outside a run");
       for (const char* key : {"terminated", "agreement"})
@@ -241,6 +284,19 @@ void check_trace_stream(std::istream& in, Check& c) {
         c.fail(at + ": run_end.delivered (" + std::to_string(v->as_int()) +
                ") != sum of round deliveries (" +
                std::to_string(delivered_sum) + ")");
+      for (const char* key : {"omissions", "omitted"})
+        if (const auto* v = parsed->find(key); v != nullptr && !v->is_int())
+          c.fail(at + ": run_end." + key + " is present but not an integer");
+      if (const auto* v = parsed->find("omissions");
+          v != nullptr && v->is_int() && v->as_int() != omissions_sum)
+        c.fail(at + ": run_end.omissions (" + std::to_string(v->as_int()) +
+               ") != sum of round omissions (" +
+               std::to_string(omissions_sum) + ")");
+      if (const auto* v = parsed->find("omitted");
+          v != nullptr && v->is_int() && v->as_int() != omitted_sum)
+        c.fail(at + ": run_end.omitted (" + std::to_string(v->as_int()) +
+               ") != sum of round omitted links (" +
+               std::to_string(omitted_sum) + ")");
       in_run = false;
       ++expected_run;
     } else {

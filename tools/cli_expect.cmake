@@ -1,0 +1,31 @@
+# Runs a CLI invocation and asserts on its exit code, optionally also on a
+# substring of its combined stdout+stderr. Driven from add_test():
+#
+#   cmake -DCLI=<path> "-DARGS=run;--threads;0x" -DEXPECT_RC=2
+#         [-DEXPECT_OUT=<substring>] -P cli_expect.cmake
+#
+# ARGS is a ;-separated list. A mismatch prints the full output and fails.
+if(NOT DEFINED CLI OR NOT DEFINED EXPECT_RC)
+  message(FATAL_ERROR "cli_expect.cmake needs -DCLI=... and -DEXPECT_RC=...")
+endif()
+
+execute_process(
+  COMMAND ${CLI} ${ARGS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+set(combined "${out}${err}")
+
+if(NOT rc EQUAL EXPECT_RC)
+  message(FATAL_ERROR
+    "expected exit code ${EXPECT_RC}, got ${rc}\n--- output ---\n${combined}")
+endif()
+
+if(DEFINED EXPECT_OUT)
+  string(FIND "${combined}" "${EXPECT_OUT}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "output does not contain '${EXPECT_OUT}'\n--- output ---\n${combined}")
+  endif()
+endif()

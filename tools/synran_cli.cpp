@@ -7,19 +7,26 @@
 //
 // `run` and `narrate` accept --trace-out=FILE to write a JSONL trace
 // (schema "synran-trace/1", one event per round — see EXPERIMENTS.md).
+// `run` additionally accepts --faults=omit:RATE[,BUDGET] to layer seeded
+// i.i.d. link drops (ChaosAdversary) on top of the chosen crash adversary.
 //
 // Every subcommand prints an aligned table (or narrative) and exits 0 on a
-// safe, successful run.
+// safe, successful run; 1 on a safety or runtime failure; 2 on a usage
+// error (unknown names, malformed or out-of-range flag values).
+#include <charconv>
+#include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "adversary/basic.hpp"
 #include "adversary/coinbias.hpp"
 #include "adversary/nonadaptive.hpp"
+#include "adversary/omission.hpp"
 #include "coin/forcing.hpp"
 #include "coin/games.hpp"
 #include "coin/recursive_games.hpp"
@@ -38,15 +45,57 @@ namespace {
 
 using namespace synran;
 
+/// A malformed invocation: unknown names, unparsable or out-of-range flag
+/// values. Caught in main() and turned into a one-line message + exit 2.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Strict whole-string unsigned parse: rejects empty strings, signs, trailing
+/// junk ("0x", "12a"), and overflow, with the flag name in the message.
+std::uint64_t parse_u64(const std::string& key, const std::string& text) {
+  std::uint64_t v = 0;
+  const char* b = text.data();
+  const char* e = b + text.size();
+  const auto [p, ec] = std::from_chars(b, e, v);
+  if (text.empty() || ec != std::errc() || p != e) {
+    throw UsageError("invalid value for --" + key + ": '" + text +
+                     "' (expected a non-negative integer)");
+  }
+  return v;
+}
+
+std::uint32_t parse_u32(const std::string& key, const std::string& text) {
+  const std::uint64_t v = parse_u64(key, text);
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    throw UsageError("value for --" + key + " is out of range: '" + text +
+                     "'");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+/// Strict whole-string double parse (for rates).
+double parse_f64(const std::string& key, const std::string& text) {
+  double v = 0.0;
+  const char* b = text.data();
+  const char* e = b + text.size();
+  const auto [p, ec] = std::from_chars(b, e, v);
+  if (text.empty() || ec != std::errc() || p != e) {
+    throw UsageError("invalid value for --" + key + ": '" + text +
+                     "' (expected a number)");
+  }
+  return v;
+}
+
 /// Minimal argument parser: accepts both "--key value" and "--key=value".
 class Args {
  public:
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
-        std::cerr << "expected --key value pairs, got '" << argv[i] << "'\n";
-        ok_ = false;
-        return;
+        throw UsageError("expected --key value pairs, got '" +
+                         std::string(argv[i]) + "'");
       }
       const std::string arg = argv[i] + 2;
       if (const auto eq = arg.find('='); eq != std::string::npos) {
@@ -54,27 +103,27 @@ class Args {
         continue;
       }
       if (i + 1 >= argc) {
-        std::cerr << "missing value for '--" << arg << "'\n";
-        ok_ = false;
-        return;
+        throw UsageError("missing value for '--" + arg + "'");
       }
       kv_[arg] = argv[++i];
     }
   }
 
-  bool ok() const { return ok_; }
   std::string get(const std::string& key, const std::string& dflt) const {
     auto it = kv_.find(key);
     return it == kv_.end() ? dflt : it->second;
   }
   std::uint64_t num(const std::string& key, std::uint64_t dflt) const {
     auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : std::stoull(it->second);
+    return it == kv_.end() ? dflt : parse_u64(key, it->second);
+  }
+  std::uint32_t num32(const std::string& key, std::uint32_t dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : parse_u32(key, it->second);
   }
 
  private:
   std::map<std::string, std::string> kv_;
-  bool ok_ = true;
 };
 
 std::unique_ptr<ProcessFactory> make_protocol(const std::string& name,
@@ -133,17 +182,60 @@ InputPattern parse_pattern(const std::string& name) {
   return InputPattern::Random;
 }
 
+/// Parsed --faults=omit:RATE[,BUDGET]. Omissions stay off without the flag.
+struct FaultFlag {
+  bool enabled = false;
+  double drop_rate = 0.0;
+  /// Omission-directive budget; defaults to "effectively unlimited" so a
+  /// bare --faults=omit:p studies the pure drop-rate regime.
+  std::uint32_t budget = std::numeric_limits<std::uint32_t>::max();
+};
+
+FaultFlag parse_faults(const std::string& text) {
+  FaultFlag f;
+  if (text.empty()) return f;
+  const std::string prefix = "omit:";
+  if (text.rfind(prefix, 0) != 0) {
+    throw UsageError("invalid --faults '" + text +
+                     "': expected omit:RATE[,BUDGET]");
+  }
+  std::string rest = text.substr(prefix.size());
+  if (const auto comma = rest.find(','); comma != std::string::npos) {
+    f.budget = parse_u32("faults", rest.substr(comma + 1));
+    rest = rest.substr(0, comma);
+  }
+  f.drop_rate = parse_f64("faults", rest);
+  if (f.drop_rate < 0.0 || f.drop_rate > 1.0) {
+    throw UsageError("invalid --faults drop rate '" + rest +
+                     "': must lie in [0, 1]");
+  }
+  f.enabled = true;
+  return f;
+}
+
 int cmd_run(const Args& args) {
-  const auto n = static_cast<std::uint32_t>(args.num("n", 128));
-  const auto t = static_cast<std::uint32_t>(args.num("t", n / 2));
+  const auto n = args.num32("n", 128);
+  const auto t = args.num32("t", n / 2);
   const auto proto = args.get("protocol", "synran");
   const auto adv = args.get("adversary", "coinbias");
+  const auto faults = parse_faults(args.get("faults", ""));
 
   const auto factory = make_protocol(proto, t);
-  const auto adversaries = make_adversary(adv);
+  AdversaryFactory adversaries = make_adversary(adv);
   if (!factory || !adversaries) {
-    std::cerr << "unknown protocol or adversary\n";
-    return 2;
+    throw UsageError("unknown protocol or adversary");
+  }
+  if (faults.enabled) {
+    // Layer seeded link drops over the chosen crash adversary. The chaos
+    // coins use their own derived stream so they never perturb the inner
+    // adversary's randomness.
+    adversaries = [inner = std::move(adversaries),
+                   faults](std::uint64_t s) -> std::unique_ptr<Adversary> {
+      ChaosOptions chaos;
+      chaos.drop_rate = faults.drop_rate;
+      chaos.seed = SeedSequence(s).stream(1);
+      return std::make_unique<ChaosAdversary>(chaos, inner(s));
+    };
   }
 
   RepeatSpec spec;
@@ -153,28 +245,27 @@ int cmd_run(const Args& args) {
   spec.seed = args.num("seed", 1);
   spec.threads = static_cast<unsigned>(args.num("threads", 0));
   spec.engine.t_budget = t;
-  spec.engine.max_rounds = args.num("max-rounds", 100000);
+  spec.engine.max_rounds = args.num32("max-rounds", 100000);
+  if (faults.enabled) spec.engine.omission_budget = faults.budget;
 
-  std::ofstream trace_out;
   std::unique_ptr<obs::JsonlTraceWriter> tracer;
   if (const auto path = args.get("trace-out", ""); !path.empty()) {
     if (exec::resolve_threads(spec.threads) > 1) {
-      std::cerr << "--trace-out needs a serial run: JSONL traces are "
-                   "round-ordered, so drop --threads (and SYNRAN_THREADS) "
-                   "or set --threads 1\n";
-      return 2;
+      throw UsageError(
+          "--trace-out needs a serial run: JSONL traces are round-ordered, "
+          "so drop --threads (and SYNRAN_THREADS) or set --threads 1");
     }
     spec.threads = 1;
-    trace_out.open(path);
-    if (!trace_out) {
-      std::cerr << "cannot write trace file '" << path << "'\n";
-      return 2;
+    try {
+      tracer = std::make_unique<obs::JsonlTraceWriter>(path);
+    } catch (const obs::IoError& e) {
+      throw UsageError(e.what());
     }
-    tracer = std::make_unique<obs::JsonlTraceWriter>(trace_out);
     spec.engine.observer = tracer.get();
   }
 
   const auto stats = run_repeated(*factory, adversaries, spec);
+  if (tracer != nullptr) tracer->close();
 
   Table table(proto + " vs " + adv);
   table.header({"metric", "value"});
@@ -188,6 +279,12 @@ int cmd_run(const Args& args) {
   table.row({std::string("rounds to halt (mean)"),
              stats.rounds_to_halt().mean()});
   table.row({std::string("crashes used (mean)"), stats.crashes_used().mean()});
+  if (faults.enabled) {
+    table.row({std::string("omissions used (mean)"),
+               stats.omissions_used().mean()});
+    table.row({std::string("messages omitted (mean)"),
+               stats.messages_omitted().mean()});
+  }
   table.row({std::string("decided 1 / reps"),
              std::to_string(stats.decided_one()) + " / " +
                  std::to_string(stats.reps())});
@@ -198,11 +295,18 @@ int cmd_run(const Args& args) {
   table.row({std::string("non-terminated"),
              static_cast<long long>(stats.non_terminated())});
   table.print(std::cout);
+  if (stats.non_terminated() > 0) {
+    std::cerr << "WARNING: " << stats.non_terminated() << " of "
+              << stats.reps() << " repetitions hit --max-rounds ("
+              << spec.engine.max_rounds
+              << ") without terminating; their round counts are truncated "
+                 "and every aggregate above is suspect\n";
+  }
   return stats.all_safe() ? 0 : 1;
 }
 
 int cmd_coin(const Args& args) {
-  const auto n = static_cast<std::uint32_t>(args.num("n", 256));
+  const auto n = args.num32("n", 256);
   const auto game_name = args.get("game", "majority");
   std::unique_ptr<CoinGame> game;
   if (game_name == "majority")
@@ -216,11 +320,10 @@ int cmd_coin(const Args& args) {
   else if (game_name == "tribes")
     game = std::make_unique<TribesGame>(n / 8 ? n / 8 : 1, 8);
   if (!game) {
-    std::cerr << "unknown game (majority|majority0|parity|leader|tribes)\n";
-    return 2;
+    throw UsageError("unknown game (majority|majority0|parity|leader|tribes)");
   }
 
-  const auto budget = static_cast<std::uint32_t>(args.num("budget", 0));
+  const auto budget = args.num32("budget", 0);
   const auto samples = args.num("samples", 400);
   const auto est =
       estimate_control(*game, budget, samples, args.num("seed", 1));
@@ -239,10 +342,10 @@ int cmd_coin(const Args& args) {
 }
 
 int cmd_valency(const Args& args) {
-  const auto n = static_cast<std::uint32_t>(args.num("n", 3));
+  const auto n = args.num32("n", 3);
   ValencyOptions opts;
-  opts.t_budget = static_cast<std::uint32_t>(args.num("t", 1));
-  opts.max_depth = static_cast<std::uint32_t>(args.num("depth", 14));
+  opts.t_budget = args.num32("t", 1);
+  opts.max_depth = args.num32("depth", 14);
   SynRanFactory factory;
 
   Table table("SynRan initial-state valencies");
@@ -274,13 +377,12 @@ int cmd_valency(const Args& args) {
 }
 
 int cmd_narrate(const Args& args) {
-  const auto n = static_cast<std::uint32_t>(args.num("n", 96));
-  const auto t = static_cast<std::uint32_t>(args.num("t", n - 1));
+  const auto n = args.num32("n", 96);
+  const auto t = args.num32("t", n - 1);
   const auto seed = args.num("seed", 11);
   const auto adversaries = make_adversary(args.get("adversary", "coinbias"));
   if (!adversaries) {
-    std::cerr << "unknown adversary\n";
-    return 2;
+    throw UsageError("unknown adversary");
   }
   auto inner = adversaries(seed);
   TracingAdversary tracer(*inner);
@@ -289,21 +391,20 @@ int cmd_narrate(const Args& args) {
   opts.t_budget = t;
   opts.seed = seed;
   opts.max_rounds = 100000;
-  std::ofstream trace_out;
   std::unique_ptr<obs::JsonlTraceWriter> jsonl;
   if (const auto path = args.get("trace-out", ""); !path.empty()) {
-    trace_out.open(path);
-    if (!trace_out) {
-      std::cerr << "cannot write trace file '" << path << "'\n";
-      return 2;
+    try {
+      jsonl = std::make_unique<obs::JsonlTraceWriter>(path);
+    } catch (const obs::IoError& e) {
+      throw UsageError(e.what());
     }
-    jsonl = std::make_unique<obs::JsonlTraceWriter>(trace_out);
     opts.observer = jsonl.get();
   }
   Xoshiro256 rng(seed);
   const auto inputs =
       make_inputs(n, parse_pattern(args.get("pattern", "half")), rng);
   const auto res = run_once(factory, inputs, tracer, opts);
+  if (jsonl != nullptr) jsonl->close();
   narrate(tracer.trace(), std::cout);
   std::cout << "decision "
             << (res.has_decision ? std::to_string(to_int(res.decision)) : "-")
@@ -324,6 +425,9 @@ void usage() {
       "           --threads N (0 = SYNRAN_THREADS or serial; statistics\n"
       "           are identical at any thread count)\n"
       "           --trace-out=FILE (JSONL round trace; serial only)\n"
+      "           --faults=omit:RATE[,BUDGET] (seeded i.i.d. link drops at\n"
+      "           RATE in [0,1]; BUDGET caps omission directives, default\n"
+      "           unlimited)\n"
       "  coin     one-round game control: --game majority|majority0|\n"
       "           parity|leader|tribes --n --budget --samples\n"
       "  valency  exact initial-state valencies (tiny n): --n --t --depth\n"
@@ -339,13 +443,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  Args args(argc, argv, 2);
-  if (!args.ok()) return 2;
   try {
+    Args args(argc, argv, 2);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "coin") return cmd_coin(args);
     if (cmd == "valency") return cmd_valency(args);
     if (cmd == "narrate") return cmd_narrate(args);
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
