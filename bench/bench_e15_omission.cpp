@@ -27,11 +27,8 @@ namespace {
 /// drop-rate regime.
 constexpr std::uint32_t kUnlimited = 0xffffffffu;
 
-RepeatedRunStats chaos_run(std::uint32_t n, double drop_rate,
-                           std::uint32_t budget, std::size_t reps,
-                           std::uint64_t seed) {
-  BenchReport::instance().note_grid(n, 0);
-  BenchReport::instance().note_omission(drop_rate, budget);
+RepeatSpec chaos_spec(std::uint32_t n, std::uint32_t budget, std::size_t reps,
+                      std::uint64_t seed) {
   RepeatSpec spec;
   spec.n = n;
   spec.pattern = InputPattern::Half;
@@ -41,14 +38,32 @@ RepeatedRunStats chaos_run(std::uint32_t n, double drop_rate,
   spec.engine.t_budget = 0;  // no crashes: isolate the omission effect
   spec.engine.omission_budget = budget;
   spec.engine.max_rounds = 200000;
-  SynRanFactory factory;
-  const AdversaryFactory adversaries = [drop_rate](std::uint64_t s) {
+  return spec;
+}
+
+AdversaryFactory chaos_factory(double drop_rate) {
+  return [drop_rate](std::uint64_t s) {
     ChaosOptions opts;
     opts.drop_rate = drop_rate;
     opts.seed = s;
     return std::make_unique<ChaosAdversary>(opts);
   };
-  return run_repeated(factory, adversaries, spec);
+}
+
+/// One table cell: goes through run_cell, so chaos batches trace,
+/// checkpoint, and resume like every attack_run cell (the drop rate rides
+/// in the cell tag — it shapes the adversary, not the spec).
+RepeatedRunStats chaos_run(std::uint32_t n, double drop_rate,
+                           std::uint32_t budget, std::size_t reps,
+                           std::uint64_t seed) {
+  BenchReport::instance().note_grid(n, 0);
+  BenchReport::instance().note_omission(drop_rate, budget);
+  SynRanFactory factory;
+  const std::string tag = "chaos-n" + std::to_string(n) + "-p" +
+                          std::to_string(drop_rate) + "-b" +
+                          std::to_string(budget);
+  return run_cell(factory, chaos_factory(drop_rate),
+                  chaos_spec(n, budget, reps, seed), tag);
 }
 
 void tables() {
@@ -105,21 +120,15 @@ void tables() {
                    "omissions used(mean)", "agreement fails"});
   for (std::uint32_t budget : {0u, 64u, 256u, 1024u, kUnlimited}) {
     BenchReport::instance().note_omission(0.0, budget);
-    RepeatSpec spec;
-    spec.n = 128;
-    spec.pattern = InputPattern::Half;
-    spec.reps = reps_for(128);
-    spec.seed = kSeed + budget;
-    spec.threads = bench_threads();
-    spec.engine.t_budget = 0;
-    spec.engine.omission_budget = budget;
-    spec.engine.max_rounds = 200000;
     SynRanFactory factory;
     const AdversaryFactory adversaries = [](std::uint64_t s) {
       return std::make_unique<OmissionAdversary>(
           OmissionAttackOptions{0.55, s});
     };
-    const auto stats = run_repeated(factory, adversaries, spec);
+    const auto stats =
+        run_cell(factory, adversaries,
+                 chaos_spec(128, budget, reps_for(128), kSeed + budget),
+                 "targeted-b" + std::to_string(budget));
     targeted.row({budget == kUnlimited ? std::string("unlimited")
                                        : std::to_string(budget),
                   stats.rounds_to_decision().mean(),
@@ -137,9 +146,13 @@ void tables() {
 
 void BM_ChaosDelivery(::benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
+  SynRanFactory factory;
   std::uint64_t seed = 0;
   for (auto _ : state) {
-    const auto stats = chaos_run(n, 0.1, kUnlimited, 1, ++seed);
+    // Straight through run_repeated: a timing kernel must not claim cell
+    // ordinals or write checkpoints.
+    const auto stats = run_repeated(factory, chaos_factory(0.1),
+                                    chaos_spec(n, kUnlimited, 1, ++seed));
     ::benchmark::DoNotOptimize(stats.reps());
   }
 }

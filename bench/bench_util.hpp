@@ -12,11 +12,32 @@
 //   SYNRAN_CSV_DIR     also write every emitted table as CSV into this dir
 //   SYNRAN_TRACE_DIR   write a JSONL run trace per attack_run batch here
 //   SYNRAN_BENCH_DIR   where BENCH_<experiment>.json lands (default ".")
-//   SYNRAN_REPS_BUDGET lower the rep budget (CI smoke runs)
+//   SYNRAN_REPS_BUDGET override the rep budget, dropping the usual floor
+//                      and ceiling (CI: tiny for smoke runs, huge to hold a
+//                      sweep open for the interruption test)
 //   SYNRAN_THREADS     worker threads for every repeated-run batch
 //                      (--threads=N on the command line wins). Per-cell
 //                      statistics are bit-identical at any thread count; the
 //                      resolved count is recorded as "threads" in the report.
+//   SYNRAN_CKPT_DIR    write a per-cell checkpoint ledger
+//                      (CKPT_<experiment>.jsonl, schema synran-ckpt/1) here
+//                      as each grid cell completes
+//   SYNRAN_RESUME      "1": reload completed cells from the ledger instead
+//                      of recomputing them. Seed schema 2 makes every cell
+//                      independent of execution order and the ledger stores
+//                      exact accumulator state, so a resumed run's
+//                      BENCH_*.json is byte-identical to an uninterrupted
+//                      one (timings aside).
+//   SYNRAN_FAIL_POLICY "quarantine" | "fail_fast": what a repeated-run
+//                      batch does with a rep that still throws after its
+//                      retries (default fail_fast — abort the sweep)
+//   SYNRAN_REP_RETRIES re-attempts per failing rep, identical seeds
+//                      (default 0)
+//
+// SIGINT/SIGTERM are routed to the cooperative stop flag (exec/stopper.hpp):
+// the executor finishes in-flight reps, completed cells stay in the ledger,
+// and the binary writes its report with "partial":true and exits with the
+// distinct code 3.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -37,10 +58,13 @@
 
 #include "adversary/coinbias.hpp"
 #include "analysis/fit.hpp"
+#include "common/check.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/theory.hpp"
 #include "common/table.hpp"
 #include "exec/executor.hpp"
+#include "exec/stopper.hpp"
+#include "obs/checkpoint.hpp"
 #include "obs/json.hpp"
 #include "obs/trace_writer.hpp"
 #include "protocols/synran.hpp"
@@ -56,17 +80,20 @@ inline constexpr const char* kBenchSchema = "synran-bench/1";
 
 /// Standard rep count, scaled down for large systems so tables regenerate in
 /// seconds on a laptop (the paper's curves are about shape, not ±1%).
-/// SYNRAN_REPS_BUDGET overrides the budget (and drops the 30-rep floor) so
-/// CI smoke runs finish in seconds while exercising the full pipeline.
+/// SYNRAN_REPS_BUDGET overrides the budget and drops both the 30-rep floor
+/// and the 400-rep ceiling: CI smoke runs shrink the sweep to seconds, and
+/// the interruption test inflates it far past any SIGINT latency.
 inline std::size_t reps_for(std::uint32_t n, std::size_t budget = 40000) {
   std::size_t floor = 30;
+  std::size_t ceiling = 400;
   if (const char* env = std::getenv("SYNRAN_REPS_BUDGET");
       env != nullptr && *env != '\0') {
     budget = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
     floor = 1;
+    ceiling = budget;
   }
   const std::size_t r = budget / std::max<std::uint32_t>(1, n);
-  return std::max<std::size_t>(floor, std::min<std::size_t>(400, r));
+  return std::max<std::size_t>(floor, std::min<std::size_t>(ceiling, r));
 }
 
 /// The worker-thread count every repeated-run batch in this binary uses:
@@ -174,6 +201,20 @@ class BenchReport {
 
   void set_timings(obs::JsonValue timings) { timings_ = std::move(timings); }
 
+  /// Marks the report as the salvage of an interrupted sweep: the additive
+  /// top-level "partial":true rides along, telling consumers that tables
+  /// for cells past the interruption point are absent (completed cells are
+  /// exact — they were checkpointed before the stop was honored).
+  void mark_partial() { partial_ = true; }
+  bool partial() const { return partial_; }
+
+  /// Records one quarantined repetition (additive top-level "failures"
+  /// array, present only when something was quarantined). `cell` is the
+  /// sweep-order cell ordinal, matching the checkpoint ledger.
+  void note_failure(std::uint64_t cell, const RepFailure& failure) {
+    failures_.emplace_back(cell, failure);
+  }
+
   obs::JsonValue to_json() const {
     obs::JsonValue grid = obs::JsonValue::array();
     for (const auto& [n, t] : grid_)
@@ -200,6 +241,19 @@ class BenchReport {
                      .set("drop_rate", obs::JsonValue(rate))
                      .set("budget", obs::JsonValue(budget)));
       report.set("omissions", std::move(oms));
+    }
+    if (partial_) report.set("partial", obs::JsonValue(true));
+    if (!failures_.empty()) {
+      obs::JsonValue fails = obs::JsonValue::array();
+      for (const auto& [cell, f] : failures_) {
+        obs::JsonValue entry = obs::JsonValue::object();
+        entry.set("cell", obs::JsonValue(cell));
+        const obs::JsonValue fields = f.to_json();
+        for (const auto& [key, value] : fields.as_object())
+          entry.set(key, value);
+        fails.push(std::move(entry));
+      }
+      report.set("failures", std::move(fails));
     }
     return report.set("tables", tables_).set("timings", timings_);
   }
@@ -236,6 +290,8 @@ class BenchReport {
     experiment_ = "experiment";
     grid_.clear();
     omissions_.clear();
+    partial_ = false;
+    failures_.clear();
     tables_ = obs::JsonValue::array();
     timings_ = obs::JsonValue::array();
   }
@@ -252,6 +308,8 @@ class BenchReport {
   std::string experiment_ = "experiment";
   std::vector<std::pair<std::uint32_t, std::uint32_t>> grid_;
   std::vector<std::pair<double, std::uint32_t>> omissions_;
+  bool partial_ = false;
+  std::vector<std::pair<std::uint64_t, RepFailure>> failures_;
   obs::JsonValue tables_ = obs::JsonValue::array();
   obs::JsonValue timings_ = obs::JsonValue::array();
 };
@@ -298,6 +356,154 @@ inline ScopedTrace open_trace(const std::string& tag) {
   return t;
 }
 
+// ------------------------------------------------------------ checkpoints
+
+/// Reads a failure policy from SYNRAN_FAIL_POLICY ("quarantine" or
+/// "fail_fast"); anything else is rejected loudly (a typo must not silently
+/// run a 2-hour sweep under the wrong policy). Falls back to `fallback`
+/// when unset.
+inline FailurePolicy bench_fail_policy(
+    FailurePolicy fallback = FailurePolicy::FailFast) {
+  const char* env = std::getenv("SYNRAN_FAIL_POLICY");
+  if (env == nullptr || *env == '\0') return fallback;
+  const std::string_view value = env;
+  if (value == "quarantine") return FailurePolicy::Quarantine;
+  if (value == "fail_fast") return FailurePolicy::FailFast;
+  SYNRAN_REQUIRE(false, "SYNRAN_FAIL_POLICY must be 'fail_fast' or "
+                        "'quarantine'");
+  return fallback;
+}
+
+/// Per-rep retry budget from SYNRAN_REP_RETRIES (default `fallback`).
+inline std::uint32_t bench_rep_retries(std::uint32_t fallback = 0) {
+  const char* env = std::getenv("SYNRAN_REP_RETRIES");
+  if (env == nullptr || *env == '\0') return fallback;
+  return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+}
+
+/// Process-wide checkpoint plumbing for the bench harness: binds the ledger
+/// (CKPT_<experiment>.jsonl under SYNRAN_CKPT_DIR) lazily on first use —
+/// after run_main has set the experiment name — and hands out the sweep's
+/// cell ordinals in execution order.
+class CheckpointState {
+ public:
+  static CheckpointState& instance() {
+    static CheckpointState s;
+    return s;
+  }
+
+  /// Next cell ordinal; every cell of the sweep claims one, whether it is
+  /// computed or restored, so ordinals always mirror execution order.
+  std::uint64_t next_cell() {
+    ensure_init();
+    return next_cell_++;
+  }
+
+  /// SYNRAN_RESUME is set and not "0".
+  bool resuming() {
+    ensure_init();
+    return resume_;
+  }
+
+  /// The bound ledger, or nullptr when SYNRAN_CKPT_DIR is unset.
+  obs::CheckpointLedger* ledger() {
+    ensure_init();
+    return ledger_.enabled() ? &ledger_ : nullptr;
+  }
+
+  /// Drops the binding and the ordinal counter; the environment is re-read
+  /// on next use (tests).
+  void reset() {
+    init_ = false;
+    resume_ = false;
+    next_cell_ = 0;
+    ledger_ = obs::CheckpointLedger();
+  }
+
+ private:
+  void ensure_init() {
+    if (init_) return;
+    init_ = true;
+    if (const char* env = std::getenv("SYNRAN_RESUME");
+        env != nullptr && *env != '\0' && std::string_view(env) != "0") {
+      resume_ = true;
+    }
+    if (const char* dir = std::getenv("SYNRAN_CKPT_DIR");
+        dir != nullptr && *dir != '\0') {
+      const std::string path = std::string(dir) + "/CKPT_" +
+                               BenchReport::instance().experiment() + ".jsonl";
+      ledger_ = obs::CheckpointLedger(path,
+                                      BenchReport::instance().experiment(),
+                                      kSeed);
+    }
+  }
+
+  bool init_ = false;
+  bool resume_ = false;
+  std::uint64_t next_cell_ = 0;
+  obs::CheckpointLedger ledger_;
+};
+
+/// Runs one grid cell — a repeated batch — through the resilience plumbing:
+/// SYNRAN_FAIL_POLICY / SYNRAN_REP_RETRIES overrides, per-batch JSONL trace
+/// (serial runs only), checkpoint recording under SYNRAN_CKPT_DIR, and
+/// reload-instead-of-recompute under SYNRAN_RESUME=1 when the recorded cell
+/// key still matches. Quarantined reps land in the report's "failures"
+/// array either way (fresh or restored), so a resumed report is
+/// byte-identical to an uninterrupted one.
+inline RepeatedRunStats run_cell(const ProcessFactory& factory,
+                                 const AdversaryFactory& adversaries,
+                                 RepeatSpec spec, const std::string& tag) {
+  spec.policy = bench_fail_policy(spec.policy);
+  spec.engine.max_rep_retries = bench_rep_retries(spec.engine.max_rep_retries);
+
+  auto& ckpt = CheckpointState::instance();
+  const std::uint64_t cell = ckpt.next_cell();
+  const std::string key = spec_cell_key(spec, factory.name(), tag);
+
+  auto report_failures = [cell](const RepeatedRunStats& stats) {
+    for (const RepFailure& f : stats.failures()) {
+      BenchReport::instance().note_failure(cell, f);
+      std::cout << "  [quarantined: rep " << f.rep << " (engine seed "
+                << f.seed << ", " << f.attempts << " attempts): " << f.error
+                << "]\n";
+    }
+  };
+
+  if (ckpt.resuming() && ckpt.ledger() != nullptr) {
+    if (const obs::CheckpointCell* hit = ckpt.ledger()->find(cell, key)) {
+      auto stats = RepeatedRunStats::from_checkpoint(hit->data);
+      std::cout << "  [ckpt: cell " << cell << " restored]\n";
+      report_failures(stats);
+      return stats;
+    }
+  }
+
+  ScopedTrace trace;
+  if (spec.threads <= 1 && spec.engine.observer == nullptr) {
+    trace = open_trace(tag);
+    spec.engine.observer = trace.observer();
+  } else if (spec.threads > 1 && std::getenv("SYNRAN_TRACE_DIR") != nullptr) {
+    std::cout << "  [trace: skipped — tracing requires a serial run, got "
+              << spec.threads << " threads]\n";
+  }
+  auto stats = run_repeated(factory, adversaries, spec);
+  trace.close();
+
+  if (obs::CheckpointLedger* ledger = ckpt.ledger()) {
+    try {
+      ledger->record(
+          obs::CheckpointCell{cell, key, stats.checkpoint_json()});
+    } catch (const obs::IoError& e) {
+      // A dead checkpoint dir must not kill a healthy sweep: the cell's
+      // results are already in hand, only resumability is lost.
+      std::cout << "  [" << e.what() << "]\n";
+    }
+  }
+  report_failures(stats);
+  return stats;
+}
+
 // ------------------------------------------------------------ experiments
 
 /// The CoinBias adversary factory used across experiments.
@@ -310,9 +516,11 @@ inline AdversaryFactory coinbias_factory(bool stall = true) {
 
 /// Runs SynRan (or an ablation) under the CoinBias adversary and returns the
 /// aggregate — the workhorse of E1/E2/E5/E8. Grid points land in the bench
-/// report; with SYNRAN_TRACE_DIR set, the batch also writes a JSONL trace
-/// (serial runs only: observers are rejected at >1 thread, so a parallel
-/// batch skips tracing with a notice rather than racing on the writer).
+/// report; the batch goes through run_cell, so it traces under
+/// SYNRAN_TRACE_DIR (serial runs only: observers are rejected at >1 thread,
+/// so a parallel batch skips tracing with a notice rather than racing on
+/// the writer), checkpoints under SYNRAN_CKPT_DIR, and resumes under
+/// SYNRAN_RESUME=1.
 inline RepeatedRunStats attack_run(const ProcessFactory& factory,
                                    std::uint32_t n, std::uint32_t t,
                                    InputPattern pattern, std::size_t reps,
@@ -330,17 +538,9 @@ inline RepeatedRunStats attack_run(const ProcessFactory& factory,
   if (capped)
     spec.engine.per_round_cap = static_cast<std::uint32_t>(
         theory::per_round_budget(static_cast<double>(n)));
-  ScopedTrace trace;
-  if (spec.threads <= 1) {
-    trace = open_trace("n" + std::to_string(n) + "-t" + std::to_string(t));
-    spec.engine.observer = trace.observer();
-  } else if (std::getenv("SYNRAN_TRACE_DIR") != nullptr) {
-    std::cout << "  [trace: skipped — tracing requires a serial run, got "
-              << spec.threads << " threads]\n";
-  }
-  auto stats = run_repeated(factory, coinbias_factory(stall), spec);
-  trace.close();
-  return stats;
+  const std::string tag = "n" + std::to_string(n) + "-t" + std::to_string(t) +
+                          (stall ? "" : "-nostall");
+  return run_cell(factory, coinbias_factory(stall), std::move(spec), tag);
 }
 
 /// Prints the table and a one-line safety verdict (every experiment demands
@@ -410,8 +610,12 @@ inline obs::JsonValue extract_timings(const std::string& gbench_json) {
 
 /// Shared main: print the experiment table(s) via `tables`, run the
 /// registered google-benchmark timings (captured as JSON through a side
-/// file), then write BENCH_<experiment>.json.
+/// file), then write BENCH_<experiment>.json. SIGINT/SIGTERM interrupt the
+/// sweep gracefully: the report is still written — marked "partial":true,
+/// with the completed tables — and the process exits with code 3 (completed
+/// cells survive in the checkpoint ledger for SYNRAN_RESUME=1).
 inline int run_main(int argc, char** argv, void (*tables)()) {
+  exec::install_stop_handlers();
   BenchReport::instance().set_experiment(experiment_name_from(argv[0]));
 
   // Strip --threads=N before google-benchmark sees argv (it rejects flags it
@@ -430,31 +634,39 @@ inline int run_main(int argc, char** argv, void (*tables)()) {
   if (bench_threads() > 1)
     std::cout << "[threads: " << bench_threads() << "]\n";
 
-  tables();
+  bool interrupted = false;
+  try {
+    tables();
+  } catch (const exec::Interrupted& e) {
+    interrupted = true;
+    BenchReport::instance().mark_partial();
+    std::cout << "[interrupted: " << e.what() << "]\n";
+  }
 
   const char* bench_dir_env = std::getenv("SYNRAN_BENCH_DIR");
   const std::string bench_dir =
       (bench_dir_env != nullptr && *bench_dir_env != '\0') ? bench_dir_env
                                                            : ".";
-  const std::string timings_path =
-      bench_dir + "/." + BenchReport::instance().experiment() +
-      ".timings.json";
 
-  // Route google-benchmark's JSON through a side file (its file reporter
-  // demands --benchmark_out); injected last so it wins over duplicates.
-  std::vector<std::string> args_storage(argv, argv + argc);
-  args_storage.push_back("--benchmark_out=" + timings_path);
-  args_storage.push_back("--benchmark_out_format=json");
-  std::vector<char*> args;
-  args.reserve(args_storage.size());
-  for (auto& a : args_storage) args.push_back(a.data());
-  int args_count = static_cast<int>(args.size());
+  if (!interrupted) {
+    const std::string timings_path =
+        bench_dir + "/." + BenchReport::instance().experiment() +
+        ".timings.json";
 
-  ::benchmark::Initialize(&args_count, args.data());
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
+    // Route google-benchmark's JSON through a side file (its file reporter
+    // demands --benchmark_out); injected last so it wins over duplicates.
+    std::vector<std::string> args_storage(argv, argv + argc);
+    args_storage.push_back("--benchmark_out=" + timings_path);
+    args_storage.push_back("--benchmark_out_format=json");
+    std::vector<char*> args;
+    args.reserve(args_storage.size());
+    for (auto& a : args_storage) args.push_back(a.data());
+    int args_count = static_cast<int>(args.size());
 
-  {
+    ::benchmark::Initialize(&args_count, args.data());
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+
     std::ifstream in(timings_path);
     std::ostringstream buf;
     buf << in.rdbuf();
@@ -468,7 +680,7 @@ inline int run_main(int argc, char** argv, void (*tables)()) {
     std::cout << "[bench report: " << report << "]\n";
   else
     std::cout << "[bench report: cannot write into " << bench_dir << "]\n";
-  return 0;
+  return interrupted ? 3 : 0;
 }
 
 }  // namespace synran::bench

@@ -32,6 +32,20 @@ double Summary::stderr_mean() const {
   return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
 }
 
+Summary Summary::restore(std::size_t count, double mean, double m2, double min,
+                         double max) {
+  SYNRAN_REQUIRE(m2 >= 0.0, "Summary::restore: m2 must be non-negative");
+  SYNRAN_REQUIRE(count > 0 || (mean == 0.0 && m2 == 0.0),
+                 "Summary::restore: empty summary must have zero state");
+  Summary s;
+  s.n_ = count;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 void Summary::merge(const Summary& o) {
   if (o.n_ == 0) return;
   if (n_ == 0) {

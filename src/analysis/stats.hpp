@@ -21,6 +21,17 @@ class Summary {
   double min() const { return min_; }
   double max() const { return max_; }
   double sum() const { return mean_ * static_cast<double>(n_); }
+  /// Raw Welford sum of squared deviations. Exposed so checkpoints can
+  /// snapshot the accumulator's exact state: (count, mean, m2, min, max)
+  /// determines every derived statistic bit-for-bit, whereas round-tripping
+  /// through stddev() would lose the low bits of m2.
+  double m2() const { return m2_; }
+
+  /// Rebuilds an accumulator from a snapshot taken via the accessors above.
+  /// The restored object is indistinguishable from the original: further
+  /// add()/merge() calls and every derived statistic behave identically.
+  static Summary restore(std::size_t count, double mean, double m2, double min,
+                         double max);
 
   /// Merges another accumulator into this one (parallel reduction).
   void merge(const Summary& other);

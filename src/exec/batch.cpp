@@ -1,6 +1,9 @@
 #include "exec/batch.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
+#include "obs/checkpoint.hpp"
 
 namespace synran {
 
@@ -66,6 +69,38 @@ AdversaryFactory no_adversary_factory() {
   return [](std::uint64_t) { return std::make_unique<NoAdversary>(); };
 }
 
+const char* to_string(FailurePolicy policy) {
+  switch (policy) {
+    case FailurePolicy::FailFast:
+      return "fail_fast";
+    case FailurePolicy::Quarantine:
+      return "quarantine";
+  }
+  return "?";
+}
+
+obs::JsonValue RepFailure::to_json() const {
+  return obs::JsonValue::object()
+      .set("rep", obs::JsonValue(std::uint64_t{rep}))
+      .set("seed", obs::JsonValue(seed))
+      .set("attempts", obs::JsonValue(attempts))
+      .set("error", error);
+}
+
+namespace {
+std::string rep_error_message(std::size_t rep, std::uint64_t seed,
+                              const std::string& what) {
+  return "rep " + std::to_string(rep) + " (engine seed " +
+         std::to_string(seed) + ") failed: " + what;
+}
+}  // namespace
+
+RepError::RepError(std::size_t rep, std::uint64_t seed,
+                   const std::string& what)
+    : std::runtime_error(rep_error_message(rep, seed, what)),
+      rep_(rep),
+      seed_(seed) {}
+
 RepeatedRunStats::RepeatedRunStats() {
   // Pre-register everything the accessors expose so a zero-rep aggregate
   // still reads back as zeros instead of "unknown metric".
@@ -80,6 +115,12 @@ RepeatedRunStats::RepeatedRunStats() {
   metrics_.counter("validity_failures");
   metrics_.counter("non_terminated");
   metrics_.counter("decided_one");
+  metrics_.counter("reps_quarantined");
+}
+
+void RepeatedRunStats::note_quarantined(RepFailure failure) {
+  metrics_.counter("reps_quarantined").inc();
+  failures_.push_back(std::move(failure));
 }
 
 void RepeatedRunStats::add(const RunSummary& rep) {
@@ -138,6 +179,90 @@ std::size_t RepeatedRunStats::non_terminated() const {
 }
 std::size_t RepeatedRunStats::decided_one() const {
   return metrics_.counter_at("decided_one").value();
+}
+std::size_t RepeatedRunStats::reps_quarantined() const {
+  return metrics_.counter_at("reps_quarantined").value();
+}
+
+obs::JsonValue RepeatedRunStats::checkpoint_json() const {
+  obs::JsonValue failures = obs::JsonValue::array();
+  for (const RepFailure& f : failures_) failures.push(f.to_json());
+  return obs::JsonValue::object()
+      .set("stats", obs::registry_snapshot(metrics_))
+      .set("failures", std::move(failures));
+}
+
+RepeatedRunStats RepeatedRunStats::from_checkpoint(
+    const obs::JsonValue& payload) {
+  SYNRAN_REQUIRE(payload.is_object(),
+                 "stats checkpoint payload must be an object");
+  const obs::JsonValue* stats = payload.find("stats");
+  const obs::JsonValue* failures = payload.find("failures");
+  SYNRAN_REQUIRE(stats != nullptr && failures != nullptr &&
+                     failures->is_array(),
+                 "stats checkpoint payload needs 'stats' and 'failures'");
+
+  RepeatedRunStats restored;
+  restored.metrics_ = obs::registry_restore(*stats);
+  // Every accessor the harnesses read must resolve; a snapshot that lost a
+  // pre-registered metric is a foreign or corrupt payload.
+  for (const char* name :
+       {"rounds_to_decision", "rounds_to_halt", "crashes_used",
+        "messages_delivered", "omissions_used", "messages_omitted"}) {
+    SYNRAN_REQUIRE(restored.metrics_.has_summary(name),
+                   std::string("stats checkpoint missing summary: ") + name);
+  }
+  for (const char* name :
+       {"reps", "agreement_failures", "validity_failures", "non_terminated",
+        "decided_one", "reps_quarantined"}) {
+    SYNRAN_REQUIRE(restored.metrics_.has_counter(name),
+                   std::string("stats checkpoint missing counter: ") + name);
+  }
+
+  for (const obs::JsonValue& entry : failures->as_array()) {
+    const obs::JsonValue* rep = entry.find("rep");
+    const obs::JsonValue* seed = entry.find("seed");
+    const obs::JsonValue* attempts = entry.find("attempts");
+    const obs::JsonValue* error = entry.find("error");
+    SYNRAN_REQUIRE(rep != nullptr && rep->is_int() && rep->as_int() >= 0 &&
+                       seed != nullptr && seed->is_int() &&
+                       attempts != nullptr && attempts->is_int() &&
+                       attempts->as_int() >= 1 && error != nullptr &&
+                       error->is_string(),
+                   "stats checkpoint failure entry malformed");
+    restored.failures_.push_back(RepFailure{
+        static_cast<std::size_t>(rep->as_int()),
+        static_cast<std::uint64_t>(seed->as_int()),
+        static_cast<std::uint32_t>(attempts->as_int()), error->as_string()});
+  }
+  SYNRAN_REQUIRE(restored.failures_.size() == restored.reps_quarantined(),
+                 "stats checkpoint failure list disagrees with counter");
+  return restored;
+}
+
+std::string spec_cell_key(const RepeatSpec& spec, std::string_view protocol,
+                          std::string_view tag) {
+  std::string key;
+  key += "proto=";
+  key += protocol;
+  key += ";tag=";
+  key += tag;
+  key += ";n=" + std::to_string(spec.n);
+  key += ";pattern=";
+  key += to_string(spec.pattern);
+  key += ";reps=" + std::to_string(spec.reps);
+  key += ";seed=" + std::to_string(spec.seed);
+  key += ";t=" + std::to_string(spec.engine.t_budget);
+  key += ";cap=" + std::to_string(spec.engine.per_round_cap);
+  key += ";omb=" + std::to_string(spec.engine.omission_budget);
+  key += ";omc=" + std::to_string(spec.engine.omission_round_cap);
+  key += ";max_rounds=" + std::to_string(spec.engine.max_rounds);
+  key += ";strict=" + std::to_string(spec.engine.strict_decision_audit ? 1 : 0);
+  key += ";policy=";
+  key += to_string(spec.policy);
+  key += ";retries=" + std::to_string(spec.engine.max_rep_retries);
+  key += ";seed_schema=" + std::to_string(kSeedSchemaVersion);
+  return key;
 }
 
 }  // namespace synran

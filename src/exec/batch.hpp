@@ -19,11 +19,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/stats.hpp"
 #include "common/rng.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "sim/adversary.hpp"
 #include "sim/engine.hpp"
@@ -79,6 +82,48 @@ using AdversaryFactory =
 
 AdversaryFactory no_adversary_factory();
 
+/// What the executor does with a repetition that still throws after its
+/// retry budget (EngineOptions::max_rep_retries) is spent.
+enum class FailurePolicy : std::uint8_t {
+  /// Abort the whole batch: the earliest failing rep's exception is
+  /// rethrown as a RepError naming the rep and its engine seed.
+  FailFast,
+  /// Record a RepFailure, skip the rep, and fold the survivors in rep
+  /// order. The batch completes; RepeatedRunStats reports the quarantined
+  /// count and the structured failures.
+  Quarantine,
+};
+
+const char* to_string(FailurePolicy policy);
+
+/// One repetition that exhausted its attempts without producing a
+/// RunSummary. `seed` is the rep's engine seed (schema-2 derived from the
+/// master seed), which together with the rep index is enough to replay the
+/// failure in isolation.
+struct RepFailure {
+  std::size_t rep = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t attempts = 0;  ///< attempts made (retries + 1)
+  std::string error;           ///< exception text of the last attempt
+
+  obs::JsonValue to_json() const;
+};
+
+/// Thrown by fail-fast batches: wraps the failing rep's exception text with
+/// the rep index and engine seed, so an aborted sweep names exactly which
+/// execution to replay.
+class RepError : public std::runtime_error {
+ public:
+  RepError(std::size_t rep, std::uint64_t seed, const std::string& what);
+
+  std::size_t rep() const { return rep_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::size_t rep_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
 /// Aggregates over repeated executions, backed by a metrics registry so the
 /// whole batch serializes to JSON in one call (metrics().to_json()). The
 /// named accessors are thin adapters over the registry entries; anything a
@@ -90,7 +135,7 @@ AdversaryFactory no_adversary_factory();
 ///              crashes_used, messages_delivered, omissions_used,
 ///              messages_omitted (all reps)
 ///   counters   reps, agreement_failures, validity_failures,
-///              non_terminated, decided_one
+///              non_terminated, decided_one, reps_quarantined
 class RepeatedRunStats {
  public:
   RepeatedRunStats();
@@ -99,6 +144,11 @@ class RepeatedRunStats {
   /// floating-point state depends on fold order; callers that must match the
   /// serial run fold in rep order.
   void add(const RunSummary& rep);
+
+  /// Records a quarantined repetition (executor-only in practice): bumps
+  /// the reps_quarantined counter and keeps the structured failure.
+  /// Quarantined reps contribute to no summary.
+  void note_quarantined(RepFailure failure);
 
   /// Expected rounds to decision across terminated reps.
   const Summary& rounds_to_decision() const;
@@ -118,17 +168,34 @@ class RepeatedRunStats {
   std::size_t non_terminated() const;
   /// Reps whose common decision was 1.
   std::size_t decided_one() const;
+  /// Reps that exhausted their retry budget and were skipped (always 0
+  /// under FailurePolicy::FailFast, which throws instead).
+  std::size_t reps_quarantined() const;
+
+  /// The quarantined reps, in rep order.
+  const std::vector<RepFailure>& failures() const { return failures_; }
 
   bool all_safe() const {
     return agreement_failures() == 0 && validity_failures() == 0 &&
            non_terminated() == 0;
   }
 
+  /// Exact checkpoint payload: {"stats":<registry snapshot with raw
+  /// Welford state>,"failures":[...]} — see obs/checkpoint.hpp. A stats
+  /// object rebuilt via from_checkpoint() serializes and behaves
+  /// identically to the original.
+  obs::JsonValue checkpoint_json() const;
+
+  /// Inverse of checkpoint_json(). Throws ArgumentError when the payload
+  /// is malformed or missing a pre-registered metric.
+  static RepeatedRunStats from_checkpoint(const obs::JsonValue& payload);
+
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   obs::MetricsRegistry metrics_;
+  std::vector<RepFailure> failures_;
 };
 
 struct RepeatSpec {
@@ -141,6 +208,17 @@ struct RepeatSpec {
   /// N > 1 = that many workers, 0 = auto (SYNRAN_THREADS when set, else
   /// serial). Statistics are bit-identical at every thread count.
   unsigned threads = 0;
+  /// What to do with a rep that throws after its retries are spent.
+  FailurePolicy policy = FailurePolicy::FailFast;
 };
+
+/// Fingerprint of everything a repeated batch's statistics depend on: the
+/// protocol, a caller-chosen tag (e.g. ablation variant), every
+/// result-bearing spec field, and the seed schema version. Deliberately
+/// excludes `threads` (results are thread-count invariant) and the
+/// observer. Checkpoint ledgers store this key per cell and refuse to
+/// reload a cell whose key changed.
+std::string spec_cell_key(const RepeatSpec& spec, std::string_view protocol,
+                          std::string_view tag);
 
 }  // namespace synran

@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <exception>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "exec/stopper.hpp"
+#include "obs/observer.hpp"
 
 namespace synran::exec {
 
@@ -25,6 +27,53 @@ RunSummary run_rep(const ProcessFactory& factory,
   EngineOptions opts = spec.engine;
   opts.seed = engine_seed_for_rep(spec.seed, rep);
   return engine.run(factory, ws.inputs(), *adversary, opts);
+}
+
+/// One repetition's terminal state: its canonical summary, or the failure
+/// that exhausted the retry budget.
+struct RepOutcome {
+  bool ok = false;
+  RunSummary summary;
+  RepFailure failure;
+};
+
+/// Runs repetition `rep` with its retry budget. Every attempt re-derives
+/// the identical per-rep streams (schema 2 makes them pure functions of the
+/// master seed and rep index), so a retry either reproduces the one
+/// canonical RunSummary or fails again — determinism is preserved either
+/// way. Abandoned attempts are reported to the observer (serial-only, like
+/// all observers) so traces stay well formed.
+RepOutcome attempt_rep(const ProcessFactory& factory,
+                       const AdversaryFactory& adversaries,
+                       const RepeatSpec& spec, std::size_t rep, Engine& engine,
+                       EngineWorkspace& ws) {
+  const std::uint32_t attempts_allowed = spec.engine.max_rep_retries + 1;
+  const std::uint64_t seed = engine_seed_for_rep(spec.seed, rep);
+  RepOutcome out;
+  std::string last_error;
+  for (std::uint32_t attempt = 0; attempt < attempts_allowed; ++attempt) {
+    try {
+      out.summary = run_rep(factory, adversaries, spec, rep, engine, ws);
+      out.ok = true;
+      return out;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+    } catch (...) {
+      last_error = "unknown exception";
+    }
+    if (spec.engine.observer != nullptr) {
+      spec.engine.observer->on_run_abandoned(
+          obs::RunAbandoned{rep, seed, attempt, last_error});
+    }
+  }
+  out.failure = RepFailure{rep, seed, attempts_allowed, last_error};
+  return out;
+}
+
+[[noreturn]] void throw_interrupted(std::size_t completed, std::size_t reps) {
+  throw Interrupted("stop requested: batch interrupted after " +
+                    std::to_string(completed) + " of " + std::to_string(reps) +
+                    " repetitions");
 }
 
 }  // namespace
@@ -51,34 +100,44 @@ RepeatedRunStats BatchExecutor::run(const ProcessFactory& factory,
                  "concurrent reps would interleave nondeterministically — "
                  "run observed batches at 1 thread");
 
+  const bool quarantine = spec.policy == FailurePolicy::Quarantine;
   RepeatedRunStats stats;
 
   if (threads == 1) {
     // Serial fast path on the calling thread: one workspace, reps in order.
     EngineWorkspace ws;
     Engine engine(ws);
-    for (std::size_t rep = 0; rep < spec.reps; ++rep)
-      stats.add(run_rep(factory, adversaries, spec, rep, engine, ws));
+    for (std::size_t rep = 0; rep < spec.reps; ++rep) {
+      if (stop_requested()) throw_interrupted(rep, spec.reps);
+      RepOutcome out = attempt_rep(factory, adversaries, spec, rep, engine, ws);
+      if (out.ok) {
+        stats.add(out.summary);
+      } else if (quarantine) {
+        stats.note_quarantined(std::move(out.failure));
+      } else {
+        throw RepError(rep, out.failure.seed, out.failure.error);
+      }
+    }
     return stats;
   }
 
-  // Parallel path. Workers fill disjoint slots of `summaries`; the only
-  // shared mutable state is the first-failure slot below.
-  std::vector<RunSummary> summaries(spec.reps);
+  // Parallel path. Workers fill disjoint slots of `outcomes`; the only
+  // shared mutable state is the fail-fast flag below and the (monotonic)
+  // stop flag. A stop request lets every worker finish its in-flight rep,
+  // then the batch throws after the join.
+  std::vector<RepOutcome> outcomes(spec.reps);
+  std::vector<unsigned char> done(spec.reps, 0);
   std::atomic<bool> failed{false};
-  std::vector<std::exception_ptr> errors(threads);
-  std::vector<std::size_t> error_reps(threads, spec.reps);
 
   auto worker = [&](unsigned w) {
     EngineWorkspace ws;
     Engine engine(ws);
     for (std::size_t rep = w; rep < spec.reps; rep += threads) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      try {
-        summaries[rep] = run_rep(factory, adversaries, spec, rep, engine, ws);
-      } catch (...) {
-        errors[w] = std::current_exception();
-        error_reps[w] = rep;
+      if (stop_requested()) return;
+      if (!quarantine && failed.load(std::memory_order_relaxed)) return;
+      outcomes[rep] = attempt_rep(factory, adversaries, spec, rep, engine, ws);
+      done[rep] = 1;
+      if (!outcomes[rep].ok && !quarantine) {
         failed.store(true, std::memory_order_relaxed);
         return;
       }
@@ -90,17 +149,33 @@ RepeatedRunStats BatchExecutor::run(const ProcessFactory& factory,
   for (unsigned w = 0; w < threads; ++w) pool.emplace_back(worker, w);
   for (auto& t : pool) t.join();
 
+  if (stop_requested()) {
+    std::size_t completed = 0;
+    for (const unsigned char d : done) completed += d;
+    throw_interrupted(completed, spec.reps);
+  }
+
   if (failed.load()) {
-    // Deterministic error selection: rethrow the failure of the earliest
-    // rep, regardless of which worker hit its error first in wall time.
-    unsigned first = 0;
-    for (unsigned w = 1; w < threads; ++w)
-      if (error_reps[w] < error_reps[first]) first = w;
-    std::rethrow_exception(errors[first]);
+    // Deterministic error selection: report the earliest failing rep,
+    // regardless of which worker hit its error first in wall time.
+    for (std::size_t rep = 0; rep < spec.reps; ++rep) {
+      if (done[rep] != 0 && !outcomes[rep].ok) {
+        throw RepError(rep, outcomes[rep].failure.seed,
+                       outcomes[rep].failure.error);
+      }
+    }
+    SYNRAN_CHECK_MSG(false, "fail-fast flag set without a recorded failure");
   }
 
   // Fold in rep order — the serial run's exact floating-point sequence.
-  for (std::size_t rep = 0; rep < spec.reps; ++rep) stats.add(summaries[rep]);
+  for (std::size_t rep = 0; rep < spec.reps; ++rep) {
+    SYNRAN_CHECK_MSG(done[rep] != 0, "worker skipped a repetition");
+    if (outcomes[rep].ok) {
+      stats.add(outcomes[rep].summary);
+    } else {
+      stats.note_quarantined(std::move(outcomes[rep].failure));
+    }
+  }
   return stats;
 }
 

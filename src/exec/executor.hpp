@@ -24,6 +24,17 @@
 // rejects a configured observer at more than one thread instead of racing
 // on it.
 //
+// Failure domains (see exec/batch.hpp): a rep that throws is retried with
+// its identical per-rep seeds up to EngineOptions::max_rep_retries times,
+// then either aborts the batch as a RepError (FailurePolicy::FailFast, the
+// default) or is quarantined as a structured RepFailure while the
+// survivors fold normally (FailurePolicy::Quarantine). Both policies
+// produce thread-count-invariant results: a rep's outcome is a pure
+// function of (master seed, rep), never of scheduling. The executor also
+// polls the cooperative stop flag (exec/stopper.hpp) between reps —
+// in-flight reps finish, then the batch throws Interrupted so callers can
+// flush checkpoints and partial artifacts.
+//
 // This subsystem is the one place in the repo allowed to use threading
 // primitives (tools/synran_lint enforces the boundary with its `threads`
 // rule).

@@ -1,0 +1,34 @@
+#include "exec/stopper.hpp"
+
+#include <csignal>
+
+namespace synran::exec {
+
+namespace {
+
+// volatile sig_atomic_t is the only type the C++ standard guarantees a
+// signal handler may write. Worker threads poll it between reps; the read
+// is a data race in the strict memory-model sense when a real signal
+// lands mid-batch, but every platform this repo targets makes aligned
+// sig_atomic_t loads/stores indivisible, and the flag is monotonic
+// (0 -> 1), so the worst case is one extra rep before the stop is seen.
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_stop_signal(int /*signum*/) { g_stop = 1; }
+
+}  // namespace
+
+void install_stop_handlers() {
+  // std::signal is async-signal-safe to install and the handler only
+  // writes the flag. Installing twice is harmless (same handler).
+  std::signal(SIGINT, &on_stop_signal);
+  std::signal(SIGTERM, &on_stop_signal);
+}
+
+bool stop_requested() noexcept { return g_stop != 0; }
+
+void request_stop() noexcept { g_stop = 1; }
+
+void clear_stop() noexcept { g_stop = 0; }
+
+}  // namespace synran::exec

@@ -1,0 +1,46 @@
+// Cooperative, signal-safe stop flag for long batches.
+//
+// This is the repo's one point of contact with POSIX signals (lint rule
+// `signals` bans signal handling everywhere else): entry points that run
+// long sweeps — the CLI and the bench harness — call
+// install_stop_handlers() once, and SIGINT/SIGTERM then latch a
+// sig_atomic_t flag instead of killing the process. The executor polls
+// stop_requested() between repetitions, finishes the reps already in
+// flight, and throws Interrupted; callers catch it, flush checkpoints and
+// partial artifacts, and exit with the distinct code 3 (see the exit-code
+// table in README.md).
+//
+// The library never installs handlers on its own: embedders who want
+// default signal semantics keep them, and tests drive the same code path
+// deterministically through request_stop() / clear_stop().
+#pragma once
+
+#include <stdexcept>
+
+namespace synran::exec {
+
+/// A batch was stopped between repetitions after a stop request. The
+/// message reports how many reps had completed. Statistics already folded
+/// are discarded by the throw; completed *cells* survive in the checkpoint
+/// ledger, which is the resume unit.
+class Interrupted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Routes SIGINT and SIGTERM to the stop flag. Idempotent; call from a
+/// process entry point, never from library code.
+void install_stop_handlers();
+
+/// True once a stop was requested (signal or request_stop()).
+bool stop_requested() noexcept;
+
+/// Latches the stop flag exactly as a signal would (deterministic test and
+/// embedder hook).
+void request_stop() noexcept;
+
+/// Clears the flag so a later batch can run (tests; a fresh process starts
+/// clear).
+void clear_stop() noexcept;
+
+}  // namespace synran::exec

@@ -1,0 +1,252 @@
+#include "obs/checkpoint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/io_error.hpp"
+
+namespace synran::obs {
+
+JsonValue registry_snapshot(const MetricsRegistry& registry) {
+  // Reuse the public lossy snapshot for the catalogue of names, then emit
+  // exact state per entry. to_json() is name-ordered, so the snapshot is
+  // deterministic too.
+  const JsonValue lossy = registry.to_json();
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : lossy.find("counters")->as_object()) {
+    (void)value;
+    counters.set(name, JsonValue(registry.counter_at(name).value()));
+  }
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, value] : lossy.find("gauges")->as_object()) {
+    (void)value;
+    gauges.set(name, JsonValue(registry.gauge_at(name).value()));
+  }
+
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, value] : lossy.find("histograms")->as_object()) {
+    (void)value;
+    const Histogram& h = registry.histogram_at(name);
+    JsonValue bounds = JsonValue::array();
+    for (const double b : h.bounds()) bounds.push(JsonValue(b));
+    JsonValue counts = JsonValue::array();
+    for (const std::uint64_t c : h.counts()) counts.push(JsonValue(c));
+    histograms.set(name, JsonValue::object()
+                             .set("bounds", std::move(bounds))
+                             .set("counts", std::move(counts))
+                             .set("sum", JsonValue(h.sum())));
+  }
+
+  JsonValue summaries = JsonValue::object();
+  for (const auto& [name, value] : lossy.find("summaries")->as_object()) {
+    (void)value;
+    const Summary& s = registry.summary_at(name);
+    summaries.set(name,
+                  JsonValue::object()
+                      .set("count", JsonValue(std::uint64_t{s.count()}))
+                      .set("mean", JsonValue(s.mean()))
+                      .set("m2", JsonValue(s.m2()))
+                      .set("min", JsonValue(s.min()))
+                      .set("max", JsonValue(s.max())));
+  }
+
+  return JsonValue::object()
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("histograms", std::move(histograms))
+      .set("summaries", std::move(summaries));
+}
+
+namespace {
+
+const JsonValue::Object& member_object(const JsonValue& snapshot,
+                                       const char* name) {
+  const JsonValue* member = snapshot.find(name);
+  SYNRAN_REQUIRE(member != nullptr && member->is_object(),
+                 std::string("registry snapshot: missing object '") + name +
+                     "'");
+  return member->as_object();
+}
+
+double number_field(const JsonValue& obj, const char* name) {
+  const JsonValue* field = obj.find(name);
+  SYNRAN_REQUIRE(field != nullptr && field->is_number(),
+                 std::string("registry snapshot: missing number '") + name +
+                     "'");
+  return field->as_double();
+}
+
+std::uint64_t count_field(const JsonValue& obj, const char* name) {
+  const JsonValue* field = obj.find(name);
+  SYNRAN_REQUIRE(field != nullptr && field->is_int() && field->as_int() >= 0,
+                 std::string("registry snapshot: missing count '") + name +
+                     "'");
+  return static_cast<std::uint64_t>(field->as_int());
+}
+
+}  // namespace
+
+MetricsRegistry registry_restore(const JsonValue& snapshot) {
+  SYNRAN_REQUIRE(snapshot.is_object(), "registry snapshot must be an object");
+  MetricsRegistry registry;
+
+  for (const auto& [name, value] : member_object(snapshot, "counters")) {
+    SYNRAN_REQUIRE(value.is_int(),
+                   "registry snapshot: counter '" + name + "' must be an int");
+    registry.counter(name).inc(static_cast<std::uint64_t>(value.as_int()));
+  }
+
+  for (const auto& [name, value] : member_object(snapshot, "gauges")) {
+    SYNRAN_REQUIRE(value.is_number(),
+                   "registry snapshot: gauge '" + name + "' must be a number");
+    registry.gauge(name).set(value.as_double());
+  }
+
+  for (const auto& [name, value] : member_object(snapshot, "histograms")) {
+    SYNRAN_REQUIRE(value.is_object(),
+                   "registry snapshot: histogram '" + name + "' malformed");
+    const JsonValue* bounds = value.find("bounds");
+    const JsonValue* counts = value.find("counts");
+    SYNRAN_REQUIRE(bounds != nullptr && bounds->is_array() &&
+                       counts != nullptr && counts->is_array(),
+                   "registry snapshot: histogram '" + name + "' malformed");
+    std::vector<double> bound_values;
+    for (const JsonValue& b : bounds->as_array()) {
+      SYNRAN_REQUIRE(b.is_number(),
+                     "registry snapshot: histogram '" + name + "' malformed");
+      bound_values.push_back(b.as_double());
+    }
+    std::vector<std::uint64_t> count_values;
+    for (const JsonValue& c : counts->as_array()) {
+      SYNRAN_REQUIRE(c.is_int() && c.as_int() >= 0,
+                     "registry snapshot: histogram '" + name + "' malformed");
+      count_values.push_back(static_cast<std::uint64_t>(c.as_int()));
+    }
+    registry
+        .histogram(name, bound_values)
+        .merge(Histogram::restore(bound_values, std::move(count_values),
+                                  number_field(value, "sum")));
+  }
+
+  for (const auto& [name, value] : member_object(snapshot, "summaries")) {
+    SYNRAN_REQUIRE(value.is_object(),
+                   "registry snapshot: summary '" + name + "' malformed");
+    registry.summary(name) = Summary::restore(
+        count_field(value, "count"), number_field(value, "mean"),
+        number_field(value, "m2"), number_field(value, "min"),
+        number_field(value, "max"));
+  }
+
+  return registry;
+}
+
+CheckpointLedger::CheckpointLedger(std::string path, std::string experiment,
+                                   std::uint64_t seed)
+    : path_(std::move(path)), experiment_(std::move(experiment)), seed_(seed) {
+  SYNRAN_REQUIRE(!path_.empty(), "checkpoint ledger needs a path");
+
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.is_open()) return;  // nothing recorded yet
+
+  std::string line;
+  if (!std::getline(in, line)) return;
+  const auto header = JsonValue::parse(line);
+  if (!header.has_value() || !header->is_object()) return;
+  const JsonValue* schema = header->find("schema");
+  const JsonValue* experiment_field = header->find("experiment");
+  const JsonValue* seed_field = header->find("seed");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kCheckpointSchema ||
+      experiment_field == nullptr || !experiment_field->is_string() ||
+      experiment_field->as_string() != experiment_ || seed_field == nullptr ||
+      !seed_field->is_int() ||
+      static_cast<std::uint64_t>(seed_field->as_int()) != seed_) {
+    return;  // foreign ledger; treat as empty (overwritten on record)
+  }
+
+  while (std::getline(in, line)) {
+    const auto parsed = JsonValue::parse(line);
+    if (!parsed.has_value() || !parsed->is_object()) break;  // torn tail
+    const JsonValue* cell = parsed->find("cell");
+    const JsonValue* key = parsed->find("key");
+    const JsonValue* data = parsed->find("data");
+    if (cell == nullptr || !cell->is_int() || cell->as_int() < 0 ||
+        key == nullptr || !key->is_string() || data == nullptr) {
+      break;
+    }
+    cells_.push_back(CheckpointCell{
+        static_cast<std::uint64_t>(cell->as_int()), key->as_string(), *data});
+  }
+  loaded_ = cells_.size();
+}
+
+const CheckpointCell* CheckpointLedger::find(std::uint64_t cell,
+                                             std::string_view key) const {
+  const auto it =
+      std::find_if(cells_.begin(), cells_.end(),
+                   [cell](const CheckpointCell& c) { return c.cell == cell; });
+  if (it == cells_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+void CheckpointLedger::record(CheckpointCell cell) {
+  if (!enabled()) return;
+  const auto it = std::find_if(
+      cells_.begin(), cells_.end(),
+      [&cell](const CheckpointCell& c) { return c.cell == cell.cell; });
+  if (it != cells_.end()) {
+    *it = std::move(cell);
+  } else {
+    cells_.push_back(std::move(cell));
+  }
+  flush();
+}
+
+void CheckpointLedger::flush() const {
+  const std::string tmp_path = path_ + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      throw IoError("checkpoint: cannot open '" + tmp_path + "' for writing");
+    }
+    out << JsonValue::object()
+               .set("schema", kCheckpointSchema)
+               .set("experiment", experiment_)
+               .set("seed", JsonValue(seed_))
+               .dump()
+        << '\n';
+    for (const CheckpointCell& c : cells_) {
+      out << JsonValue::object()
+                 .set("cell", JsonValue(c.cell))
+                 .set("key", c.key)
+                 .set("data", c.data)
+                 .dump()
+          << '\n';
+    }
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      throw IoError("checkpoint: write failure on '" + tmp_path +
+                    "' (disk full or I/O error)");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path_, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp_path, ignored);
+    throw IoError("checkpoint: cannot rename '" + tmp_path + "' onto '" +
+                  path_ + "': " + ec.message());
+  }
+}
+
+}  // namespace synran::obs

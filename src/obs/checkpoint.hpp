@@ -1,0 +1,97 @@
+// Per-cell checkpoint ledger for long experiment sweeps (synran-ckpt/1).
+//
+// A bench sweep is a sequence of grid cells, each an independent repeated
+// batch whose statistics are a pure function of the cell's spec and master
+// seed (seed schema 2 derives every rep's streams from the cell seed and
+// rep index, so cells do not depend on execution order). The ledger
+// persists each completed cell as it finishes:
+//
+//   {"schema":"synran-ckpt/1","experiment":E,"seed":S}        — header
+//   {"cell":K,"key":"...","data":{...}}                       — one per cell
+//
+// `cell` is the 0-based position of the cell in the sweep's execution
+// order; `key` is a fingerprint of everything the cell's result depends on
+// (protocol, spec fields, seed schema). A resumed run only reloads a cell
+// when both match, so an edited harness silently recomputes instead of
+// serving stale data. `data` is an exact snapshot — summaries carry the raw
+// Welford m2, and the JSON writer renders doubles with round-trip precision
+// — so a restored cell reproduces the original report byte-for-byte.
+//
+// The ledger rewrites the whole file on every record (tmp + atomic rename,
+// like every other artifact writer): ledgers are a few lines per sweep, and
+// full rewrites keep a torn write from corrupting previously recorded
+// cells. Loading tolerates a truncated or torn tail — the valid prefix is
+// kept — which is exactly the state a killed run leaves behind.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace synran::obs {
+
+inline constexpr const char* kCheckpointSchema = "synran-ckpt/1";
+
+/// Exact state snapshot of a registry: every counter, gauge, histogram and
+/// summary with enough raw state (Welford m2, bucket counts) that
+/// registry_restore() rebuilds an indistinguishable registry — identical
+/// to_json() output AND identical behavior under further merges.
+JsonValue registry_snapshot(const MetricsRegistry& registry);
+
+/// Inverse of registry_snapshot(). Throws ArgumentError on a malformed
+/// snapshot (wrong shape, negative counts, m2 < 0).
+MetricsRegistry registry_restore(const JsonValue& snapshot);
+
+/// One completed sweep cell.
+struct CheckpointCell {
+  std::uint64_t cell = 0;  ///< 0-based position in the sweep
+  std::string key;         ///< spec fingerprint; must match to reload
+  JsonValue data;          ///< cell payload (stats snapshot + failures)
+};
+
+/// The on-disk ledger. Default-constructed ledgers are disabled (every
+/// operation is a no-op and find() always misses); the binding constructor
+/// loads whatever compatible prefix already exists at `path`.
+class CheckpointLedger {
+ public:
+  CheckpointLedger() = default;
+
+  /// Binds to `path` and loads any existing ledger: lines are consumed
+  /// until the first malformed one (a torn tail from a killed run), and a
+  /// header that disagrees on schema, experiment, or seed discards the
+  /// file's cells entirely (the next record() overwrites it).
+  CheckpointLedger(std::string path, std::string experiment,
+                   std::uint64_t seed);
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  /// Cells recovered from disk by the binding constructor.
+  std::size_t loaded() const { return loaded_; }
+  std::size_t size() const { return cells_.size(); }
+
+  /// The recorded cell at position `cell`, or nullptr when it is absent or
+  /// its key disagrees with `key` (stale ledger from an edited sweep).
+  const CheckpointCell* find(std::uint64_t cell, std::string_view key) const;
+
+  /// Records a completed cell (replacing any previous record at the same
+  /// position) and rewrites the ledger via tmp + atomic rename. Throws
+  /// IoError on any write failure; the tmp file is removed first, so no
+  /// partial artifact is left behind. No-op when disabled.
+  void record(CheckpointCell cell);
+
+ private:
+  void flush() const;
+
+  std::string path_;
+  std::string experiment_;
+  std::uint64_t seed_ = 0;
+  std::size_t loaded_ = 0;
+  std::vector<CheckpointCell> cells_;
+};
+
+}  // namespace synran::obs

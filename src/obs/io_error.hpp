@@ -1,0 +1,22 @@
+// The one exception type for artifact-persistence failures.
+//
+// Trace files, bench reports, and checkpoint ledgers all follow the same
+// write-to-temp + atomic-rename discipline; when any step of it fails (the
+// temp file cannot be opened, the stream goes bad mid-write, or the final
+// rename is refused) the writer throws IoError with the offending path in
+// the message and removes its temp file, so a failure never leaves a
+// truncated artifact under the final name.
+#pragma once
+
+#include <stdexcept>
+
+namespace synran::obs {
+
+/// An artifact could not be persisted (stream failure or the final atomic
+/// rename failed). The message names the path involved.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace synran::obs

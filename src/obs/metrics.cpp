@@ -36,6 +36,19 @@ void Histogram::merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+Histogram Histogram::restore(std::vector<double> upper_bounds,
+                             std::vector<std::uint64_t> counts, double sum) {
+  Histogram h{std::move(upper_bounds)};
+  SYNRAN_REQUIRE(counts.size() == h.bounds_.size() + 1,
+                 "Histogram::restore: counts must cover every bucket plus "
+                 "overflow");
+  h.counts_ = std::move(counts);
+  h.total_ = 0;
+  for (const std::uint64_t c : h.counts_) h.total_ += c;
+  h.sum_ = sum;
+  return h;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   return counters_[std::string(name)];
 }

@@ -66,6 +66,11 @@ class Histogram {
   /// Requires identical bounds.
   void merge(const Histogram& other);
 
+  /// Rebuilds a histogram from a snapshot of bounds()/counts()/sum().
+  /// `counts` must have bounds.size() + 1 entries (the overflow bucket).
+  static Histogram restore(std::vector<double> upper_bounds,
+                           std::vector<std::uint64_t> counts, double sum);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;

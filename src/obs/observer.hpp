@@ -22,7 +22,9 @@
 // repo-wide outside src/obs/ and bench/).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -74,6 +76,17 @@ struct RunObservation {
   std::uint32_t survivors = 0;  ///< processes never crashed
 };
 
+/// One failed attempt at a repetition, delivered at on_run_abandoned when an
+/// execution throws instead of reaching on_run_end. `attempt` is 0-based;
+/// the executor may retry the same rep (identical seed) up to its retry
+/// budget, so several abandonments can precede one successful run_end.
+struct RunAbandoned {
+  std::size_t rep = 0;        ///< repetition index within the batch
+  std::uint64_t seed = 0;     ///< the rep's engine seed (schema-2 derived)
+  std::uint32_t attempt = 0;  ///< which attempt failed (0 = first)
+  std::string error;          ///< exception text
+};
+
 class EngineObserver {
  public:
   virtual ~EngineObserver() = default;
@@ -89,6 +102,11 @@ class EngineObserver {
   /// Crashes committed; `round` now carries crashes/delivered/budget.
   virtual void on_round_end(const RoundObservation& /*round*/) {}
   virtual void on_run_end(const RunObservation& /*result*/) {}
+  /// An execution threw before reaching on_run_end. May fire instead of —
+  /// never in addition to — on_run_end for a given attempt, and may fire
+  /// with no preceding on_run_begin when the failure happened during setup
+  /// (e.g. the adversary factory threw).
+  virtual void on_run_abandoned(const RunAbandoned& /*failure*/) {}
 };
 
 /// Fans every callback out to a list of observers, in installation order.
@@ -119,6 +137,9 @@ class MultiObserver final : public EngineObserver {
   }
   void on_run_end(const RunObservation& result) override {
     for (auto* o : observers_) o->on_run_end(result);
+  }
+  void on_run_abandoned(const RunAbandoned& failure) override {
+    for (auto* o : observers_) o->on_run_abandoned(failure);
   }
 
  private:

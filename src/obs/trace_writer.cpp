@@ -65,6 +65,7 @@ void JsonlTraceWriter::write_line(const JsonValue& event) {
 
 void JsonlTraceWriter::on_run_begin(const RunInfo& info) {
   ++runs_;
+  in_run_ = true;
   emit_omissions_ = info.omission_budget > 0 || info.omission_round_cap > 0;
   JsonValue ev = JsonValue::object()
                      .set("event", "run_begin")
@@ -121,7 +122,23 @@ void JsonlTraceWriter::on_run_end(const RunObservation& res) {
     ev.set("omissions", JsonValue(res.omissions_total))
         .set("omitted", JsonValue(res.messages_omitted));
   }
+  in_run_ = false;
   write_line(ev);
+  out_->flush();
+}
+
+void JsonlTraceWriter::on_run_abandoned(const RunAbandoned& failure) {
+  // Closes the open run if one is in flight; a setup failure (no run_begin
+  // yet) stands alone under the index the aborted execution would have used.
+  const std::uint64_t run = in_run_ ? runs_ - 1 : runs_;
+  in_run_ = false;
+  write_line(JsonValue::object()
+                 .set("event", "run_abandoned")
+                 .set("run", JsonValue(run))
+                 .set("rep", JsonValue(std::uint64_t{failure.rep}))
+                 .set("seed", JsonValue(failure.seed))
+                 .set("attempt", JsonValue(failure.attempt))
+                 .set("error", failure.error));
   out_->flush();
 }
 

@@ -11,6 +11,13 @@
 //    "decision":0|1|null,"rounds_to_decision":R1,"rounds_to_halt":R2,
 //    "crashes":X,"delivered":M,"survivors":V}
 //
+// An execution that throws instead of completing is closed by the additive
+//   {"event":"run_abandoned","run":K,"rep":I,"seed":S,"attempt":A,
+//    "error":"..."}
+// event (in place of run_end); when the failure happened before run_begin
+// (setup threw) the event stands alone and "run" names the index the
+// aborted execution would have used.
+//
 // "run" is a 0-based index so several executions (the reps of one
 // experiment) can share a file. "budget_left" is the crash budget *before*
 // the round's plan was applied. The stream is deterministic: identical
@@ -28,21 +35,14 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <stdexcept>
 #include <string>
 
+#include "obs/io_error.hpp"
 #include "obs/observer.hpp"
 
 namespace synran::obs {
 
 inline constexpr const char* kTraceSchema = "synran-trace/1";
-
-/// A trace artifact could not be persisted (stream failure or the final
-/// atomic rename failed). The message names the path involved.
-class IoError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 /// Writes the event stream to a borrowed ostream, or — with the path
 /// constructor — to an owned file. The owning mode writes to `path + ".tmp"`
@@ -64,6 +64,7 @@ class JsonlTraceWriter final : public EngineObserver {
   void on_run_begin(const RunInfo& info) override;
   void on_round_end(const RoundObservation& round) override;
   void on_run_end(const RunObservation& result) override;
+  void on_run_abandoned(const RunAbandoned& failure) override;
 
   /// Owning mode only: true until close() succeeded.
   bool is_open() const { return file_ != nullptr && !closed_; }
@@ -83,6 +84,7 @@ class JsonlTraceWriter final : public EngineObserver {
   std::ostream* out_ = nullptr;
   bool flush_each_ = false;
   bool emit_omissions_ = false;  ///< latched per run from RunInfo
+  bool in_run_ = false;  ///< run_begin seen, no run_end/run_abandoned yet
   std::uint64_t events_ = 0;
   std::uint64_t runs_ = 0;  ///< run_begin events so far; "run" = runs_ - 1
 

@@ -210,5 +210,119 @@ TEST(BenchTrace, NoEnvMeansNoObserver) {
   EXPECT_EQ(trace.observer(), nullptr);
 }
 
+TEST(ResilienceBench, EnvOverridesPolicyAndRetries) {
+  {
+    ScopedEnv policy("SYNRAN_FAIL_POLICY", "quarantine");
+    ScopedEnv retries("SYNRAN_REP_RETRIES", "2");
+    EXPECT_EQ(bench_fail_policy(), FailurePolicy::Quarantine);
+    EXPECT_EQ(bench_rep_retries(), 2u);
+  }
+  {
+    ScopedEnv policy("SYNRAN_FAIL_POLICY", "fail_fast");
+    EXPECT_EQ(bench_fail_policy(FailurePolicy::Quarantine),
+              FailurePolicy::FailFast);
+  }
+  {
+    // A typo must abort the sweep, not silently run under the fallback.
+    ScopedEnv policy("SYNRAN_FAIL_POLICY", "quarentine");
+    EXPECT_THROW(bench_fail_policy(), ArgumentError);
+  }
+}
+
+TEST(ResilienceBench, PartialAndFailuresRideAlongInTheReport) {
+  auto& report = BenchReport::instance();
+  report.reset();
+  report.set_experiment("shape_test");
+
+  // Untouched reports keep the exact pre-resilience JSON shape.
+  const auto before = report.to_json();
+  EXPECT_EQ(before.find("partial"), nullptr);
+  EXPECT_EQ(before.find("failures"), nullptr);
+
+  report.mark_partial();
+  report.note_failure(3, RepFailure{2, 77, 2, "boom"});
+  const auto doc = report.to_json();
+  ASSERT_NE(doc.find("partial"), nullptr);
+  EXPECT_TRUE(doc.find("partial")->as_bool());
+  const auto& fails = doc.find("failures")->as_array();
+  ASSERT_EQ(fails.size(), 1u);
+  EXPECT_EQ(fails[0].find("cell")->as_int(), 3);
+  EXPECT_EQ(fails[0].find("rep")->as_int(), 2);
+  EXPECT_EQ(fails[0].find("seed")->as_int(), 77);
+  EXPECT_EQ(fails[0].find("attempts")->as_int(), 2);
+  EXPECT_EQ(fails[0].find("error")->as_string(), "boom");
+  report.reset();
+}
+
+TEST(ResilienceBench, UnwritableBenchDirLeavesNoPartialOrTempFiles) {
+  // A path beneath a regular file can never be a directory (robust even as
+  // root, unlike permission tricks): write() must report failure by
+  // returning "" and leave neither the report nor its temp file behind.
+  const fs::path block = fs::path(testing::TempDir()) / "synran_bench_block";
+  fs::remove(block);
+  { std::ofstream out(block); }
+  auto& report = BenchReport::instance();
+  report.reset();
+  report.set_experiment("blocked");
+  const std::string dir = (block / "sub").string();
+  EXPECT_EQ(report.write(dir), "");
+  EXPECT_FALSE(fs::exists(dir + "/BENCH_blocked.json"));
+  EXPECT_FALSE(fs::exists(dir + "/BENCH_blocked.json.tmp"));
+  report.reset();
+  fs::remove(block);
+}
+
+TEST(ResilienceBench, RunCellRecordsThenRestoresFromTheLedger) {
+  const fs::path dir = fs::path(testing::TempDir()) / "synran_ckpt_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  ScopedEnv ckpt_dir("SYNRAN_CKPT_DIR", dir.string());
+  ScopedEnv no_trace("SYNRAN_TRACE_DIR", "");
+  auto& report = BenchReport::instance();
+  report.reset();
+  report.set_experiment("ckpt_cell");
+  CheckpointState::instance().reset();
+
+  SynRanFactory factory;
+  RepeatSpec spec;
+  spec.n = 8;
+  spec.pattern = InputPattern::Half;
+  spec.reps = 4;
+  spec.seed = kSeed;
+  spec.engine.t_budget = 3;
+  const std::string fresh =
+      run_cell(factory, no_adversary_factory(), spec, "utest")
+          .checkpoint_json()
+          .dump();
+  EXPECT_TRUE(fs::exists(dir / "CKPT_ckpt_cell.jsonl"));
+
+  // Second sweep over the same grid with SYNRAN_RESUME=1: cell 0 must be
+  // served from the ledger (the notice proves the engine never ran).
+  ScopedEnv resume("SYNRAN_RESUME", "1");
+  CheckpointState::instance().reset();
+  testing::internal::CaptureStdout();
+  const std::string restored =
+      run_cell(factory, no_adversary_factory(), spec, "utest")
+          .checkpoint_json()
+          .dump();
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("[ckpt: cell 0 restored]"), std::string::npos) << out;
+  EXPECT_EQ(fresh, restored);
+
+  // A changed spec (different cell key) must recompute, not serve stale
+  // data recorded for the old sweep.
+  CheckpointState::instance().reset();
+  RepeatSpec changed = spec;
+  changed.reps = 5;
+  testing::internal::CaptureStdout();
+  run_cell(factory, no_adversary_factory(), changed, "utest");
+  const std::string out2 = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(out2.find("restored"), std::string::npos) << out2;
+
+  CheckpointState::instance().reset();
+  report.reset();
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace synran::bench

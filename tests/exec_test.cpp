@@ -1,9 +1,11 @@
 // Tests for the deterministic batch executor: serial/parallel equivalence,
 // the synran-seed/2 per-rep streams (golden-pinned), workspace reuse, the
-// serial-only observer rule, and deterministic error propagation.
+// serial-only observer rule, deterministic error propagation, the
+// quarantine/retry failure domains, and cooperative stop handling.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "adversary/coinbias.hpp"
 #include "common/check.hpp"
 #include "exec/executor.hpp"
+#include "exec/stopper.hpp"
 #include "obs/observer.hpp"
 #include "protocols/synran.hpp"
 #include "runner/experiment.hpp"
@@ -269,15 +272,225 @@ TEST(ExecErrors, EarliestRepFailureWinsAtAnyThreadCount) {
     if (seed == bad_late) throw std::runtime_error("boom at rep 7");
     return std::make_unique<NoAdversary>();
   };
+  // Fail-fast wraps the original message with the failing rep's identity —
+  // enough to re-run exactly that rep (same master seed, same index).
+  const std::uint64_t rep3_engine_seed = engine_seed_for_rep(spec.seed, 3);
+  const std::string expected = "rep 3 (engine seed " +
+                               std::to_string(rep3_engine_seed) +
+                               ") failed: boom at rep 3";
   for (unsigned threads : {1u, 2u, 8u}) {
     spec.threads = threads;
     try {
       run_repeated(protocol, faulty, spec);
       FAIL() << "expected the rep-3 failure at " << threads << " threads";
-    } catch (const std::runtime_error& e) {
-      EXPECT_STREQ(e.what(), "boom at rep 3") << threads << " threads";
+    } catch (const RepError& e) {
+      EXPECT_EQ(e.what(), expected) << threads << " threads";
+      EXPECT_EQ(e.rep(), 3u);
+      EXPECT_EQ(e.seed(), rep3_engine_seed);
     }
   }
+}
+
+// ------------------------------------------------------ failure domains
+
+/// An adversary factory that throws for the given rep indices (mapped back
+/// through their schema-2 adversary seeds), a fixed number of times each.
+/// `fail_times = 0` means "always".
+struct FaultInjector {
+  RepeatSpec spec;
+  std::map<std::uint64_t, std::size_t> throws_left;
+
+  AdversaryFactory factory(std::vector<std::size_t> bad_reps,
+                           std::size_t fail_times = 0) {
+    for (std::size_t rep : bad_reps)
+      throws_left[adversary_seed_for_rep(spec.seed, rep)] =
+          fail_times == 0 ? static_cast<std::size_t>(-1) : fail_times;
+    return [this](std::uint64_t seed) -> std::unique_ptr<Adversary> {
+      auto it = throws_left.find(seed);
+      if (it != throws_left.end() && it->second > 0) {
+        if (it->second != static_cast<std::size_t>(-1)) --it->second;
+        throw std::runtime_error("injected fault");
+      }
+      return std::make_unique<NoAdversary>();
+    };
+  }
+};
+
+TEST(ExecQuarantine, FoldsIdenticalSurvivorStatsAtAnyThreadCount) {
+  SynRanFactory protocol;
+  RepeatSpec spec = base_spec(InputPattern::Half, 4242);
+  spec.reps = 10;
+  spec.policy = FailurePolicy::Quarantine;
+
+  std::string serial_dump;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    FaultInjector inject{spec, {}};
+    RepeatSpec run_spec = spec;
+    run_spec.threads = threads;
+    const auto stats =
+        run_repeated(protocol, inject.factory({3, 7}), run_spec);
+    ASSERT_EQ(stats.reps_quarantined(), 2u) << threads << " threads";
+    EXPECT_EQ(stats.reps(), 8u) << threads << " threads";
+    // Failures surface in rep order with full identity, at any thread count.
+    ASSERT_EQ(stats.failures().size(), 2u);
+    EXPECT_EQ(stats.failures()[0].rep, 3u);
+    EXPECT_EQ(stats.failures()[0].seed, engine_seed_for_rep(spec.seed, 3));
+    EXPECT_EQ(stats.failures()[0].attempts, 1u);
+    EXPECT_EQ(stats.failures()[0].error, "injected fault");
+    EXPECT_EQ(stats.failures()[1].rep, 7u);
+    const std::string dump = stats.metrics().to_json().dump();
+    if (threads == 1)
+      serial_dump = dump;
+    else
+      EXPECT_EQ(dump, serial_dump) << threads << " threads";
+  }
+}
+
+TEST(ExecQuarantine, SurvivorsMatchABatchThatNeverHadTheBadReps) {
+  // The quarantined batch's per-rep summaries must be the exact summaries
+  // the same rep indices produce in a clean batch: quarantine removes reps,
+  // it never perturbs the streams of the reps around them.
+  SynRanFactory protocol;
+  RepeatSpec spec = base_spec(InputPattern::Random, 555);
+  spec.reps = 6;
+
+  RepeatedRunStats expected;
+  EngineWorkspace ws;
+  Engine engine(ws);
+  for (std::size_t rep = 0; rep < spec.reps; ++rep) {
+    if (rep == 2) continue;  // the rep quarantine will drop
+    Xoshiro256 input_rng = input_rng_for_rep(spec.seed, rep);
+    make_inputs(ws.inputs(), spec.n, spec.pattern, input_rng);
+    NoAdversary none;
+    EngineOptions opts = spec.engine;
+    opts.seed = engine_seed_for_rep(spec.seed, rep);
+    expected.add(engine.run(protocol, ws.inputs(), none, opts));
+  }
+  expected.note_quarantined(
+      RepFailure{2, engine_seed_for_rep(spec.seed, 2), 1, "injected fault"});
+
+  spec.policy = FailurePolicy::Quarantine;
+  FaultInjector inject{spec, {}};
+  const auto stats = run_repeated(protocol, inject.factory({2}), spec);
+  EXPECT_EQ(stats.reps_quarantined(), 1u);
+  EXPECT_EQ(stats.metrics().to_json().dump(),
+            expected.metrics().to_json().dump());
+}
+
+TEST(ExecQuarantine, RetryReRunsTheIdenticalSeedAndCanSucceed) {
+  SynRanFactory protocol;
+  RepeatSpec spec = base_spec(InputPattern::Random, 808);
+  spec.reps = 6;
+
+  // Clean reference: no faults at all.
+  const std::string clean = run_repeated(protocol, no_adversary_factory(),
+                                         spec)
+                                .metrics()
+                                .to_json()
+                                .dump();
+
+  // Rep 2's adversary construction fails once, then succeeds: with one
+  // retry allowed the batch must converge to the clean result bit for bit,
+  // because the retry re-derives the same (input, adversary, engine)
+  // streams from (master seed, rep).
+  spec.engine.max_rep_retries = 1;
+  FaultInjector inject{spec, {}};
+  const auto stats =
+      run_repeated(protocol, inject.factory({2}, /*fail_times=*/1), spec);
+  EXPECT_EQ(stats.reps_quarantined(), 0u);
+  EXPECT_EQ(stats.metrics().to_json().dump(), clean);
+}
+
+TEST(ExecQuarantine, AttemptsCountRetriesBeforeGivingUp) {
+  SynRanFactory protocol;
+  RepeatSpec spec = base_spec(InputPattern::Half, 909);
+  spec.reps = 4;
+  spec.policy = FailurePolicy::Quarantine;
+  spec.engine.max_rep_retries = 2;
+  FaultInjector inject{spec, {}};
+  const auto stats = run_repeated(protocol, inject.factory({1}), spec);
+  ASSERT_EQ(stats.failures().size(), 1u);
+  EXPECT_EQ(stats.failures()[0].attempts, 3u);  // 1 try + 2 retries
+}
+
+TEST(ExecQuarantine, FailFastStillThrowsDespiteRetries) {
+  SynRanFactory protocol;
+  RepeatSpec spec = base_spec(InputPattern::Half, 1010);
+  spec.reps = 4;
+  spec.engine.max_rep_retries = 1;
+  FaultInjector inject{spec, {}};
+  EXPECT_THROW(run_repeated(protocol, inject.factory({1}), spec),
+               RepError);
+}
+
+// ------------------------------------------------------ cooperative stop
+
+/// Clears the process-wide stop flag on entry and exit so a failing test
+/// cannot leak a pending stop into later tests.
+struct StopFlagGuard {
+  StopFlagGuard() { exec::clear_stop(); }
+  ~StopFlagGuard() { exec::clear_stop(); }
+};
+
+TEST(ExecStop, PendingStopInterruptsSerialBatchBeforeAnyRep) {
+  StopFlagGuard guard;
+  SynRanFactory protocol;
+  RepeatSpec spec = base_spec(InputPattern::Half, 77);
+  exec::request_stop();
+  try {
+    run_repeated(protocol, no_adversary_factory(), spec);
+    FAIL() << "expected exec::Interrupted";
+  } catch (const exec::Interrupted& e) {
+    EXPECT_NE(std::string(e.what()).find("0 of 6"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExecStop, PendingStopInterruptsParallelBatch) {
+  StopFlagGuard guard;
+  SynRanFactory protocol;
+  RepeatSpec spec = base_spec(InputPattern::Half, 78);
+  spec.threads = 4;
+  exec::request_stop();
+  EXPECT_THROW(run_repeated(protocol, no_adversary_factory(), spec),
+               exec::Interrupted);
+}
+
+struct StopAfterObserver final : obs::EngineObserver {
+  int runs = 0;
+  int stop_after = 0;
+  void on_run_end(const obs::RunObservation& /*result*/) override {
+    if (++runs == stop_after) exec::request_stop();
+  }
+};
+
+TEST(ExecStop, MidBatchStopFinishesInFlightRepThenThrows) {
+  StopFlagGuard guard;
+  SynRanFactory protocol;
+  StopAfterObserver observer;
+  observer.stop_after = 3;
+  RepeatSpec spec = base_spec(InputPattern::Half, 79);
+  spec.engine.observer = &observer;
+  try {
+    run_repeated(protocol, no_adversary_factory(), spec);
+    FAIL() << "expected exec::Interrupted";
+  } catch (const exec::Interrupted& e) {
+    // Rep 2's completion requested the stop; it was honored before rep 3.
+    EXPECT_EQ(observer.runs, 3);
+    EXPECT_NE(std::string(e.what()).find("3 of 6"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExecStop, ClearStopLetsTheNextBatchRun) {
+  StopFlagGuard guard;
+  SynRanFactory protocol;
+  RepeatSpec spec = base_spec(InputPattern::Half, 80);
+  exec::request_stop();
+  EXPECT_THROW(run_repeated(protocol, no_adversary_factory(), spec),
+               exec::Interrupted);
+  exec::clear_stop();
+  EXPECT_EQ(run_repeated(protocol, no_adversary_factory(), spec).reps(), 6u);
 }
 
 TEST(ExecErrors, RejectsZeroReps) {

@@ -238,6 +238,47 @@ TEST(LintThreads, LookalikesAndTrailerPass) {
   EXPECT_TRUE(scan_file("src/sim/f.cpp", line).empty());
 }
 
+// ---------------------------------------------------------------- signals
+
+TEST(LintSignals, SignalPrimitivesOutsideExecStopperFail) {
+  const char* lines[] = {
+      "#include <csignal>",             // synran-lint: allow(signals)
+      "#include <signal.h>",            // synran-lint: allow(signals)
+      "std::signal(SIGINT, handler);",  // synran-lint: allow(signals)
+      "signal(SIGTERM, handler);",      // synran-lint: allow(signals)
+      "struct sigaction sa;",           // synran-lint: allow(signals)
+      "std::raise(SIGINT);",            // synran-lint: allow(signals)
+      "volatile std::sig_atomic_t flag;",  // synran-lint: allow(signals)
+  };
+  for (const char* line : lines) {
+    EXPECT_EQ(count_rule(scan_file("src/sim/f.cpp", line), "signals"), 1u)
+        << line;
+    EXPECT_EQ(count_rule(scan_file("bench/b.cpp", line), "signals"), 1u)
+        << line;
+    EXPECT_EQ(count_rule(scan_file("tests/t.cpp", line), "signals"), 1u)
+        << line;
+    // The stopper owns the one handler and its flag.
+    EXPECT_EQ(count_rule(scan_file("src/exec/stopper.cpp", line), "signals"),
+              0u)
+        << line;
+    EXPECT_EQ(count_rule(scan_file("src/exec/stopper.hpp", line), "signals"),
+              0u)
+        << line;
+  }
+}
+
+TEST(LintSignals, LookalikesAndTrailerPass) {
+  // Identifier boundaries: these merely contain signal-ish substrings.
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "void process_signals_done(int);").empty());
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "// the stop signal is cooperative").empty());
+  const std::string line =
+      std::string("std::raise(SIGINT); ") +  // synran-lint: allow(signals)
+      "// synran-lint: allow(signals)";
+  EXPECT_TRUE(scan_file("src/sim/f.cpp", line).empty());
+}
+
 // --------------------------------------------------- tree walk + summary
 
 TEST(LintTree, WalksFixtureTreeAndReportsPerFile) {

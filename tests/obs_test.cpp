@@ -320,6 +320,43 @@ TEST(ObsComposed, TraceMetricsAndAdversaryViewsAgree) {
                                  : report.violations.front());
 }
 
+TEST(ObsTraceWriter, RunAbandonedClosesOpenRunsAndStandsAloneOnSetupFailure) {
+  std::ostringstream stream;
+  obs::JsonlTraceWriter writer(stream);
+
+  // Setup failure before any run_begin: the event stands alone under the
+  // index the aborted execution would have used (0), and the next run_begin
+  // reuses that index — the retry is the same logical run.
+  writer.on_run_abandoned(obs::RunAbandoned{0, 11, 0, "factory threw"});
+  writer.on_run_begin({});
+  // Mid-run failure: closes run 0; the retry opens run 1.
+  writer.on_run_abandoned(obs::RunAbandoned{0, 11, 1, "engine threw"});
+  writer.on_run_begin({});
+
+  std::istringstream lines(stream.str());
+  std::string line;
+  std::vector<JsonValue> events;
+  while (std::getline(lines, line)) {
+    auto v = JsonValue::parse(line);
+    ASSERT_TRUE(v.has_value()) << line;
+    events.push_back(std::move(*v));
+  }
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].find("event")->as_string(), "run_abandoned");
+  EXPECT_EQ(events[0].find("run")->as_int(), 0);
+  EXPECT_EQ(events[0].find("rep")->as_int(), 0);
+  EXPECT_EQ(events[0].find("seed")->as_int(), 11);
+  EXPECT_EQ(events[0].find("attempt")->as_int(), 0);
+  EXPECT_EQ(events[0].find("error")->as_string(), "factory threw");
+  EXPECT_EQ(events[1].find("event")->as_string(), "run_begin");
+  EXPECT_EQ(events[1].find("run")->as_int(), 0);
+  EXPECT_EQ(events[2].find("event")->as_string(), "run_abandoned");
+  EXPECT_EQ(events[2].find("run")->as_int(), 0);
+  EXPECT_EQ(events[2].find("attempt")->as_int(), 1);
+  EXPECT_EQ(events[3].find("event")->as_string(), "run_begin");
+  EXPECT_EQ(events[3].find("run")->as_int(), 1);
+}
+
 TEST(ObsComposed, JsonlStreamIsSeedDeterministic) {
   EXPECT_EQ(run_composed(99).jsonl, run_composed(99).jsonl);
   EXPECT_NE(run_composed(99).jsonl, run_composed(100).jsonl);

@@ -4,8 +4,13 @@
 //
 //   bench_schema_check BENCH_e1.json ...         # synran-bench/1 reports
 //   bench_schema_check --trace run.jsonl ...     # synran-trace/1 JSONL
+//   bench_schema_check --canon BENCH_e1.json     # canonical form to stdout
 //
 // Prints one verdict line per file; exits 0 iff every file validates.
+// --canon validates one report, then prints it with the run-dependent
+// fields (timings, git_rev) stripped — two runs of the same experiment are
+// equivalent iff their canonical forms are byte-identical, which is how the
+// resume tests prove a checkpointed rerun reproduces an uninterrupted one.
 // EXPERIMENTS.md documents both schemas field by field.
 #include <cstdint>
 #include <fstream>
@@ -91,6 +96,39 @@ void check_bench_report(const JsonValue& doc, Check& c) {
           c.fail(at + ".budget is not an integer");
         else if (budget->as_int() < 0)
           c.fail(at + ".budget is negative");
+      }
+    }
+  }
+
+  // Additive field: present (and true) only when a report was flushed after
+  // an interruption — its tables/timings cover a prefix of the experiment.
+  if (const auto* partial = doc.find("partial"); partial != nullptr) {
+    if (!partial->is_bool())
+      c.fail("partial is present but not a boolean");
+  }
+  // Additive field (quarantine policy only): one entry per quarantined rep,
+  // tagged with the cell ordinal it belongs to.
+  if (const auto* failures = doc.find("failures"); failures != nullptr) {
+    if (!failures->is_array()) {
+      c.fail("failures is present but not an array");
+    } else {
+      for (std::size_t i = 0; i < failures->as_array().size(); ++i) {
+        const auto& f = failures->as_array()[i];
+        const std::string at = "failures[" + std::to_string(i) + "]";
+        if (!f.is_object()) {
+          c.fail(at + " is not an object");
+          continue;
+        }
+        for (const char* key : {"cell", "rep", "seed", "attempts"}) {
+          const auto* v = f.find(key);
+          if (v == nullptr || !v->is_int())
+            c.fail(at + "." + key + " is not an integer");
+        }
+        if (const auto* v = f.find("attempts");
+            v != nullptr && v->is_int() && v->as_int() < 1)
+          c.fail(at + ".attempts is not positive");
+        if (const auto* v = f.find("error"); v == nullptr || !v->is_string())
+          c.fail(at + ".error is not a string");
       }
     }
   }
@@ -299,6 +337,24 @@ void check_trace_stream(std::istream& in, Check& c) {
                std::to_string(omitted_sum) + ")");
       in_run = false;
       ++expected_run;
+    } else if (kind == "run_abandoned") {
+      // A repetition attempt died (retry exhaustion or retry in progress).
+      // The event may close an open run (engine threw mid-run) or stand
+      // alone (setup threw before run_begin); either way its run index is
+      // the slot the attempt occupied, i.e. the current expected run.
+      if (run->as_int() != expected_run)
+        c.fail(at + ": run_abandoned index " + std::to_string(run->as_int()) +
+               ", expected " + std::to_string(expected_run));
+      for (const char* key : {"rep", "seed", "attempt"})
+        if (const auto* v = parsed->find(key); v == nullptr || !v->is_int())
+          c.fail(at + ": run_abandoned." + key + " is not an integer");
+      if (const auto* v = parsed->find("error");
+          v == nullptr || !v->is_string())
+        c.fail(at + ": run_abandoned.error is not a string");
+      if (in_run) {
+        in_run = false;
+        ++expected_run;
+      }
     } else {
       c.fail(at + ": unknown event \"" + kind + "\"");
     }
@@ -335,24 +391,64 @@ int check_file(const std::string& path, bool trace_mode) {
   return 1;
 }
 
+/// Validates one report, then prints its canonical form: every field in
+/// document order except the run-dependent ones (timings vary with load,
+/// git_rev with the working tree). Verdicts go to stderr so stdout is
+/// exactly the canonical document.
+int canon_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  const auto doc = JsonValue::parse(buf.str(), &err);
+  Check c;
+  if (!doc.has_value())
+    c.fail("parse error: " + err);
+  else
+    check_bench_report(*doc, c);
+  if (!c.problems.empty()) {
+    std::cerr << path << ": INVALID\n";
+    for (const auto& p : c.problems) std::cerr << "  " << p << "\n";
+    return 1;
+  }
+  JsonValue canon = JsonValue::object();
+  for (const auto& [key, value] : doc->as_object()) {
+    if (key == "timings" || key == "git_rev") continue;
+    canon.set(key, value);
+  }
+  std::cout << canon.dump() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool trace_mode = false;
+  bool canon_mode = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace")
       trace_mode = true;
+    else if (arg == "--canon")
+      canon_mode = true;
     else
       files.push_back(arg);
   }
-  if (files.empty()) {
+  if (files.empty() || (trace_mode && canon_mode) ||
+      (canon_mode && files.size() != 1)) {
     std::cerr << "usage: bench_schema_check [--trace] FILE...\n"
+                 "       bench_schema_check --canon FILE\n"
                  "  validates synran-bench/1 reports (default) or\n"
-                 "  synran-trace/1 JSONL streams (--trace)\n";
+                 "  synran-trace/1 JSONL streams (--trace); --canon prints\n"
+                 "  one report minus timings/git_rev for byte comparison\n";
     return 2;
   }
+  if (canon_mode) return canon_file(files[0]);
   int rc = 0;
   for (const auto& f : files)
     if (check_file(f, trace_mode) != 0) rc = 1;

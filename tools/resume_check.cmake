@@ -1,0 +1,118 @@
+# resume_check.cmake — proves checkpoint/resume reproduces an uninterrupted
+# bench sweep byte for byte. Driven from add_test():
+#
+#   cmake -DBENCH=<bench binary> -DSCHEMA_CHECK=<bench_schema_check>
+#         -DWORK_DIR=<scratch dir> -P resume_check.cmake
+#
+# The script runs the sweep to completion once, truncates its checkpoint
+# ledger mid-grid (including a torn final line, as a real interruption can
+# leave), reruns under SYNRAN_RESUME=1, and asserts the two BENCH_*.json
+# reports are byte-identical in canonical form (timings/git_rev stripped by
+# `bench_schema_check --canon`). That equality is the whole point of seed
+# schema 2 plus exact accumulator checkpoints: a resumed sweep must be
+# indistinguishable from one that never stopped.
+if(NOT DEFINED BENCH OR NOT DEFINED SCHEMA_CHECK OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "resume_check.cmake needs -DBENCH=..., -DSCHEMA_CHECK=..., -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/full" "${WORK_DIR}/resumed")
+
+# Environment common to both runs. The rep budget keeps the grid small; the
+# flags that change cell keys or report contents are pinned/cleared so the
+# two runs differ only in SYNRAN_RESUME. Timing kernels are filtered out —
+# --canon strips timings anyway, so they would only add wall-clock.
+set(common_env
+  ${CMAKE_COMMAND} -E env
+  --unset=SYNRAN_TRACE_DIR --unset=SYNRAN_CSV_DIR
+  --unset=SYNRAN_FAIL_POLICY --unset=SYNRAN_REP_RETRIES
+  SYNRAN_REPS_BUDGET=32 SYNRAN_THREADS=2)
+
+# --- Run 1: uninterrupted, recording a checkpoint per cell. ---------------
+execute_process(
+  COMMAND ${common_env} --unset=SYNRAN_RESUME
+    SYNRAN_BENCH_DIR=${WORK_DIR}/full SYNRAN_CKPT_DIR=${WORK_DIR}/full
+    ${BENCH} --benchmark_filter=__none__
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "full run failed (rc ${rc})\n${out}")
+endif()
+
+file(GLOB ledgers "${WORK_DIR}/full/CKPT_*.jsonl")
+list(LENGTH ledgers n_ledgers)
+if(NOT n_ledgers EQUAL 1)
+  message(FATAL_ERROR "expected one checkpoint ledger, found: ${ledgers}")
+endif()
+list(GET ledgers 0 ledger)
+get_filename_component(ledger_name "${ledger}" NAME)
+file(GLOB reports "${WORK_DIR}/full/BENCH_*.json")
+list(GET reports 0 full_report)
+get_filename_component(report_name "${full_report}" NAME)
+
+# --- Truncate the ledger mid-grid, with a torn final line. ----------------
+# Keep the header plus the first 7 cells, then append half of the next line
+# without its newline: a process killed mid-flush leaves exactly this shape,
+# and the loader must keep the intact prefix and recompute from the tear.
+# (Split by scanning for newlines: cell keys contain ';', so CMake's
+# list-based line handling would mangle them.)
+file(READ "${ledger}" content)
+set(kept "")
+set(remaining "${content}")
+set(lines_kept 0)
+while(lines_kept LESS 8)
+  string(FIND "${remaining}" "\n" nl)
+  if(nl EQUAL -1)
+    message(FATAL_ERROR
+      "ledger too short to truncate mid-grid (${lines_kept} lines): ${ledger}")
+  endif()
+  math(EXPR nl1 "${nl} + 1")
+  string(SUBSTRING "${remaining}" 0 ${nl1} line)
+  string(APPEND kept "${line}")
+  string(SUBSTRING "${remaining}" ${nl1} -1 remaining)
+  math(EXPR lines_kept "${lines_kept} + 1")
+endwhile()
+string(LENGTH "${remaining}" rest_len)
+if(rest_len LESS 40)
+  message(FATAL_ERROR "nothing left after the truncation point; the resumed "
+    "run would not recompute anything")
+endif()
+string(SUBSTRING "${remaining}" 0 20 torn)
+string(APPEND kept "${torn}")
+file(WRITE "${WORK_DIR}/resumed/${ledger_name}" "${kept}")
+
+# --- Run 2: resume from the truncated ledger. -----------------------------
+execute_process(
+  COMMAND ${common_env} SYNRAN_RESUME=1
+    SYNRAN_BENCH_DIR=${WORK_DIR}/resumed SYNRAN_CKPT_DIR=${WORK_DIR}/resumed
+    ${BENCH} --benchmark_filter=__none__
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed run failed (rc ${rc})\n${out}")
+endif()
+string(FIND "${out}" "[ckpt: cell" restored_at)
+if(restored_at EQUAL -1)
+  message(FATAL_ERROR
+    "resumed run restored no cells — the test degenerated into running the "
+    "sweep twice\n${out}")
+endif()
+
+# --- Compare canonical forms. ---------------------------------------------
+foreach(which full resumed)
+  execute_process(
+    COMMAND ${SCHEMA_CHECK} --canon "${WORK_DIR}/${which}/${report_name}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE canon_${which} ERROR_VARIABLE canon_err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--canon rejected the ${which} report\n${canon_err}")
+  endif()
+endforeach()
+
+if(NOT canon_full STREQUAL canon_resumed)
+  message(FATAL_ERROR
+    "resumed report differs from the uninterrupted one\n"
+    "--- full ---\n${canon_full}\n--- resumed ---\n${canon_resumed}")
+endif()
+message(STATUS "resume check ok: canonical reports are byte-identical")

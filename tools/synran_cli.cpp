@@ -8,11 +8,17 @@
 // `run` and `narrate` accept --trace-out=FILE to write a JSONL trace
 // (schema "synran-trace/1", one event per round — see EXPERIMENTS.md).
 // `run` additionally accepts --faults=omit:RATE[,BUDGET] to layer seeded
-// i.i.d. link drops (ChaosAdversary) on top of the chosen crash adversary.
+// i.i.d. link drops (ChaosAdversary) on top of the chosen crash adversary,
+// --fail-policy/--retries to quarantine failing reps instead of aborting,
+// and --resume=FILE to checkpoint the batch (synran-ckpt/1) and reload it
+// on a rerun instead of recomputing.
 //
-// Every subcommand prints an aligned table (or narrative) and exits 0 on a
-// safe, successful run; 1 on a safety or runtime failure; 2 on a usage
-// error (unknown names, malformed or out-of-range flag values).
+// Exit codes (also in --help and README.md):
+//   0  safe, successful run
+//   1  safety or runtime failure (agreement/validity violations, reps that
+//      hit --max-rounds, quarantined reps, I/O errors)
+//   2  usage error (unknown names, malformed or out-of-range flag values)
+//   3  interrupted (SIGINT/SIGTERM honored between repetitions)
 #include <charconv>
 #include <cstdint>
 #include <cstring>
@@ -31,7 +37,9 @@
 #include "coin/games.hpp"
 #include "coin/recursive_games.hpp"
 #include "common/table.hpp"
+#include "exec/stopper.hpp"
 #include "lowerbound/valency.hpp"
+#include "obs/checkpoint.hpp"
 #include "obs/trace_writer.hpp"
 #include "protocols/floodmin.hpp"
 #include "protocols/leadercoin.hpp"
@@ -214,11 +222,27 @@ FaultFlag parse_faults(const std::string& text) {
 }
 
 int cmd_run(const Args& args) {
+  // Long-running batches honor SIGINT/SIGTERM between repetitions: the
+  // executor finishes in-flight reps, then throws exec::Interrupted, which
+  // main() turns into exit code 3.
+  exec::install_stop_handlers();
+
   const auto n = args.num32("n", 128);
   const auto t = args.num32("t", n / 2);
   const auto proto = args.get("protocol", "synran");
   const auto adv = args.get("adversary", "coinbias");
   const auto faults = parse_faults(args.get("faults", ""));
+
+  const auto policy_name = args.get("fail-policy", "fail_fast");
+  FailurePolicy policy;
+  if (policy_name == "fail_fast") {
+    policy = FailurePolicy::FailFast;
+  } else if (policy_name == "quarantine") {
+    policy = FailurePolicy::Quarantine;
+  } else {
+    throw UsageError("invalid --fail-policy '" + policy_name +
+                     "' (expected fail_fast or quarantine)");
+  }
 
   const auto factory = make_protocol(proto, t);
   AdversaryFactory adversaries = make_adversary(adv);
@@ -246,26 +270,60 @@ int cmd_run(const Args& args) {
   spec.threads = static_cast<unsigned>(args.num("threads", 0));
   spec.engine.t_budget = t;
   spec.engine.max_rounds = args.num32("max-rounds", 100000);
+  spec.engine.max_rep_retries = args.num32("retries", 0);
+  spec.policy = policy;
   if (faults.enabled) spec.engine.omission_budget = faults.budget;
 
-  std::unique_ptr<obs::JsonlTraceWriter> tracer;
-  if (const auto path = args.get("trace-out", ""); !path.empty()) {
-    if (exec::resolve_threads(spec.threads) > 1) {
-      throw UsageError(
-          "--trace-out needs a serial run: JSONL traces are round-ordered, "
-          "so drop --threads (and SYNRAN_THREADS) or set --threads 1");
-    }
-    spec.threads = 1;
-    try {
-      tracer = std::make_unique<obs::JsonlTraceWriter>(path);
-    } catch (const obs::IoError& e) {
-      throw UsageError(e.what());
-    }
-    spec.engine.observer = tracer.get();
+  // --resume=FILE binds a synran-ckpt/1 ledger keyed by the full spec (plus
+  // the adversary/fault flags, which shape results but not the spec). A key
+  // hit reloads the exact accumulator state instead of re-running; schema-2
+  // seed streams make the restored report identical to a fresh one.
+  const std::string resume_path = args.get("resume", "");
+  std::unique_ptr<obs::CheckpointLedger> ledger;
+  std::string cell_key;
+  if (!resume_path.empty()) {
+    cell_key = spec_cell_key(
+        spec, proto, "cli:" + adv + ":faults=" + args.get("faults", ""));
+    ledger = std::make_unique<obs::CheckpointLedger>(resume_path, "synran-run",
+                                                     spec.seed);
   }
 
-  const auto stats = run_repeated(*factory, adversaries, spec);
-  if (tracer != nullptr) tracer->close();
+  RepeatedRunStats stats;
+  bool restored = false;
+  if (ledger != nullptr) {
+    if (const obs::CheckpointCell* hit = ledger->find(0, cell_key)) {
+      stats = RepeatedRunStats::from_checkpoint(hit->data);
+      restored = true;
+      std::cerr << "[resume: batch restored from " << resume_path << "]\n";
+    }
+  }
+
+  std::unique_ptr<obs::JsonlTraceWriter> tracer;
+  if (!restored) {
+    if (const auto path = args.get("trace-out", ""); !path.empty()) {
+      if (exec::resolve_threads(spec.threads) > 1) {
+        throw UsageError(
+            "--trace-out needs a serial run: JSONL traces are round-ordered, "
+            "so drop --threads (and SYNRAN_THREADS) or set --threads 1");
+      }
+      spec.threads = 1;
+      try {
+        tracer = std::make_unique<obs::JsonlTraceWriter>(path);
+      } catch (const obs::IoError& e) {
+        throw UsageError(e.what());
+      }
+      spec.engine.observer = tracer.get();
+    }
+    stats = run_repeated(*factory, adversaries, spec);
+    if (tracer != nullptr) tracer->close();
+    // Record after a completed batch only; an interrupt above never leaves
+    // a half-written cell. obs::IoError propagates to main() → exit 1.
+    if (ledger != nullptr) {
+      ledger->record(obs::CheckpointCell{0, cell_key, stats.checkpoint_json()});
+    }
+  } else if (!args.get("trace-out", "").empty()) {
+    std::cerr << "[resume: --trace-out skipped — batch was not re-executed]\n";
+  }
 
   Table table(proto + " vs " + adv);
   table.header({"metric", "value"});
@@ -294,7 +352,20 @@ int cmd_run(const Args& args) {
              static_cast<long long>(stats.validity_failures())});
   table.row({std::string("non-terminated"),
              static_cast<long long>(stats.non_terminated())});
+  if (policy == FailurePolicy::Quarantine) {
+    table.row({std::string("reps quarantined"),
+               static_cast<long long>(stats.reps_quarantined())});
+  }
   table.print(std::cout);
+  if (stats.reps_quarantined() > 0) {
+    std::cerr << "WARNING: " << stats.reps_quarantined()
+              << " repetitions were quarantined after exhausting their retry "
+                 "budget; every aggregate above covers survivors only\n";
+    for (const auto& f : stats.failures()) {
+      std::cerr << "  rep " << f.rep << " (engine seed " << f.seed << ", "
+                << f.attempts << " attempts): " << f.error << "\n";
+    }
+  }
   if (stats.non_terminated() > 0) {
     std::cerr << "WARNING: " << stats.non_terminated() << " of "
               << stats.reps() << " repetitions hit --max-rounds ("
@@ -302,7 +373,7 @@ int cmd_run(const Args& args) {
               << ") without terminating; their round counts are truncated "
                  "and every aggregate above is suspect\n";
   }
-  return stats.all_safe() ? 0 : 1;
+  return stats.all_safe() && stats.reps_quarantined() == 0 ? 0 : 1;
 }
 
 int cmd_coin(const Args& args) {
@@ -428,11 +499,25 @@ void usage() {
       "           --faults=omit:RATE[,BUDGET] (seeded i.i.d. link drops at\n"
       "           RATE in [0,1]; BUDGET caps omission directives, default\n"
       "           unlimited)\n"
+      "           --fail-policy fail_fast|quarantine (quarantine records a\n"
+      "           failing rep and keeps going instead of aborting the batch)\n"
+      "           --retries N (same-seed retries per failing rep before it\n"
+      "           is quarantined or aborts the batch; default 0)\n"
+      "           --resume=FILE (synran-ckpt/1 ledger: a completed batch is\n"
+      "           recorded, and a rerun with the same flags reloads it\n"
+      "           instead of recomputing)\n"
       "  coin     one-round game control: --game majority|majority0|\n"
       "           parity|leader|tribes --n --budget --samples\n"
       "  valency  exact initial-state valencies (tiny n): --n --t --depth\n"
       "  narrate  round-by-round story of one run: --n --t --seed\n"
-      "           --adversary --pattern --trace-out=FILE\n";
+      "           --adversary --pattern --trace-out=FILE\n"
+      "\n"
+      "exit codes:\n"
+      "  0  safe, successful run\n"
+      "  1  safety or runtime failure (agreement/validity violations,\n"
+      "     non-terminated or quarantined reps, I/O errors)\n"
+      "  2  usage error (unknown names, malformed flag values)\n"
+      "  3  interrupted (SIGINT/SIGTERM; in-flight reps finish first)\n";
 }
 
 }  // namespace
@@ -443,6 +528,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "-h" || cmd == "--help" || cmd == "help") {
+    usage();
+    return 0;
+  }
   try {
     Args args(argc, argv, 2);
     if (cmd == "run") return cmd_run(args);
@@ -452,6 +541,9 @@ int main(int argc, char** argv) {
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
+  } catch (const synran::exec::Interrupted& e) {
+    std::cerr << "interrupted: " << e.what() << "\n";
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -123,6 +123,21 @@ constexpr std::array<TokenRule, 8> kThreads{{
     {"<future>", false, kThreadsMessage},
 }};
 
+constexpr std::string_view kSignalsMessage =
+    "signal primitive outside src/exec/; exec/stopper.{hpp,cpp} owns the "
+    "one SIGINT/SIGTERM handler and its monotonic stop flag — poll "
+    "exec::stop_requested() instead of installing handlers";
+
+constexpr std::array<TokenRule, 7> kSignals{{
+    {"<csignal>", false, kSignalsMessage},
+    {"<signal.h>", false, kSignalsMessage},
+    {"std::signal", false, kSignalsMessage},
+    {"sigaction", true, kSignalsMessage},
+    {"std::raise", false, kSignalsMessage},
+    {"sig_atomic_t", true, kSignalsMessage},
+    {"signal(", false, kSignalsMessage},
+}};
+
 }  // namespace
 
 FileClass classify(std::string_view rel_path) {
@@ -140,6 +155,7 @@ FileClass classify(std::string_view rel_path) {
   fc.clock_allowed =
       starts_with(rel_path, "src/obs/") || starts_with(rel_path, "bench/");
   fc.threads_allowed = starts_with(rel_path, "src/exec/");
+  fc.signals_allowed = starts_with(rel_path, "src/exec/");
   return fc;
 }
 
@@ -199,6 +215,15 @@ std::vector<Finding> scan_file(std::string_view rel_path,
       for (const auto& rule : kThreads) {
         if (has_token(line, rule.token, rule.right_boundary)) {
           report(line_no, "threads", rule.message);
+          break;
+        }
+      }
+    }
+
+    if (!fc.signals_allowed && !allows(line, "signals")) {
+      for (const auto& rule : kSignals) {
+        if (has_token(line, rule.token, rule.right_boundary)) {
+          report(line_no, "signals", rule.message);
           break;
         }
       }

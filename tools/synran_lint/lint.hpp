@@ -29,6 +29,12 @@
 //                    determinism contract (static rep schedule, rep-order
 //                    aggregation) only holds if nothing else spawns or
 //                    synchronizes threads behind its back.
+//   signals          no <csignal> / std::signal / sigaction / raise /
+//                    sig_atomic_t outside src/exec/: graceful interruption
+//                    is owned by exec/stopper.{hpp,cpp}. A second handler
+//                    would race the stop flag's monotonic contract, and
+//                    signal-unsafe work in a handler is UB — everything
+//                    else must poll exec::stop_requested().
 //
 // A finding on one specific line can be suppressed with an explicit trailer:
 //     legit_line();  // synran-lint: allow(<rule>)
@@ -58,6 +64,7 @@ struct FileClass {
   bool library_code = false; ///< src/ minus src/runner/ — may not print
   bool clock_allowed = false;///< src/obs/ or bench/ — may read wall clocks
   bool threads_allowed = false;///< src/exec/ — the one concurrency boundary
+  bool signals_allowed = false;///< src/exec/ — owns the stop flag + handlers
 };
 
 FileClass classify(std::string_view rel_path);
