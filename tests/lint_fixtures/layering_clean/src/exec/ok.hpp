@@ -1,0 +1,5 @@
+// Fixture: exec sits above sim/obs/analysis and may include them all.
+#pragma once
+#include "analysis/stats.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"

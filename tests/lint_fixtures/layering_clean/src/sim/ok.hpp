@@ -1,0 +1,4 @@
+// Fixture: sim may include net and obs — downward edges, all legal.
+#pragma once
+#include "net/types.hpp"
+#include "obs/observer.hpp"

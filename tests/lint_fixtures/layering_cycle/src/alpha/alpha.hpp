@@ -1,0 +1,4 @@
+// Fixture: alpha and beta include each other — an unlayerable cycle.
+#pragma once
+#include "beta/beta.hpp"
+inline int alpha() { return beta() + 1; }

@@ -1,0 +1,4 @@
+// Fixture: second half of the alpha <-> beta include cycle.
+#pragma once
+#include "alpha/alpha.hpp"
+inline int beta() { return alpha() - 1; }

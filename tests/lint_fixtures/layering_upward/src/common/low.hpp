@@ -1,0 +1,3 @@
+// Fixture: the bottom layer reaching up into sim — a layer inversion.
+#pragma once
+#include "sim/engine.hpp"

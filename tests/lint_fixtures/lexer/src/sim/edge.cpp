@@ -1,0 +1,13 @@
+// Lexer fixture: every banned token below is inside a comment, a string,
+// or a raw string — except one real std::mt19937 on the flagged line.
+/* block comment:
+   std::random_device hidden; assert( hidden; #include <thread> hidden
+*/
+const char* s1 = "std::mt19937 inside a plain string";
+const char* s2 = R"delim(
+std::chrono::steady_clock::now() inside a raw string, with )" embedded
+)delim";
+// a line-spliced comment swallows the next physical line too \
+std::thread hidden_by_splice;
+int separators = 1'000'000;
+std::mt19937 the_one_real_offender;

@@ -1,0 +1,4 @@
+// Fixture: two stream-tag constants with distinct values — no collision.
+#pragma once
+inline constexpr unsigned long long kTagAStreamBase = 0x7441ULL;
+inline constexpr unsigned long long kTagBStreamBase = 0x7442ULL;

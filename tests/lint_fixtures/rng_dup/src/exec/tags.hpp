@@ -1,0 +1,3 @@
+// Fixture: claims the tag 0x7441 ("tA") for the executor.
+#pragma once
+inline constexpr unsigned long long kTagAStreamBase = 0x7441ULL;

@@ -1,0 +1,2 @@
+// Fixture: a literal stream tag colliding with kTagAStreamBase.
+void derive() { seeds.stream(0x7441ULL + rep); }

@@ -1,0 +1,4 @@
+// Fixture: every emitted field is known to the checker — a clean pass.
+void emit(Ev& ev) {
+  ev.set("event", "run_begin").set("known_field", JsonValue(1));
+}

@@ -1,0 +1,5 @@
+// Fixture checker: knows both emitted fields.
+void check(const Doc& doc) {
+  doc.find("event");
+  doc.find("known_field");
+}

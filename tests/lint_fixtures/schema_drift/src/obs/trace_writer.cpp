@@ -1,0 +1,5 @@
+// Fixture: the writer emits "drifted_field", which the checker below has
+// never heard of — the schema-literals rule must flag the writer line.
+void emit(Ev& ev) {
+  ev.set("event", "run_begin").set("drifted_field", JsonValue(1));
+}

@@ -1,0 +1,2 @@
+// Fixture checker: knows "event" only.
+void check(const Doc& doc) { doc.find("event"); }

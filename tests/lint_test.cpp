@@ -1,5 +1,9 @@
 // Unit tests for the synran_lint core: every banned pattern must be caught,
 // every legitimate idiom must pass, and the allow-trailer must suppress.
+// Also covered: the token lexer (comments and literals are invisible to
+// rules), the layer DAG semantics, the three cross-file rules driven over
+// the checked-in trees under tests/lint_fixtures/, SARIF 2.1.0 document
+// shape, and the baseline round-trip (suppression + stale detection).
 // The banned tokens appearing below as fixture strings carry allow-trailers
 // so the lint's own sweep over tests/ stays clean — which doubles as a live
 // demonstration of the suppression syntax.
@@ -7,9 +11,15 @@
 
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
+#include "obs/json.hpp"
+#include "synran_lint/baseline.hpp"
+#include "synran_lint/include_graph.hpp"
+#include "synran_lint/lexer.hpp"
 #include "synran_lint/lint.hpp"
+#include "synran_lint/sarif.hpp"
 
 namespace synran::lint {
 namespace {
@@ -323,6 +333,314 @@ TEST(LintTree, CleanTreeSummary) {
   const std::vector<Finding> none;
   EXPECT_EQ(summary_json(none, 7),
             "{\"files_scanned\":7,\"findings\":0,\"by_rule\":{}}");
+}
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LintLexer, CommentsAndLiteralsAreInvisibleToRules) {
+  // Doc comments and fixture strings mention banned primitives all the
+  // time; the token lexer must blank them before any rule looks.
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "// never use std::rand here\n").empty());
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "/* std::mt19937 gen; */ int x;\n").empty());
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "const char* s = \"std::random_device\";\n")
+          .empty());
+  EXPECT_TRUE(
+      scan_file("src/sim/f.cpp", "auto r = R\"(srand(42); rand();)\";\n")
+          .empty());
+}
+
+TEST(LintLexer, BlockCommentSpansLinesAndRealCodeStillFires) {
+  const std::string text =
+      "/*\n"
+      "std::mt19937 hidden;\n"
+      "*/\n"
+      "std::mt19937 real;\n";  // synran-lint: allow(banned-random)
+  const auto f = scan_file("src/sim/f.cpp", text);
+  ASSERT_EQ(count_rule(f, "banned-random"), 1u);
+  EXPECT_EQ(f.front().line, 4u);
+}
+
+TEST(LintLexer, SplicedLineCommentSwallowsNextLine) {
+  // A line comment ending in a backslash continues onto the next physical
+  // line; the banned token there is still comment text.
+  const std::string text =
+      "// spliced \\\n"
+      "std::mt19937 still_in_comment;\n";
+  EXPECT_TRUE(scan_file("src/sim/f.cpp", text).empty());
+}
+
+TEST(LintLexer, RawStringWithEmbeddedQuoteParen) {
+  // The )" inside the raw string must not close it early; only )x" does.
+  const std::string text =
+      "auto s = R\"x(rand() )\" srand(1))x\";\n"
+      "srand(2);\n";  // synran-lint: allow(banned-random)
+  const auto f = scan_file("src/sim/f.cpp", text);
+  ASSERT_EQ(count_rule(f, "banned-random"), 1u);
+  EXPECT_EQ(f.front().line, 2u);
+}
+
+TEST(LintLexer, DigitSeparatorsDoNotOpenCharLiterals) {
+  EXPECT_TRUE(scan_file("src/sim/f.cpp", "int n = 1'000'000;\n").empty());
+  // If 1'0' were read as a char literal the rest of the line would be
+  // blanked and the real violation missed.
+  const auto f = scan_file(
+      "src/sim/f.cpp",
+      "int n = 1'000'000; srand(n);\n");  // synran-lint: allow(banned-random)
+  EXPECT_EQ(count_rule(f, "banned-random"), 1u);
+}
+
+TEST(LintLexer, IncludeDirectivesBecomeEdgesNotStrings) {
+  const auto lf = lex("src/sim/f.cpp",
+                      "#include <vector>\n#include \"net/message.hpp\"\n");
+  ASSERT_EQ(lf.includes.size(), 2u);
+  EXPECT_EQ(lf.includes[0].target, "vector");
+  EXPECT_TRUE(lf.includes[0].angled);
+  EXPECT_EQ(lf.includes[1].target, "net/message.hpp");
+  EXPECT_FALSE(lf.includes[1].angled);
+  EXPECT_EQ(lf.includes[1].line, 2u);
+  // Header-names are captured structurally, not recorded as literals.
+  EXPECT_TRUE(lf.strings.empty());
+}
+
+TEST(LintLexer, PragmaOnceMustBeCode) {
+  EXPECT_TRUE(lex("src/sim/h.hpp", "#pragma once\n").has_pragma_once);
+  EXPECT_FALSE(lex("src/sim/h.hpp", "// #pragma once\n").has_pragma_once);
+  EXPECT_FALSE(lex("src/sim/h.hpp", "const char* s = \"#pragma once\";\n")
+                   .has_pragma_once);
+}
+
+TEST(LintClassify, FixtureTreesAreSkippedInRepoScans) {
+  EXPECT_FALSE(classify("tests/lint_fixtures/lexer/src/sim/edge.cpp").scanned);
+  EXPECT_FALSE(
+      classify("tests/lint_fixtures/rng_dup/src/exec/tags.hpp").scanned);
+  // When a fixture directory itself is the scan root the relative paths
+  // lose the lint_fixtures/ prefix and are scanned normally.
+  EXPECT_TRUE(classify("src/sim/edge.cpp").scanned);
+}
+
+// --------------------------------------------------------------- layering
+
+TEST(LintLayering, ModuleOfParsesSrcPaths) {
+  EXPECT_EQ(module_of("src/exec/batch.hpp"), "exec");
+  EXPECT_EQ(module_of("src/common/rng.hpp"), "common");
+  EXPECT_EQ(module_of("tests/sim_test.cpp"), "");
+  EXPECT_EQ(module_of("src/top_level.hpp"), "");
+}
+
+TEST(LintLayering, DagSemantics) {
+  EXPECT_TRUE(layer_allows("sim", "obs"));
+  EXPECT_TRUE(layer_allows("sim", "common"));  // transitive through net
+  EXPECT_TRUE(layer_allows("exec", "obs"));
+  EXPECT_TRUE(layer_allows("exec", "exec"));  // reflexive
+  EXPECT_TRUE(layer_allows("adversary", "protocols"));
+  EXPECT_FALSE(layer_allows("common", "sim"));  // upward
+  EXPECT_FALSE(layer_allows("obs", "exec"));    // upward
+  EXPECT_FALSE(layer_allows("net", "analysis"));  // sideways
+  EXPECT_TRUE(layer_known("runner"));
+  EXPECT_FALSE(layer_known("alpha"));
+}
+
+// ---------------------------------------------- cross-file fixture trees
+
+#ifdef SYNRAN_LINT_FIXTURES
+
+std::vector<Finding> scan_fixture(const std::string& name) {
+  return scan_tree(std::string(SYNRAN_LINT_FIXTURES) + "/" + name);
+}
+
+TEST(LintFixtures, LayeringCycleIsRejected) {
+  const auto f = scan_fixture("layering_cycle");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "layering");
+  EXPECT_EQ(f[0].file, "src/alpha/alpha.hpp");
+  EXPECT_EQ(f[1].rule, "layering");
+  EXPECT_EQ(f[1].file, "src/beta/beta.hpp");
+}
+
+TEST(LintFixtures, UpwardEdgeIsRejected) {
+  const auto f = scan_fixture("layering_upward");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "layering");
+  EXPECT_EQ(f[0].file, "src/common/low.hpp");
+}
+
+TEST(LintFixtures, DagConformingEdgesPass) {
+  EXPECT_TRUE(scan_fixture("layering_clean").empty());
+}
+
+TEST(LintFixtures, DuplicateStreamTagIsRejected) {
+  const auto f = scan_fixture("rng_dup");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "rng-streams");
+  // The later site (file,line order) is reported against the first owner.
+  EXPECT_EQ(f[0].file, "src/sim/use.cpp");
+  EXPECT_NE(f[0].message.find("src/exec/tags.hpp"), std::string::npos);
+}
+
+TEST(LintFixtures, DistinctStreamTagsPass) {
+  EXPECT_TRUE(scan_fixture("rng_clean").empty());
+}
+
+TEST(LintFixtures, DriftedSchemaFieldIsRejected) {
+  const auto f = scan_fixture("schema_drift");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "schema-literals");
+  EXPECT_NE(f[0].message.find("drifted_field"), std::string::npos);
+}
+
+TEST(LintFixtures, LockstepSchemaPasses) {
+  EXPECT_TRUE(scan_fixture("schema_clean").empty());
+}
+
+TEST(LintFixtures, LexerTreeCatchesOnlyTheRealOffender) {
+  const auto f = scan_fixture("lexer");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "banned-random");
+  EXPECT_EQ(f[0].file, "src/sim/edge.cpp");
+  EXPECT_EQ(f[0].line, 13u);
+}
+
+#endif  // SYNRAN_LINT_FIXTURES
+
+// ------------------------------------------------------------------ sarif
+
+TEST(LintSarif, DocumentIsValid210Shape) {
+  using synran::obs::JsonValue;
+  const std::vector<Finding> findings = {
+      {"src/sim/engine.cpp", 12, "layering", "bad edge"},
+      {"src/obs/trace_writer.cpp", 7, "schema-literals", "drift"},
+  };
+  std::string err;
+  const auto doc = JsonValue::parse(to_sarif(findings), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+
+  EXPECT_EQ(doc->find("$schema")->as_string(),
+            "https://json.schemastore.org/sarif-2.1.0.json");
+  EXPECT_EQ(doc->find("version")->as_string(), "2.1.0");
+
+  const auto& runs = doc->find("runs")->as_array();
+  ASSERT_EQ(runs.size(), 1u);
+  const auto* driver = runs[0].find("tool")->find("driver");
+  EXPECT_EQ(driver->find("name")->as_string(), "synran_lint");
+  // Every registered rule appears in the driver's rule table.
+  const auto& rules = driver->find("rules")->as_array();
+  ASSERT_EQ(rules.size(), rule_registry().size());
+  EXPECT_EQ(rules.size(), 12u);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].find("id")->as_string(),
+              std::string(rule_registry()[i].id));
+    EXPECT_FALSE(rules[i]
+                     .find("shortDescription")
+                     ->find("text")
+                     ->as_string()
+                     .empty());
+  }
+
+  const auto& results = runs[0].find("results")->as_array();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].find("ruleId")->as_string(), "layering");
+  EXPECT_EQ(results[0].find("level")->as_string(), "error");
+  EXPECT_EQ(results[0].find("message")->find("text")->as_string(),
+            "bad edge");
+  const auto& locs = results[0].find("locations")->as_array();
+  ASSERT_EQ(locs.size(), 1u);
+  const auto* phys = locs[0].find("physicalLocation");
+  EXPECT_EQ(phys->find("artifactLocation")->find("uri")->as_string(),
+            "src/sim/engine.cpp");
+  EXPECT_EQ(phys->find("artifactLocation")->find("uriBaseId")->as_string(),
+            "SRCROOT");
+  EXPECT_EQ(phys->find("region")->find("startLine")->as_int(), 12);
+  // ruleIndex points back into the driver rule table.
+  const auto idx =
+      static_cast<std::size_t>(results[0].find("ruleIndex")->as_int());
+  EXPECT_EQ(rules[idx].find("id")->as_string(), "layering");
+}
+
+TEST(LintSarif, EmptyFindingsStillProduceAFullRun) {
+  using synran::obs::JsonValue;
+  std::string err;
+  const auto doc = JsonValue::parse(to_sarif({}), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const auto& runs = doc->find("runs")->as_array();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_TRUE(runs[0].find("results")->as_array().empty());
+  EXPECT_EQ(
+      runs[0].find("tool")->find("driver")->find("rules")->as_array().size(),
+      12u);
+}
+
+// --------------------------------------------------------------- baseline
+
+TEST(LintBaseline, RoundTripSuppressionAndStale) {
+  std::vector<Finding> findings = {
+      {"src/a/a.cpp", 3, "layering", "m1"},
+      {"src/b/b.cpp", 7, "rng-streams", "m2"},
+  };
+  const auto parsed = parse_baseline(baseline_json(findings));
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.entries[0].file, "src/a/a.cpp");
+  EXPECT_EQ(parsed.entries[0].line, 3u);
+  EXPECT_EQ(parsed.entries[0].rule, "layering");
+
+  auto res = apply_baseline(findings, parsed);
+  EXPECT_TRUE(res.active.empty());
+  EXPECT_EQ(res.suppressed, 2u);
+  EXPECT_TRUE(res.stale.empty());
+
+  // The first finding gets fixed: its entry must surface as stale.
+  findings.erase(findings.begin());
+  res = apply_baseline(findings, parsed);
+  EXPECT_TRUE(res.active.empty());
+  EXPECT_EQ(res.suppressed, 1u);
+  ASSERT_EQ(res.stale.size(), 1u);
+  EXPECT_EQ(res.stale[0].file, "src/a/a.cpp");
+
+  // A new finding the baseline never saw stays active.
+  findings.push_back({"src/c/c.cpp", 1, "iostream", "m3"});
+  res = apply_baseline(findings, parsed);
+  ASSERT_EQ(res.active.size(), 1u);
+  EXPECT_EQ(res.active[0].file, "src/c/c.cpp");
+}
+
+TEST(LintBaseline, OneEntrySuppressesAtMostOneFinding) {
+  const std::vector<Finding> twice = {
+      {"src/a/a.cpp", 3, "layering", "m1"},
+      {"src/a/a.cpp", 3, "layering", "m1-again"},
+  };
+  const auto parsed = parse_baseline(baseline_json(
+      std::vector<Finding>{{"src/a/a.cpp", 3, "layering", "m1"}}));
+  const auto res = apply_baseline(twice, parsed);
+  EXPECT_EQ(res.suppressed, 1u);
+  EXPECT_EQ(res.active.size(), 1u);
+}
+
+TEST(LintBaseline, MalformedDocumentsThrow) {
+  EXPECT_THROW(parse_baseline("not json"), std::runtime_error);
+  EXPECT_THROW(parse_baseline("[1,2,3]"), std::runtime_error);
+  EXPECT_THROW(parse_baseline("{\"schema\":\"nope\",\"entries\":[]}"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_baseline("{\"schema\":\"synran-lint-baseline/1\"}"),
+      std::runtime_error);
+  EXPECT_THROW(parse_baseline("{\"schema\":\"synran-lint-baseline/1\","
+                              "\"entries\":[{\"file\":1}]}"),
+               std::runtime_error);
+  EXPECT_THROW(parse_baseline("{\"schema\":\"synran-lint-baseline/1\","
+                              "\"entries\":[{\"file\":\"a\",\"line\":0,"
+                              "\"rule\":\"r\"}]}"),
+               std::runtime_error);
+}
+
+// --------------------------------------------------------------- ordering
+
+TEST(LintOrder, FindingsSortByFileLineRule) {
+  EXPECT_TRUE(finding_order({"a.cpp", 1, "x", ""}, {"b.cpp", 1, "x", ""}));
+  EXPECT_TRUE(finding_order({"a.cpp", 1, "x", ""}, {"a.cpp", 2, "x", ""}));
+  EXPECT_TRUE(finding_order({"a.cpp", 1, "a", ""}, {"a.cpp", 1, "b", ""}));
+  EXPECT_FALSE(finding_order({"a.cpp", 1, "x", ""}, {"a.cpp", 1, "x", ""}));
 }
 
 }  // namespace

@@ -1,0 +1,93 @@
+#include "synran_lint/baseline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace synran::lint {
+
+constexpr std::string_view kBaselineSchema = "synran-lint-baseline/1";
+
+Baseline parse_baseline(std::string_view json) {
+  using synran::obs::JsonValue;
+  std::string err;
+  const auto doc = JsonValue::parse(json, &err);
+  if (!doc.has_value())
+    throw std::runtime_error("baseline: parse error: " + err);
+  if (!doc->is_object())
+    throw std::runtime_error("baseline: document is not a JSON object");
+  const auto* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kBaselineSchema)
+    throw std::runtime_error("baseline: schema is not \"" +
+                             std::string(kBaselineSchema) + "\"");
+  const auto* entries = doc->find("entries");
+  if (entries == nullptr || !entries->is_array())
+    throw std::runtime_error("baseline: \"entries\" is not an array");
+
+  Baseline out;
+  for (std::size_t i = 0; i < entries->as_array().size(); ++i) {
+    const auto& e = entries->as_array()[i];
+    const std::string at = "baseline: entries[" + std::to_string(i) + "]";
+    if (!e.is_object()) throw std::runtime_error(at + " is not an object");
+    const auto* file = e.find("file");
+    const auto* line = e.find("line");
+    const auto* rule = e.find("rule");
+    if (file == nullptr || !file->is_string())
+      throw std::runtime_error(at + ".file is not a string");
+    if (line == nullptr || !line->is_int() || line->as_int() < 1)
+      throw std::runtime_error(at + ".line is not a positive integer");
+    if (rule == nullptr || !rule->is_string())
+      throw std::runtime_error(at + ".rule is not a string");
+    out.entries.push_back(
+        BaselineEntry{file->as_string(),
+                      static_cast<std::size_t>(line->as_int()),
+                      rule->as_string()});
+  }
+  return out;
+}
+
+std::string baseline_json(const std::vector<Finding>& findings) {
+  using synran::obs::JsonValue;
+  std::vector<Finding> sorted = findings;
+  std::sort(sorted.begin(), sorted.end(), finding_order);
+  JsonValue entries = JsonValue::array();
+  for (const auto& f : sorted) {
+    entries.push(JsonValue::object()
+                     .set("file", JsonValue(f.file))
+                     .set("line", JsonValue(std::uint64_t{f.line}))
+                     .set("rule", JsonValue(f.rule)));
+  }
+  return JsonValue::object()
+      .set("schema", JsonValue(std::string(kBaselineSchema)))
+      .set("entries", std::move(entries))
+      .dump();
+}
+
+BaselineResult apply_baseline(const std::vector<Finding>& findings,
+                              const Baseline& baseline) {
+  BaselineResult result;
+  std::vector<bool> used(baseline.entries.size(), false);
+  for (const auto& f : findings) {
+    bool suppressed = false;
+    for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+      const auto& e = baseline.entries[i];
+      if (!used[i] && e.file == f.file && e.line == f.line &&
+          e.rule == f.rule) {
+        used[i] = true;
+        suppressed = true;
+        break;
+      }
+    }
+    if (suppressed)
+      ++result.suppressed;
+    else
+      result.active.push_back(f);
+  }
+  for (std::size_t i = 0; i < baseline.entries.size(); ++i)
+    if (!used[i]) result.stale.push_back(baseline.entries[i]);
+  return result;
+}
+
+}  // namespace synran::lint

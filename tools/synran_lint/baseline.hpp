@@ -1,0 +1,49 @@
+// Baseline suppression: a checked-in lint_baseline.json grandfathers
+// pre-existing findings so a new rule can land without a big-bang cleanup.
+//
+//   {"schema":"synran-lint-baseline/1",
+//    "entries":[{"file":"src/x/y.cpp","line":12,"rule":"layering"}, ...]}
+//
+// A baseline entry suppresses at most one matching finding (same file, line
+// and rule). Entries that match nothing are *stale*: the debt they recorded
+// was paid off (or the code moved), and the run fails until the entry is
+// deleted — a baseline may only ever shrink.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "synran_lint/lint.hpp"
+
+namespace synran::lint {
+
+struct BaselineEntry {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Parses a baseline document. Throws std::runtime_error with a one-line
+/// diagnostic on malformed input (bad JSON, wrong schema, missing fields).
+Baseline parse_baseline(std::string_view json);
+
+/// Serializes `findings` as a fresh baseline document (entries sorted by
+/// (file, line, rule), one per finding).
+std::string baseline_json(const std::vector<Finding>& findings);
+
+struct BaselineResult {
+  std::vector<Finding> active;        ///< findings the baseline did not cover
+  std::size_t suppressed = 0;         ///< findings the baseline absorbed
+  std::vector<BaselineEntry> stale;   ///< entries that matched nothing
+};
+
+BaselineResult apply_baseline(const std::vector<Finding>& findings,
+                              const Baseline& baseline);
+
+}  // namespace synran::lint

@@ -1,0 +1,67 @@
+// Project include graph + the enforced layer DAG.
+//
+// `src/` is layered: every module (a directory directly under src/) may
+// include only modules it is declared to depend on, directly or
+// transitively. The declared DAG, lowest layer first:
+//
+//   common                                (primitives: rng, bitsets, checks)
+//   net, analysis, coin      -> common
+//   obs                      -> net, analysis
+//   sim                      -> net, obs
+//   async                    -> net
+//   protocols                -> analysis, sim
+//   lowerbound               -> net, sim
+//   adversary                -> net, sim, protocols, lowerbound
+//   exec                     -> analysis, obs, sim
+//   runner                   -> everything
+//
+// The `layering` rule rejects any src-internal #include whose edge is not in
+// the transitive closure of this table (an "upward" or sideways edge), and
+// any include cycle among modules the table does not know (fixture trees,
+// future modules): a cycle is unlayerable by definition.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "synran_lint/lexer.hpp"
+
+namespace synran::lint {
+
+/// "src/exec/batch.hpp" -> "exec"; "" for anything not of the form
+/// src/<module>/<...>.
+std::string module_of(std::string_view rel_path);
+
+/// Declared direct dependencies per module (the table above).
+const std::map<std::string, std::vector<std::string>>& layer_direct_deps();
+
+/// True iff `module` appears in the declared DAG.
+bool layer_known(const std::string& module);
+
+/// True iff `from` may include `to` (reflexive; transitive closure of the
+/// declared direct deps). Only meaningful when both modules are known.
+bool layer_allows(const std::string& from, const std::string& to);
+
+/// One cross-module include edge observed in the project.
+struct IncludeEdge {
+  std::string file;         ///< repo-relative path of the including file
+  std::size_t line = 0;     ///< line of the #include
+  std::string from_module;  ///< module of `file`
+  std::string to_module;    ///< first path component of the include target
+};
+
+/// Extracts the cross-module edges of all src/ files. Quote-includes whose
+/// first path component names a module present in `files` (or in the
+/// declared DAG) become edges; everything else (system headers, third-party,
+/// same-module includes) is ignored.
+std::vector<IncludeEdge> project_edges(const std::vector<LexedFile>& files);
+
+/// Modules that sit on an include cycle (a strongly connected component of
+/// the module graph with more than one node, or a mutual pair).
+std::set<std::string> cyclic_modules(const std::vector<IncludeEdge>& edges);
+
+}  // namespace synran::lint

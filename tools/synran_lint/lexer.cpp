@@ -1,0 +1,248 @@
+#include "synran_lint/lexer.hpp"
+
+#include <cctype>
+
+namespace synran::lint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t'; }
+
+/// True iff `before` (the code emitted so far on the current line) is
+/// exactly an `#include` directive head, i.e. the next token is the
+/// header-name. Tolerates `#  include` and leading whitespace.
+bool include_head(std::string_view before) {
+  std::size_t i = 0;
+  while (i < before.size() && is_space(before[i])) ++i;
+  if (i >= before.size() || before[i] != '#') return false;
+  ++i;
+  while (i < before.size() && is_space(before[i])) ++i;
+  constexpr std::string_view kw = "include";
+  if (before.substr(i, kw.size()) != kw) return false;
+  i += kw.size();
+  while (i < before.size() && is_space(before[i])) ++i;
+  return i == before.size();
+}
+
+/// The identifier glued to the left of a `"` decides whether it opens a raw
+/// string: R, LR, uR, UR, u8R.
+bool raw_string_prefix(std::string_view code_before) {
+  std::size_t end = code_before.size();
+  std::size_t start = end;
+  while (start > 0 && ident_char(code_before[start - 1])) --start;
+  const std::string_view id = code_before.substr(start, end - start);
+  return id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+}
+
+}  // namespace
+
+LexedFile lex(std::string_view rel_path, std::string_view contents) {
+  LexedFile f;
+  f.rel_path = std::string(rel_path);
+
+  // Split into lines up front; the state machine below walks them in order,
+  // carrying comment/literal state across newlines where C++ does.
+  std::size_t pos = 0;
+  while (pos <= contents.size()) {
+    const std::size_t nl = contents.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      if (pos < contents.size()) f.lines.emplace_back(contents.substr(pos));
+      break;
+    }
+    f.lines.emplace_back(contents.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+    kIncludeQuote,
+    kIncludeAngle,
+  };
+  State st = State::kCode;
+  std::string raw_close;       // ")delim\"" that ends the current raw string
+  StringLiteral lit;           // literal being accumulated
+  IncludeDirective inc;        // include target being accumulated
+  f.code.reserve(f.lines.size());
+
+  for (std::size_t ln = 0; ln < f.lines.size(); ++ln) {
+    const std::string& line = f.lines[ln];
+    std::string code(line.size(), ' ');
+    const bool spliced = !line.empty() && line.back() == '\\';
+
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      switch (st) {
+        case State::kCode: {
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+            st = State::kLineComment;
+            ++i;  // both slashes stay blank
+            break;
+          }
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            st = State::kBlockComment;
+            ++i;
+            break;
+          }
+          if (c == '"') {
+            const std::string_view before =
+                std::string_view(code).substr(0, i);
+            if (raw_string_prefix(before)) {
+              // R"delim( ... — collect the close pattern, then skip to it.
+              std::string delim;
+              std::size_t j = i + 1;
+              while (j < line.size() && line[j] != '(') delim += line[j++];
+              raw_close = ")" + delim + "\"";
+              lit = StringLiteral{ln + 1, i, ""};
+              code[i] = '"';
+              i = j;  // consume up to and including '('
+              st = State::kRawString;
+              break;
+            }
+            if (include_head(before)) {
+              inc = IncludeDirective{ln + 1, "", false};
+              code[i] = '"';
+              st = State::kIncludeQuote;
+              break;
+            }
+            lit = StringLiteral{ln + 1, i, ""};
+            code[i] = '"';
+            st = State::kString;
+            break;
+          }
+          if (c == '\'') {
+            // A quote glued to an identifier/number is a digit separator
+            // (1'000'000), not a character literal.
+            if (i > 0 && ident_char(code[i - 1])) {
+              code[i] = c;
+              break;
+            }
+            lit = StringLiteral{ln + 1, i, ""};
+            code[i] = '\'';
+            st = State::kChar;
+            break;
+          }
+          if (c == '<' &&
+              include_head(std::string_view(code).substr(0, i))) {
+            inc = IncludeDirective{ln + 1, "", true};
+            code[i] = '<';
+            st = State::kIncludeAngle;
+            break;
+          }
+          code[i] = c;
+          break;
+        }
+        case State::kLineComment:
+          break;  // stays blank; EOL handling below
+        case State::kBlockComment:
+          if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+            ++i;
+            st = State::kCode;
+          }
+          break;
+        case State::kString:
+        case State::kChar: {
+          const char close = st == State::kString ? '"' : '\'';
+          if (c == '\\') {
+            if (i + 1 < line.size()) {
+              lit.text += c;
+              lit.text += line[i + 1];
+              ++i;
+            }
+            // A backslash at end of line splices the literal onward; the
+            // EOL handling below keeps the state.
+            break;
+          }
+          if (c == close) {
+            code[i] = close;
+            f.strings.push_back(lit);
+            st = State::kCode;
+            break;
+          }
+          lit.text += c;
+          break;
+        }
+        case State::kRawString: {
+          if (line.compare(i, raw_close.size(), raw_close) == 0) {
+            i += raw_close.size() - 1;
+            code[i] = '"';
+            f.strings.push_back(lit);
+            st = State::kCode;
+            break;
+          }
+          lit.text += c;
+          break;
+        }
+        case State::kIncludeQuote:
+          if (c == '"') {
+            code[i] = '"';
+            f.includes.push_back(inc);
+            st = State::kCode;
+            break;
+          }
+          inc.target += c;
+          code[i] = c;  // header-names stay visible to token rules
+          break;
+        case State::kIncludeAngle:
+          if (c == '>') {
+            code[i] = '>';
+            f.includes.push_back(inc);
+            st = State::kCode;
+            break;
+          }
+          inc.target += c;
+          code[i] = c;
+          break;
+      }
+    }
+
+    // End of line: line comments and non-raw literals survive only via a
+    // backslash splice; raw strings and block comments span lines freely.
+    switch (st) {
+      case State::kLineComment:
+        if (!spliced) st = State::kCode;
+        break;
+      case State::kString:
+      case State::kChar:
+        if (!spliced) {
+          // Ill-formed (unterminated) literal; recover rather than letting
+          // one bad line swallow the rest of the file.
+          f.strings.push_back(lit);
+          st = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        lit.text += '\n';
+        break;
+      case State::kIncludeQuote:
+      case State::kIncludeAngle:
+        f.includes.push_back(inc);  // unterminated; recover
+        st = State::kCode;
+        break;
+      default:
+        break;
+    }
+
+    f.code.push_back(std::move(code));
+  }
+
+  for (const std::string& code_line : f.code) {
+    std::size_t i = 0;
+    while (i < code_line.size() && is_space(code_line[i])) ++i;
+    constexpr std::string_view kPragmaOnce = "#pragma once";
+    if (code_line.compare(i, kPragmaOnce.size(), kPragmaOnce) == 0) {
+      f.has_pragma_once = true;
+      break;
+    }
+  }
+  return f;
+}
+
+}  // namespace synran::lint

@@ -1,0 +1,52 @@
+// A minimal C++ lexer for synran_lint: classifies every byte of a source
+// file as code, comment, or literal so rules can match *tokens* instead of
+// raw lines. The old per-line substring scan false-positived on doc comments
+// ("never use std::rand here") and on fixture strings; the lexer makes those
+// bytes invisible to the rules while keeping line/column geometry intact.
+//
+// Handled: // and /* */ comments (including line-spliced `// ... \`
+// continuations), string and char literals with escapes, raw strings
+// R"delim(...)delim" (any prefix, any delimiter), digit separators
+// (1'000'000 does not open a char literal), and preprocessor #include
+// directives, whose header-names are captured as structured edges for the
+// include graph rather than treated as string literals.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace synran::lint {
+
+/// One string or character literal: where it opens and its raw contents
+/// (escape sequences are kept verbatim, not decoded).
+struct StringLiteral {
+  std::size_t line = 0;    ///< 1-based line of the opening quote
+  std::size_t column = 0;  ///< 0-based column of the opening quote
+  std::string text;        ///< characters between the delimiters
+};
+
+/// One #include directive.
+struct IncludeDirective {
+  std::size_t line = 0;  ///< 1-based
+  std::string target;    ///< header-name without the <> or "" delimiters
+  bool angled = false;   ///< <...> (system) vs "..." (project)
+};
+
+/// A lexed file. `code` mirrors `lines` byte for byte except that comment
+/// bytes and literal *contents* are blanked to spaces (delimiters stay, so
+/// `"..."` survives as `""`); rules that match tokens scan `code`, rules
+/// that read suppression trailers scan `lines`.
+struct LexedFile {
+  std::string rel_path;
+  std::vector<std::string> lines;  ///< original text, no trailing '\n'
+  std::vector<std::string> code;   ///< comment/literal-blanked view
+  std::vector<StringLiteral> strings;
+  std::vector<IncludeDirective> includes;
+  bool has_pragma_once = false;  ///< a real `#pragma once` outside comments
+};
+
+LexedFile lex(std::string_view rel_path, std::string_view contents);
+
+}  // namespace synran::lint

@@ -1,19 +1,18 @@
 #include "synran_lint/lint.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <tuple>
+
+#include "synran_lint/lexer.hpp"
+#include "synran_lint/rules/cross_file.hpp"
+#include "synran_lint/rules/line_rules.hpp"
 
 namespace synran::lint {
 namespace {
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
@@ -22,23 +21,6 @@ bool starts_with(std::string_view s, std::string_view prefix) {
 bool ends_with(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
          s.substr(s.size() - suffix.size()) == suffix;
-}
-
-/// True iff `token` occurs in `line` at an identifier boundary (the
-/// preceding character, if any, is not part of an identifier; same for the
-/// following character when `right_boundary` is set).
-bool has_token(std::string_view line, std::string_view token,
-               bool right_boundary = false) {
-  std::size_t pos = 0;
-  while ((pos = line.find(token, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool right_ok =
-        !right_boundary || end >= line.size() || !ident_char(line[end]);
-    if (left_ok && right_ok) return true;
-    pos += 1;
-  }
-  return false;
 }
 
 /// Rules suppressed on this line via `// synran-lint: allow(rule[, rule])`.
@@ -63,82 +45,106 @@ std::vector<std::string> allowed_rules(std::string_view line) {
   return out;
 }
 
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+const std::vector<RuleInfo> kRules = {
+    {"banned-random",
+     "randomness primitive outside src/common/rng.hpp",
+     "All randomness must derive from the experiment's master seed via "
+     "Xoshiro256/SeedSequence (src/common/rng.hpp). One stray std::mt19937, "
+     "std::random_device, rand() or time()-derived seed silently breaks "
+     "bit-for-bit seed reproducibility — the property every experiment and "
+     "golden test in this repo rests on."},
+    {"coin-source",
+     "direct PRNG construction in protocol code",
+     "src/protocols/ and src/async/ draw coins through CoinSource::flip() "
+     "instead of constructing Xoshiro256 directly. The exact-valency engine "
+     "of the Bar-Joseph & Ben-Or lower bound replaces sampling with "
+     "enumeration by substituting the coin source; a protocol that owns its "
+     "generator cannot be enumerated."},
+    {"pragma-once",
+     "header missing #pragma once",
+     "Every header uses #pragma once (the repo convention; no include "
+     "guards)."},
+    {"using-namespace",
+     "`using namespace` in a header",
+     "A using-directive in a header leaks into every includer; qualify "
+     "names instead."},
+    {"iostream",
+     "<iostream> in library code",
+     "Library code (src/ minus src/runner/) may not print; only tools/, "
+     "examples/, and the runner own stdout/stderr."},
+    {"bare-assert",
+     "bare assert()/abort() instead of SYNRAN_CHECK",
+     "assert() compiles out in release builds and abort() gives no "
+     "diagnostic; SYNRAN_CHECK / SYNRAN_REQUIRE stay on everywhere and "
+     "throw typed exceptions the runner can report."},
+    {"wall-clock",
+     "wall-clock read outside src/obs/ and bench/",
+     "Seeded runs must not observe real time: a wall-clock read in protocol "
+     "or analysis paths makes them non-reproducible. Timing belongs to the "
+     "observability layer and the bench harness."},
+    {"threads",
+     "threading primitive outside src/exec/",
+     "The batch executor is the one concurrency boundary; its determinism "
+     "contract (static rep schedule, rep-order aggregation) only holds if "
+     "nothing else spawns or synchronizes threads behind its back."},
+    {"signals",
+     "signal primitive outside src/exec/",
+     "Graceful interruption is owned by exec/stopper.{hpp,cpp}; a second "
+     "handler would race the stop flag's monotonic contract. Poll "
+     "exec::stop_requested() instead."},
+    {"layering",
+     "src/ include edge outside the layer DAG, or an include cycle",
+     "src/ modules form an enforced DAG (documented in include_graph.hpp "
+     "and DESIGN.md): common at the bottom; net/analysis/coin above it; "
+     "then obs, sim, the protocol/adversary/lowerbound band, exec, and "
+     "runner on top. An upward or sideways #include inverts the "
+     "architecture and eventually forces a cycle; extend the DAG table "
+     "deliberately instead of working around it."},
+    {"rng-streams",
+     "duplicate SeedSequence stream tag",
+     "Every stream tag (a k*Stream* constant or a literal stream(<int>) "
+     "argument in src/) must be unique: SeedSequence::stream(id) is a pure "
+     "function of (master seed, id), so two owners of one tag draw the "
+     "*same* pseudorandom stream — a silent seed collision that correlates "
+     "supposedly independent subsystems. Pick an unclaimed tag; the "
+     "convention is an ASCII-derived hex constant (e.g. 0x494e505554 = "
+     "\"INPUT\")."},
+    {"schema-literals",
+     "trace/bench writer emits a JSON field the schema checker never heard "
+     "of",
+     "The JSONL trace writer (src/obs/trace_writer.cpp) and the bench "
+     "report writer (bench/bench_util.hpp) must stay in lockstep with "
+     "tools/bench_schema_check.cpp, which CI runs over every artifact. A "
+     "field name emitted by a writer but absent from the checker's string "
+     "literals means the validator would silently wave the new field "
+     "through (or reject the artifact) — update both sides together."},
+};
+
+}  // namespace
+
+bool finding_order(const Finding& a, const Finding& b) {
+  return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+}
+
+const std::vector<RuleInfo>& rule_registry() { return kRules; }
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const auto& r : kRules)
+    if (r.id == id) return &r;
+  return nullptr;
+}
+
 bool allows(std::string_view line, std::string_view rule) {
   const auto rules = allowed_rules(line);
   return std::find(rules.begin(), rules.end(), rule) != rules.end();
 }
-
-struct TokenRule {
-  std::string_view token;
-  bool right_boundary;
-  std::string_view message;
-};
-
-constexpr std::string_view kRandomMessage =
-    "banned randomness primitive; all randomness must derive from the "
-    "master seed via Xoshiro256/SeedSequence in src/common/rng.hpp";
-
-constexpr std::array<TokenRule, 9> kBannedRandom{{
-    {"std::mt19937", false, kRandomMessage},
-    {"mt19937", false, kRandomMessage},
-    {"std::random_device", false, kRandomMessage},
-    {"random_device", false, kRandomMessage},
-    {"std::rand(", false, kRandomMessage},
-    {"srand(", false, kRandomMessage},
-    {"rand(", false, kRandomMessage},
-    {"std::time(", false,
-     "time(...)-derived values are seeds that change run to run; derive "
-     "seeds from the experiment's master seed instead"},
-    {"time(nullptr", false,
-     "time(...)-derived values are seeds that change run to run; derive "
-     "seeds from the experiment's master seed instead"},
-}};
-
-constexpr std::string_view kClockMessage =
-    "wall-clock read outside src/obs/ and bench/; seeded runs must not "
-    "observe real time — move timing into the observability layer or the "
-    "bench harness";
-
-constexpr std::array<TokenRule, 5> kWallClock{{
-    {"std::chrono", false, kClockMessage},
-    {"<chrono>", false, kClockMessage},
-    {"steady_clock", true, kClockMessage},
-    {"system_clock", true, kClockMessage},
-    {"high_resolution_clock", true, kClockMessage},
-}};
-
-constexpr std::string_view kThreadsMessage =
-    "threading primitive outside src/exec/; the batch executor is the one "
-    "concurrency boundary — route parallel work through "
-    "exec::BatchExecutor so rep scheduling stays deterministic";
-
-constexpr std::array<TokenRule, 8> kThreads{{
-    {"std::thread", false, kThreadsMessage},
-    {"std::jthread", false, kThreadsMessage},
-    {"std::async", false, kThreadsMessage},
-    {"std::mutex", false, kThreadsMessage},
-    {"std::shared_mutex", false, kThreadsMessage},
-    {"<thread>", false, kThreadsMessage},
-    {"<mutex>", false, kThreadsMessage},
-    {"<future>", false, kThreadsMessage},
-}};
-
-constexpr std::string_view kSignalsMessage =
-    "signal primitive outside src/exec/; exec/stopper.{hpp,cpp} owns the "
-    "one SIGINT/SIGTERM handler and its monotonic stop flag — poll "
-    "exec::stop_requested() instead of installing handlers";
-
-constexpr std::array<TokenRule, 7> kSignals{{
-    {"<csignal>", false, kSignalsMessage},
-    {"<signal.h>", false, kSignalsMessage},
-    {"std::signal", false, kSignalsMessage},
-    {"sigaction", true, kSignalsMessage},
-    {"std::raise", false, kSignalsMessage},
-    {"sig_atomic_t", true, kSignalsMessage},
-    {"signal(", false, kSignalsMessage},
-}};
-
-}  // namespace
 
 FileClass classify(std::string_view rel_path) {
   FileClass fc;
@@ -146,6 +152,10 @@ FileClass classify(std::string_view rel_path) {
                starts_with(rel_path, "tests/") ||
                starts_with(rel_path, "bench/") ||
                starts_with(rel_path, "examples/");
+  // Fixture trees hold deliberate violations for the lint's own tests;
+  // they are scanned only when the fixture directory itself is the root.
+  if (rel_path.find("lint_fixtures/") != std::string_view::npos)
+    fc.scanned = false;
   fc.is_header = ends_with(rel_path, ".hpp");
   fc.is_rng_header = rel_path == "src/common/rng.hpp";
   fc.protocol_code = starts_with(rel_path, "src/protocols/") ||
@@ -161,120 +171,8 @@ FileClass classify(std::string_view rel_path) {
 
 std::vector<Finding> scan_file(std::string_view rel_path,
                                std::string_view contents) {
-  const FileClass fc = classify(rel_path);
-  std::vector<Finding> findings;
-  if (!fc.scanned) return findings;
-
-  const auto report = [&](std::size_t line_no, std::string_view rule,
-                          std::string_view message) {
-    findings.push_back(Finding{std::string(rel_path), line_no,
-                               std::string(rule), std::string(message)});
-  };
-
-  bool saw_pragma_once = false;
-  bool pragma_once_allowed = false;
-
-  std::size_t line_no = 0;
-  std::size_t pos = 0;
-  while (pos <= contents.size()) {
-    const std::size_t nl = contents.find('\n', pos);
-    const std::string_view line =
-        contents.substr(pos, nl == std::string_view::npos ? std::string_view::npos
-                                                          : nl - pos);
-    ++line_no;
-    pos = nl == std::string_view::npos ? contents.size() + 1 : nl + 1;
-    if (line.empty() && pos > contents.size()) break;
-
-    std::size_t first = line.find_first_not_of(" \t");
-    const std::string_view trimmed =
-        first == std::string_view::npos ? std::string_view{}
-                                        : line.substr(first);
-
-    if (starts_with(trimmed, "#pragma once")) saw_pragma_once = true;
-    if (allows(line, "pragma-once")) pragma_once_allowed = true;
-
-    if (!fc.is_rng_header && !allows(line, "banned-random")) {
-      for (const auto& rule : kBannedRandom) {
-        if (has_token(line, rule.token, rule.right_boundary)) {
-          report(line_no, "banned-random", rule.message);
-          break;
-        }
-      }
-    }
-
-    if (!fc.clock_allowed && !allows(line, "wall-clock")) {
-      for (const auto& rule : kWallClock) {
-        if (has_token(line, rule.token, rule.right_boundary)) {
-          report(line_no, "wall-clock", rule.message);
-          break;
-        }
-      }
-    }
-
-    if (!fc.threads_allowed && !allows(line, "threads")) {
-      for (const auto& rule : kThreads) {
-        if (has_token(line, rule.token, rule.right_boundary)) {
-          report(line_no, "threads", rule.message);
-          break;
-        }
-      }
-    }
-
-    if (!fc.signals_allowed && !allows(line, "signals")) {
-      for (const auto& rule : kSignals) {
-        if (has_token(line, rule.token, rule.right_boundary)) {
-          report(line_no, "signals", rule.message);
-          break;
-        }
-      }
-    }
-
-    if (fc.protocol_code && !allows(line, "coin-source") &&
-        has_token(line, "Xoshiro256", true)) {
-      report(line_no, "coin-source",
-             "direct Xoshiro256 use in protocol code; draw coins through "
-             "CoinSource::flip() so the valency engine can enumerate "
-             "outcomes instead of sampling them");
-    }
-
-    if (fc.is_header && !allows(line, "using-namespace") &&
-        has_token(line, "using namespace")) {
-      report(line_no, "using-namespace",
-             "'using namespace' in a header leaks into every includer");
-    }
-
-    if (fc.library_code && !allows(line, "iostream") &&
-        starts_with(trimmed, "#include") &&
-        line.find("<iostream>") != std::string_view::npos) {
-      report(line_no, "iostream",
-             "<iostream> in library code; only tools/, examples/, and "
-             "src/runner/ may print");
-    }
-
-    if (!allows(line, "bare-assert")) {
-      if (has_token(line, "assert(")) {
-        report(line_no, "bare-assert",
-               "bare assert() compiles out in release builds; use "
-               "SYNRAN_CHECK / SYNRAN_REQUIRE (always-on, throwing)");
-      } else if (has_token(line, "abort(")) {
-        report(line_no, "bare-assert",
-               "abort() gives no diagnostic; use SYNRAN_CHECK / "
-               "SYNRAN_REQUIRE (always-on, throwing)");
-      }
-    }
-  }
-
-  if (fc.is_header && !saw_pragma_once && !pragma_once_allowed) {
-    report(1, "pragma-once", "header is missing #pragma once");
-  }
-
-  // scan_file reports in file order except the file-level rule above; keep
-  // the list sorted by line for stable output.
-  std::stable_sort(findings.begin(), findings.end(),
-                   [](const Finding& a, const Finding& b) {
-                     return a.line < b.line;
-                   });
-  return findings;
+  if (!classify(rel_path).scanned) return {};
+  return run_line_rules(lex(rel_path, contents));
 }
 
 std::vector<Finding> scan_tree(const std::string& root,
@@ -288,22 +186,43 @@ std::vector<Finding> scan_tree(const std::string& root,
       if (!entry.is_regular_file()) continue;
       const std::string ext = entry.path().extension().string();
       if (ext != ".hpp" && ext != ".cpp") continue;
-      paths.push_back(
-          fs::relative(entry.path(), fs::path(root)).generic_string());
+      const std::string rel =
+          fs::relative(entry.path(), fs::path(root)).generic_string();
+      if (!classify(rel).scanned) continue;
+      paths.push_back(rel);
     }
   }
   std::sort(paths.begin(), paths.end());
 
+  Project project;
+  project.files.reserve(paths.size());
+  for (const auto& rel : paths)
+    project.files.push_back(lex(rel, read_file(fs::path(root) / rel)));
+
   std::vector<Finding> findings;
-  for (const auto& rel : paths) {
-    std::ifstream in(fs::path(root) / rel, std::ios::binary);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string contents = buf.str();
-    auto file_findings = scan_file(rel, contents);
+  for (const auto& file : project.files) {
+    auto file_findings = run_line_rules(file);
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
   }
+
+  // The schema checker lives outside the scanned roots; read it as the
+  // reference document for the schema-literals rule when the tree has one.
+  LexedFile checker;
+  const fs::path checker_path =
+      fs::path(root) / "tools" / "bench_schema_check.cpp";
+  if (fs::exists(checker_path)) {
+    checker = lex("tools/bench_schema_check.cpp", read_file(checker_path));
+    project.checker = &checker;
+  }
+
+  auto cross = run_cross_file_rules(project);
+  findings.insert(findings.end(), cross.begin(), cross.end());
+
+  // Byte-stable output: (file, line, rule) order regardless of walk order
+  // or which rule produced a finding first.
+  std::sort(findings.begin(), findings.end(), finding_order);
+
   if (files_scanned != nullptr) *files_scanned = paths.size();
   return findings;
 }

@@ -3,7 +3,12 @@
 // The two properties the whole reproduction rests on — bit-for-bit
 // reproducibility from a master seed, and protocols drawing *all* randomness
 // through CoinSource so the exact-valency engine can enumerate coin outcomes
-// — are invisible to the compiler. This lint makes them machine-checked:
+// — are invisible to the compiler. This lint makes them machine-checked.
+//
+// Rules match *tokens*, not raw lines: a small C++ lexer (lexer.hpp) blanks
+// comments and string/char literals first, so a doc comment mentioning
+// std::rand or a fixture string containing a banned primitive never trips a
+// rule. Nine rules are per-line:
 //
 //   banned-random    no std::rand / rand() / srand / std::mt19937 /
 //                    std::random_device / time(...)-derived seeds anywhere
@@ -21,24 +26,32 @@
 //                    throw typed exceptions.
 //   wall-clock       no std::chrono / <chrono> / *_clock outside src/obs/
 //                    and bench/: wall-clock reads in protocol or analysis
-//                    paths make seeded runs non-reproducible. Timing belongs
-//                    to the observability layer and the bench harness.
+//                    paths make seeded runs non-reproducible.
 //   threads          no std::thread / std::async / std::mutex (or <thread>,
 //                    <mutex>, <future>) outside src/exec/: the batch
-//                    executor is the one concurrency boundary, and its
-//                    determinism contract (static rep schedule, rep-order
-//                    aggregation) only holds if nothing else spawns or
-//                    synchronizes threads behind its back.
+//                    executor is the one concurrency boundary.
 //   signals          no <csignal> / std::signal / sigaction / raise /
 //                    sig_atomic_t outside src/exec/: graceful interruption
-//                    is owned by exec/stopper.{hpp,cpp}. A second handler
-//                    would race the stop flag's monotonic contract, and
-//                    signal-unsafe work in a handler is UB — everything
-//                    else must poll exec::stop_requested().
+//                    is owned by exec/stopper.{hpp,cpp}.
+//
+// Three rules are cross-file, computed over the whole tree at once
+// (rules/cross_file.hpp):
+//
+//   layering         src/ modules form a DAG (include_graph.hpp documents
+//                    it); reject upward/sideways #include edges and cycles.
+//   rng-streams      every SeedSequence stream tag constant (k*Stream*) and
+//                    literal stream(<int>) tag in src/ must be unique; a
+//                    duplicate silently hands two subsystems the same
+//                    random stream.
+//   schema-literals  every JSON field name the trace/bench writers emit
+//                    must be known to tools/bench_schema_check.cpp, so the
+//                    writers and the validator cannot drift apart.
 //
 // A finding on one specific line can be suppressed with an explicit trailer:
 //     legit_line();  // synran-lint: allow(<rule>)
 // For the file-scoped pragma-once rule the trailer may sit on any line.
+// Pre-existing findings can also be grandfathered in a baseline file
+// (baseline.hpp); `synran_lint --explain <rule>` prints a rule's rationale.
 #pragma once
 
 #include <cstddef>
@@ -55,6 +68,23 @@ struct Finding {
   std::string message;
 };
 
+/// Orders findings by (file, line, rule): byte-stable output across
+/// platforms and filesystem walk orders.
+bool finding_order(const Finding& a, const Finding& b);
+
+/// One rule's identity and documentation (drives --explain and SARIF).
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;  ///< one line
+  std::string_view help;     ///< rationale + how to fix or suppress
+};
+
+/// All rules, per-line first, in stable order.
+const std::vector<RuleInfo>& rule_registry();
+
+/// nullptr if `id` names no rule.
+const RuleInfo* find_rule(std::string_view id);
+
 /// How the rules apply to one path (repo-relative, '/'-separated).
 struct FileClass {
   bool scanned = false;      ///< under src/, tests/, bench/, examples/
@@ -69,12 +99,23 @@ struct FileClass {
 
 FileClass classify(std::string_view rel_path);
 
-/// Scans one file's contents. `rel_path` decides which rules apply.
+/// True iff `line` (original text, comments intact) carries a
+/// `// synran-lint: allow(rule[, rule])` trailer naming `rule`.
+bool allows(std::string_view line, std::string_view rule);
+
+/// Scans one file's contents with the per-line rules. `rel_path` decides
+/// which rules apply. Cross-file rules need the whole tree; see
+/// rules/cross_file.hpp.
 std::vector<Finding> scan_file(std::string_view rel_path,
                                std::string_view contents);
 
-/// Walks `root`'s src/, tests/, bench/, examples/ trees (*.hpp, *.cpp) and
-/// scans every file. `files_scanned` (optional) receives the file count.
+/// Walks `root`'s src/, tests/, bench/, examples/ trees (*.hpp, *.cpp),
+/// runs the per-line rules on every file and the cross-file rules on the
+/// whole project (reading tools/bench_schema_check.cpp as the schema
+/// reference when present). Findings come back sorted by (file, line,
+/// rule). `files_scanned` (optional) receives the file count. Trees under a
+/// `lint_fixtures` directory are skipped: they hold deliberate violations
+/// for the lint's own tests.
 std::vector<Finding> scan_tree(const std::string& root,
                                std::size_t* files_scanned = nullptr);
 

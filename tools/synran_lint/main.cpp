@@ -1,52 +1,220 @@
 // synran_lint CLI: walk a repo root and report invariant violations.
 //
-// Usage: synran_lint [root]        (root defaults to ".")
-// Prints one `file:line: [rule] message` diagnostic per finding, then a
-// single machine-readable JSON summary line. Exit code 1 iff any finding,
-// 2 on usage errors or a root that yields nothing to scan (a typo'd path
-// must not read as a clean pass in CI).
+//   synran_lint [root] [--format=text|json|sarif] [--baseline FILE]
+//               [--write-baseline FILE] [--explain RULE]
+//
+// text (default) prints one `file:line: [rule] message` diagnostic per
+// finding plus a machine-readable JSON summary line; json prints one
+// document with every finding; sarif prints a SARIF 2.1.0 document for
+// GitHub code scanning. --baseline suppresses the findings recorded in a
+// checked-in baseline and *fails* on stale entries (debt that no longer
+// exists must be deleted, so a baseline only ever shrinks);
+// --write-baseline captures the current findings as a fresh baseline.
+// --explain prints one rule's rationale. Exit code 1 iff any unsuppressed
+// finding or stale baseline entry remains, 2 on usage errors or a root
+// that yields nothing to scan (a typo'd path must not read as a clean pass
+// in CI).
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "obs/json.hpp"
+#include "synran_lint/baseline.hpp"
 #include "synran_lint/lint.hpp"
+#include "synran_lint/sarif.hpp"
 
-int main(int argc, char** argv) {
-  std::string root = ".";
-  if (argc > 2) {
-    std::cerr << "synran_lint: expected at most one argument (repo root); "
-              << "see --help\n";
+namespace {
+
+int usage_error(const std::string& message) {
+  std::cerr << "synran_lint: " << message << "; see --help\n";
+  return 2;
+}
+
+void print_help() {
+  std::cout
+      << "usage: synran_lint [repo-root] [options]\n"
+         "Scans src/, tests/, bench/, examples/ for repo-invariant "
+         "violations\n"
+         "(tokens, not raw lines: comments and string literals never "
+         "match).\n\n"
+         "options:\n"
+         "  --format=text|json|sarif  output format (default text; sarif "
+         "is\n"
+         "                            SARIF 2.1.0 for GitHub code "
+         "scanning)\n"
+         "  --baseline FILE           suppress findings recorded in FILE "
+         "and\n"
+         "                            fail on stale entries\n"
+         "  --write-baseline FILE     write current findings to FILE and "
+         "exit\n"
+         "  --explain RULE            print one rule's rationale and exit\n"
+         "  --help                    this text\n\n"
+         "Suppress a single finding in code with a trailing\n"
+         "'// synran-lint: allow(<rule>)'.\n"
+         "Exit codes: 0 clean, 1 findings or stale baseline entries, 2 "
+         "usage.\n";
+}
+
+int explain(const std::string& rule_id) {
+  const auto* rule = synran::lint::find_rule(rule_id);
+  if (rule == nullptr) {
+    std::cerr << "synran_lint: unknown rule '" << rule_id << "'; rules:\n";
+    for (const auto& r : synran::lint::rule_registry())
+      std::cerr << "  " << r.id << "\n";
     return 2;
   }
-  if (argc > 1) {
-    const std::string arg = argv[1];
+  std::cout << rule->id << " — " << rule->summary << "\n\n"
+            << rule->help << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using synran::lint::Finding;
+  namespace lint = synran::lint;
+
+  std::string root = ".";
+  bool root_set = false;
+  std::string format = "text";
+  std::string baseline_path;
+  std::string write_baseline_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: synran_lint [repo-root]\n"
-                << "Scans src/, tests/, bench/, examples/ for repo-invariant "
-                << "violations.\nSuppress a finding with a trailing "
-                << "'// synran-lint: allow(<rule>)'.\n";
+      print_help();
       return 0;
+    } else if (arg == "--explain") {
+      const char* v = value_of();
+      if (v == nullptr) return usage_error("missing rule after --explain");
+      return explain(v);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif")
+        return usage_error("unknown format '" + format +
+                           "' (expected text, json, or sarif)");
+    } else if (arg == "--baseline") {
+      const char* v = value_of();
+      if (v == nullptr) return usage_error("missing file after --baseline");
+      baseline_path = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = value_of();
+      if (v == nullptr)
+        return usage_error("missing file after --write-baseline");
+      write_baseline_path = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage_error("unknown option '" + arg + "'");
+    } else if (!root_set) {
+      root = arg;
+      root_set = true;
+    } else {
+      return usage_error("expected at most one repo root, got '" + arg +
+                         "' too");
     }
-    root = arg;
   }
+
   if (!std::filesystem::is_directory(root)) {
     std::cerr << "synran_lint: " << root << " is not a directory\n";
     return 2;
   }
 
   std::size_t files_scanned = 0;
-  const auto findings = synran::lint::scan_tree(root, &files_scanned);
+  const auto findings = lint::scan_tree(root, &files_scanned);
   if (files_scanned == 0) {
     std::cerr << "synran_lint: no source files under " << root
               << " (wrong root?)\n";
     return 2;
   }
-  for (const auto& f : findings) {
-    std::cout << f.file << ':' << f.line << ": [" << f.rule << "] "
-              << f.message << '\n';
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << lint::baseline_json(findings) << "\n";
+    if (!out.good()) {
+      std::cerr << "synran_lint: cannot write " << write_baseline_path
+                << "\n";
+      return 2;
+    }
+    std::cout << "synran_lint: wrote " << findings.size() << " entr"
+              << (findings.size() == 1 ? "y" : "ies") << " to "
+              << write_baseline_path << "\n";
+    return 0;
   }
-  std::cout << "synran-lint: "
-            << synran::lint::summary_json(findings, files_scanned)
-            << std::endl;
-  return findings.empty() ? 0 : 1;
+
+  lint::BaselineResult applied;
+  applied.active = findings;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "synran_lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      applied = lint::apply_baseline(findings,
+                                     lint::parse_baseline(buf.str()));
+    } catch (const std::exception& e) {
+      std::cerr << "synran_lint: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  const bool failed = !applied.active.empty() || !applied.stale.empty();
+
+  if (format == "sarif") {
+    std::cout << lint::to_sarif(applied.active) << "\n";
+  } else if (format == "json") {
+    using synran::obs::JsonValue;
+    JsonValue items = JsonValue::array();
+    for (const auto& f : applied.active)
+      items.push(JsonValue::object()
+                     .set("file", JsonValue(f.file))
+                     .set("line", JsonValue(std::uint64_t{f.line}))
+                     .set("rule", JsonValue(f.rule))
+                     .set("message", JsonValue(f.message)));
+    JsonValue stale = JsonValue::array();
+    for (const auto& e : applied.stale)
+      stale.push(JsonValue::object()
+                     .set("file", JsonValue(e.file))
+                     .set("line", JsonValue(std::uint64_t{e.line}))
+                     .set("rule", JsonValue(e.rule)));
+    std::cout << JsonValue::object()
+                     .set("schema", JsonValue("synran-lint/1"))
+                     .set("files_scanned",
+                          JsonValue(std::uint64_t{files_scanned}))
+                     .set("findings", std::move(items))
+                     .set("suppressed",
+                          JsonValue(std::uint64_t{applied.suppressed}))
+                     .set("stale_baseline", std::move(stale))
+                     .dump()
+              << "\n";
+  } else {
+    for (const auto& f : applied.active) {
+      std::cout << f.file << ':' << f.line << ": [" << f.rule << "] "
+                << f.message << '\n';
+    }
+    if (applied.suppressed > 0)
+      std::cout << "synran-lint: " << applied.suppressed
+                << " finding(s) suppressed by baseline\n";
+    std::cout << "synran-lint: "
+              << lint::summary_json(applied.active, files_scanned)
+              << std::endl;
+  }
+
+  // Stale entries always go to stderr so every format reports them.
+  for (const auto& e : applied.stale)
+    std::cerr << "synran_lint: stale baseline entry " << e.file << ":"
+              << e.line << " [" << e.rule
+              << "] no longer fires — delete it from the baseline\n";
+
+  return failed ? 1 : 0;
 }

@@ -1,0 +1,267 @@
+#include "synran_lint/rules/cross_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "synran_lint/include_graph.hpp"
+
+namespace synran::lint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t'; }
+
+std::string hex_tag(std::uint64_t value) {
+  std::ostringstream os;
+  os << "0x" << std::hex << value;
+  return os.str();
+}
+
+/// Parses an integer literal (decimal or 0x hex, with optional digit
+/// separators and u/l suffixes) starting at `pos`. Returns the value and
+/// advances `pos` past the literal; nullopt if `pos` starts no literal.
+std::optional<std::uint64_t> parse_int_literal(std::string_view s,
+                                               std::size_t& pos) {
+  std::size_t i = pos;
+  std::uint64_t value = 0;
+  bool any = false;
+  if (i + 1 < s.size() && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    i += 2;
+    for (; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '\'') continue;
+      const int d = std::isdigit(static_cast<unsigned char>(c)) ? c - '0'
+                    : (c >= 'a' && c <= 'f')                    ? c - 'a' + 10
+                    : (c >= 'A' && c <= 'F')                    ? c - 'A' + 10
+                                                                : -1;
+      if (d < 0) break;
+      value = value * 16 + static_cast<std::uint64_t>(d);
+      any = true;
+    }
+  } else {
+    for (; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '\'') continue;
+      if (!std::isdigit(static_cast<unsigned char>(c))) break;
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      any = true;
+    }
+  }
+  if (!any) return std::nullopt;
+  while (i < s.size() && (s[i] == 'u' || s[i] == 'U' || s[i] == 'l' ||
+                          s[i] == 'L'))
+    ++i;
+  if (i < s.size() && ident_char(s[i])) return std::nullopt;  // 123abc
+  pos = i;
+  return value;
+}
+
+std::size_t skip_ws(std::string_view s, std::size_t pos) {
+  while (pos < s.size() && is_space(s[pos])) ++pos;
+  return pos;
+}
+
+// ---------------------------------------------------------------- layering
+
+void layering_rule(const Project& project, std::vector<Finding>& out) {
+  std::map<std::string, const LexedFile*> by_path;
+  for (const auto& f : project.files) by_path[f.rel_path] = &f;
+
+  const auto edges = project_edges(project.files);
+
+  // Reachability over the observed module graph, for cycle attribution: an
+  // edge lies on a cycle iff its head reaches its tail.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& e : edges) adj[e.from_module].insert(e.to_module);
+  const auto reaches = [&adj](const std::string& from, const std::string& to) {
+    std::vector<std::string> stack{from};
+    std::set<std::string> seen;
+    while (!stack.empty()) {
+      const std::string m = stack.back();
+      stack.pop_back();
+      if (m == to) return true;
+      if (!seen.insert(m).second) continue;
+      const auto it = adj.find(m);
+      if (it != adj.end())
+        stack.insert(stack.end(), it->second.begin(), it->second.end());
+    }
+    return false;
+  };
+
+  for (const auto& e : edges) {
+    const LexedFile* file = by_path.at(e.file);
+    if (e.line >= 1 && e.line <= file->lines.size() &&
+        allows(file->lines[e.line - 1], "layering"))
+      continue;
+    if (layer_known(e.from_module) && layer_known(e.to_module)) {
+      if (!layer_allows(e.from_module, e.to_module)) {
+        std::string deps;
+        for (const auto& d : layer_direct_deps().at(e.from_module)) {
+          if (!deps.empty()) deps += ", ";
+          deps += d;
+        }
+        out.push_back(Finding{
+            e.file, e.line, "layering",
+            "src/" + e.from_module + " may not include src/" + e.to_module +
+                ": the layer DAG (include_graph.hpp) gives " +
+                e.from_module + " the deps {" + deps +
+                "}; an upward edge inverts the architecture"});
+      }
+    } else if (reaches(e.to_module, e.from_module)) {
+      out.push_back(Finding{
+          e.file, e.line, "layering",
+          "include cycle: src/" + e.from_module + " -> src/" + e.to_module +
+              " closes a loop back to src/" + e.from_module +
+              "; module includes must form a DAG"});
+    }
+  }
+}
+
+// -------------------------------------------------------------- rng-streams
+
+struct StreamTagSite {
+  std::string file;
+  std::size_t line = 0;
+  std::string name;  ///< constant identifier, or "literal" for a bare tag
+};
+
+void rng_streams_rule(const Project& project, std::vector<Finding>& out) {
+  std::map<std::uint64_t, std::vector<StreamTagSite>> by_value;
+
+  for (const auto& f : project.files) {
+    if (module_of(f.rel_path).empty()) continue;  // src/ only
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+      const std::string_view code = f.code[li];
+      if (allows(f.lines[li], "rng-streams")) continue;
+      std::size_t i = 0;
+      while (i < code.size()) {
+        if (!ident_char(code[i]) || (i > 0 && ident_char(code[i - 1]))) {
+          ++i;
+          continue;
+        }
+        std::size_t end = i;
+        while (end < code.size() && ident_char(code[end])) ++end;
+        const std::string_view ident = code.substr(i, end - i);
+
+        // `kFooStreamBase = <literal>`: a stream-tag constant definition.
+        if (ident.size() > 1 && ident[0] == 'k' &&
+            ident.find("Stream") != std::string_view::npos) {
+          std::size_t j = skip_ws(code, end);
+          if (j < code.size() && code[j] == '=' &&
+              (j + 1 >= code.size() || code[j + 1] != '=')) {
+            j = skip_ws(code, j + 1);
+            if (const auto v = parse_int_literal(code, j)) {
+              by_value[*v].push_back(
+                  StreamTagSite{f.rel_path, li + 1, std::string(ident)});
+            }
+          }
+        }
+
+        // `stream(<literal> ...)`: a bare tag at a derivation site.
+        if (ident == "stream") {
+          std::size_t j = skip_ws(code, end);
+          if (j < code.size() && code[j] == '(') {
+            j = skip_ws(code, j + 1);
+            if (const auto v = parse_int_literal(code, j)) {
+              by_value[*v].push_back(
+                  StreamTagSite{f.rel_path, li + 1, "literal tag"});
+            }
+          }
+        }
+        i = end;
+      }
+    }
+  }
+
+  for (const auto& [value, sites] : by_value) {
+    if (sites.size() < 2) continue;
+    std::vector<StreamTagSite> ordered = sites;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const StreamTagSite& a, const StreamTagSite& b) {
+                return a.file != b.file ? a.file < b.file : a.line < b.line;
+              });
+    for (std::size_t s = 1; s < ordered.size(); ++s) {
+      out.push_back(Finding{
+          ordered[s].file, ordered[s].line, "rng-streams",
+          "stream tag " + hex_tag(value) + " (" + ordered[s].name +
+              ") collides with " + ordered[0].name + " at " +
+              ordered[0].file + ":" + std::to_string(ordered[0].line) +
+              "; two owners of one tag draw the same pseudorandom stream "
+              "from the master seed"});
+    }
+  }
+}
+
+// ---------------------------------------------------------- schema-literals
+
+bool is_writer_file(std::string_view rel_path) {
+  return rel_path == "src/obs/trace_writer.cpp" ||
+         rel_path == "bench/bench_util.hpp";
+}
+
+/// The code immediately preceding a literal, skipping blank prefixes back
+/// across lines, must end with `set(` for the literal to be a JSON field
+/// name (first argument of JsonValue::object().set("name", ...)).
+bool is_set_field_position(const LexedFile& f, const StringLiteral& lit) {
+  std::size_t line_idx = lit.line - 1;
+  std::string_view before =
+      std::string_view(f.code[line_idx]).substr(0, lit.column);
+  while (true) {
+    std::size_t end = before.size();
+    while (end > 0 && is_space(before[end - 1])) --end;
+    if (end > 0) {
+      before = before.substr(0, end);
+      break;
+    }
+    if (line_idx == 0) return false;
+    --line_idx;
+    before = f.code[line_idx];
+  }
+  constexpr std::string_view kSetOpen = "set(";
+  return before.size() >= kSetOpen.size() &&
+         before.substr(before.size() - kSetOpen.size()) == kSetOpen;
+}
+
+void schema_literals_rule(const Project& project, std::vector<Finding>& out) {
+  if (project.checker == nullptr) return;
+
+  std::set<std::string> known;
+  for (const auto& lit : project.checker->strings) known.insert(lit.text);
+
+  for (const auto& f : project.files) {
+    if (!is_writer_file(f.rel_path)) continue;
+    for (const auto& lit : f.strings) {
+      if (lit.text.empty() || !is_set_field_position(f, lit)) continue;
+      if (known.count(lit.text) != 0) continue;
+      if (allows(f.lines[lit.line - 1], "schema-literals")) continue;
+      out.push_back(Finding{
+          f.rel_path, lit.line, "schema-literals",
+          "JSON field \"" + lit.text + "\" is emitted here but appears "
+              "nowhere in tools/bench_schema_check.cpp; writer and schema "
+              "validator have drifted — teach the checker the field (or "
+              "drop it from the writer)"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_cross_file_rules(const Project& project) {
+  std::vector<Finding> out;
+  layering_rule(project, out);
+  rng_streams_rule(project, out);
+  schema_literals_rule(project, out);
+  std::sort(out.begin(), out.end(), finding_order);
+  return out;
+}
+
+}  // namespace synran::lint

@@ -1,0 +1,39 @@
+// The three cross-file rules. They need the whole project at once:
+//
+//   layering         every src-internal #include edge must sit in the layer
+//                    DAG's transitive closure (include_graph.hpp); include
+//                    cycles among undeclared modules are rejected too.
+//   rng-streams      SeedSequence stream tags — constants named k*Stream*
+//                    and literal stream(<int>) call sites in src/ — must be
+//                    pairwise distinct. Two subsystems sharing a tag draw
+//                    the *same* pseudorandom stream from the master seed: a
+//                    seed collision no test notices until correlations bite.
+//   schema-literals  JSON field names emitted by the trace/bench writers
+//                    (src/obs/trace_writer.cpp, bench/bench_util.hpp) must
+//                    appear as string literals in the schema validator
+//                    (tools/bench_schema_check.cpp); a field the validator
+//                    has never heard of means writer and checker drifted.
+//
+// Findings honor the same `// synran-lint: allow(<rule>)` trailers as the
+// per-line rules, read from the original line each finding lands on.
+#pragma once
+
+#include <vector>
+
+#include "synran_lint/lexer.hpp"
+#include "synran_lint/lint.hpp"
+
+namespace synran::lint {
+
+/// Everything the cross-file rules look at. `checker` is the lexed
+/// tools/bench_schema_check.cpp when the tree has one (it lives outside the
+/// scanned roots, so scan_tree reads it separately); without it the
+/// schema-literals rule is silent.
+struct Project {
+  std::vector<LexedFile> files;
+  const LexedFile* checker = nullptr;
+};
+
+std::vector<Finding> run_cross_file_rules(const Project& project);
+
+}  // namespace synran::lint

@@ -1,0 +1,214 @@
+#include "synran_lint/rules/line_rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace synran::lint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// True iff `token` occurs in `line` at an identifier boundary (the
+/// preceding character, if any, is not part of an identifier; same for the
+/// following character when `right_boundary` is set).
+bool has_token(std::string_view line, std::string_view token,
+               bool right_boundary = false) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok =
+        !right_boundary || end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+struct TokenRule {
+  std::string_view token;
+  bool right_boundary;
+  std::string_view message;
+};
+
+constexpr std::string_view kRandomMessage =
+    "banned randomness primitive; all randomness must derive from the "
+    "master seed via Xoshiro256/SeedSequence in src/common/rng.hpp";
+
+constexpr std::array<TokenRule, 9> kBannedRandom{{
+    {"std::mt19937", false, kRandomMessage},
+    {"mt19937", false, kRandomMessage},
+    {"std::random_device", false, kRandomMessage},
+    {"random_device", false, kRandomMessage},
+    {"std::rand(", false, kRandomMessage},
+    {"srand(", false, kRandomMessage},
+    {"rand(", false, kRandomMessage},
+    {"std::time(", false,
+     "time(...)-derived values are seeds that change run to run; derive "
+     "seeds from the experiment's master seed instead"},
+    {"time(nullptr", false,
+     "time(...)-derived values are seeds that change run to run; derive "
+     "seeds from the experiment's master seed instead"},
+}};
+
+constexpr std::string_view kClockMessage =
+    "wall-clock read outside src/obs/ and bench/; seeded runs must not "
+    "observe real time — move timing into the observability layer or the "
+    "bench harness";
+
+constexpr std::array<TokenRule, 5> kWallClock{{
+    {"std::chrono", false, kClockMessage},
+    {"<chrono>", false, kClockMessage},
+    {"steady_clock", true, kClockMessage},
+    {"system_clock", true, kClockMessage},
+    {"high_resolution_clock", true, kClockMessage},
+}};
+
+constexpr std::string_view kThreadsMessage =
+    "threading primitive outside src/exec/; the batch executor is the one "
+    "concurrency boundary — route parallel work through "
+    "exec::BatchExecutor so rep scheduling stays deterministic";
+
+constexpr std::array<TokenRule, 8> kThreads{{
+    {"std::thread", false, kThreadsMessage},
+    {"std::jthread", false, kThreadsMessage},
+    {"std::async", false, kThreadsMessage},
+    {"std::mutex", false, kThreadsMessage},
+    {"std::shared_mutex", false, kThreadsMessage},
+    {"<thread>", false, kThreadsMessage},
+    {"<mutex>", false, kThreadsMessage},
+    {"<future>", false, kThreadsMessage},
+}};
+
+constexpr std::string_view kSignalsMessage =
+    "signal primitive outside src/exec/; exec/stopper.{hpp,cpp} owns the "
+    "one SIGINT/SIGTERM handler and its monotonic stop flag — poll "
+    "exec::stop_requested() instead of installing handlers";
+
+constexpr std::array<TokenRule, 7> kSignals{{
+    {"<csignal>", false, kSignalsMessage},
+    {"<signal.h>", false, kSignalsMessage},
+    {"std::signal", false, kSignalsMessage},
+    {"sigaction", true, kSignalsMessage},
+    {"std::raise", false, kSignalsMessage},
+    {"sig_atomic_t", true, kSignalsMessage},
+    {"signal(", false, kSignalsMessage},
+}};
+
+}  // namespace
+
+std::vector<Finding> run_line_rules(const LexedFile& file) {
+  const FileClass fc = classify(file.rel_path);
+  std::vector<Finding> findings;
+  if (!fc.scanned) return findings;
+
+  const auto report = [&](std::size_t line_no, std::string_view rule,
+                          std::string_view message) {
+    findings.push_back(Finding{file.rel_path, line_no, std::string(rule),
+                               std::string(message)});
+  };
+
+  bool pragma_once_allowed = false;
+
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::size_t line_no = i + 1;
+    // Token rules see the comment/literal-blanked code view; suppression
+    // trailers live in comments, so allow() reads the original line.
+    const std::string_view code = file.code[i];
+    const std::string_view orig = file.lines[i];
+
+    std::size_t first = code.find_first_not_of(" \t");
+    const std::string_view trimmed =
+        first == std::string_view::npos ? std::string_view{}
+                                        : code.substr(first);
+
+    if (allows(orig, "pragma-once")) pragma_once_allowed = true;
+
+    if (!fc.is_rng_header && !allows(orig, "banned-random")) {
+      for (const auto& rule : kBannedRandom) {
+        if (has_token(code, rule.token, rule.right_boundary)) {
+          report(line_no, "banned-random", rule.message);
+          break;
+        }
+      }
+    }
+
+    if (!fc.clock_allowed && !allows(orig, "wall-clock")) {
+      for (const auto& rule : kWallClock) {
+        if (has_token(code, rule.token, rule.right_boundary)) {
+          report(line_no, "wall-clock", rule.message);
+          break;
+        }
+      }
+    }
+
+    if (!fc.threads_allowed && !allows(orig, "threads")) {
+      for (const auto& rule : kThreads) {
+        if (has_token(code, rule.token, rule.right_boundary)) {
+          report(line_no, "threads", rule.message);
+          break;
+        }
+      }
+    }
+
+    if (!fc.signals_allowed && !allows(orig, "signals")) {
+      for (const auto& rule : kSignals) {
+        if (has_token(code, rule.token, rule.right_boundary)) {
+          report(line_no, "signals", rule.message);
+          break;
+        }
+      }
+    }
+
+    if (fc.protocol_code && !allows(orig, "coin-source") &&
+        has_token(code, "Xoshiro256", true)) {
+      report(line_no, "coin-source",
+             "direct Xoshiro256 use in protocol code; draw coins through "
+             "CoinSource::flip() so the valency engine can enumerate "
+             "outcomes instead of sampling them");
+    }
+
+    if (fc.is_header && !allows(orig, "using-namespace") &&
+        has_token(code, "using namespace")) {
+      report(line_no, "using-namespace",
+             "'using namespace' in a header leaks into every includer");
+    }
+
+    if (fc.library_code && !allows(orig, "iostream") &&
+        starts_with(trimmed, "#include") &&
+        code.find("<iostream>") != std::string_view::npos) {
+      report(line_no, "iostream",
+             "<iostream> in library code; only tools/, examples/, and "
+             "src/runner/ may print");
+    }
+
+    if (!allows(orig, "bare-assert")) {
+      if (has_token(code, "assert(")) {
+        report(line_no, "bare-assert",
+               "bare assert() compiles out in release builds; use "
+               "SYNRAN_CHECK / SYNRAN_REQUIRE (always-on, throwing)");
+      } else if (has_token(code, "abort(")) {
+        report(line_no, "bare-assert",
+               "abort() gives no diagnostic; use SYNRAN_CHECK / "
+               "SYNRAN_REQUIRE (always-on, throwing)");
+      }
+    }
+  }
+
+  if (fc.is_header && !file.has_pragma_once && !pragma_once_allowed) {
+    report(1, "pragma-once", "header is missing #pragma once");
+  }
+
+  std::sort(findings.begin(), findings.end(), finding_order);
+  return findings;
+}
+
+}  // namespace synran::lint

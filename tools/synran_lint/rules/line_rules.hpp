@@ -1,0 +1,15 @@
+// The nine per-line rules, run over a lexed file's code view so comments
+// and string literals cannot false-positive. Rule semantics are documented
+// in lint.hpp; suppression trailers are read from the original lines.
+#pragma once
+
+#include <vector>
+
+#include "synran_lint/lexer.hpp"
+#include "synran_lint/lint.hpp"
+
+namespace synran::lint {
+
+std::vector<Finding> run_line_rules(const LexedFile& file);
+
+}  // namespace synran::lint

@@ -1,0 +1,82 @@
+#include "synran_lint/sarif.hpp"
+
+#include <cstddef>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace synran::lint {
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  using synran::obs::JsonValue;
+
+  JsonValue rules = JsonValue::array();
+  std::map<std::string, std::size_t> rule_index;
+  for (const auto& info : rule_registry()) {
+    rule_index[std::string(info.id)] = rule_index.size();
+    rules.push(
+        JsonValue::object()
+            .set("id", JsonValue(std::string(info.id)))
+            .set("shortDescription",
+                 JsonValue::object().set(
+                     "text", JsonValue(std::string(info.summary))))
+            .set("fullDescription",
+                 JsonValue::object().set("text",
+                                         JsonValue(std::string(info.help))))
+            .set("defaultConfiguration",
+                 JsonValue::object().set("level", JsonValue("error"))));
+  }
+
+  JsonValue results = JsonValue::array();
+  for (const auto& f : findings) {
+    JsonValue result =
+        JsonValue::object()
+            .set("ruleId", JsonValue(f.rule))
+            .set("level", JsonValue("error"))
+            .set("message", JsonValue::object().set("text",
+                                                    JsonValue(f.message)))
+            .set("locations",
+                 JsonValue::array().push(JsonValue::object().set(
+                     "physicalLocation",
+                     JsonValue::object()
+                         .set("artifactLocation",
+                              JsonValue::object()
+                                  .set("uri", JsonValue(f.file))
+                                  .set("uriBaseId", JsonValue("SRCROOT")))
+                         .set("region",
+                              JsonValue::object().set(
+                                  "startLine",
+                                  JsonValue(std::uint64_t{f.line}))))));
+    if (const auto it = rule_index.find(f.rule); it != rule_index.end())
+      result.set("ruleIndex", JsonValue(std::uint64_t{it->second}));
+    results.push(std::move(result));
+  }
+
+  JsonValue doc =
+      JsonValue::object()
+          .set("$schema",
+               JsonValue("https://json.schemastore.org/sarif-2.1.0.json"))
+          .set("version", JsonValue("2.1.0"))
+          .set("runs",
+               JsonValue::array().push(
+                   JsonValue::object()
+                       .set("tool",
+                            JsonValue::object().set(
+                                "driver",
+                                JsonValue::object()
+                                    .set("name", JsonValue("synran_lint"))
+                                    .set("version", JsonValue("2.0.0"))
+                                    .set("rules", std::move(rules))))
+                       .set("originalUriBaseIds",
+                            JsonValue::object().set(
+                                "SRCROOT",
+                                JsonValue::object().set(
+                                    "description",
+                                    JsonValue::object().set(
+                                        "text",
+                                        JsonValue("repository root")))))
+                       .set("results", std::move(results))));
+  return doc.dump();
+}
+
+}  // namespace synran::lint

@@ -1,0 +1,20 @@
+// SARIF 2.1.0 output for GitHub code scanning: one run, one driver
+// ("synran_lint"), every rule from the registry in the driver's rule table,
+// one result per finding. The document is built on obs::JsonValue, so its
+// serialization is deterministic (insertion-ordered keys, no whitespace)
+// and the lint's SARIF is byte-stable for a given finding set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synran_lint/lint.hpp"
+
+namespace synran::lint {
+
+/// Serializes `findings` as a SARIF 2.1.0 document. File paths are emitted
+/// as relative artifact URIs under the SRCROOT uriBase, which is what the
+/// GitHub SARIF ingester expects for repo-relative paths.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace synran::lint
