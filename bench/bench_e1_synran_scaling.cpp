@@ -4,7 +4,13 @@
 // hand-off removed).
 #include "bench_util.hpp"
 
+#include <cstdint>
+#include <sstream>
 #include <vector>
+
+#include "obs/trace_binary.hpp"
+#include "obs/trace_record.hpp"
+#include "obs/trace_writer.hpp"
 
 namespace synran::bench {
 namespace {
@@ -57,6 +63,72 @@ void table_for(const char* title, double t_fraction, bool fit_shape) {
   }
 }
 
+/// One E1-sized batch's event stream (n = 256, t = n/2, the usual rep
+/// budget), recorded once and shared by the E1d volume table and the
+/// trace-write throughput benchmarks. Recorded directly through
+/// run_repeated — not run_cell — so the trace comparison never claims a
+/// checkpoint cell ordinal or opens a SYNRAN_TRACE_DIR file of its own.
+const std::vector<obs::TraceRecord>& trace_records() {
+  static const std::vector<obs::TraceRecord> records = [] {
+    std::vector<obs::TraceRecord> recs;
+    obs::TraceRecorder recorder(recs);
+    SynRanFactory synran;
+    RepeatSpec spec;
+    spec.n = 256;
+    spec.pattern = InputPattern::Half;
+    spec.reps = reps_for(256);
+    spec.seed = kSeed + 13 * 256;
+    spec.threads = 1;
+    spec.engine.t_budget = 128;
+    spec.engine.max_rounds = 200000;
+    spec.engine.observer = &recorder;
+    run_repeated(synran, coinbias_factory(), spec);
+    return recs;
+  }();
+  return records;
+}
+
+/// Replays the shared event stream through both trace writers (in-memory
+/// streams) and tabulates the persisted volume. Every cell is a pure
+/// function of the seed, so the table is byte-stable across runs — the
+/// wall-clock side of the comparison lives in the BM_TraceWrite* timings.
+void table_trace_volume() {
+  Table table("E1d: trace write volume, synran-trace/1 vs synran-trace/2");
+  table.header({"format", "events", "bytes", "bytes/event", "size vs jsonl"});
+
+  const auto& records = trace_records();
+  std::ostringstream jsonl_out;
+  obs::JsonlTraceWriter jsonl(jsonl_out);
+  obs::replay(records, jsonl);
+  jsonl.close();
+
+  std::ostringstream bin_out;
+  obs::BinaryTraceWriter bin(
+      bin_out, obs::Trace2Header{static_cast<std::uint16_t>(kSeedSchemaVersion),
+                                 BenchReport::git_rev()});
+  obs::replay(records, bin);
+  bin.close();
+
+  for (const obs::TraceWriter* w :
+       {static_cast<const obs::TraceWriter*>(&jsonl),
+        static_cast<const obs::TraceWriter*>(&bin)}) {
+    const double events = static_cast<double>(w->events_written());
+    table.row({std::string(obs::to_string(w->format())),
+               static_cast<long long>(w->events_written()),
+               static_cast<long long>(w->bytes_written()),
+               events > 0.0 ? static_cast<double>(w->bytes_written()) / events
+                            : 0.0,
+               static_cast<double>(w->bytes_written()) /
+                   static_cast<double>(jsonl.bytes_written())});
+  }
+  emit(table);
+
+  const double ratio = static_cast<double>(jsonl.bytes_written()) /
+                       static_cast<double>(bin.bytes_written());
+  std::cout << "  synran-trace/2 packs the same stream "
+            << ratio << "x smaller than JSONL.\n\n";
+}
+
 void tables() {
   std::cout << "E1 — SynRan scaling vs the tight bound "
                "(Theorems 2 & 3)\n\n";
@@ -81,6 +153,8 @@ void tables() {
                a.rounds_to_decision().mean() - b.rounds_to_decision().mean()});
   }
   emit(table);
+
+  table_trace_volume();
 }
 
 void BM_SynRanAttackedRun(::benchmark::State& state) {
@@ -100,6 +174,39 @@ void BM_SynRanAttackedRun(::benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SynRanAttackedRun)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// Write-throughput twins over the shared pre-recorded event stream: the
+/// replay isolates pure serialization cost (no engine work inside the
+/// timed region), so these two timings are directly comparable.
+void BM_TraceWriteJsonl(::benchmark::State& state) {
+  const auto& records = trace_records();
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    obs::JsonlTraceWriter writer(out);
+    obs::replay(records, writer);
+    writer.close();
+    bytes = writer.bytes_written();
+    ::benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["trace_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_TraceWriteJsonl);
+
+void BM_TraceWriteBinary(::benchmark::State& state) {
+  const auto& records = trace_records();
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    obs::BinaryTraceWriter writer(out);
+    obs::replay(records, writer);
+    writer.close();
+    bytes = writer.bytes_written();
+    ::benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["trace_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_TraceWriteBinary);
 
 }  // namespace
 }  // namespace synran::bench

@@ -10,7 +10,16 @@
 //
 // Environment hooks:
 //   SYNRAN_CSV_DIR     also write every emitted table as CSV into this dir
-//   SYNRAN_TRACE_DIR   write a JSONL run trace per attack_run batch here
+//   SYNRAN_TRACE_DIR   write a run trace per attack_run batch here (works at
+//                      any thread count; parallel batches replay buffered
+//                      events in rep order, so traces are byte-identical to
+//                      a serial run). When tracing, the report gains an
+//                      additive "trace_overhead" block: files, events,
+//                      bytes, and the wall-time share spent inside the
+//                      writer.
+//   SYNRAN_TRACE_FORMAT "jsonl" (synran-trace/1, default) or "bin"
+//                      (synran-trace/2, varint-packed binary);
+//                      --trace-format=F on the command line wins
 //   SYNRAN_BENCH_DIR   where BENCH_<experiment>.json lands (default ".")
 //   SYNRAN_REPS_BUDGET override the rep budget, dropping the usual floor
 //                      and ceiling (CI: tiny for smoke runs, huge to hold a
@@ -43,6 +52,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -50,6 +60,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -66,6 +77,7 @@
 #include "exec/stopper.hpp"
 #include "obs/checkpoint.hpp"
 #include "obs/json.hpp"
+#include "obs/trace_io.hpp"
 #include "obs/trace_writer.hpp"
 #include "protocols/synran.hpp"
 #include "runner/experiment.hpp"
@@ -106,6 +118,27 @@ inline unsigned& bench_threads_setting() {
 
 inline unsigned bench_threads() {
   return exec::resolve_threads(bench_threads_setting());
+}
+
+/// The trace format every batch trace in this binary uses: --trace-format=F
+/// (recorded by run_main) when given, else SYNRAN_TRACE_FORMAT, else JSONL.
+/// Only consulted when SYNRAN_TRACE_DIR enables tracing at all.
+inline std::optional<obs::TraceFormat>& bench_trace_format_setting() {
+  static std::optional<obs::TraceFormat> format;  // unset = defer to the env
+  return format;
+}
+
+inline obs::TraceFormat bench_trace_format() {
+  if (bench_trace_format_setting().has_value())
+    return *bench_trace_format_setting();
+  if (const char* env = std::getenv("SYNRAN_TRACE_FORMAT");
+      env != nullptr && *env != '\0') {
+    const auto format = obs::parse_trace_format(env);
+    SYNRAN_REQUIRE(format.has_value(),
+                   "SYNRAN_TRACE_FORMAT must be 'jsonl' or 'bin'");
+    return *format;
+  }
+  return obs::TraceFormat::Jsonl;
 }
 
 // ---------------------------------------------------------------- reporting
@@ -215,6 +248,23 @@ class BenchReport {
     failures_.emplace_back(cell, failure);
   }
 
+  /// Accumulates one traced batch's write-overhead sample (additive
+  /// top-level "trace_overhead" block, present only when SYNRAN_TRACE_DIR
+  /// enabled tracing). `write_seconds` is the wall-time spent inside the
+  /// trace writer's callbacks (measured by obs::TraceWriteTimer);
+  /// `batch_seconds` is the whole batch including that time, so the block
+  /// can report the write share. Wall-clock fields make the block
+  /// non-deterministic — canonical report comparisons must strip it, like
+  /// "timings".
+  void note_trace_overhead(std::uint64_t events, std::uint64_t bytes,
+                           double write_seconds, double batch_seconds) {
+    ++trace_files_;
+    trace_events_ += events;
+    trace_bytes_ += bytes;
+    trace_write_seconds_ += write_seconds;
+    trace_batch_seconds_ += batch_seconds;
+  }
+
   obs::JsonValue to_json() const {
     obs::JsonValue grid = obs::JsonValue::array();
     for (const auto& [n, t] : grid_)
@@ -243,6 +293,25 @@ class BenchReport {
       report.set("omissions", std::move(oms));
     }
     if (partial_) report.set("partial", obs::JsonValue(true));
+    if (trace_files_ > 0) {
+      // Additive, like "omissions": present only when batches were traced.
+      report.set(
+          "trace_overhead",
+          obs::JsonValue::object()
+              .set("format",
+                   obs::JsonValue(std::string(
+                       obs::to_string(bench_trace_format()))))
+              .set("files", obs::JsonValue(trace_files_))
+              .set("events", obs::JsonValue(trace_events_))
+              .set("bytes", obs::JsonValue(trace_bytes_))
+              .set("write_seconds", obs::JsonValue(trace_write_seconds_))
+              .set("batch_seconds", obs::JsonValue(trace_batch_seconds_))
+              .set("write_share",
+                   obs::JsonValue(trace_batch_seconds_ > 0.0
+                                      ? trace_write_seconds_ /
+                                            trace_batch_seconds_
+                                      : 0.0)));
+    }
     if (!failures_.empty()) {
       obs::JsonValue fails = obs::JsonValue::array();
       for (const auto& [cell, f] : failures_) {
@@ -292,6 +361,11 @@ class BenchReport {
     omissions_.clear();
     partial_ = false;
     failures_.clear();
+    trace_files_ = 0;
+    trace_events_ = 0;
+    trace_bytes_ = 0;
+    trace_write_seconds_ = 0.0;
+    trace_batch_seconds_ = 0.0;
     tables_ = obs::JsonValue::array();
     timings_ = obs::JsonValue::array();
   }
@@ -310,6 +384,11 @@ class BenchReport {
   std::vector<std::pair<double, std::uint32_t>> omissions_;
   bool partial_ = false;
   std::vector<std::pair<std::uint64_t, RepFailure>> failures_;
+  std::uint64_t trace_files_ = 0;
+  std::uint64_t trace_events_ = 0;
+  std::uint64_t trace_bytes_ = 0;
+  double trace_write_seconds_ = 0.0;
+  double trace_batch_seconds_ = 0.0;
   obs::JsonValue tables_ = obs::JsonValue::array();
   obs::JsonValue timings_ = obs::JsonValue::array();
 };
@@ -324,32 +403,43 @@ inline std::string experiment_name_from(const char* argv0) {
 
 // ----------------------------------------------------------------- tracing
 
-/// Holds an open JSONL trace writer for one batch of runs; empty
-/// (observer() == nullptr) when SYNRAN_TRACE_DIR is unset. The writer owns
-/// its file and streams into "<path>.tmp"; close() atomically renames onto
-/// the final name and throws obs::IoError on any stream failure, so a batch
-/// never leaves a truncated trace behind under the final name.
+/// Holds an open trace writer (format per bench_trace_format) for one batch
+/// of runs; empty (observer() == nullptr) when SYNRAN_TRACE_DIR is unset.
+/// The engine observes through a TraceWriteTimer so the batch's trace-write
+/// wall-time is known afterwards. The writer owns its file and streams into
+/// "<path>.tmp"; close() atomically renames onto the final name and throws
+/// obs::IoError on any stream failure, so a batch never leaves a truncated
+/// trace behind under the final name.
 struct ScopedTrace {
-  std::unique_ptr<obs::JsonlTraceWriter> writer;
+  std::unique_ptr<obs::TraceWriter> writer;
+  std::unique_ptr<obs::TraceWriteTimer> timer;
 
-  obs::EngineObserver* observer() { return writer.get(); }
+  obs::EngineObserver* observer() { return timer.get(); }
+  bool active() const { return timer != nullptr; }
   void close() {
-    if (writer != nullptr) writer->close();
+    if (timer != nullptr) timer->close();
   }
 };
 
-/// Opens "<SYNRAN_TRACE_DIR>/<experiment>-<seq>-<tag>.jsonl"; the sequence
-/// number keeps same-tag batches within one binary apart.
+/// Opens "<SYNRAN_TRACE_DIR>/<experiment>-<seq>-<tag>.<format>"; the
+/// sequence number keeps same-tag batches within one binary apart. Binary
+/// traces stamp the bench build's seed schema and git rev into the header.
 inline ScopedTrace open_trace(const std::string& tag) {
   ScopedTrace t;
   const char* dir = std::getenv("SYNRAN_TRACE_DIR");
   if (dir == nullptr || *dir == '\0') return t;
   static int seq = 0;
+  const obs::TraceFormat format = bench_trace_format();
   const std::string path = std::string(dir) + "/" +
                            BenchReport::instance().experiment() + "-" +
-                           std::to_string(++seq) + "-" + tag + ".jsonl";
+                           std::to_string(++seq) + "-" + tag + "." +
+                           obs::to_string(format);
   try {
-    t.writer = std::make_unique<obs::JsonlTraceWriter>(path);
+    t.writer = obs::make_trace_writer(
+        format, path,
+        obs::Trace2Header{static_cast<std::uint16_t>(kSeedSchemaVersion),
+                          BenchReport::git_rev()});
+    t.timer = std::make_unique<obs::TraceWriteTimer>(*t.writer);
   } catch (const obs::IoError& e) {
     std::cout << "  [" << e.what() << "]\n";
   }
@@ -445,12 +535,15 @@ class CheckpointState {
 };
 
 /// Runs one grid cell — a repeated batch — through the resilience plumbing:
-/// SYNRAN_FAIL_POLICY / SYNRAN_REP_RETRIES overrides, per-batch JSONL trace
-/// (serial runs only), checkpoint recording under SYNRAN_CKPT_DIR, and
+/// SYNRAN_FAIL_POLICY / SYNRAN_REP_RETRIES overrides, per-batch trace in
+/// the configured format (any thread count — the executor replays buffered
+/// events in rep order, so the trace is byte-identical to a serial run),
+/// checkpoint recording under SYNRAN_CKPT_DIR, and
 /// reload-instead-of-recompute under SYNRAN_RESUME=1 when the recorded cell
 /// key still matches. Quarantined reps land in the report's "failures"
 /// array either way (fresh or restored), so a resumed report is
-/// byte-identical to an uninterrupted one.
+/// byte-identical to an uninterrupted one. Traced batches also feed the
+/// report's "trace_overhead" block.
 inline RepeatedRunStats run_cell(const ProcessFactory& factory,
                                  const AdversaryFactory& adversaries,
                                  RepeatSpec spec, const std::string& tag) {
@@ -480,15 +573,22 @@ inline RepeatedRunStats run_cell(const ProcessFactory& factory,
   }
 
   ScopedTrace trace;
-  if (spec.threads <= 1 && spec.engine.observer == nullptr) {
+  if (spec.engine.observer == nullptr) {
     trace = open_trace(tag);
     spec.engine.observer = trace.observer();
-  } else if (spec.threads > 1 && std::getenv("SYNRAN_TRACE_DIR") != nullptr) {
-    std::cout << "  [trace: skipped — tracing requires a serial run, got "
-              << spec.threads << " threads]\n";
   }
+  const auto batch_start = std::chrono::steady_clock::now();
   auto stats = run_repeated(factory, adversaries, spec);
   trace.close();
+  if (trace.active()) {
+    const double batch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      batch_start)
+            .count();
+    BenchReport::instance().note_trace_overhead(
+        trace.timer->events_written(), trace.timer->bytes_written(),
+        trace.timer->write_seconds(), batch_seconds);
+  }
 
   if (obs::CheckpointLedger* ledger = ckpt.ledger()) {
     try {
@@ -517,10 +617,8 @@ inline AdversaryFactory coinbias_factory(bool stall = true) {
 /// Runs SynRan (or an ablation) under the CoinBias adversary and returns the
 /// aggregate — the workhorse of E1/E2/E5/E8. Grid points land in the bench
 /// report; the batch goes through run_cell, so it traces under
-/// SYNRAN_TRACE_DIR (serial runs only: observers are rejected at >1 thread,
-/// so a parallel batch skips tracing with a notice rather than racing on
-/// the writer), checkpoints under SYNRAN_CKPT_DIR, and resumes under
-/// SYNRAN_RESUME=1.
+/// SYNRAN_TRACE_DIR (at any thread count, in the configured format),
+/// checkpoints under SYNRAN_CKPT_DIR, and resumes under SYNRAN_RESUME=1.
 inline RepeatedRunStats attack_run(const ProcessFactory& factory,
                                    std::uint32_t n, std::uint32_t t,
                                    InputPattern pattern, std::size_t reps,
@@ -618,14 +716,21 @@ inline int run_main(int argc, char** argv, void (*tables)()) {
   exec::install_stop_handlers();
   BenchReport::instance().set_experiment(experiment_name_from(argv[0]));
 
-  // Strip --threads=N before google-benchmark sees argv (it rejects flags it
-  // does not know). Must happen before tables() runs the seeded batches.
+  // Strip --threads=N and --trace-format=F before google-benchmark sees
+  // argv (it rejects flags it does not know). Must happen before tables()
+  // runs the seeded batches.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
       bench_threads_setting() = static_cast<unsigned>(
           std::strtoul(argv[i] + std::strlen("--threads="), nullptr, 10));
+    } else if (arg.rfind("--trace-format=", 0) == 0) {
+      const auto format =
+          obs::parse_trace_format(arg.substr(std::strlen("--trace-format=")));
+      SYNRAN_REQUIRE(format.has_value(),
+                     "--trace-format must be 'jsonl' or 'bin'");
+      bench_trace_format_setting() = *format;
     } else {
       argv[kept++] = argv[i];
     }

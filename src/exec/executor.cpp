@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "exec/stopper.hpp"
 #include "obs/observer.hpp"
+#include "obs/trace_record.hpp"
 
 namespace synran::exec {
 
@@ -20,40 +21,46 @@ namespace {
 /// batches both call it, which is what makes their results identical.
 RunSummary run_rep(const ProcessFactory& factory,
                    const AdversaryFactory& adversaries, const RepeatSpec& spec,
-                   std::size_t rep, Engine& engine, EngineWorkspace& ws) {
+                   std::size_t rep, Engine& engine, EngineWorkspace& ws,
+                   obs::EngineObserver* observer) {
   Xoshiro256 input_rng = input_rng_for_rep(spec.seed, rep);
   make_inputs(ws.inputs(), spec.n, spec.pattern, input_rng);
   auto adversary = adversaries(adversary_seed_for_rep(spec.seed, rep));
   EngineOptions opts = spec.engine;
   opts.seed = engine_seed_for_rep(spec.seed, rep);
+  opts.observer = observer;
   return engine.run(factory, ws.inputs(), *adversary, opts);
 }
 
 /// One repetition's terminal state: its canonical summary, or the failure
-/// that exhausted the retry budget.
+/// that exhausted the retry budget — plus, for observed parallel batches,
+/// the rep's buffered callback stream awaiting its rep-order replay.
 struct RepOutcome {
   bool ok = false;
   RunSummary summary;
   RepFailure failure;
+  std::vector<obs::TraceRecord> records;
 };
 
 /// Runs repetition `rep` with its retry budget. Every attempt re-derives
 /// the identical per-rep streams (schema 2 makes them pure functions of the
 /// master seed and rep index), so a retry either reproduces the one
 /// canonical RunSummary or fails again — determinism is preserved either
-/// way. Abandoned attempts are reported to the observer (serial-only, like
-/// all observers) so traces stay well formed.
+/// way. `observer` is the rep's callback sink (the configured observer when
+/// serial, a per-rep recorder when parallel); abandoned attempts are
+/// reported to it so traces stay well formed.
 RepOutcome attempt_rep(const ProcessFactory& factory,
                        const AdversaryFactory& adversaries,
                        const RepeatSpec& spec, std::size_t rep, Engine& engine,
-                       EngineWorkspace& ws) {
+                       EngineWorkspace& ws, obs::EngineObserver* observer) {
   const std::uint32_t attempts_allowed = spec.engine.max_rep_retries + 1;
   const std::uint64_t seed = engine_seed_for_rep(spec.seed, rep);
   RepOutcome out;
   std::string last_error;
   for (std::uint32_t attempt = 0; attempt < attempts_allowed; ++attempt) {
     try {
-      out.summary = run_rep(factory, adversaries, spec, rep, engine, ws);
+      out.summary =
+          run_rep(factory, adversaries, spec, rep, engine, ws, observer);
       out.ok = true;
       return out;
     } catch (const std::exception& e) {
@@ -61,8 +68,8 @@ RepOutcome attempt_rep(const ProcessFactory& factory,
     } catch (...) {
       last_error = "unknown exception";
     }
-    if (spec.engine.observer != nullptr) {
-      spec.engine.observer->on_run_abandoned(
+    if (observer != nullptr) {
+      observer->on_run_abandoned(
           obs::RunAbandoned{rep, seed, attempt, last_error});
     }
   }
@@ -95,21 +102,19 @@ RepeatedRunStats BatchExecutor::run(const ProcessFactory& factory,
   unsigned threads =
       resolve_threads(spec.threads != 0 ? spec.threads : options_.threads);
   if (threads > spec.reps) threads = static_cast<unsigned>(spec.reps);
-  SYNRAN_REQUIRE(spec.engine.observer == nullptr || threads == 1,
-                 "engine observers are serial-only: round callbacks from "
-                 "concurrent reps would interleave nondeterministically — "
-                 "run observed batches at 1 thread");
 
   const bool quarantine = spec.policy == FailurePolicy::Quarantine;
   RepeatedRunStats stats;
 
   if (threads == 1) {
-    // Serial fast path on the calling thread: one workspace, reps in order.
+    // Serial fast path on the calling thread: one workspace, reps in order,
+    // observer callbacks fired live.
     EngineWorkspace ws;
     Engine engine(ws);
     for (std::size_t rep = 0; rep < spec.reps; ++rep) {
       if (stop_requested()) throw_interrupted(rep, spec.reps);
-      RepOutcome out = attempt_rep(factory, adversaries, spec, rep, engine, ws);
+      RepOutcome out = attempt_rep(factory, adversaries, spec, rep, engine, ws,
+                                   spec.engine.observer);
       if (out.ok) {
         stats.add(out.summary);
       } else if (quarantine) {
@@ -129,13 +134,28 @@ RepeatedRunStats BatchExecutor::run(const ProcessFactory& factory,
   std::vector<unsigned char> done(spec.reps, 0);
   std::atomic<bool> failed{false};
 
+  const bool observed = spec.engine.observer != nullptr;
+
   auto worker = [&](unsigned w) {
     EngineWorkspace ws;
     Engine engine(ws);
     for (std::size_t rep = w; rep < spec.reps; rep += threads) {
       if (stop_requested()) return;
       if (!quarantine && failed.load(std::memory_order_relaxed)) return;
-      outcomes[rep] = attempt_rep(factory, adversaries, spec, rep, engine, ws);
+      if (observed) {
+        // Buffer the rep's callback stream privately; the fold below
+        // replays the buffers into the real observer in rep order, so the
+        // observer sees the serial stream regardless of scheduling.
+        std::vector<obs::TraceRecord> records;
+        obs::TraceRecorder recorder(records);
+        RepOutcome out = attempt_rep(factory, adversaries, spec, rep, engine,
+                                     ws, &recorder);
+        out.records = std::move(records);
+        outcomes[rep] = std::move(out);
+      } else {
+        outcomes[rep] =
+            attempt_rep(factory, adversaries, spec, rep, engine, ws, nullptr);
+      }
       done[rep] = 1;
       if (!outcomes[rep].ok && !quarantine) {
         failed.store(true, std::memory_order_relaxed);
@@ -167,9 +187,12 @@ RepeatedRunStats BatchExecutor::run(const ProcessFactory& factory,
     SYNRAN_CHECK_MSG(false, "fail-fast flag set without a recorded failure");
   }
 
-  // Fold in rep order — the serial run's exact floating-point sequence.
+  // Fold in rep order — the serial run's exact floating-point sequence —
+  // replaying each rep's buffered callbacks first, so an observer's event
+  // stream interleaves with the fold exactly as a serial run's would.
   for (std::size_t rep = 0; rep < spec.reps; ++rep) {
     SYNRAN_CHECK_MSG(done[rep] != 0, "worker skipped a repetition");
+    if (observed) obs::replay(outcomes[rep].records, *spec.engine.observer);
     if (outcomes[rep].ok) {
       stats.add(outcomes[rep].summary);
     } else {

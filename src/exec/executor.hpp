@@ -19,10 +19,16 @@
 //     floating-point operations exactly — which a tree-merge of per-worker
 //     Welford accumulators would not.
 //
-// Engine observers are a serial-only feature: round-granular callbacks from
-// concurrent reps would interleave nondeterministically, so the executor
-// rejects a configured observer at more than one thread instead of racing
-// on it.
+// Engine observers compose with all of this: a serial batch fires the
+// configured observer live, while a parallel batch gives each worker a
+// private obs::TraceRecorder, buffers every callback of a rep in that rep's
+// outcome slot, and replays the buffers into the real observer serially in
+// rep order during the fold. The observer therefore sees the exact serial
+// callback stream at any thread count — traces written through it are
+// byte-identical to a 1-thread run (both trace formats; ctest-proven). The
+// replay happens only for batches that complete: a FailFast abort or a stop
+// request throws before the fold, so a parallel trace may then miss events
+// a serial run would have flushed before its own throw.
 //
 // Failure domains (see exec/batch.hpp): a rep that throws is retried with
 // its identical per-rep seeds up to EngineOptions::max_rep_retries times,
@@ -64,8 +70,9 @@ class BatchExecutor {
 
   /// Runs spec.reps executions and returns the aggregate. spec.threads,
   /// when non-zero, overrides the executor's own thread option for this
-  /// batch. Requires spec.engine.observer == nullptr unless the batch
-  /// resolves to one thread.
+  /// batch. A configured spec.engine.observer receives the serial callback
+  /// stream at any thread count (buffered + rep-order replay when
+  /// parallel).
   RepeatedRunStats run(const ProcessFactory& factory,
                        const AdversaryFactory& adversaries,
                        const RepeatSpec& spec) const;

@@ -1,0 +1,54 @@
+#include "obs/atomic_file.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace synran::obs {
+
+AtomicFileSink::AtomicFileSink() = default;
+
+AtomicFileSink::AtomicFileSink(const std::string& path)
+    : file_(std::make_unique<std::ofstream>()),
+      final_path_(path),
+      tmp_path_(path + ".tmp") {
+  file_->open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!file_->is_open()) {
+    throw IoError("trace: cannot open '" + tmp_path_ + "' for writing");
+  }
+}
+
+AtomicFileSink::~AtomicFileSink() {
+  if (file_ == nullptr || closed_) return;
+  file_->flush();
+  const bool ok = file_->good();
+  file_->close();
+  if (ok && file_->good()) {
+    std::error_code ec;
+    std::filesystem::rename(tmp_path_, final_path_, ec);
+  }
+}
+
+std::ostream* AtomicFileSink::stream() { return file_.get(); }
+
+void AtomicFileSink::close() {
+  if (file_ == nullptr || closed_) return;
+  file_->flush();
+  if (!file_->good()) {
+    throw IoError("trace: write failure on '" + tmp_path_ +
+                  "' (disk full or I/O error)");
+  }
+  file_->close();
+  if (file_->fail()) {
+    throw IoError("trace: failed to close '" + tmp_path_ + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, final_path_, ec);
+  if (ec) {
+    throw IoError("trace: cannot rename '" + tmp_path_ + "' onto '" +
+                  final_path_ + "': " + ec.message());
+  }
+  closed_ = true;
+}
+
+}  // namespace synran::obs

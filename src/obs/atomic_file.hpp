@@ -1,0 +1,54 @@
+// Owned artifact output with the repo's temp + atomic-rename discipline.
+//
+// Every persisted artifact (traces in either format, bench reports,
+// checkpoint ledgers) follows the same contract: stream into
+// `path + ".tmp"`, and only a successful close() — flush, stream-state
+// check, rename — publishes the final name. A crash, a full disk, or an
+// exception mid-write leaves at worst a ".tmp" file behind and the final
+// path untouched. This class is that contract factored out of the writers.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "obs/io_error.hpp"
+
+namespace synran::obs {
+
+/// An owned output file that becomes visible under its final name only when
+/// close() succeeds. Disengaged (stream() == nullptr) when default-built,
+/// so writers can hold one unconditionally and borrow an ostream instead.
+class AtomicFileSink {
+ public:
+  AtomicFileSink();
+
+  /// Opens `path + ".tmp"` for binary writing; throws IoError on failure.
+  explicit AtomicFileSink(const std::string& path);
+
+  /// Best-effort finalize: flush/close/rename without throwing. A failure
+  /// leaves the ".tmp" file behind and the final path untouched.
+  ~AtomicFileSink();
+
+  AtomicFileSink(const AtomicFileSink&) = delete;
+  AtomicFileSink& operator=(const AtomicFileSink&) = delete;
+
+  /// The temp-file stream, or nullptr when disengaged.
+  std::ostream* stream();
+
+  /// Engaged and not yet successfully closed.
+  bool is_open() const { return file_ != nullptr && !closed_; }
+
+  /// Flushes, verifies the stream state, closes the temp file and renames
+  /// it onto the final path. Throws IoError naming the offending path on
+  /// any failure. No-op when disengaged or already closed.
+  void close();
+
+ private:
+  std::unique_ptr<std::ofstream> file_;
+  std::string final_path_;
+  std::string tmp_path_;
+  bool closed_ = false;
+};
+
+}  // namespace synran::obs

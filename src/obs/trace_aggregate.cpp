@@ -1,0 +1,83 @@
+#include "obs/trace_aggregate.hpp"
+
+namespace synran::obs {
+
+TraceAggregator::TraceAggregator() {
+  // Mirror exec::RepeatedRunStats' pre-registered layout exactly, so the
+  // snapshot of an aggregated trace is byte-comparable to the batch's own
+  // statistics.
+  metrics_.summary("rounds_to_decision");
+  metrics_.summary("rounds_to_halt");
+  metrics_.summary("crashes_used");
+  metrics_.summary("messages_delivered");
+  metrics_.summary("omissions_used");
+  metrics_.summary("messages_omitted");
+  metrics_.counter("reps");
+  metrics_.counter("agreement_failures");
+  metrics_.counter("validity_failures");
+  metrics_.counter("non_terminated");
+  metrics_.counter("decided_one");
+  metrics_.counter("reps_quarantined");
+}
+
+void TraceAggregator::on_run_begin(const RunInfo& /*info*/) {}
+
+void TraceAggregator::on_round_end(const RoundObservation& /*round*/) {
+  ++rounds_;
+}
+
+void TraceAggregator::on_run_end(const RunObservation& res) {
+  ++runs_;
+  // Same fold as RepeatedRunStats::add, minus validity (not recorded in
+  // traces; the counter stays at its registered zero).
+  metrics_.counter("reps").inc();
+  if (!res.terminated) {
+    metrics_.counter("non_terminated").inc();
+  } else {
+    metrics_.summary("rounds_to_decision")
+        .add(static_cast<double>(res.rounds_to_decision));
+    metrics_.summary("rounds_to_halt")
+        .add(static_cast<double>(res.rounds_to_halt));
+  }
+  metrics_.summary("crashes_used").add(static_cast<double>(res.crashes_total));
+  metrics_.summary("messages_delivered")
+      .add(static_cast<double>(res.messages_delivered));
+  metrics_.summary("omissions_used")
+      .add(static_cast<double>(res.omissions_total));
+  metrics_.summary("messages_omitted")
+      .add(static_cast<double>(res.messages_omitted));
+  if (res.has_decision && !res.agreement)
+    metrics_.counter("agreement_failures").inc();
+  if (res.agreement && res.decision == 1)
+    metrics_.counter("decided_one").inc();
+}
+
+void TraceAggregator::on_run_abandoned(const RunAbandoned& /*failure*/) {
+  ++abandoned_;
+  // Additive: registered on first sight so clean traces snapshot exactly
+  // like RepeatedRunStats (which has no such counter).
+  metrics_.counter("runs_abandoned").inc();
+}
+
+void TraceAggregator::add(const TraceRecord& record) {
+  switch (record.kind) {
+    case TraceRecordKind::RunBegin:
+      on_run_begin(record.begin);
+      break;
+    case TraceRecordKind::RoundEnd:
+      on_round_end(record.round);
+      break;
+    case TraceRecordKind::RunEnd:
+      on_run_end(record.end);
+      break;
+    case TraceRecordKind::RunAbandoned:
+      on_run_abandoned(record.abandoned);
+      break;
+    case TraceRecordKind::RoundBegin:
+    case TraceRecordKind::FaultPlan:
+    case TraceRecordKind::Deliveries:
+      break;
+  }
+}
+
+}  // namespace synran::obs

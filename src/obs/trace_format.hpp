@@ -1,0 +1,103 @@
+// Binary trace format "synran-trace/2": the wire-level constants.
+//
+// The JSONL schema synran-trace/1 (trace_writer.hpp) materializes every
+// round event as text; this is its campaign-scale sibling — the same event
+// stream, varint-packed. One file holds a fixed little-endian header
+// followed by a flat sequence of kind-tagged records:
+//
+//   header (24 bytes):
+//     u64  magic        "SYNTRC2\n" read as a little-endian word
+//     u16  version      kTrace2Version
+//     u16  seed_schema  synran-seed schema of the producing batch
+//     u32  reserved     zero
+//     char git_rev[8]   producing build, NUL-padded/truncated
+//
+//   record := kind byte, then:
+//     run_begin    flags byte (bit0 = omission fields present), varints
+//                  n, t, per_round_cap, seed (kTrace2RunBeginFields)
+//     round        varints round, alive, halted, senders, ones, zeros,
+//                  det, decided, crashes, budget_left, delivered
+//                  (kTrace2RoundFields)
+//     run_end      flags byte (terminated/agreement/has_decision/
+//                  decision-one bits), varints rounds_to_decision,
+//                  rounds_to_halt, crashes, delivered, survivors
+//                  (kTrace2RunEndFields)
+//     run_abandoned varints rep, seed, attempt, error_len, then error_len
+//                  bytes of exception text (capped at kTrace2MaxErrorBytes)
+//
+// When a run's run_begin carried the omission flag, its run_begin gains
+// varints omission_budget, omission_round_cap and every round / run_end
+// record of that run gains varints omissions, omitted
+// (kTrace2OmissionFields each) — mirroring the JSONL gating exactly, so
+// conversion is bijective. Varints are LEB128 (7 data bits per byte, high
+// bit = continuation, at most kTrace2MaxVarintBytes bytes for a u64). Run
+// indices are never stored: like the JSONL writer, readers derive them by
+// counting run_begin records. The stream is deterministic: identical seeds
+// produce byte-identical files.
+//
+// These constants are the single source of truth shared by the writer and
+// reader here and by tools/bench_schema_check.cpp; the schema-literals lint
+// rule fails if the checker stops referencing any of them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace synran::obs {
+
+inline constexpr const char* kTrace2Schema = "synran-trace/2";
+/// "SYNTRC2\n" as a little-endian u64 — self-identifying, non-ASCII-safe
+/// (the \n catches CRLF mangling), and impossible to confuse with JSONL's
+/// leading '{'.
+inline constexpr std::uint64_t kTrace2Magic = 0x0A32435254'4E5953ULL;
+inline constexpr std::uint16_t kTrace2Version = 2;
+inline constexpr std::size_t kTrace2HeaderSize = 24;
+inline constexpr std::size_t kTrace2GitRevSize = 8;
+
+// Record kind tags (first byte of every record).
+inline constexpr std::uint8_t kTrace2KindRunBegin = 0x01;
+inline constexpr std::uint8_t kTrace2KindRound = 0x02;
+inline constexpr std::uint8_t kTrace2KindRunEnd = 0x03;
+inline constexpr std::uint8_t kTrace2KindRunAbandoned = 0x04;
+
+// run_begin flags byte.
+inline constexpr std::uint8_t kTrace2FlagOmissions = 0x01;
+
+// run_end flags byte.
+inline constexpr std::uint8_t kTrace2EndFlagTerminated = 0x01;
+inline constexpr std::uint8_t kTrace2EndFlagAgreement = 0x02;
+inline constexpr std::uint8_t kTrace2EndFlagHasDecision = 0x04;
+inline constexpr std::uint8_t kTrace2EndFlagDecisionOne = 0x08;
+
+// Varint counts per record body (before the omission-gated extras).
+inline constexpr std::size_t kTrace2RunBeginFields = 4;
+inline constexpr std::size_t kTrace2RoundFields = 11;
+inline constexpr std::size_t kTrace2RunEndFields = 5;
+inline constexpr std::size_t kTrace2AbandonFields = 4;
+/// Extra varints on run_begin/round/run_end when the omission flag is set.
+inline constexpr std::size_t kTrace2OmissionFields = 2;
+
+/// A u64 LEB128 varint is at most 10 bytes; an 11th continuation byte is
+/// corruption, not a longer integer.
+inline constexpr std::size_t kTrace2MaxVarintBytes = 10;
+/// Hostile-input cap on run_abandoned error text (1 MiB) so a corrupt
+/// length varint cannot drive a gigabyte allocation.
+inline constexpr std::size_t kTrace2MaxErrorBytes = std::size_t{1} << 20;
+
+/// On-disk trace encodings the tooling can read and write.
+enum class TraceFormat { Jsonl, Binary };
+
+inline const char* to_string(TraceFormat format) {
+  return format == TraceFormat::Binary ? "bin" : "jsonl";
+}
+
+/// Parses the user-facing format names ("jsonl" | "bin"); nullopt otherwise.
+inline std::optional<TraceFormat> parse_trace_format(std::string_view name) {
+  if (name == "jsonl") return TraceFormat::Jsonl;
+  if (name == "bin") return TraceFormat::Binary;
+  return std::nullopt;
+}
+
+}  // namespace synran::obs

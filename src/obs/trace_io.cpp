@@ -1,0 +1,113 @@
+#include "obs/trace_io.hpp"
+
+#include <fstream>
+
+namespace synran::obs {
+namespace {
+
+/// Times one forwarded call. A plain scope guard, so an inner throw still
+/// charges the time spent before it.
+class Stopwatch {
+ public:
+  explicit Stopwatch(std::chrono::steady_clock::duration& total)
+      : total_(total), start_(std::chrono::steady_clock::now()) {}
+  ~Stopwatch() { total_ += std::chrono::steady_clock::now() - start_; }
+
+ private:
+  std::chrono::steady_clock::duration& total_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+TraceFormat sniff_trace_format(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw IoError("trace: cannot open '" + path + "' for reading");
+  }
+  char lead[8] = {};
+  in.read(lead, sizeof lead);
+  if (in.gcount() == 0) {
+    throw IoError("trace: '" + path + "' is empty");
+  }
+  std::uint64_t magic = 0;
+  for (std::size_t i = 0; i < sizeof lead; ++i) {
+    magic |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(lead[i]))
+             << (8 * i);
+  }
+  return magic == kTrace2Magic ? TraceFormat::Binary : TraceFormat::Jsonl;
+}
+
+std::unique_ptr<TraceReader> open_trace_reader(const std::string& path) {
+  if (sniff_trace_format(path) == TraceFormat::Binary) {
+    return std::make_unique<BinaryTraceReader>(path);
+  }
+  return std::make_unique<JsonlTraceReader>(path);
+}
+
+std::unique_ptr<TraceWriter> make_trace_writer(TraceFormat format,
+                                               const std::string& path,
+                                               Trace2Header header) {
+  if (format == TraceFormat::Binary) {
+    return std::make_unique<BinaryTraceWriter>(path, std::move(header));
+  }
+  return std::make_unique<JsonlTraceWriter>(path);
+}
+
+std::uint64_t convert_trace(TraceReader& reader, TraceWriter& writer) {
+  TraceRecord record;
+  std::uint64_t events = 0;
+  while (reader.next(record)) {
+    replay(record, writer);
+    ++events;
+  }
+  writer.close();
+  return events;
+}
+
+void aggregate_trace(TraceReader& reader, TraceAggregator& agg) {
+  TraceRecord record;
+  while (reader.next(record)) agg.add(record);
+}
+
+void TraceWriteTimer::on_run_begin(const RunInfo& info) {
+  Stopwatch timer(spent_);
+  inner_->on_run_begin(info);
+}
+
+void TraceWriteTimer::on_round_begin(const RoundObservation& round) {
+  Stopwatch timer(spent_);
+  inner_->on_round_begin(round);
+}
+
+void TraceWriteTimer::on_fault_plan(Round round, const FaultPlan& plan) {
+  Stopwatch timer(spent_);
+  inner_->on_fault_plan(round, plan);
+}
+
+void TraceWriteTimer::on_deliveries(Round round, std::uint64_t delivered) {
+  Stopwatch timer(spent_);
+  inner_->on_deliveries(round, delivered);
+}
+
+void TraceWriteTimer::on_round_end(const RoundObservation& round) {
+  Stopwatch timer(spent_);
+  inner_->on_round_end(round);
+}
+
+void TraceWriteTimer::on_run_end(const RunObservation& result) {
+  Stopwatch timer(spent_);
+  inner_->on_run_end(result);
+}
+
+void TraceWriteTimer::on_run_abandoned(const RunAbandoned& failure) {
+  Stopwatch timer(spent_);
+  inner_->on_run_abandoned(failure);
+}
+
+void TraceWriteTimer::close() {
+  Stopwatch timer(spent_);
+  inner_->close();
+}
+
+}  // namespace synran::obs

@@ -1,0 +1,82 @@
+// Trace-format dispatch and the cross-format drivers.
+//
+// This is the seam the CLI (`synran trace`) and the bench harness stand on:
+// pick a writer by TraceFormat, sniff a file's format from its leading
+// bytes, stream-convert between formats (reader → replay → writer, so
+// conversion is byte-stable in both directions), aggregate a trace without
+// materializing it, and — for overhead accounting — wrap any writer in a
+// TraceWriteTimer that measures the wall-time the observer callbacks spend
+// persisting events (std::chrono is lint-allowed only here in src/obs/ and
+// in bench/).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/trace_aggregate.hpp"
+#include "obs/trace_binary.hpp"
+#include "obs/trace_reader.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace synran::obs {
+
+/// Decides a file's trace format from its first bytes: the synran-trace/2
+/// magic wins, anything else is presumed JSONL (whose first byte is '{').
+/// Throws IoError when the file cannot be opened or is empty.
+TraceFormat sniff_trace_format(const std::string& path);
+
+/// Opens `path` with the reader matching its sniffed format.
+std::unique_ptr<TraceReader> open_trace_reader(const std::string& path);
+
+/// Creates an owning writer for `path` in the requested format. The header
+/// metadata only reaches binary writers; JSONL carries its schema inline.
+std::unique_ptr<TraceWriter> make_trace_writer(TraceFormat format,
+                                               const std::string& path,
+                                               Trace2Header header = {});
+
+/// Streams every record of `reader` into `writer` and closes the writer.
+/// Returns the number of events converted.
+std::uint64_t convert_trace(TraceReader& reader, TraceWriter& writer);
+
+/// Streams every record of `reader` into `agg`.
+void aggregate_trace(TraceReader& reader, TraceAggregator& agg);
+
+/// Forwards every callback to the wrapped writer, accumulating the
+/// wall-time spent inside it — the trace-write share of a batch, reported
+/// by the bench harness as the `trace_overhead` block. Timing never touches
+/// the event payloads, so traces stay deterministic.
+class TraceWriteTimer final : public TraceWriter {
+ public:
+  explicit TraceWriteTimer(TraceWriter& inner) : inner_(&inner) {}
+
+  void on_run_begin(const RunInfo& info) override;
+  void on_round_begin(const RoundObservation& round) override;
+  void on_fault_plan(Round round, const FaultPlan& plan) override;
+  void on_deliveries(Round round, std::uint64_t delivered) override;
+  void on_round_end(const RoundObservation& round) override;
+  void on_run_end(const RunObservation& result) override;
+  void on_run_abandoned(const RunAbandoned& failure) override;
+
+  void close() override;
+
+  std::uint64_t events_written() const override {
+    return inner_->events_written();
+  }
+  std::uint64_t bytes_written() const override {
+    return inner_->bytes_written();
+  }
+  TraceFormat format() const override { return inner_->format(); }
+
+  /// Wall-seconds spent inside the wrapped writer (callbacks + close).
+  double write_seconds() const {
+    return std::chrono::duration<double>(spent_).count();
+  }
+
+ private:
+  TraceWriter* inner_;
+  std::chrono::steady_clock::duration spent_{};
+};
+
+}  // namespace synran::obs

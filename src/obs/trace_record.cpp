@@ -1,0 +1,86 @@
+#include "obs/trace_record.hpp"
+
+namespace synran::obs {
+
+void TraceRecorder::on_run_begin(const RunInfo& info) {
+  TraceRecord r;
+  r.kind = TraceRecordKind::RunBegin;
+  r.begin = info;
+  sink_->push_back(std::move(r));
+}
+
+void TraceRecorder::on_round_begin(const RoundObservation& round) {
+  TraceRecord r;
+  r.kind = TraceRecordKind::RoundBegin;
+  r.round = round;
+  sink_->push_back(std::move(r));
+}
+
+void TraceRecorder::on_fault_plan(Round round, const FaultPlan& plan) {
+  TraceRecord r;
+  r.kind = TraceRecordKind::FaultPlan;
+  r.plan_round = round;
+  r.plan = plan;
+  sink_->push_back(std::move(r));
+}
+
+void TraceRecorder::on_deliveries(Round round, std::uint64_t delivered) {
+  TraceRecord r;
+  r.kind = TraceRecordKind::Deliveries;
+  r.plan_round = round;
+  r.delivered = delivered;
+  sink_->push_back(std::move(r));
+}
+
+void TraceRecorder::on_round_end(const RoundObservation& round) {
+  TraceRecord r;
+  r.kind = TraceRecordKind::RoundEnd;
+  r.round = round;
+  sink_->push_back(std::move(r));
+}
+
+void TraceRecorder::on_run_end(const RunObservation& result) {
+  TraceRecord r;
+  r.kind = TraceRecordKind::RunEnd;
+  r.end = result;
+  sink_->push_back(std::move(r));
+}
+
+void TraceRecorder::on_run_abandoned(const RunAbandoned& failure) {
+  TraceRecord r;
+  r.kind = TraceRecordKind::RunAbandoned;
+  r.abandoned = failure;
+  sink_->push_back(std::move(r));
+}
+
+void replay(const TraceRecord& record, EngineObserver& to) {
+  switch (record.kind) {
+    case TraceRecordKind::RunBegin:
+      to.on_run_begin(record.begin);
+      break;
+    case TraceRecordKind::RoundBegin:
+      to.on_round_begin(record.round);
+      break;
+    case TraceRecordKind::FaultPlan:
+      to.on_fault_plan(record.plan_round, record.plan);
+      break;
+    case TraceRecordKind::Deliveries:
+      to.on_deliveries(record.plan_round, record.delivered);
+      break;
+    case TraceRecordKind::RoundEnd:
+      to.on_round_end(record.round);
+      break;
+    case TraceRecordKind::RunEnd:
+      to.on_run_end(record.end);
+      break;
+    case TraceRecordKind::RunAbandoned:
+      to.on_run_abandoned(record.abandoned);
+      break;
+  }
+}
+
+void replay(const std::vector<TraceRecord>& records, EngineObserver& to) {
+  for (const TraceRecord& r : records) replay(r, to);
+}
+
+}  // namespace synran::obs

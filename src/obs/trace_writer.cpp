@@ -1,9 +1,6 @@
 #include "obs/trace_writer.hpp"
 
-#include <filesystem>
-#include <fstream>
 #include <ostream>
-#include <system_error>
 
 #include "obs/json.hpp"
 
@@ -13,54 +10,16 @@ JsonlTraceWriter::JsonlTraceWriter(std::ostream& out, bool flush_each)
     : out_(&out), flush_each_(flush_each) {}
 
 JsonlTraceWriter::JsonlTraceWriter(const std::string& path, bool flush_each)
-    : flush_each_(flush_each),
-      file_(std::make_unique<std::ofstream>()),
-      final_path_(path),
-      tmp_path_(path + ".tmp") {
-  file_->open(tmp_path_, std::ios::binary | std::ios::trunc);
-  if (!file_->is_open()) {
-    throw IoError("trace: cannot open '" + tmp_path_ + "' for writing");
-  }
-  out_ = file_.get();
-}
-
-JsonlTraceWriter::~JsonlTraceWriter() {
-  if (file_ == nullptr || closed_) return;
-  // Best-effort finalize: never throw from a destructor. A failure leaves
-  // the ".tmp" file behind and the final path untouched.
-  file_->flush();
-  const bool ok = file_->good();
-  file_->close();
-  if (ok && file_->good()) {
-    std::error_code ec;
-    std::filesystem::rename(tmp_path_, final_path_, ec);
-  }
-}
-
-void JsonlTraceWriter::close() {
-  if (file_ == nullptr || closed_) return;
-  file_->flush();
-  if (!file_->good()) {
-    throw IoError("trace: write failure on '" + tmp_path_ +
-                  "' (disk full or I/O error)");
-  }
-  file_->close();
-  if (file_->fail()) {
-    throw IoError("trace: failed to close '" + tmp_path_ + "'");
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp_path_, final_path_, ec);
-  if (ec) {
-    throw IoError("trace: cannot rename '" + tmp_path_ + "' onto '" +
-                  final_path_ + "': " + ec.message());
-  }
-  closed_ = true;
+    : flush_each_(flush_each), sink_(path) {
+  out_ = sink_.stream();
 }
 
 void JsonlTraceWriter::write_line(const JsonValue& event) {
-  *out_ << event.dump() << '\n';
+  const std::string line = event.dump();
+  *out_ << line << '\n';
   if (flush_each_) out_->flush();
   ++events_;
+  bytes_ += line.size() + 1;
 }
 
 void JsonlTraceWriter::on_run_begin(const RunInfo& info) {

@@ -30,19 +30,45 @@
 //   run_end:   "omissions":OM, "omitted":OL (run totals)
 // Runs under the fail-stop default (both limits zero) omit these fields
 // entirely, so existing traces stay byte-identical.
+//
+// The same event stream has a varint-packed binary twin, schema
+// "synran-trace/2" (trace_format.hpp / trace_binary.hpp); both writers
+// share the TraceWriter interface below so harnesses pick a format at
+// runtime (`--trace-format=jsonl|bin`) and `synran trace convert`
+// round-trips files byte-stably between the two.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
-#include <memory>
 #include <string>
 
+#include "obs/atomic_file.hpp"
 #include "obs/io_error.hpp"
 #include "obs/observer.hpp"
+#include "obs/trace_format.hpp"
 
 namespace synran::obs {
 
 inline constexpr const char* kTraceSchema = "synran-trace/1";
+
+/// A format-agnostic trace sink: an EngineObserver that persists the event
+/// stream and accounts for what it wrote. Owning writers buffer into
+/// `path + ".tmp"` and publish atomically in close(); see AtomicFileSink.
+class TraceWriter : public EngineObserver {
+ public:
+  /// Finalizes an owning writer (flush, verify, atomic rename); throws
+  /// IoError on failure. No-op for borrowed-stream and closed writers.
+  virtual void close() = 0;
+
+  /// Persisted events so far (run_begin/round/run_end/run_abandoned).
+  virtual std::uint64_t events_written() const = 0;
+
+  /// Payload bytes emitted so far (text bytes incl. newlines for JSONL,
+  /// header + record bytes for binary).
+  virtual std::uint64_t bytes_written() const = 0;
+
+  virtual TraceFormat format() const = 0;
+};
 
 /// Writes the event stream to a borrowed ostream, or — with the path
 /// constructor — to an owned file. The owning mode writes to `path + ".tmp"`
@@ -51,7 +77,7 @@ inline constexpr const char* kTraceSchema = "synran-trace/1";
 /// the stream state and throws IoError on any failure; the destructor
 /// finalizes best-effort without throwing. Lines are flushed per event only
 /// when `flush_each` is set (useful while debugging a crash).
-class JsonlTraceWriter final : public EngineObserver {
+class JsonlTraceWriter final : public TraceWriter {
  public:
   explicit JsonlTraceWriter(std::ostream& out, bool flush_each = false);
 
@@ -59,24 +85,20 @@ class JsonlTraceWriter final : public EngineObserver {
   /// temp file onto `path`. Throws IoError if the temp file cannot be opened.
   explicit JsonlTraceWriter(const std::string& path, bool flush_each = false);
 
-  ~JsonlTraceWriter() override;
-
   void on_run_begin(const RunInfo& info) override;
   void on_round_end(const RoundObservation& round) override;
   void on_run_end(const RunObservation& result) override;
   void on_run_abandoned(const RunAbandoned& failure) override;
 
   /// Owning mode only: true until close() succeeded.
-  bool is_open() const { return file_ != nullptr && !closed_; }
+  bool is_open() const { return sink_.is_open(); }
 
-  /// Finalizes an owning writer: flushes, verifies the stream, closes the
-  /// temp file and renames it onto the final path. Throws IoError with the
-  /// offending path on any failure. No-op for borrowed-stream writers and
-  /// for already-closed writers.
-  void close();
+  void close() override { sink_.close(); }
 
-  std::uint64_t events_written() const { return events_; }
+  std::uint64_t events_written() const override { return events_; }
+  std::uint64_t bytes_written() const override { return bytes_; }
   std::uint64_t runs_written() const { return runs_; }
+  TraceFormat format() const override { return TraceFormat::Jsonl; }
 
  private:
   void write_line(const class JsonValue& event);
@@ -86,13 +108,10 @@ class JsonlTraceWriter final : public EngineObserver {
   bool emit_omissions_ = false;  ///< latched per run from RunInfo
   bool in_run_ = false;  ///< run_begin seen, no run_end/run_abandoned yet
   std::uint64_t events_ = 0;
+  std::uint64_t bytes_ = 0;
   std::uint64_t runs_ = 0;  ///< run_begin events so far; "run" = runs_ - 1
 
-  // Owning mode (null/empty for the borrowed-stream constructor).
-  std::unique_ptr<std::ofstream> file_;
-  std::string final_path_;
-  std::string tmp_path_;
-  bool closed_ = false;
+  AtomicFileSink sink_;  ///< disengaged for the borrowed-stream constructor
 };
 
 }  // namespace synran::obs

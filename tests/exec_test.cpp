@@ -1,11 +1,13 @@
 // Tests for the deterministic batch executor: serial/parallel equivalence,
 // the synran-seed/2 per-rep streams (golden-pinned), workspace reuse, the
-// serial-only observer rule, deterministic error propagation, the
-// quarantine/retry failure domains, and cooperative stop handling.
+// thread-count-invariant observer stream (buffered + rep-order replay),
+// deterministic error propagation, the quarantine/retry failure domains,
+// and cooperative stop handling.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "exec/executor.hpp"
 #include "exec/stopper.hpp"
 #include "obs/observer.hpp"
+#include "obs/trace_writer.hpp"
 #include "protocols/synran.hpp"
 #include "runner/experiment.hpp"
 
@@ -235,26 +238,50 @@ TEST(ExecThreads, SpecOverridesExecutorOptions) {
                         .dump());
 }
 
-// ------------------------------------------------------ observers (serial)
+// --------------------------------------------------------------- observers
 
 struct CountingObserver final : obs::EngineObserver {
   int runs = 0;
   void on_run_end(const obs::RunObservation& /*result*/) override { ++runs; }
 };
 
-TEST(ExecObserver, ServedSeriallyRejectedInParallel) {
+TEST(ExecObserver, ServedAtAnyThreadCount) {
   SynRanFactory protocol;
-  CountingObserver counter;
-  RepeatSpec spec = base_spec(InputPattern::Half, 61);
-  spec.engine.observer = &counter;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    CountingObserver counter;
+    RepeatSpec spec = base_spec(InputPattern::Half, 61);
+    spec.engine.observer = &counter;
+    spec.threads = threads;
+    run_repeated(protocol, no_adversary_factory(), spec);
+    EXPECT_EQ(counter.runs, static_cast<int>(spec.reps))
+        << "threads=" << threads;
+  }
+}
 
-  spec.threads = 1;
-  run_repeated(protocol, no_adversary_factory(), spec);
-  EXPECT_EQ(counter.runs, static_cast<int>(spec.reps));
-
-  spec.threads = 2;
-  EXPECT_THROW(run_repeated(protocol, no_adversary_factory(), spec),
-               ArgumentError);
+TEST(ExecObserver, ParallelTraceIsByteIdenticalToSerial) {
+  SynRanFactory protocol;
+  const AdversaryFactory coinbias =
+      [](std::uint64_t seed) -> std::unique_ptr<Adversary> {
+    return std::make_unique<CoinBiasAdversary>(CoinBiasOptions{0.55, true,
+                                                               seed});
+  };
+  auto trace_with = [&](unsigned threads) {
+    std::ostringstream out;
+    obs::JsonlTraceWriter writer(out);
+    RepeatSpec spec = base_spec(InputPattern::Half, 61);
+    spec.engine.observer = &writer;
+    spec.threads = threads;
+    run_repeated(protocol, coinbias, spec);
+    writer.close();
+    return out.str();
+  };
+  const std::string serial = trace_with(1);
+  EXPECT_FALSE(serial.empty());
+  // Workers buffer each rep's callbacks privately and the fold replays them
+  // in rep order, so the observer's stream — and any trace written through
+  // it — cannot depend on scheduling.
+  EXPECT_EQ(serial, trace_with(2));
+  EXPECT_EQ(serial, trace_with(4));
 }
 
 // --------------------------------------------------------- error handling

@@ -1,0 +1,6 @@
+// Fixture: every kTrace2* wire constant is referenced by the checker — a
+// clean pass.
+#pragma once
+
+inline constexpr int kTrace2Version = 2;
+inline constexpr int kTrace2KindRound = 0x02;

@@ -1,0 +1,5 @@
+// Fixture checker: its decoder references both wire constants.
+void check(const Bytes& data) {
+  require(data.version == kTrace2Version);
+  require(data.kind == kTrace2KindRound);
+}

@@ -1,0 +1,6 @@
+// Fixture: kTrace2KindDrifted is defined here but the checker below never
+// references it — the schema-literals rule must flag the definition line.
+#pragma once
+
+inline constexpr int kTrace2Version = 2;
+inline constexpr int kTrace2KindDrifted = 0x05;

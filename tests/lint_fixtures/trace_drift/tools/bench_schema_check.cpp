@@ -1,0 +1,2 @@
+// Fixture checker: knows kTrace2Version only.
+void check(const Bytes& data) { require(data.version == kTrace2Version); }

@@ -495,6 +495,18 @@ TEST(LintFixtures, LockstepSchemaPasses) {
   EXPECT_TRUE(scan_fixture("schema_clean").empty());
 }
 
+TEST(LintFixtures, DriftedTraceConstantIsRejected) {
+  const auto f = scan_fixture("trace_drift");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "schema-literals");
+  EXPECT_EQ(f[0].file, "src/obs/trace_format.hpp");
+  EXPECT_NE(f[0].message.find("kTrace2KindDrifted"), std::string::npos);
+}
+
+TEST(LintFixtures, LockstepTraceConstantsPass) {
+  EXPECT_TRUE(scan_fixture("trace_clean").empty());
+}
+
 TEST(LintFixtures, LexerTreeCatchesOnlyTheRealOffender) {
   const auto f = scan_fixture("lexer");
   ASSERT_EQ(f.size(), 1u);

@@ -4,14 +4,22 @@
 //
 //   bench_schema_check BENCH_e1.json ...         # synran-bench/1 reports
 //   bench_schema_check --trace run.jsonl ...     # synran-trace/1 JSONL
+//   bench_schema_check --trace run.bin ...       # synran-trace/2 binary
 //   bench_schema_check --canon BENCH_e1.json     # canonical form to stdout
 //
 // Prints one verdict line per file; exits 0 iff every file validates.
+// --trace sniffs each file's format from its leading bytes (the
+// synran-trace/2 magic vs JSONL's '{'). The binary walk deliberately
+// re-implements the wire layout from the kTrace2* constants
+// (obs/trace_format.hpp) instead of reusing obs::BinaryTraceReader, so a
+// shared decode bug cannot self-certify; the schema-literals lint rule
+// keeps the constant set here in lockstep with src/obs.
 // --canon validates one report, then prints it with the run-dependent
-// fields (timings, git_rev) stripped — two runs of the same experiment are
-// equivalent iff their canonical forms are byte-identical, which is how the
-// resume tests prove a checkpointed rerun reproduces an uninterrupted one.
-// EXPERIMENTS.md documents both schemas field by field.
+// fields (timings, git_rev, trace_overhead) stripped — two runs of the
+// same experiment are equivalent iff their canonical forms are
+// byte-identical, which is how the resume tests prove a checkpointed rerun
+// reproduces an uninterrupted one. EXPERIMENTS.md documents the schemas
+// field by field.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -20,6 +28,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/trace_format.hpp"
 #include "obs/trace_writer.hpp"
 
 namespace {
@@ -96,6 +105,35 @@ void check_bench_report(const JsonValue& doc, Check& c) {
           c.fail(at + ".budget is not an integer");
         else if (budget->as_int() < 0)
           c.fail(at + ".budget is negative");
+      }
+    }
+  }
+
+  // Additive block (traced batches only): the trace-write overhead the
+  // harness measured. Wall-clock fields, so --canon strips it like timings.
+  if (const auto* overhead = doc.find("trace_overhead"); overhead != nullptr) {
+    if (!overhead->is_object()) {
+      c.fail("trace_overhead is present but not an object");
+    } else {
+      const auto* fmt = overhead->find("format");
+      if (fmt == nullptr || !fmt->is_string() ||
+          !synran::obs::parse_trace_format(fmt->as_string()).has_value())
+        c.fail("trace_overhead.format is not \"jsonl\" or \"bin\"");
+      for (const char* key : {"files", "events", "bytes"}) {
+        const auto* v = overhead->find(key);
+        if (v == nullptr || !v->is_int() || v->as_int() < 0)
+          c.fail(std::string("trace_overhead.") + key +
+                 " is not a non-negative integer");
+      }
+      if (const auto* v = overhead->find("files");
+          v != nullptr && v->is_int() && v->as_int() < 1)
+        c.fail("trace_overhead.files is not positive");
+      for (const char* key : {"write_seconds", "batch_seconds",
+                              "write_share"}) {
+        const auto* v = overhead->find(key);
+        if (v == nullptr || !v->is_number() || v->as_double() < 0.0)
+          c.fail(std::string("trace_overhead.") + key +
+                 " is not a non-negative number");
       }
     }
   }
@@ -363,6 +401,187 @@ void check_trace_stream(std::istream& in, Check& c) {
   if (line_no == 0) c.fail("stream is empty");
 }
 
+/// Validates one synran-trace/2 binary stream by walking the wire layout
+/// directly off the kTrace2* constants: header (magic, version, reserved,
+/// NUL-padded git_rev), per-record kind tags and flag bits, LEB128 varints
+/// with the overlong-encoding cap, the omission gate latched per run, and
+/// the same event-order and crash/delivery/omission sum cross-checks the
+/// JSONL checker applies. A header-only file is valid (an empty run set
+/// still self-identifies); structural damage stops the walk at the first
+/// undecodable byte.
+void check_trace2_stream(const std::string& data, Check& c) {
+  using namespace synran::obs;
+
+  if (data.size() < kTrace2HeaderSize) {
+    c.fail("file is shorter than the " + std::to_string(kTrace2HeaderSize) +
+           "-byte " + std::string(kTrace2Schema) + " header");
+    return;
+  }
+  auto u8 = [&data](std::size_t i) {
+    return static_cast<std::uint8_t>(data[i]);
+  };
+  auto le = [&u8](std::size_t at, std::size_t bytes) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bytes; ++i)
+      v |= static_cast<std::uint64_t>(u8(at + i)) << (8 * i);
+    return v;
+  };
+  if (le(0, 8) != kTrace2Magic) {
+    c.fail("bad magic — not a " + std::string(kTrace2Schema) + " file");
+    return;
+  }
+  if (le(8, 2) != kTrace2Version)
+    c.fail("version " + std::to_string(le(8, 2)) + ", expected " +
+           std::to_string(kTrace2Version));
+  // Bytes 10..11 are the producer's seed schema — any value is valid.
+  if (le(12, 4) != 0) c.fail("reserved header word is not zero");
+  // git_rev is NUL-padded: once padding starts, it must not resume.
+  bool padding = false;
+  for (std::size_t i = 0; i < kTrace2GitRevSize; ++i) {
+    const std::uint8_t b = u8(16 + i);
+    if (b == 0)
+      padding = true;
+    else if (padding)
+      c.fail("git_rev has bytes after its NUL padding");
+  }
+
+  std::size_t pos = kTrace2HeaderSize;
+  auto fail_at = [&c](std::size_t at, const std::string& what) {
+    c.fail("offset " + std::to_string(at) + ": " + what);
+  };
+  // LEB128, at most kTrace2MaxVarintBytes bytes; the last permitted byte of
+  // a u64 may only carry its single valid data bit and no continuation.
+  auto varint = [&](std::uint64_t& out, const char* what) -> bool {
+    std::uint64_t v = 0;
+    int shift = 0;
+    std::size_t n = 0;
+    while (true) {
+      if (pos >= data.size()) {
+        fail_at(pos, std::string("truncated varint (") + what + ")");
+        return false;
+      }
+      const std::uint8_t b = u8(pos++);
+      if (++n == kTrace2MaxVarintBytes && (b & 0xFE) != 0) {
+        fail_at(pos - 1, std::string("overlong varint (") + what + ")");
+        return false;
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      shift += 7;
+      if ((b & 0x80) == 0) break;
+    }
+    out = v;
+    return true;
+  };
+
+  bool in_run = false;
+  bool omissions = false;
+  std::uint64_t crashes_sum = 0;
+  std::uint64_t delivered_sum = 0;
+  std::uint64_t omissions_sum = 0;
+  std::uint64_t omitted_sum = 0;
+
+  while (pos < data.size()) {
+    const std::size_t at = pos;
+    const std::uint8_t kind = u8(pos++);
+    if (kind == kTrace2KindRunBegin) {
+      if (in_run) fail_at(at, "run_begin inside an open run");
+      if (pos >= data.size()) {
+        fail_at(pos, "truncated run_begin flags");
+        return;
+      }
+      const std::uint8_t flags = u8(pos++);
+      if ((flags & ~kTrace2FlagOmissions) != 0)
+        fail_at(at, "unknown run_begin flag bits");
+      omissions = (flags & kTrace2FlagOmissions) != 0;
+      const std::size_t count =
+          kTrace2RunBeginFields + (omissions ? kTrace2OmissionFields : 0);
+      std::uint64_t v = 0;
+      for (std::size_t f = 0; f < count; ++f)
+        if (!varint(v, "run_begin field")) return;
+      in_run = true;
+      crashes_sum = delivered_sum = omissions_sum = omitted_sum = 0;
+    } else if (kind == kTrace2KindRound) {
+      if (!in_run) fail_at(at, "round outside a run");
+      std::uint64_t fields[kTrace2RoundFields + kTrace2OmissionFields] = {};
+      const std::size_t count =
+          kTrace2RoundFields + (omissions ? kTrace2OmissionFields : 0);
+      for (std::size_t f = 0; f < count; ++f)
+        if (!varint(fields[f], "round field")) return;
+      // Field order per trace_format.hpp: crashes is the 9th varint,
+      // delivered the 11th, then the omission pair.
+      crashes_sum += fields[8];
+      delivered_sum += fields[10];
+      if (omissions) {
+        omissions_sum += fields[kTrace2RoundFields];
+        omitted_sum += fields[kTrace2RoundFields + 1];
+      }
+    } else if (kind == kTrace2KindRunEnd) {
+      if (!in_run) fail_at(at, "run_end outside a run");
+      if (pos >= data.size()) {
+        fail_at(pos, "truncated run_end flags");
+        return;
+      }
+      const std::uint8_t flags = u8(pos++);
+      constexpr std::uint8_t known =
+          kTrace2EndFlagTerminated | kTrace2EndFlagAgreement |
+          kTrace2EndFlagHasDecision | kTrace2EndFlagDecisionOne;
+      if ((flags & ~known) != 0) fail_at(at, "unknown run_end flag bits");
+      if ((flags & kTrace2EndFlagDecisionOne) != 0 &&
+          (flags & kTrace2EndFlagHasDecision) == 0)
+        fail_at(at, "run_end decision-one flag without a decision");
+      std::uint64_t fields[kTrace2RunEndFields + kTrace2OmissionFields] = {};
+      const std::size_t count =
+          kTrace2RunEndFields + (omissions ? kTrace2OmissionFields : 0);
+      for (std::size_t f = 0; f < count; ++f)
+        if (!varint(fields[f], "run_end field")) return;
+      // rounds_to_decision, rounds_to_halt, crashes, delivered, survivors.
+      if (fields[2] != crashes_sum)
+        fail_at(at, "run_end.crashes (" + std::to_string(fields[2]) +
+                        ") != sum of round crashes (" +
+                        std::to_string(crashes_sum) + ")");
+      if (fields[3] != delivered_sum)
+        fail_at(at, "run_end.delivered (" + std::to_string(fields[3]) +
+                        ") != sum of round deliveries (" +
+                        std::to_string(delivered_sum) + ")");
+      if (omissions) {
+        if (fields[kTrace2RunEndFields] != omissions_sum)
+          fail_at(at, "run_end.omissions (" +
+                          std::to_string(fields[kTrace2RunEndFields]) +
+                          ") != sum of round omissions (" +
+                          std::to_string(omissions_sum) + ")");
+        if (fields[kTrace2RunEndFields + 1] != omitted_sum)
+          fail_at(at, "run_end.omitted (" +
+                          std::to_string(fields[kTrace2RunEndFields + 1]) +
+                          ") != sum of round omitted links (" +
+                          std::to_string(omitted_sum) + ")");
+      }
+      in_run = false;
+    } else if (kind == kTrace2KindRunAbandoned) {
+      std::uint64_t fields[kTrace2AbandonFields] = {};
+      for (std::size_t f = 0; f < kTrace2AbandonFields; ++f)
+        if (!varint(fields[f], "run_abandoned field")) return;
+      // rep, seed, attempt, error_len; the error text follows inline.
+      const std::uint64_t error_len = fields[kTrace2AbandonFields - 1];
+      if (error_len > kTrace2MaxErrorBytes) {
+        fail_at(at, "run_abandoned error length " +
+                        std::to_string(error_len) + " exceeds the " +
+                        std::to_string(kTrace2MaxErrorBytes) + "-byte cap");
+        return;
+      }
+      if (data.size() - pos < error_len) {
+        fail_at(pos, "truncated run_abandoned error text");
+        return;
+      }
+      pos += static_cast<std::size_t>(error_len);
+      in_run = false;
+    } else {
+      fail_at(at, "unknown record kind " + std::to_string(kind));
+      return;
+    }
+  }
+  if (in_run) c.fail("stream ends inside an open run (no run_end)");
+}
+
 int check_file(const std::string& path, bool trace_mode) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -371,7 +590,21 @@ int check_file(const std::string& path, bool trace_mode) {
   }
   Check c;
   if (trace_mode) {
-    check_trace_stream(in, c);
+    // Sniff the format off the leading bytes: the synran-trace/2 magic wins,
+    // anything else is treated as JSONL (whose first byte is '{').
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string data = buf.str();
+    bool binary = data.size() >= 8;
+    for (std::size_t i = 0; binary && i < 8; ++i)
+      binary = static_cast<std::uint8_t>(data[i]) ==
+               static_cast<std::uint8_t>(synran::obs::kTrace2Magic >> (8 * i));
+    if (binary) {
+      check_trace2_stream(data, c);
+    } else {
+      std::istringstream text(data);
+      check_trace_stream(text, c);
+    }
   } else {
     std::ostringstream buf;
     buf << in.rdbuf();
@@ -392,9 +625,9 @@ int check_file(const std::string& path, bool trace_mode) {
 }
 
 /// Validates one report, then prints its canonical form: every field in
-/// document order except the run-dependent ones (timings vary with load,
-/// git_rev with the working tree). Verdicts go to stderr so stdout is
-/// exactly the canonical document.
+/// document order except the run-dependent ones (timings and trace_overhead
+/// vary with load, git_rev with the working tree). Verdicts go to stderr so
+/// stdout is exactly the canonical document.
 int canon_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -417,7 +650,8 @@ int canon_file(const std::string& path) {
   }
   JsonValue canon = JsonValue::object();
   for (const auto& [key, value] : doc->as_object()) {
-    if (key == "timings" || key == "git_rev") continue;
+    if (key == "timings" || key == "git_rev" || key == "trace_overhead")
+      continue;
     canon.set(key, value);
   }
   std::cout << canon.dump() << "\n";
@@ -443,9 +677,11 @@ int main(int argc, char** argv) {
       (canon_mode && files.size() != 1)) {
     std::cerr << "usage: bench_schema_check [--trace] FILE...\n"
                  "       bench_schema_check --canon FILE\n"
-                 "  validates synran-bench/1 reports (default) or\n"
-                 "  synran-trace/1 JSONL streams (--trace); --canon prints\n"
-                 "  one report minus timings/git_rev for byte comparison\n";
+                 "  validates synran-bench/1 reports (default) or run\n"
+                 "  traces (--trace; synran-trace/1 JSONL and synran-trace/2\n"
+                 "  binary, sniffed per file); --canon prints one report\n"
+                 "  minus timings/git_rev/trace_overhead for byte\n"
+                 "  comparison\n";
     return 2;
   }
   if (canon_mode) return canon_file(files[0]);

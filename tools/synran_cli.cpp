@@ -4,9 +4,15 @@
 //   synran coin     --game majority --n 1024 --budget 300 --samples 500
 //   synran valency  --n 3 --t 1 --depth 14
 //   synran narrate  --n 96 --t 95 --adversary coinbias --seed 11
+//   synran trace    convert|stats|head --in FILE [...]
 //
-// `run` and `narrate` accept --trace-out=FILE to write a JSONL trace
-// (schema "synran-trace/1", one event per round — see EXPERIMENTS.md).
+// `run` and `narrate` accept --trace-out=FILE to write a round trace in
+// the format picked by --trace-format=jsonl|bin (JSONL "synran-trace/1" or
+// binary "synran-trace/2" — see EXPERIMENTS.md); tracing works at any
+// --threads count, byte-identical to the serial run. `trace` operates on
+// existing trace files: `convert` round-trips between the formats
+// byte-stably, `stats` streams a file into the RepeatedRunStats-shaped
+// aggregate, `head` prints the first events as JSONL.
 // `run` additionally accepts --faults=omit:RATE[,BUDGET] to layer seeded
 // i.i.d. link drops (ChaosAdversary) on top of the chosen crash adversary,
 // --fail-policy/--retries to quarantine failing reps instead of aborting,
@@ -40,6 +46,7 @@
 #include "exec/stopper.hpp"
 #include "lowerbound/valency.hpp"
 #include "obs/checkpoint.hpp"
+#include "obs/trace_io.hpp"
 #include "obs/trace_writer.hpp"
 #include "protocols/floodmin.hpp"
 #include "protocols/leadercoin.hpp"
@@ -199,6 +206,25 @@ struct FaultFlag {
   std::uint32_t budget = std::numeric_limits<std::uint32_t>::max();
 };
 
+/// Parsed --trace-format (default jsonl, the human-readable schema).
+obs::TraceFormat parse_format_flag(const Args& args) {
+  const std::string name = args.get("trace-format", "jsonl");
+  const auto format = obs::parse_trace_format(name);
+  if (!format.has_value()) {
+    throw UsageError("invalid --trace-format '" + name +
+                     "' (expected jsonl or bin)");
+  }
+  return *format;
+}
+
+/// Header metadata for binary traces the CLI produces: the current seeding
+/// schema, provenance unknown (the CLI has no build id baked in).
+obs::Trace2Header cli_trace_header() {
+  obs::Trace2Header header;
+  header.seed_schema = static_cast<std::uint16_t>(kSeedSchemaVersion);
+  return header;
+}
+
 FaultFlag parse_faults(const std::string& text) {
   FaultFlag f;
   if (text.empty()) return f;
@@ -298,17 +324,15 @@ int cmd_run(const Args& args) {
     }
   }
 
-  std::unique_ptr<obs::JsonlTraceWriter> tracer;
+  std::unique_ptr<obs::TraceWriter> tracer;
   if (!restored) {
     if (const auto path = args.get("trace-out", ""); !path.empty()) {
-      if (exec::resolve_threads(spec.threads) > 1) {
-        throw UsageError(
-            "--trace-out needs a serial run: JSONL traces are round-ordered, "
-            "so drop --threads (and SYNRAN_THREADS) or set --threads 1");
-      }
-      spec.threads = 1;
+      // Any thread count: the executor buffers per-rep callbacks and
+      // replays them in rep order, so the trace bytes match a serial run.
       try {
-        tracer = std::make_unique<obs::JsonlTraceWriter>(path);
+        tracer =
+            obs::make_trace_writer(parse_format_flag(args), path,
+                                   cli_trace_header());
       } catch (const obs::IoError& e) {
         throw UsageError(e.what());
       }
@@ -462,26 +486,135 @@ int cmd_narrate(const Args& args) {
   opts.t_budget = t;
   opts.seed = seed;
   opts.max_rounds = 100000;
-  std::unique_ptr<obs::JsonlTraceWriter> jsonl;
+  std::unique_ptr<obs::TraceWriter> trace_out;
   if (const auto path = args.get("trace-out", ""); !path.empty()) {
     try {
-      jsonl = std::make_unique<obs::JsonlTraceWriter>(path);
+      trace_out = obs::make_trace_writer(parse_format_flag(args), path,
+                                         cli_trace_header());
     } catch (const obs::IoError& e) {
       throw UsageError(e.what());
     }
-    opts.observer = jsonl.get();
+    opts.observer = trace_out.get();
   }
   Xoshiro256 rng(seed);
   const auto inputs =
       make_inputs(n, parse_pattern(args.get("pattern", "half")), rng);
   const auto res = run_once(factory, inputs, tracer, opts);
-  if (jsonl != nullptr) jsonl->close();
+  if (trace_out != nullptr) trace_out->close();
   narrate(tracer.trace(), std::cout);
   std::cout << "decision "
             << (res.has_decision ? std::to_string(to_int(res.decision)) : "-")
             << " @ round " << res.rounds_to_decision << ", agreement "
             << (res.agreement ? "yes" : "NO") << "\n";
   return res.agreement ? 0 : 1;
+}
+
+/// `synran trace convert`: re-encode a trace file in the other format (or
+/// an explicit --to). Conversion replays records through a fresh writer, so
+/// jsonl→bin→jsonl and bin→jsonl→bin are byte-stable for CLI-produced
+/// files; --seed-schema/--git-rev reproduce a foreign binary header.
+int cmd_trace_convert(const Args& args) {
+  const std::string in = args.get("in", "");
+  const std::string out = args.get("out", "");
+  if (in.empty() || out.empty()) {
+    throw UsageError("trace convert needs --in FILE and --out FILE");
+  }
+  const obs::TraceFormat from = obs::sniff_trace_format(in);
+  obs::TraceFormat to = from == obs::TraceFormat::Binary
+                            ? obs::TraceFormat::Jsonl
+                            : obs::TraceFormat::Binary;
+  if (const auto name = args.get("to", ""); !name.empty()) {
+    const auto parsed = obs::parse_trace_format(name);
+    if (!parsed.has_value()) {
+      throw UsageError("invalid --to '" + name + "' (expected jsonl or bin)");
+    }
+    to = *parsed;
+  }
+  obs::Trace2Header header = cli_trace_header();
+  header.seed_schema = static_cast<std::uint16_t>(
+      args.num("seed-schema", header.seed_schema));
+  header.git_rev = args.get("git-rev", header.git_rev);
+  const auto reader = obs::open_trace_reader(in);
+  const auto writer = obs::make_trace_writer(to, out, std::move(header));
+  const std::uint64_t events = obs::convert_trace(*reader, *writer);
+  std::cout << "converted " << events << " events: " << in << " ("
+            << obs::to_string(from) << ") -> " << out << " ("
+            << obs::to_string(to) << ", " << writer->bytes_written()
+            << " bytes)\n";
+  return 0;
+}
+
+/// `synran trace stats`: stream a trace (either format) into the
+/// RepeatedRunStats-shaped aggregate. --format=json prints the raw metrics
+/// snapshot — byte-identical across the two trace encodings of one run.
+int cmd_trace_stats(const Args& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) throw UsageError("trace stats needs --in FILE");
+  const auto reader = obs::open_trace_reader(in);
+  obs::TraceAggregator agg;
+  obs::aggregate_trace(*reader, agg);
+
+  const std::string format = args.get("format", "table");
+  if (format == "json") {
+    std::cout << agg.metrics().to_json().dump() << "\n";
+    return 0;
+  }
+  if (format != "table") {
+    throw UsageError("invalid --format '" + format +
+                     "' (expected table or json)");
+  }
+  const auto& m = agg.metrics();
+  Table table("trace stats: " + in);
+  table.header({"metric", "value"});
+  table.row({std::string("runs completed"),
+             static_cast<long long>(agg.runs())});
+  table.row({std::string("rounds"), static_cast<long long>(agg.rounds())});
+  table.row({std::string("attempts abandoned"),
+             static_cast<long long>(agg.abandoned())});
+  table.row({std::string("rounds to decision (mean)"),
+             m.summary_at("rounds_to_decision").mean()});
+  table.row({std::string("rounds to halt (mean)"),
+             m.summary_at("rounds_to_halt").mean()});
+  table.row({std::string("crashes used (mean)"),
+             m.summary_at("crashes_used").mean()});
+  table.row({std::string("messages delivered (mean)"),
+             m.summary_at("messages_delivered").mean()});
+  table.row({std::string("omissions used (mean)"),
+             m.summary_at("omissions_used").mean()});
+  table.row({std::string("decided 1 / runs"),
+             std::to_string(m.counter_at("decided_one").value()) + " / " +
+                 std::to_string(m.counter_at("reps").value())});
+  table.row({std::string("agreement failures"),
+             static_cast<long long>(
+                 m.counter_at("agreement_failures").value())});
+  table.row({std::string("non-terminated"),
+             static_cast<long long>(m.counter_at("non_terminated").value())});
+  table.print(std::cout);
+  return 0;
+}
+
+/// `synran trace head`: decode the first --count events (either format) and
+/// print them as JSONL — the binary format's inspection hatch.
+int cmd_trace_head(const Args& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) throw UsageError("trace head needs --in FILE");
+  const std::uint64_t count = args.num("count", 10);
+  const auto reader = obs::open_trace_reader(in);
+  obs::JsonlTraceWriter writer(std::cout);
+  obs::TraceRecord record;
+  for (std::uint64_t shown = 0; shown < count && reader->next(record);
+       ++shown) {
+    obs::replay(record, writer);
+  }
+  return 0;
+}
+
+int cmd_trace(const std::string& sub, const Args& args) {
+  if (sub == "convert") return cmd_trace_convert(args);
+  if (sub == "stats") return cmd_trace_stats(args);
+  if (sub == "head") return cmd_trace_head(args);
+  throw UsageError("unknown trace subcommand '" + sub +
+                   "' (expected convert, stats, or head)");
 }
 
 void usage() {
@@ -495,7 +628,9 @@ void usage() {
       "           leader-killer --n --t --reps --seed --pattern\n"
       "           --threads N (0 = SYNRAN_THREADS or serial; statistics\n"
       "           are identical at any thread count)\n"
-      "           --trace-out=FILE (JSONL round trace; serial only)\n"
+      "           --trace-out=FILE --trace-format=jsonl|bin (round trace,\n"
+      "           schema synran-trace/1 or /2; byte-identical at any\n"
+      "           --threads count)\n"
       "           --faults=omit:RATE[,BUDGET] (seeded i.i.d. link drops at\n"
       "           RATE in [0,1]; BUDGET caps omission directives, default\n"
       "           unlimited)\n"
@@ -511,6 +646,14 @@ void usage() {
       "  valency  exact initial-state valencies (tiny n): --n --t --depth\n"
       "  narrate  round-by-round story of one run: --n --t --seed\n"
       "           --adversary --pattern --trace-out=FILE\n"
+      "           --trace-format=jsonl|bin\n"
+      "  trace    operate on trace files (format sniffed from the bytes):\n"
+      "           convert --in FILE --out FILE [--to jsonl|bin]\n"
+      "                   [--seed-schema N --git-rev REV] (byte-stable\n"
+      "                   round-trips between the formats)\n"
+      "           stats   --in FILE [--format table|json] (streaming\n"
+      "                   aggregation; json matches across formats)\n"
+      "           head    --in FILE [--count N] (first events as JSONL)\n"
       "\n"
       "exit codes:\n"
       "  0  safe, successful run\n"
@@ -533,6 +676,13 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    if (cmd == "trace") {
+      if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+        throw UsageError(
+            "trace needs a subcommand: convert, stats, or head");
+      }
+      return cmd_trace(argv[2], Args(argc, argv, 3));
+    }
     Args args(argc, argv, 2);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "coin") return cmd_coin(args);

@@ -117,14 +117,16 @@ const std::vector<RuleInfo> kRules = {
      "convention is an ASCII-derived hex constant (e.g. 0x494e505554 = "
      "\"INPUT\")."},
     {"schema-literals",
-     "trace/bench writer emits a JSON field the schema checker never heard "
-     "of",
-     "The JSONL trace writer (src/obs/trace_writer.cpp) and the bench "
-     "report writer (bench/bench_util.hpp) must stay in lockstep with "
+     "trace/bench writers and the schema checker have drifted apart",
+     "The JSONL trace writer (src/obs/trace_writer.cpp), the bench report "
+     "writer (bench/bench_util.hpp), and the synran-trace/2 wire constants "
+     "(src/obs, kTrace2*) must stay in lockstep with "
      "tools/bench_schema_check.cpp, which CI runs over every artifact. A "
-     "field name emitted by a writer but absent from the checker's string "
-     "literals means the validator would silently wave the new field "
-     "through (or reject the artifact) — update both sides together."},
+     "JSON field name emitted by a writer but absent from the checker's "
+     "string literals — or a kTrace2* constant the checker's independent "
+     "binary decoder never references — means the validator would silently "
+     "wave a format change through (or reject the artifact) — update both "
+     "sides together."},
 };
 
 }  // namespace

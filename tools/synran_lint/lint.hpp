@@ -43,8 +43,9 @@
 //                    literal stream(<int>) tag in src/ must be unique; a
 //                    duplicate silently hands two subsystems the same
 //                    random stream.
-//   schema-literals  every JSON field name the trace/bench writers emit
-//                    must be known to tools/bench_schema_check.cpp, so the
+//   schema-literals  every JSON field name the trace/bench writers emit,
+//                    and every kTrace2* wire constant src/obs defines, must
+//                    be known to tools/bench_schema_check.cpp, so the
 //                    writers and the validator cannot drift apart.
 //
 // A finding on one specific line can be suppressed with an explicit trailer:

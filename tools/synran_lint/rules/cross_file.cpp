@@ -231,24 +231,82 @@ bool is_set_field_position(const LexedFile& f, const StringLiteral& lit) {
          before.substr(before.size() - kSetOpen.size()) == kSetOpen;
 }
 
+/// The binary trace format's wire constants share the checker-lockstep
+/// contract with the JSON field names: every `kTrace2*` constant the obs
+/// layer defines (obs/trace_format.hpp) must be referenced by name in
+/// tools/bench_schema_check.cpp, whose synran-trace/2 decoder re-implements
+/// the wire walk from exactly those constants.
+constexpr std::string_view kTrace2Prefix = "kTrace2";
+
 void schema_literals_rule(const Project& project, std::vector<Finding>& out) {
   if (project.checker == nullptr) return;
 
   std::set<std::string> known;
   for (const auto& lit : project.checker->strings) known.insert(lit.text);
 
+  // Every identifier token of the checker, for the kTrace2* constant check.
+  std::set<std::string, std::less<>> checker_idents;
+  for (const std::string& line : project.checker->code) {
+    const std::string_view code = line;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      if (!ident_char(code[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t end = i;
+      while (end < code.size() && ident_char(code[end])) ++end;
+      checker_idents.insert(std::string(code.substr(i, end - i)));
+      i = end;
+    }
+  }
+
   for (const auto& f : project.files) {
-    if (!is_writer_file(f.rel_path)) continue;
-    for (const auto& lit : f.strings) {
-      if (lit.text.empty() || !is_set_field_position(f, lit)) continue;
-      if (known.count(lit.text) != 0) continue;
-      if (allows(f.lines[lit.line - 1], "schema-literals")) continue;
-      out.push_back(Finding{
-          f.rel_path, lit.line, "schema-literals",
-          "JSON field \"" + lit.text + "\" is emitted here but appears "
-              "nowhere in tools/bench_schema_check.cpp; writer and schema "
-              "validator have drifted — teach the checker the field (or "
-              "drop it from the writer)"});
+    if (is_writer_file(f.rel_path)) {
+      for (const auto& lit : f.strings) {
+        if (lit.text.empty() || !is_set_field_position(f, lit)) continue;
+        if (known.count(lit.text) != 0) continue;
+        if (allows(f.lines[lit.line - 1], "schema-literals")) continue;
+        out.push_back(Finding{
+            f.rel_path, lit.line, "schema-literals",
+            "JSON field \"" + lit.text + "\" is emitted here but appears "
+                "nowhere in tools/bench_schema_check.cpp; writer and schema "
+                "validator have drifted — teach the checker the field (or "
+                "drop it from the writer)"});
+      }
+    }
+
+    // `kTrace2Foo = <anything>` in src/obs: a wire-constant definition.
+    if (module_of(f.rel_path) != "obs") continue;
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+      const std::string_view code = f.code[li];
+      std::size_t i = 0;
+      while (i < code.size()) {
+        if (!ident_char(code[i]) || (i > 0 && ident_char(code[i - 1]))) {
+          ++i;
+          continue;
+        }
+        std::size_t end = i;
+        while (end < code.size() && ident_char(code[end])) ++end;
+        const std::string_view ident = code.substr(i, end - i);
+        i = end;
+        if (ident.substr(0, kTrace2Prefix.size()) != kTrace2Prefix ||
+            ident.size() == kTrace2Prefix.size())
+          continue;
+        const std::size_t j = skip_ws(code, end);
+        if (j >= code.size() || code[j] != '=' ||
+            (j + 1 < code.size() && code[j + 1] == '='))
+          continue;  // a use, not a definition
+        if (checker_idents.find(ident) != checker_idents.end()) continue;
+        if (allows(f.lines[li], "schema-literals")) continue;
+        out.push_back(Finding{
+            f.rel_path, li + 1, "schema-literals",
+            "wire constant " + std::string(ident) + " is defined here but "
+                "referenced nowhere in tools/bench_schema_check.cpp; the "
+                "synran-trace/2 validator has drifted from the format — "
+                "teach its decoder the constant (or drop it from the "
+                "format)"});
+      }
     }
   }
 }

@@ -11,8 +11,11 @@
 //   schema-literals  JSON field names emitted by the trace/bench writers
 //                    (src/obs/trace_writer.cpp, bench/bench_util.hpp) must
 //                    appear as string literals in the schema validator
-//                    (tools/bench_schema_check.cpp); a field the validator
-//                    has never heard of means writer and checker drifted.
+//                    (tools/bench_schema_check.cpp), and every kTrace2*
+//                    wire constant defined in src/obs must be referenced
+//                    by name in the validator's synran-trace/2 decoder; a
+//                    field or constant the validator has never heard of
+//                    means writer and checker drifted.
 //
 // Findings honor the same `// synran-lint: allow(<rule>)` trailers as the
 // per-line rules, read from the original line each finding lands on.

@@ -1,0 +1,109 @@
+# End-to-end trace contract, driven through the shipped binaries only: the
+# synran CLI writes one batch's trace in both formats, `synran trace
+# convert` must round-trip them byte-for-byte, the binary file must be at
+# least 4x smaller than its JSONL twin, `trace stats --format=json` must
+# agree across formats, a --threads=4 rerun must produce the identical
+# binary trace, and bench_schema_check --trace must accept every file.
+# Driven from add_test():
+#
+#   cmake -DCLI=<synran> -DCHECKER=<bench_schema_check> -DWORKDIR=<dir>
+#         -P trace_check.cmake
+#
+# Nothing here links the library — a bug that the in-process tests can't
+# see because writer and reader share code still has to get past the
+# independent checker and the byte comparisons below.
+if(NOT DEFINED CLI OR NOT DEFINED CHECKER OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR
+    "trace_check.cmake needs -DCLI=... -DCHECKER=... -DWORKDIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+function(run_or_die)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "command failed (rc=${rc}): ${ARGN}\n--- output ---\n${out}${err}")
+  endif()
+endfunction()
+
+function(expect_same a b what)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${what}: ${a} and ${b} differ")
+  endif()
+endfunction()
+
+# One crash-fault batch and one omission-fault batch (the latter exercises
+# the flag-gated omission fields on the wire); each traced in both formats.
+set(base run --protocol synran --adversary coinbias
+         --n 32 --t 4 --reps 5 --seed 7)
+set(omit run --protocol synran --adversary none
+         --n 32 --t 4 --reps 5 --seed 7 --faults=omit:0.2,40)
+foreach(variant base omit)
+  run_or_die(${CLI} ${${variant}}
+    --trace-out=${WORKDIR}/${variant}.jsonl --trace-format=jsonl)
+  run_or_die(${CLI} ${${variant}}
+    --trace-out=${WORKDIR}/${variant}.bin --trace-format=bin)
+
+  # Round trips through `trace convert`: decoding the binary must recover
+  # the JSONL byte-for-byte, and JSONL -> binary -> JSONL must be a fixed
+  # point (header fields may differ from the direct binary, so the encode
+  # leg is judged by what decodes back out).
+  run_or_die(${CLI} trace convert --in ${WORKDIR}/${variant}.bin
+    --out ${WORKDIR}/${variant}.converted.jsonl --to jsonl)
+  expect_same(${WORKDIR}/${variant}.jsonl
+    ${WORKDIR}/${variant}.converted.jsonl
+    "binary -> jsonl convert must match the directly written trace")
+  run_or_die(${CLI} trace convert --in ${WORKDIR}/${variant}.jsonl
+    --out ${WORKDIR}/${variant}.reencoded.bin --to bin)
+  run_or_die(${CLI} trace convert --in ${WORKDIR}/${variant}.reencoded.bin
+    --out ${WORKDIR}/${variant}.reencoded.jsonl --to jsonl)
+  expect_same(${WORKDIR}/${variant}.jsonl
+    ${WORKDIR}/${variant}.reencoded.jsonl
+    "jsonl -> bin -> jsonl must be a fixed point")
+
+  # Streaming aggregation must not depend on which format it read.
+  execute_process(COMMAND ${CLI} trace stats --in ${WORKDIR}/${variant}.jsonl
+    --format json RESULT_VARIABLE rc OUTPUT_VARIABLE stats_jsonl)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace stats on ${variant}.jsonl failed (rc=${rc})")
+  endif()
+  execute_process(COMMAND ${CLI} trace stats --in ${WORKDIR}/${variant}.bin
+    --format json RESULT_VARIABLE rc OUTPUT_VARIABLE stats_bin)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace stats on ${variant}.bin failed (rc=${rc})")
+  endif()
+  if(NOT stats_jsonl STREQUAL stats_bin)
+    message(FATAL_ERROR
+      "trace stats --format=json disagrees across formats for ${variant}:\n"
+      "jsonl: ${stats_jsonl}\nbin:   ${stats_bin}")
+  endif()
+
+  # The independent validator walks both files from the kTrace2* constants.
+  run_or_die(${CHECKER} --trace
+    ${WORKDIR}/${variant}.jsonl ${WORKDIR}/${variant}.bin)
+
+  # The headline size claim: binary at least 4x smaller than JSONL.
+  file(SIZE ${WORKDIR}/${variant}.jsonl jsonl_bytes)
+  file(SIZE ${WORKDIR}/${variant}.bin bin_bytes)
+  math(EXPR four_bins "4 * ${bin_bytes}")
+  if(jsonl_bytes LESS four_bins)
+    message(FATAL_ERROR
+      "${variant}: binary trace is only ${bin_bytes} bytes vs "
+      "${jsonl_bytes} JSONL — less than the promised 4x reduction")
+  endif()
+endforeach()
+
+# Thread-count invariance through the CLI: a parallel rerun of the crash
+# batch must reproduce the serial binary trace exactly.
+run_or_die(${CLI} ${base} --threads 4
+  --trace-out=${WORKDIR}/base.t4.bin --trace-format=bin)
+expect_same(${WORKDIR}/base.bin ${WORKDIR}/base.t4.bin
+  "--threads=4 binary trace must equal the serial one")
+
+message(STATUS "trace_check: all round-trip, stats, size, and thread-"
+  "invariance checks passed")
