@@ -1,0 +1,84 @@
+// Bench plumbing for the event-driven asynchronous engine: the async
+// counterpart of bench_util.hpp's run_cell. A cell is one repeated async
+// batch (protocol factory × scheduler factory × delay factory); it honors
+// the same environment hooks — SYNRAN_FAIL_POLICY / SYNRAN_REP_RETRIES,
+// SYNRAN_THREADS / --threads=N, and per-batch traces under SYNRAN_TRACE_DIR
+// (byte-identical at any thread count: the async executor replays buffered
+// observer events in rep order, mirroring the synchronous one).
+//
+// Async cells do NOT checkpoint: AsyncRunStats has no ledger serialization
+// yet, so SYNRAN_CKPT_DIR / SYNRAN_RESUME pass async sweeps by. The cell
+// ordinal counter is still claimed per cell, keeping mixed sync/async
+// binaries' ordinals in execution order if one ever exists.
+#pragma once
+
+#include "bench_util.hpp"
+
+#include "async/benor.hpp"
+#include "exec/async_executor.hpp"
+
+namespace synran::bench {
+
+/// Runs one async grid cell through the resilience plumbing (minus
+/// checkpoints — see the header comment). Quarantined reps land in the
+/// report's "failures" array exactly like synchronous cells.
+inline AsyncRunStats run_async_cell(const AsyncProcessFactory& factory,
+                                    const AsyncSchedulerFactory& schedulers,
+                                    const AsyncDelayFactory& delays,
+                                    AsyncRepeatSpec spec,
+                                    const std::string& tag) {
+  spec.policy = bench_fail_policy(spec.policy);
+  spec.max_rep_retries = bench_rep_retries(spec.max_rep_retries);
+  spec.threads = bench_threads();
+
+  const std::uint64_t cell = CheckpointState::instance().next_cell();
+
+  ScopedTrace trace;
+  if (spec.engine.observer == nullptr) {
+    trace = open_trace(tag);
+    spec.engine.observer = trace.observer();
+  }
+  const auto batch_start = std::chrono::steady_clock::now();
+  auto stats = exec::AsyncBatchExecutor().run(factory, schedulers, delays,
+                                              spec);
+  trace.close();
+  if (trace.active()) {
+    const double batch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      batch_start)
+            .count();
+    BenchReport::instance().note_trace_overhead(
+        trace.timer->events_written(), trace.timer->bytes_written(),
+        trace.timer->write_seconds(), batch_seconds);
+  }
+
+  for (const RepFailure& f : stats.failures()) {
+    BenchReport::instance().note_failure(cell, f);
+    std::cout << "  [quarantined: rep " << f.rep << " (engine seed " << f.seed
+              << ", " << f.attempts << " attempts): " << f.error << "]\n";
+  }
+  return stats;
+}
+
+/// Convenience wrapper mirroring attack_run: Ben-Or (optionally with
+/// retransmission) at (n, t) under the given scheduler/delay factories.
+inline AsyncRunStats async_run(std::uint32_t n, std::uint32_t t,
+                               const AsyncSchedulerFactory& schedulers,
+                               const AsyncDelayFactory& delays,
+                               std::size_t reps, std::uint64_t seed,
+                               const std::string& tag,
+                               const BenOrOptions& protocol = {},
+                               std::uint64_t max_steps = 0) {
+  BenchReport::instance().note_grid(n, t);
+  BenOrAsyncFactory factory(protocol);
+  AsyncRepeatSpec spec;
+  spec.n = n;
+  spec.pattern = InputPattern::Half;
+  spec.reps = reps;
+  spec.seed = seed;
+  spec.engine.t_budget = t;
+  if (max_steps != 0) spec.engine.max_steps = max_steps;
+  return run_async_cell(factory, schedulers, delays, std::move(spec), tag);
+}
+
+}  // namespace synran::bench

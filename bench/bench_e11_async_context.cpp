@@ -4,76 +4,52 @@
 // Aspnes's Ω(t²/log²t) asynchronous lower bound [Asp97]. This experiment
 // regenerates that context table (it has no synchronous counterpart in the
 // paper; it motivates why the synchronous question was open).
-#include "bench_util.hpp"
+//
+// Runs on the event-driven core through the async batch executor: the
+// adversary-held delay model reproduces the old step-scheduler semantics
+// exactly, and the batch seeding (schema 2 + the delay stream) makes every
+// cell thread-count invariant.
+#include "bench_async.hpp"
 
 #include <cmath>
 
-#include "async/benor.hpp"
-#include "async/engine.hpp"
+#include "async/delay.hpp"
 #include "async/scheduler.hpp"
 
 namespace synran::bench {
 namespace {
 
-struct AsyncAgg {
-  Summary rounds, steps, flips;
-  std::size_t disagreements = 0;
-  std::size_t non_terminated = 0;
-};
-
-AsyncAgg run_batch(std::uint32_t n, std::uint32_t t, bool adversarial,
-                   std::size_t reps, std::uint64_t seed) {
-  BenOrAsyncFactory factory;
-  AsyncAgg agg;
-  SeedSequence seeds(seed);
-  Xoshiro256 input_rng(seeds.stream(1));
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    AsyncEngineOptions opts;
-    opts.t_budget = t;
-    opts.seed = seeds.stream(100 + rep);
-    // Near t = n/2 the expected round count explodes (the exponential
-    // regime [BO83] suffers under the strong scheduler); the cap — scaled
-    // to the ~2n^2 messages a protocol round costs — turns the blow-up into
-    // a reported "capped" count instead of an endless grind.
-    opts.max_steps = 100ull * n * n;
-    auto inputs = make_inputs(n, InputPattern::Half, input_rng);
-    AsyncRunResult res;
-    if (adversarial) {
-      LaggardScheduler sched(seeds.stream(5000 + rep));
-      res = run_async(factory, inputs, sched, opts);
-    } else {
-      RandomScheduler sched(seeds.stream(5000 + rep));
-      res = run_async(factory, inputs, sched, opts);
-    }
-    if (!res.terminated) {
-      ++agg.non_terminated;
-      continue;
-    }
-    if (!res.agreement) ++agg.disagreements;
-    agg.rounds.add(static_cast<double>(res.max_round));
-    agg.steps.add(static_cast<double>(res.steps));
-    agg.flips.add(static_cast<double>(res.coin_flips));
-  }
-  return agg;
-}
+/// The step cap that turns Ben-Or's near-n/2 blow-up into a reported
+/// "capped" count instead of an endless grind — scaled to the ~2n² messages
+/// a protocol round costs.
+std::uint64_t step_cap(std::uint32_t n) { return 100ull * n * n; }
 
 void tables() {
   std::cout << "E11 — asynchronous Ben-Or as the paper's context "
                "([BO83], [Asp97])\n\n";
 
   Table table("E11a: rounds vs fault budget, n = 32 (capped at 100·n² steps)");
-  table.header({"t", "t/√n", "scheduler", "rounds(mean)", "steps(mean)",
+  table.header({"t", "t/√n", "scheduler", "rounds(mean)", "msgs(mean)",
                 "coin flips", "capped", "agree"});
   const std::uint32_t n = 32;
+  const std::size_t reps = std::min<std::size_t>(reps_for(n, 800), 20);
   for (std::uint32_t t : {1u, 2u, 4u, 8u, 15u}) {
     for (bool adversarial : {false, true}) {
-      const auto agg = run_batch(n, t, adversarial, 20, kSeed + t);
+      const auto stats = async_run(
+          n, t,
+          adversarial ? laggard_scheduler_factory()
+                      : random_scheduler_factory(),
+          held_delay_factory(), reps, kSeed + t,
+          std::string("e11a-t") + std::to_string(t) +
+              (adversarial ? "-laggard" : "-random"),
+          {}, step_cap(n));
       table.row({static_cast<long long>(t),
                  static_cast<double>(t) / std::sqrt(double(n)),
                  std::string(adversarial ? "laggard" : "random"),
-                 agg.rounds.mean(), agg.steps.mean(), agg.flips.mean(),
-                 static_cast<long long>(agg.non_terminated),
-                 std::string(agg.disagreements == 0 ? "yes" : "NO")});
+                 stats.rounds_to_decision().mean(),
+                 stats.messages_delivered().mean(), stats.coin_flips().mean(),
+                 static_cast<long long>(stats.non_terminated()),
+                 std::string(stats.agreement_failures() == 0 ? "yes" : "NO")});
     }
   }
   emit(table);
@@ -86,12 +62,17 @@ void tables() {
   for (std::uint32_t nn : {32u, 64u, 128u, 256u}) {
     const auto t = static_cast<std::uint32_t>(
         std::ceil(std::sqrt(static_cast<double>(nn))));
-    const auto agg = run_batch(nn, t, true, 15, kSeed + nn);
+    const std::size_t flip_reps = std::min<std::size_t>(reps_for(nn, 600), 15);
+    const auto stats = async_run(nn, t, laggard_scheduler_factory(),
+                                 held_delay_factory(), flip_reps, kSeed + nn,
+                                 "e11b-n" + std::to_string(nn), {},
+                                 step_cap(nn));
     const double lt = std::log(std::max(2.0, static_cast<double>(t)));
     const double curve = static_cast<double>(t) * t / (lt * lt);
     flips.row({static_cast<long long>(nn), static_cast<long long>(t),
-               agg.flips.mean(), curve, agg.flips.mean() / curve,
-               static_cast<long long>(agg.non_terminated)});
+               stats.coin_flips().mean(), curve,
+               stats.coin_flips().mean() / curve,
+               static_cast<long long>(stats.non_terminated())});
   }
   emit(flips);
 
@@ -119,6 +100,28 @@ void BM_AsyncRun(::benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AsyncRun)->Arg(32)->Arg(128);
+
+void BM_AsyncRunTimed(::benchmark::State& state) {
+  // The timed path: every link gets a fixed latency, so the run exercises
+  // the event heap instead of the adversary-held pool.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  BenOrAsyncFactory factory;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ++seed;
+    FifoScheduler sched;
+    FixedDelay delay(1);
+    AsyncEngineOptions opts;
+    opts.t_budget = 4;
+    opts.seed = seed;
+    opts.delay = &delay;
+    Xoshiro256 rng(seed);
+    auto inputs = make_inputs(n, InputPattern::Half, rng);
+    const auto res = run_async(factory, inputs, sched, opts);
+    ::benchmark::DoNotOptimize(res.steps);
+  }
+}
+BENCHMARK(BM_AsyncRunTimed)->Arg(32)->Arg(128);
 
 }  // namespace
 }  // namespace synran::bench

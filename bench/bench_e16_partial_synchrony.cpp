@@ -1,0 +1,160 @@
+// E16 — partial synchrony as the DLS escape hatch: the adversary holds
+// every message until GST, after which deliveries are forced within a bound
+// Δ. Against the maximally patient scheduler (stall — it never volunteers a
+// delivery), Ben-Or's decision time tracks GST + O(Δ) instead of diverging,
+// and per-process retransmission timers recover quorums that omission
+// bursts destroy. No synchronous counterpart exists in the paper; like E11
+// this regenerates the context the paper's model section contrasts against.
+//
+// Tables:
+//   E16a  GST sweep at fixed Δ — ticks-to-decision tracks GST linearly
+//   E16b  Δ sweep at fixed GST — the post-GST grace is the only slack left
+//   E16c  omission bursts with and without retransmission — the timer
+//         chain's liveness value, and its message-overhead price
+#include "bench_async.hpp"
+
+#include <cmath>
+
+#include "async/delay.hpp"
+#include "async/scheduler.hpp"
+
+namespace synran::bench {
+namespace {
+
+/// t ≈ √n: the constant-round Ben-Or regime ([BO83]); keeps every cell's
+/// round count small so the tick columns isolate the delay model's effect.
+std::uint32_t sqrt_t(std::uint32_t n) {
+  std::uint32_t t = 1;
+  while ((t + 1) * (t + 1) <= n) ++t;
+  return t;
+}
+
+void tables() {
+  std::cout << "E16 — Ben-Or under partial synchrony (held until GST, "
+               "forced within Δ after)\n\n";
+
+  const std::uint32_t n = 32;
+  const std::uint32_t t = sqrt_t(n);
+  const std::size_t reps = std::min<std::size_t>(reps_for(n, 800), 20);
+
+  Table gst_sweep("E16a: GST sweep, n = 32, Δ = 8, stall scheduler");
+  gst_sweep.header({"gst", "rounds(mean)", "ticks(mean)", "msgs(mean)",
+                    "timers(mean)", "safe"});
+  for (SimTime gst : {0ull, 25ull, 50ull, 100ull, 200ull}) {
+    const SimTime bound = 8;
+    BenOrOptions protocol;
+    protocol.retransmit_every = 2 * bound;
+    const auto stats = async_run(n, t, stall_scheduler_factory(),
+                                 gst_delay_factory(gst, bound), reps,
+                                 kSeed + gst, "e16a-gst" + std::to_string(gst),
+                                 protocol);
+    gst_sweep.row({static_cast<long long>(gst),
+                   stats.rounds_to_decision().mean(),
+                   stats.ticks_to_decision().mean(),
+                   stats.messages_delivered().mean(),
+                   stats.timers_fired().mean(),
+                   std::string(stats.all_safe() ? "yes" : "NO")});
+  }
+  emit(gst_sweep);
+  std::cout << "  note: ticks-to-decision ≈ GST + (rounds · O(Δ)) — the\n"
+               "  pre-GST blackout delays but cannot prevent the decision,\n"
+               "  the DLS guarantee the pure-async rows of E11 lack.\n\n";
+
+  Table bound_sweep("E16b: Δ sweep, n = 32, GST = 50, stall scheduler");
+  bound_sweep.header({"Δ", "rounds(mean)", "ticks(mean)", "msgs(mean)",
+                      "timers(mean)", "safe"});
+  for (SimTime bound : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+    BenOrOptions protocol;
+    protocol.retransmit_every = 2 * bound;
+    const auto stats = async_run(n, t, stall_scheduler_factory(),
+                                 gst_delay_factory(50, bound), reps,
+                                 kSeed + 1000 + bound,
+                                 "e16b-d" + std::to_string(bound), protocol);
+    bound_sweep.row({static_cast<long long>(bound),
+                     stats.rounds_to_decision().mean(),
+                     stats.ticks_to_decision().mean(),
+                     stats.messages_delivered().mean(),
+                     stats.timers_fired().mean(),
+                     std::string(stats.all_safe() ? "yes" : "NO")});
+  }
+  emit(bound_sweep);
+  std::cout << "  note: past GST every phase costs O(Δ) ticks, so the\n"
+               "  post-decision tick count scales linearly in Δ while the\n"
+               "  round count stays put.\n\n";
+
+  // E16c: an omission burst at the start of the run destroys two senders'
+  // round-1 broadcasts. n - t - 2 processes are short of the n - t quorum,
+  // so without retransmission the run starves (the event list drains with
+  // nobody decided); the retransmission timer chain re-broadcasts and
+  // recovers, at a visible message-overhead price.
+  Table omission("E16c: omission bursts, n = 8, GST = 20, Δ = 4");
+  omission.header({"retransmit", "terminated", "rounds(mean)", "msgs(mean)",
+                   "timers(mean)", "ticks(mean)"});
+  {
+    const std::uint32_t on = 8;
+    const std::uint32_t ot = 1;
+    const std::size_t oreps = std::min<std::size_t>(reps_for(on, 400), 20);
+    AsyncFaultTimetable burst;
+    burst.omissions.push_back(AsyncOmitAt{1, 0, on});
+    burst.omissions.push_back(AsyncOmitAt{2, 1, on});
+    for (std::uint64_t every : {0ull, 8ull}) {
+      BenOrOptions protocol;
+      protocol.retransmit_every = every;
+      BenOrAsyncFactory factory(protocol);
+      AsyncRepeatSpec spec;
+      spec.n = on;
+      spec.pattern = InputPattern::Half;
+      spec.reps = oreps;
+      spec.seed = kSeed + 16;
+      spec.engine.t_budget = ot;
+      spec.engine.omission_budget = 2;
+      spec.engine.faults = &burst;
+      spec.engine.max_steps = 200000;
+      BenchReport::instance().note_grid(on, ot);
+      BenchReport::instance().note_omission(1.0, 2);
+      const auto stats = run_async_cell(
+          factory, stall_scheduler_factory(), gst_delay_factory(20, 4),
+          std::move(spec),
+          std::string("e16c-") + (every == 0 ? "bare" : "retransmit"));
+      omission.row(
+          {std::string(every == 0 ? "off" : "every 8"),
+           static_cast<long long>(stats.reps() - stats.non_terminated()),
+           stats.rounds_to_decision().mean(),
+           stats.messages_delivered().mean(), stats.timers_fired().mean(),
+           stats.ticks_to_decision().mean()});
+    }
+  }
+  emit(omission);
+  std::cout
+      << "  reading: partial synchrony bounds delay, not loss — omitted\n"
+         "  messages stay lost, and only the retransmission timers (a\n"
+         "  timeout-based mechanism partial synchrony makes meaningful)\n"
+         "  restore liveness. The msgs column is the overhead price.\n\n";
+}
+
+void BM_PartialSynchronyRun(::benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  BenOrOptions protocol;
+  protocol.retransmit_every = 16;
+  BenOrAsyncFactory factory(protocol);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ++seed;
+    StallScheduler sched;
+    GstDelay delay(50, 8);
+    AsyncEngineOptions opts;
+    opts.t_budget = sqrt_t(n);
+    opts.seed = seed;
+    opts.delay = &delay;
+    Xoshiro256 rng(seed);
+    auto inputs = make_inputs(n, InputPattern::Half, rng);
+    const auto res = run_async(factory, inputs, sched, opts);
+    ::benchmark::DoNotOptimize(res.end_time);
+  }
+}
+BENCHMARK(BM_PartialSynchronyRun)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace synran::bench
+
+SYNRAN_BENCH_MAIN(synran::bench::tables)

@@ -1,5 +1,6 @@
-// Side-by-side demo of the two worlds the paper connects: SynRan in the
-// synchronous full-information model vs Ben-Or in the asynchronous model,
+// Side-by-side demo of the worlds the paper connects: SynRan in the
+// synchronous full-information model, Ben-Or under pure asynchrony, and
+// Ben-Or in partial synchrony (adversary-held until GST, bounded after) —
 // under benign and adversarial conditions.
 //
 //   ./sync_vs_async [n] [reps] [seed]
@@ -8,7 +9,7 @@
 
 #include "adversary/coinbias.hpp"
 #include "async/benor.hpp"
-#include "async/engine.hpp"
+#include "async/core.hpp"
 #include "async/scheduler.hpp"
 #include "common/table.hpp"
 #include "protocols/synran.hpp"
@@ -22,14 +23,15 @@ int main(int argc, char** argv) {
   const std::size_t reps = argc > 2 ? std::atoll(argv[2]) : 40;
   const std::uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 23;
 
-  std::cout << "synchronous SynRan vs asynchronous Ben-Or, n = " << n
-            << ", " << reps << " reps\n\n";
+  std::cout << "synchronous SynRan vs asynchronous Ben-Or vs "
+               "partial-synchrony Ben-Or, n = "
+            << n << ", " << reps << " reps\n\n";
 
   Table table("mean rounds to decision (half-0/half-1 inputs)");
   table.header({"model", "protocol", "adversary", "t", "rounds(mean)",
-                "msgs(mean)", "safe"});
+                "msgs(mean)", "ticks(mean)", "safe"});
 
-  // Synchronous rows.
+  // Synchronous rows (the step-round engine; ticks do not apply).
   {
     SynRanFactory factory;
     for (bool attack : {false, true}) {
@@ -52,52 +54,86 @@ int main(int argc, char** argv) {
                  std::string(attack ? "coin-bias" : "none"),
                  static_cast<long long>(spec.engine.t_budget),
                  stats.rounds_to_decision().mean(),
-                 stats.messages_delivered().mean(),
+                 stats.messages_delivered().mean(), std::string("-"),
                  std::string(stats.all_safe() ? "yes" : "NO")});
     }
   }
 
-  // Asynchronous rows.
+  // Ben-Or is constant-round only for t = O(√n) — the regime the paper
+  // cites ([BO83] via §1.2). Near t = n/2 its expected round count blows up
+  // exponentially, so the async rows run at t ≈ √n where the contrast with
+  // the synchronous bound is meaningful.
+  std::uint32_t t_async = 1;
+  while ((t_async + 1) * (t_async + 1) <= n) ++t_async;
+  if (n >= 2 && t_async > n / 2 - 1) t_async = n / 2 - 1;
+
+  // Asynchronous rows: the event-driven core under the adversary-held
+  // default — the scheduler alone decides delivery order, time stays at 0.
   {
     BenOrAsyncFactory factory;
-    SeedSequence seeds(seed);
-    Xoshiro256 input_rng(seeds.stream(1));
     for (bool attack : {false, true}) {
-      Summary rounds;
-      Summary msgs;
-      bool safe = true;
-      for (std::size_t rep = 0; rep < reps; ++rep) {
-        AsyncEngineOptions opts;
-        opts.t_budget = n / 2 - 1;
-        opts.seed = seeds.stream(rep + (attack ? 10000 : 0));
-        auto inputs = make_inputs(n, InputPattern::Half, input_rng);
-        AsyncRunResult res;
-        if (attack) {
-          LaggardScheduler sched(seeds.stream(90000 + rep));
-          res = run_async(factory, inputs, sched, opts);
-        } else {
-          RandomScheduler sched(seeds.stream(90000 + rep));
-          res = run_async(factory, inputs, sched, opts);
-        }
-        if (!res.terminated || !res.agreement) safe = false;
-        if (res.terminated) {
-          rounds.add(static_cast<double>(res.max_round));
-          msgs.add(static_cast<double>(res.messages_delivered));
-        }
-      }
+      AsyncRepeatSpec spec;
+      spec.n = n;
+      spec.pattern = InputPattern::Half;
+      spec.reps = reps;
+      spec.seed = seed;
+      spec.engine.t_budget = t_async;
+      const AsyncRunStats stats = run_repeated_async(
+          factory,
+          attack ? laggard_scheduler_factory() : random_scheduler_factory(),
+          held_delay_factory(), spec);
       table.row({std::string("async"), std::string("benor"),
                  std::string(attack ? "laggard sched" : "random sched"),
-                 static_cast<long long>(n / 2 - 1), rounds.mean(),
-                 msgs.mean(),
-                 std::string(safe ? "yes" : "NO")});
+                 static_cast<long long>(t_async),
+                 stats.rounds_to_decision().mean(),
+                 stats.messages_delivered().mean(),
+                 stats.ticks_to_decision().mean(),
+                 std::string(stats.all_safe() ? "yes" : "NO")});
+    }
+  }
+
+  // Partial-synchrony rows: adversary-held before GST, delivery forced
+  // within the bound after. The stall scheduler is the extremal adversary
+  // (every message waits for its deadline); retransmission keeps the
+  // protocol live across the pre-GST blackout.
+  {
+    const SimTime gst = 50;
+    const SimTime bound = 8;
+    BenOrOptions protocol_options;
+    protocol_options.retransmit_every = 2 * bound;
+    BenOrAsyncFactory factory(protocol_options);
+    for (bool stall : {false, true}) {
+      AsyncRepeatSpec spec;
+      spec.n = n;
+      spec.pattern = InputPattern::Half;
+      spec.reps = reps;
+      spec.seed = seed;
+      spec.engine.t_budget = t_async;
+      const AsyncRunStats stats = run_repeated_async(
+          factory,
+          stall ? stall_scheduler_factory() : random_scheduler_factory(),
+          gst_delay_factory(gst, bound), spec);
+      table.row({std::string("partial"), std::string("benor"),
+                 std::string(stall ? "stall sched" : "random sched"),
+                 static_cast<long long>(t_async),
+                 stats.rounds_to_decision().mean(),
+                 stats.messages_delivered().mean(),
+                 stats.ticks_to_decision().mean(),
+                 std::string(stats.all_safe() ? "yes" : "NO")});
     }
   }
 
   table.print(std::cout);
-  std::cout << "\nreading: the synchronous protocol tolerates ANY t < n "
-               "(here t = n-1)\nwhile the asynchronous one requires t < n/2; "
-               "the paper's theorem says the\nsynchronous price is "
-               "Θ(t/√(n·log(2+t/√n))) rounds — no constant-round\nprotocol "
-               "exists against the strong adversary.\n";
+  std::cout
+      << "\nreading: the synchronous protocol tolerates ANY t < n (here "
+         "t = n-1)\nwhile the asynchronous ones require t < n/2 and are "
+         "constant-round only\nfor t = O(√n) — the async rows run "
+         "there; the paper's theorem says the\nsynchronous price is "
+         "Θ(t/√(n·log(2+t/√n))) rounds — no constant-round\nprotocol "
+         "exists against the strong adversary. The partial rows show the\n"
+         "DLS escape hatch: once deliveries are bounded after GST, even "
+         "the\nmaximally patient adversary cannot starve Ben-Or, at the "
+         "cost of the\nticks column (every message waits out its "
+         "deadline).\n";
   return 0;
 }

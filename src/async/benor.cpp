@@ -33,14 +33,30 @@ BenOrAsyncProcess::Wire BenOrAsyncProcess::decode(Payload p) {
 }
 
 BenOrAsyncProcess::BenOrAsyncProcess(ProcessId id, std::uint32_t n,
-                                     std::uint32_t t, Bit input)
-    : id_(id), n_(n), t_(t), b_(input) {
+                                     std::uint32_t t, Bit input,
+                                     const BenOrOptions& options)
+    : id_(id), n_(n), t_(t), opt_(options), b_(input) {
   SYNRAN_REQUIRE(n >= 1, "need at least one process");
   SYNRAN_REQUIRE(2 * t < n, "Ben-Or requires t < n/2");
 }
 
+void BenOrAsyncProcess::broadcast_phase(AsyncOutbox& out, Payload p) {
+  last_broadcast_ = p;
+  out.broadcast(p);
+}
+
 void BenOrAsyncProcess::start(AsyncOutbox& out, CoinSource& /*coins*/) {
-  out.broadcast(encode({false, round_, to_int(b_)}));
+  broadcast_phase(out, encode({false, round_, to_int(b_)}));
+  // One timer chain per process: each expiry rebroadcasts the latest phase
+  // message and re-arms, until the process falls silent.
+  if (opt_.retransmit_every != 0) out.set_timer(opt_.retransmit_every);
+}
+
+void BenOrAsyncProcess::on_timer(std::uint64_t /*id*/, AsyncOutbox& out,
+                                 CoinSource& /*coins*/) {
+  if (silent_ || opt_.retransmit_every == 0) return;  // chain ends
+  out.broadcast(last_broadcast_);
+  out.set_timer(opt_.retransmit_every);
 }
 
 void BenOrAsyncProcess::on_message(const AsyncMessage& msg, AsyncOutbox& out,
@@ -54,6 +70,9 @@ void BenOrAsyncProcess::on_message(const AsyncMessage& msg, AsyncOutbox& out,
     return;
   }
   Tally& tally = tallies_[{w.round, w.proposal}];
+  if (tally.seen.empty()) tally.seen.assign(n_, false);
+  if (tally.seen[msg.from]) return;  // retransmitted duplicate
+  tally.seen[msg.from] = true;
   if (w.value < 0)
     ++tally.bots;
   else if (w.value == 1)
@@ -77,7 +96,7 @@ void BenOrAsyncProcess::try_advance(AsyncOutbox& out, CoinSource& coins) {
       else if (2 * reports.zeros > n_)
         prop = 0;
       in_proposal_phase_ = true;
-      out.broadcast(encode({true, round_, prop}));
+      broadcast_phase(out, encode({true, round_, prop}));
       continue;
     }
 
@@ -110,7 +129,7 @@ void BenOrAsyncProcess::try_advance(AsyncOutbox& out, CoinSource& coins) {
     tallies_.erase({round_, true});
     ++round_;
     in_proposal_phase_ = false;
-    out.broadcast(encode({false, round_, to_int(b_)}));
+    broadcast_phase(out, encode({false, round_, to_int(b_)}));
   }
 }
 

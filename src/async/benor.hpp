@@ -15,19 +15,34 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "async/process.hpp"
 
 namespace synran {
 
+/// Protocol knobs beyond (n, t, input).
+struct BenOrOptions {
+  /// 0 = pure message-driven (the classic protocol). Nonzero arms a
+  /// retransmission timer: every `retransmit_every` ticks an undecided (or
+  /// still-helping) process rebroadcasts its latest phase message. Only
+  /// meaningful under a delay model where simulated time advances — it is
+  /// what makes the protocol live against omission bursts and lets
+  /// partial-synchrony runs recover dropped quorums. Tallies deduplicate
+  /// by sender, so retransmissions never double-count.
+  std::uint64_t retransmit_every = 0;
+};
+
 class BenOrAsyncProcess final : public AsyncProcess {
  public:
-  BenOrAsyncProcess(ProcessId id, std::uint32_t n, std::uint32_t t,
-                    Bit input);
+  BenOrAsyncProcess(ProcessId id, std::uint32_t n, std::uint32_t t, Bit input,
+                    const BenOrOptions& options = {});
 
   void start(AsyncOutbox& out, CoinSource& coins) override;
   void on_message(const AsyncMessage& msg, AsyncOutbox& out,
                   CoinSource& coins) override;
+  void on_timer(std::uint64_t id, AsyncOutbox& out,
+                CoinSource& coins) override;
   bool decided() const override { return decided_; }
   Bit decision() const override { return b_; }
   AsyncProcessView view() const override { return {b_, decided_, round_}; }
@@ -46,14 +61,19 @@ class BenOrAsyncProcess final : public AsyncProcess {
     std::uint32_t zeros = 0;
     std::uint32_t ones = 0;
     std::uint32_t bots = 0;
+    /// Which senders already counted toward this (round, phase): a
+    /// retransmitted broadcast must not inflate the quorum.
+    std::vector<bool> seen;
     std::uint32_t total() const { return zeros + ones + bots; }
   };
 
   void try_advance(AsyncOutbox& out, CoinSource& coins);
+  void broadcast_phase(AsyncOutbox& out, Payload p);
 
   ProcessId id_;
   std::uint32_t n_;
   std::uint32_t t_;
+  BenOrOptions opt_;
   Bit b_;
   bool decided_ = false;
   std::uint32_t round_ = 1;
@@ -63,17 +83,25 @@ class BenOrAsyncProcess final : public AsyncProcess {
   /// then go silent so the run can drain.
   std::uint32_t help_rounds_left_ = 2;
   bool silent_ = false;
+  Payload last_broadcast_ = 0;
   std::map<std::pair<std::uint32_t, bool>, Tally> tallies_;
 };
 
 class BenOrAsyncFactory final : public AsyncProcessFactory {
  public:
+  BenOrAsyncFactory() = default;
+  explicit BenOrAsyncFactory(const BenOrOptions& options)
+      : options_(options) {}
+
   std::unique_ptr<AsyncProcess> make(ProcessId id, std::uint32_t n,
                                      std::uint32_t t,
                                      Bit input) const override {
-    return std::make_unique<BenOrAsyncProcess>(id, n, t, input);
+    return std::make_unique<BenOrAsyncProcess>(id, n, t, input, options_);
   }
   const char* name() const override { return "benor-async"; }
+
+ private:
+  BenOrOptions options_;
 };
 
 }  // namespace synran

@@ -1,0 +1,58 @@
+#include "async/event.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace synran {
+
+SimTime EventList::next_time() const {
+  SYNRAN_REQUIRE(!heap_.empty(), "next_time() on an empty event list");
+  return heap_.front().time;
+}
+
+void EventList::schedule_at(EventSource& source, SimTime at,
+                            std::uint64_t tag) {
+  SYNRAN_REQUIRE(at >= now_, "cannot schedule an event in the past");
+  SYNRAN_REQUIRE(at != kNever, "kNever is not a schedulable instant");
+  heap_.push_back(Entry{at, next_seq_++, &source, tag});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventList::schedule_in(EventSource& source, SimTime delay,
+                            std::uint64_t tag) {
+  const SimTime at =
+      delay >= kNever - now_ ? kNever - 1 : now_ + delay;  // saturate
+  schedule_at(source, at, tag);
+}
+
+bool EventList::run_next() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry e = heap_.back();
+  heap_.pop_back();
+  now_ = e.time;
+  ++dispatched_;
+  e.source->do_next_event(e.time, e.tag);
+  return true;
+}
+
+Trigger::Trigger(EventList& list, Action action)
+    : list_(&list), action_(std::move(action)) {
+  SYNRAN_REQUIRE(action_ != nullptr, "Trigger needs an action");
+}
+
+void Trigger::arm_at(SimTime at, std::uint64_t tag) {
+  list_->schedule_at(*this, at, tag);
+}
+
+void Trigger::arm_in(SimTime delay, std::uint64_t tag) {
+  list_->schedule_in(*this, delay, tag);
+}
+
+void Trigger::do_next_event(SimTime now, std::uint64_t tag) {
+  action_(now, tag);
+}
+
+}  // namespace synran

@@ -1,0 +1,107 @@
+// The event-driven simulation core's clock and dispatch queue.
+//
+// Everything the asynchronous engine does — message deliveries, timer
+// expiries, partial-synchrony deadline releases, injected faults — is an
+// event on one central time-ordered EventList (the htsim pattern: a single
+// heap of (time, source) pairs drives arbitrarily many event-source
+// objects). Determinism is non-negotiable here, so ties are broken by a
+// monotone sequence number: two events scheduled for the same instant
+// dispatch in the order they were scheduled (FIFO), never in heap order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace synran {
+
+/// Simulated time in abstract ticks. The engine never consults wall-clock
+/// (lint-enforced); ticks only mean "this happens before that" plus the
+/// delay models' arithmetic.
+using SimTime = std::uint64_t;
+
+/// Sentinel: "no deadline" / "never". Not a schedulable instant.
+inline constexpr SimTime kNever = ~static_cast<SimTime>(0);
+
+/// Something that reacts to scheduled events. One source may have any
+/// number of events outstanding; `tag` disambiguates them (the scheduling
+/// call passes it through verbatim).
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  virtual void do_next_event(SimTime now, std::uint64_t tag) = 0;
+};
+
+/// The central time-ordered event queue: a binary heap of
+/// (time, tiebreak-seq, source, tag). `run_next` pops the earliest entry,
+/// advances the clock to its time, and dispatches it. Equal-time entries
+/// dispatch in scheduling order — the seq is assigned monotonically at
+/// schedule time — so a run's event order is a pure function of the calls
+/// made against the list, independent of heap internals.
+class EventList {
+ public:
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest scheduled instant. Requires a non-empty list.
+  SimTime next_time() const;
+
+  /// Schedules `source` at absolute time `at` (>= now, < kNever). The
+  /// source is borrowed and must outlive the dispatch.
+  void schedule_at(EventSource& source, SimTime at, std::uint64_t tag = 0);
+
+  /// Schedules `source` at now + delay (saturating below kNever).
+  void schedule_in(EventSource& source, SimTime delay, std::uint64_t tag = 0);
+
+  /// Dispatches the earliest event, advancing the clock to its time first.
+  /// Returns false (and leaves the clock alone) when the list is empty.
+  bool run_next();
+
+  /// Events dispatched so far.
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Entry {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    EventSource* source = nullptr;
+    std::uint64_t tag = 0;
+  };
+  /// Max-heap comparator inverted into a min-heap on (time, seq).
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+/// A free-standing event source wrapping a callback: the composition
+/// mechanism that lets fault injection and protocol timeouts ride the same
+/// clock as the delay models instead of replacing them. The engine arms one
+/// Trigger per injected fault; tests and future scenario families arm their
+/// own.
+class Trigger final : public EventSource {
+ public:
+  using Action = std::function<void(SimTime now, std::uint64_t tag)>;
+
+  Trigger(EventList& list, Action action);
+
+  void arm_at(SimTime at, std::uint64_t tag = 0);
+  void arm_in(SimTime delay, std::uint64_t tag = 0);
+
+  void do_next_event(SimTime now, std::uint64_t tag) override;
+
+ private:
+  EventList* list_;
+  Action action_;
+};
+
+}  // namespace synran

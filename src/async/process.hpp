@@ -27,7 +27,16 @@ struct AsyncMessage {
   Payload payload = 0;
 };
 
-/// Collects a process's sends during one activation.
+/// A request to be woken `delay` ticks of simulated time from now; `id` is
+/// echoed back through on_timer so one process can keep several timers
+/// apart. Timer support is what partial synchrony buys the protocol layer:
+/// after GST a bounded delivery delay makes timeouts meaningful.
+struct AsyncTimerRequest {
+  std::uint64_t delay = 0;
+  std::uint64_t id = 0;
+};
+
+/// Collects a process's sends (and timer requests) during one activation.
 class AsyncOutbox {
  public:
   explicit AsyncOutbox(ProcessId self, std::uint32_t n)
@@ -38,12 +47,22 @@ class AsyncOutbox {
     for (ProcessId i = 0; i < n_; ++i) send(i, p);
   }
 
+  /// Asks the engine to call on_timer(id) after `delay` ticks. Under the
+  /// pure adversary-held model simulated time never advances, so timers
+  /// set there simply never fire — protocols must not rely on them for
+  /// safety, only liveness.
+  void set_timer(std::uint64_t delay, std::uint64_t id = 0) {
+    timers_.push_back({delay, id});
+  }
+
   std::vector<AsyncMessage> take() { return std::move(out_); }
+  std::vector<AsyncTimerRequest> take_timers() { return std::move(timers_); }
 
  private:
   ProcessId self_;
   std::uint32_t n_;
   std::vector<AsyncMessage> out_;
+  std::vector<AsyncTimerRequest> timers_;
 };
 
 /// Scheduler-visible snapshot of a process (full information).
@@ -65,6 +84,11 @@ class AsyncProcess {
   /// Called per delivered message.
   virtual void on_message(const AsyncMessage& msg, AsyncOutbox& out,
                           CoinSource& coins) = 0;
+
+  /// Called when a timer set via AsyncOutbox::set_timer expires. Default:
+  /// ignore (message-driven protocols need no clock).
+  virtual void on_timer(std::uint64_t /*id*/, AsyncOutbox& /*out*/,
+                        CoinSource& /*coins*/) {}
 
   virtual bool decided() const = 0;
   virtual Bit decision() const = 0;

@@ -58,4 +58,8 @@ AsyncAction LaggardScheduler::step(const AsyncWorld& world) {
   return {AsyncAction::Kind::Deliver, 0, 0, {}};
 }
 
+AsyncAction StallScheduler::step(const AsyncWorld& /*world*/) {
+  return {AsyncAction::Kind::Wait, 0, 0, {}};
+}
+
 }  // namespace synran

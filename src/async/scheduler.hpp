@@ -46,7 +46,13 @@ struct AsyncAction {
   enum class Kind : std::uint8_t {
     Deliver,  ///< deliver pending()[index]
     Crash,    ///< crash `victim`, dropping its in-transit messages listed
-              ///< in drop (indices into pending())
+              ///< in drop (indices into pending(); each must belong to the
+              ///< victim and appear at most once — the engine rejects
+              ///< out-of-range or duplicate indices with InvariantError)
+    Wait,     ///< decline to act; let simulated time advance to the next
+              ///< scheduled event (a deadline, timer, or timed delivery).
+              ///< Waiting with nothing scheduled ends the run undecided —
+              ///< the adversary may starve a fully-asynchronous system.
   };
   Kind kind = Kind::Deliver;
   std::size_t index = 0;
@@ -58,8 +64,8 @@ class AsyncScheduler {
  public:
   virtual ~AsyncScheduler() = default;
   virtual void begin(std::uint32_t /*n*/, std::uint32_t /*t*/) {}
-  /// Must return a Deliver of a valid pending index (to a live process), or
-  /// a Crash within budget. Called only while deliverable messages exist.
+  /// Must return a Deliver of a valid pending index (to a live process), a
+  /// Crash within budget, or a Wait. Called only while held messages exist.
   virtual AsyncAction step(const AsyncWorld& world) = 0;
   virtual const char* name() const = 0;
 };
@@ -100,6 +106,18 @@ class LaggardScheduler final : public AsyncScheduler {
   Xoshiro256 rng_;  // synran-lint: allow(coin-source)
   std::uint32_t t_ = 0;
   std::vector<bool> lagging_;
+};
+
+/// Maximally patient: always Waits, so every held message is delivered only
+/// when a deadline forces it. Under GstDelay this is the extremal
+/// partial-synchrony adversary — each message arrives exactly at
+/// max(send, GST) + bound — and the run's decision time directly measures
+/// the GST's cost. Under pure asynchrony (no deadlines) it starves the
+/// system outright.
+class StallScheduler final : public AsyncScheduler {
+ public:
+  AsyncAction step(const AsyncWorld& world) override;
+  const char* name() const override { return "stall"; }
 };
 
 }  // namespace synran

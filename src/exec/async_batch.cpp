@@ -1,0 +1,145 @@
+#include "exec/async_batch.hpp"
+
+#include <utility>
+
+namespace synran {
+
+std::uint64_t delay_seed_for_rep(std::uint64_t seed, std::size_t rep) {
+  return SeedSequence(seed).stream(kAsyncDelayStreamBase + rep);
+}
+
+AsyncSchedulerFactory fifo_scheduler_factory() {
+  return [](std::uint64_t) { return std::make_unique<FifoScheduler>(); };
+}
+
+AsyncSchedulerFactory random_scheduler_factory() {
+  return [](std::uint64_t seed) {
+    return std::make_unique<RandomScheduler>(seed);
+  };
+}
+
+AsyncSchedulerFactory laggard_scheduler_factory() {
+  return [](std::uint64_t seed) {
+    return std::make_unique<LaggardScheduler>(seed);
+  };
+}
+
+AsyncSchedulerFactory stall_scheduler_factory() {
+  return [](std::uint64_t) { return std::make_unique<StallScheduler>(); };
+}
+
+AsyncDelayFactory held_delay_factory() {
+  return [](std::uint64_t) { return std::unique_ptr<DelayModel>(); };
+}
+
+AsyncDelayFactory fixed_delay_factory(SimTime latency) {
+  return [latency](std::uint64_t) {
+    return std::make_unique<FixedDelay>(latency);
+  };
+}
+
+AsyncDelayFactory uniform_delay_factory(SimTime lo, SimTime hi) {
+  return [lo, hi](std::uint64_t seed) {
+    return std::make_unique<UniformDelay>(lo, hi, seed);
+  };
+}
+
+AsyncDelayFactory gst_delay_factory(SimTime gst, SimTime bound) {
+  return [gst, bound](std::uint64_t) {
+    return std::make_unique<GstDelay>(gst, bound);
+  };
+}
+
+AsyncRunStats::AsyncRunStats() {
+  // Pre-register so a zero-rep aggregate reads back as zeros.
+  metrics_.summary("rounds_to_decision");
+  metrics_.summary("ticks_to_decision");
+  metrics_.summary("crashes_used");
+  metrics_.summary("messages_delivered");
+  metrics_.summary("coin_flips");
+  metrics_.summary("timers_fired");
+  metrics_.summary("omissions_used");
+  metrics_.summary("messages_omitted");
+  metrics_.counter("reps");
+  metrics_.counter("agreement_failures");
+  metrics_.counter("validity_failures");
+  metrics_.counter("non_terminated");
+  metrics_.counter("decided_one");
+  metrics_.counter("reps_quarantined");
+}
+
+void AsyncRunStats::add(const AsyncRunResult& rep) {
+  metrics_.counter("reps").inc();
+  if (!rep.terminated) {
+    metrics_.counter("non_terminated").inc();
+  } else {
+    metrics_.summary("rounds_to_decision")
+        .add(static_cast<double>(rep.max_round));
+    metrics_.summary("ticks_to_decision")
+        .add(static_cast<double>(rep.decision_time));
+  }
+  metrics_.summary("crashes_used").add(static_cast<double>(rep.crashes));
+  metrics_.summary("messages_delivered")
+      .add(static_cast<double>(rep.messages_delivered));
+  metrics_.summary("coin_flips").add(static_cast<double>(rep.coin_flips));
+  metrics_.summary("timers_fired")
+      .add(static_cast<double>(rep.timers_fired));
+  metrics_.summary("omissions_used").add(static_cast<double>(rep.omissions));
+  metrics_.summary("messages_omitted")
+      .add(static_cast<double>(rep.messages_omitted));
+  if (rep.decided_live > 0 && !rep.agreement)
+    metrics_.counter("agreement_failures").inc();
+  if (!rep.validity) metrics_.counter("validity_failures").inc();
+  if (rep.agreement && rep.decision == Bit::One)
+    metrics_.counter("decided_one").inc();
+}
+
+void AsyncRunStats::note_quarantined(RepFailure failure) {
+  metrics_.counter("reps_quarantined").inc();
+  failures_.push_back(std::move(failure));
+}
+
+const Summary& AsyncRunStats::rounds_to_decision() const {
+  return metrics_.summary_at("rounds_to_decision");
+}
+const Summary& AsyncRunStats::ticks_to_decision() const {
+  return metrics_.summary_at("ticks_to_decision");
+}
+const Summary& AsyncRunStats::crashes_used() const {
+  return metrics_.summary_at("crashes_used");
+}
+const Summary& AsyncRunStats::messages_delivered() const {
+  return metrics_.summary_at("messages_delivered");
+}
+const Summary& AsyncRunStats::coin_flips() const {
+  return metrics_.summary_at("coin_flips");
+}
+const Summary& AsyncRunStats::timers_fired() const {
+  return metrics_.summary_at("timers_fired");
+}
+const Summary& AsyncRunStats::omissions_used() const {
+  return metrics_.summary_at("omissions_used");
+}
+const Summary& AsyncRunStats::messages_omitted() const {
+  return metrics_.summary_at("messages_omitted");
+}
+std::size_t AsyncRunStats::reps() const {
+  return metrics_.counter_at("reps").value();
+}
+std::size_t AsyncRunStats::agreement_failures() const {
+  return metrics_.counter_at("agreement_failures").value();
+}
+std::size_t AsyncRunStats::validity_failures() const {
+  return metrics_.counter_at("validity_failures").value();
+}
+std::size_t AsyncRunStats::non_terminated() const {
+  return metrics_.counter_at("non_terminated").value();
+}
+std::size_t AsyncRunStats::decided_one() const {
+  return metrics_.counter_at("decided_one").value();
+}
+std::size_t AsyncRunStats::reps_quarantined() const {
+  return metrics_.counter_at("reps_quarantined").value();
+}
+
+}  // namespace synran

@@ -8,4 +8,11 @@ RepeatedRunStats run_repeated(const ProcessFactory& factory,
   return exec::BatchExecutor().run(factory, adversaries, spec);
 }
 
+AsyncRunStats run_repeated_async(const AsyncProcessFactory& factory,
+                                 const AsyncSchedulerFactory& schedulers,
+                                 const AsyncDelayFactory& delays,
+                                 const AsyncRepeatSpec& spec) {
+  return exec::AsyncBatchExecutor().run(factory, schedulers, delays, spec);
+}
+
 }  // namespace synran

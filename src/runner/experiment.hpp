@@ -5,6 +5,8 @@
 // produces bit-identical statistics at any thread count.
 #pragma once
 
+#include "exec/async_batch.hpp"
+#include "exec/async_executor.hpp"
 #include "exec/batch.hpp"
 #include "exec/executor.hpp"
 
@@ -16,5 +18,12 @@ namespace synran {
 RepeatedRunStats run_repeated(const ProcessFactory& factory,
                               const AdversaryFactory& adversaries,
                               const RepeatSpec& spec);
+
+/// Async counterpart: spec.reps event-driven executions through
+/// exec::AsyncBatchExecutor, same thread-count-invariance contract.
+AsyncRunStats run_repeated_async(const AsyncProcessFactory& factory,
+                                 const AsyncSchedulerFactory& schedulers,
+                                 const AsyncDelayFactory& delays,
+                                 const AsyncRepeatSpec& spec);
 
 }  // namespace synran

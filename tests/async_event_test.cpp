@@ -1,0 +1,235 @@
+// Tests for the event-driven core's clock layer: EventList determinism and
+// FIFO tiebreaking, Trigger composition, the delay models (fixed, seeded
+// uniform, adversary-held, GST clamping), and the async run auditor's
+// violation detection.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "async/audit.hpp"
+#include "async/delay.hpp"
+#include "async/event.hpp"
+#include "common/check.hpp"
+
+namespace synran {
+namespace {
+
+/// Records every dispatch as (time, tag) so tests can assert exact order.
+class Recorder final : public EventSource {
+ public:
+  void do_next_event(SimTime now, std::uint64_t tag) override {
+    seen.push_back({now, tag});
+  }
+  std::vector<std::pair<SimTime, std::uint64_t>> seen;
+};
+
+TEST(AsyncEventListTest, DispatchesInTimeOrder) {
+  EventList list;
+  Recorder rec;
+  list.schedule_at(rec, 30, 0);
+  list.schedule_at(rec, 10, 1);
+  list.schedule_at(rec, 20, 2);
+  while (list.run_next()) {
+  }
+  ASSERT_EQ(rec.seen.size(), 3u);
+  EXPECT_EQ(rec.seen[0], (std::pair<SimTime, std::uint64_t>{10, 1}));
+  EXPECT_EQ(rec.seen[1], (std::pair<SimTime, std::uint64_t>{20, 2}));
+  EXPECT_EQ(rec.seen[2], (std::pair<SimTime, std::uint64_t>{30, 0}));
+  EXPECT_EQ(list.now(), 30u);
+  EXPECT_EQ(list.dispatched(), 3u);
+}
+
+TEST(AsyncEventListTest, EqualTimesDispatchInSchedulingOrderFifo) {
+  // Property: any number of same-instant events dispatch in exactly the
+  // order they were scheduled — never heap order. Interleave two instants
+  // to make a sift-down reordering (the classic binary-heap hazard) likely
+  // if the tiebreak were absent.
+  EventList list;
+  Recorder rec;
+  constexpr std::uint64_t kPerInstant = 64;
+  for (std::uint64_t i = 0; i < kPerInstant; ++i) {
+    list.schedule_at(rec, 5, i);
+    list.schedule_at(rec, 7, 1000 + i);
+  }
+  while (list.run_next()) {
+  }
+  ASSERT_EQ(rec.seen.size(), 2 * kPerInstant);
+  for (std::uint64_t i = 0; i < kPerInstant; ++i) {
+    EXPECT_EQ(rec.seen[i].first, 5u);
+    EXPECT_EQ(rec.seen[i].second, i) << "FIFO broken at t=5 slot " << i;
+    EXPECT_EQ(rec.seen[kPerInstant + i].first, 7u);
+    EXPECT_EQ(rec.seen[kPerInstant + i].second, 1000 + i)
+        << "FIFO broken at t=7 slot " << i;
+  }
+}
+
+TEST(AsyncEventListTest, RejectsSchedulingInThePast) {
+  EventList list;
+  Recorder rec;
+  list.schedule_at(rec, 10, 0);
+  ASSERT_TRUE(list.run_next());  // now = 10
+  EXPECT_THROW(list.schedule_at(rec, 9, 1), ArgumentError);
+  EXPECT_THROW(list.schedule_at(rec, kNever, 1), ArgumentError);
+  EXPECT_NO_THROW(list.schedule_at(rec, 10, 1));  // now itself is fine
+}
+
+TEST(AsyncEventListTest, ScheduleInSaturatesBelowNever) {
+  EventList list;
+  Recorder rec;
+  list.schedule_in(rec, kNever);  // would overflow; saturates
+  EXPECT_EQ(list.next_time(), kNever - 1);
+}
+
+TEST(AsyncEventListTest, NextTimeRequiresNonEmpty) {
+  EventList list;
+  EXPECT_THROW(list.next_time(), ArgumentError);
+  EXPECT_FALSE(list.run_next());
+  EXPECT_EQ(list.now(), 0u);
+}
+
+TEST(AsyncEventListTest, IdenticalScheduleIdenticalDispatch) {
+  // Two lists fed the same interleaved schedule-and-run sequence dispatch
+  // identically — the determinism the engine's thread-invariance rests on.
+  auto drive = [](EventList& list, Recorder& rec) {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      list.schedule_at(rec, list.now() + (i % 7) * 3, i);
+      if (i % 3 == 0) list.run_next();
+    }
+    while (list.run_next()) {
+    }
+  };
+  EventList a, b;
+  Recorder ra, rb;
+  drive(a, ra);
+  drive(b, rb);
+  EXPECT_EQ(ra.seen, rb.seen);
+}
+
+TEST(AsyncTriggerTest, FiresActionWithTimeAndTag) {
+  EventList list;
+  std::vector<std::pair<SimTime, std::uint64_t>> fired;
+  Trigger trig(list, [&](SimTime now, std::uint64_t tag) {
+    fired.push_back({now, tag});
+  });
+  trig.arm_at(42, 7);
+  trig.arm_in(5, 8);
+  while (list.run_next()) {
+  }
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], (std::pair<SimTime, std::uint64_t>{5, 8}));
+  EXPECT_EQ(fired[1], (std::pair<SimTime, std::uint64_t>{42, 7}));
+}
+
+TEST(AsyncDelayModelTest, FixedAddsLatency) {
+  FixedDelay d(10);
+  const LinkDelay out = d.classify({0, 1, 0}, 25);
+  EXPECT_FALSE(out.held);
+  EXPECT_EQ(out.deliver_at, 35u);
+}
+
+TEST(AsyncDelayModelTest, UniformBoundedAndSeedDeterministic) {
+  UniformDelay a(3, 9, 77);
+  UniformDelay b(3, 9, 77);
+  for (int i = 0; i < 200; ++i) {
+    const LinkDelay da = a.classify({0, 1, 0}, 100);
+    const LinkDelay db = b.classify({0, 1, 0}, 100);
+    EXPECT_FALSE(da.held);
+    EXPECT_GE(da.deliver_at, 103u);
+    EXPECT_LE(da.deliver_at, 109u);
+    EXPECT_EQ(da.deliver_at, db.deliver_at) << "seed determinism broken";
+  }
+  EXPECT_THROW(UniformDelay(9, 3, 1), ArgumentError);
+}
+
+TEST(AsyncDelayModelTest, AdversaryHoldsWithoutDeadline) {
+  AdversaryDelay d;
+  const LinkDelay out = d.classify({0, 1, 0}, 50);
+  EXPECT_TRUE(out.held);
+  EXPECT_EQ(out.deadline, kNever);
+}
+
+TEST(AsyncDelayModelTest, GstClampsHeldDeadline) {
+  GstDelay d(100, 5);  // adversary-held, forced within 5 ticks after GST
+  // Before GST: the deadline is GST + bound.
+  LinkDelay early = d.classify({0, 1, 0}, 10);
+  EXPECT_TRUE(early.held);
+  EXPECT_EQ(early.deadline, 105u);
+  // After GST: deadline is send time + bound.
+  LinkDelay late = d.classify({0, 1, 0}, 200);
+  EXPECT_TRUE(late.held);
+  EXPECT_EQ(late.deadline, 205u);
+  EXPECT_THROW(GstDelay(0, 0), ArgumentError);  // bound must be >= 1
+}
+
+TEST(AsyncDelayModelTest, GstClampsTimedInnerModel) {
+  // Wrapping a timed model: a delivery the inner model would postpone past
+  // the bound is pulled back to max(now, GST) + bound.
+  FixedDelay slow(1000);
+  GstDelay d(slow, 50, 20);
+  const LinkDelay out = d.classify({0, 1, 0}, 60);
+  EXPECT_FALSE(out.held);
+  EXPECT_EQ(out.deliver_at, 80u);  // min(60+1000, 60+20)
+}
+
+// ------------------------------------------------------------ the auditor
+
+TEST(AsyncAuditTest, RejectsTimeMovingBackwards) {
+  AsyncRunAuditor audit;
+  audit.begin(4, 1, 0);
+  audit.note_time(10);
+  EXPECT_THROW(audit.note_time(9), InvariantError);
+}
+
+TEST(AsyncAuditTest, EnforcesCrashBudget) {
+  AsyncRunAuditor audit;
+  audit.begin(4, 1, 0);
+  audit.on_crash(0, 2);
+  EXPECT_THROW(audit.on_crash(0, 3), InvariantError);
+  EXPECT_EQ(audit.crashes(), 1u);
+}
+
+TEST(AsyncAuditTest, RejectsDoubleCrashAndBadVictim) {
+  AsyncRunAuditor audit;
+  audit.begin(4, 4, 0);
+  audit.on_crash(0, 2);
+  EXPECT_THROW(audit.on_crash(0, 2), InvariantError);
+  EXPECT_THROW(audit.on_crash(0, 9), InvariantError);
+}
+
+TEST(AsyncAuditTest, RejectsDeliveryToCrashedProcess) {
+  AsyncRunAuditor audit;
+  audit.begin(4, 1, 0);
+  audit.on_crash(5, 2);
+  EXPECT_THROW(audit.on_deliver(6, AsyncMessage{0, 2, 0}), InvariantError);
+  EXPECT_NO_THROW(audit.on_deliver(6, AsyncMessage{0, 3, 0}));
+}
+
+TEST(AsyncAuditTest, RejectsSendFromCrashedProcess) {
+  AsyncRunAuditor audit;
+  audit.begin(4, 1, 0);
+  audit.on_crash(5, 2);
+  EXPECT_THROW(audit.on_send(6, AsyncMessage{2, 0, 0}), InvariantError);
+}
+
+TEST(AsyncAuditTest, EnforcesOmissionBudgetAndLiveSender) {
+  AsyncRunAuditor audit;
+  audit.begin(4, 1, 1);
+  audit.on_omission(3, 1, 2);
+  EXPECT_THROW(audit.on_omission(3, 1, 1), InvariantError);
+  audit.begin(4, 1, 5);
+  audit.on_crash(0, 1);
+  EXPECT_THROW(audit.on_omission(1, 1, 1), InvariantError);
+}
+
+TEST(AsyncAuditTest, EndCrossChecksReportedTotals) {
+  AsyncRunAuditor audit;
+  audit.begin(4, 2, 0);
+  audit.on_crash(0, 1);
+  EXPECT_NO_THROW(audit.on_end(1, 0));
+  EXPECT_THROW(audit.on_end(2, 0), InvariantError);
+  EXPECT_THROW(audit.on_end(1, 1), InvariantError);
+}
+
+}  // namespace
+}  // namespace synran

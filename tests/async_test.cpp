@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "async/benor.hpp"
-#include "async/engine.hpp"
+#include "async/core.hpp"
 #include "async/scheduler.hpp"
 #include "common/check.hpp"
 

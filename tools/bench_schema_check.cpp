@@ -15,11 +15,12 @@
 // shared decode bug cannot self-certify; the schema-literals lint rule
 // keeps the constant set here in lockstep with src/obs.
 // --canon validates one report, then prints it with the run-dependent
-// fields (timings, git_rev, trace_overhead) stripped — two runs of the
-// same experiment are equivalent iff their canonical forms are
+// fields (timings, git_rev, threads, trace_overhead) stripped — two runs
+// of the same experiment are equivalent iff their canonical forms are
 // byte-identical, which is how the resume tests prove a checkpointed rerun
-// reproduces an uninterrupted one. EXPERIMENTS.md documents the schemas
-// field by field.
+// reproduces an uninterrupted one and the thread-invariance tests prove a
+// parallel sweep reproduces a serial one. EXPERIMENTS.md documents the
+// schemas field by field.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -626,8 +627,10 @@ int check_file(const std::string& path, bool trace_mode) {
 
 /// Validates one report, then prints its canonical form: every field in
 /// document order except the run-dependent ones (timings and trace_overhead
-/// vary with load, git_rev with the working tree). Verdicts go to stderr so
-/// stdout is exactly the canonical document.
+/// vary with load, git_rev with the working tree, threads with how the run
+/// was parallelized — the statistics it describes are thread-count
+/// invariant). Verdicts go to stderr so stdout is exactly the canonical
+/// document.
 int canon_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -650,7 +653,8 @@ int canon_file(const std::string& path) {
   }
   JsonValue canon = JsonValue::object();
   for (const auto& [key, value] : doc->as_object()) {
-    if (key == "timings" || key == "git_rev" || key == "trace_overhead")
+    if (key == "timings" || key == "git_rev" || key == "threads" ||
+        key == "trace_overhead")
       continue;
     canon.set(key, value);
   }
@@ -680,7 +684,7 @@ int main(int argc, char** argv) {
                  "  validates synran-bench/1 reports (default) or run\n"
                  "  traces (--trace; synran-trace/1 JSONL and synran-trace/2\n"
                  "  binary, sniffed per file); --canon prints one report\n"
-                 "  minus timings/git_rev/trace_overhead for byte\n"
+                 "  minus timings/git_rev/threads/trace_overhead for byte\n"
                  "  comparison\n";
     return 2;
   }

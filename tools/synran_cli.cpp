@@ -36,6 +36,7 @@
 #include <string>
 
 #include "adversary/basic.hpp"
+#include "async/benor.hpp"
 #include "adversary/coinbias.hpp"
 #include "adversary/nonadaptive.hpp"
 #include "adversary/omission.hpp"
@@ -245,6 +246,146 @@ FaultFlag parse_faults(const std::string& text) {
   }
   f.enabled = true;
   return f;
+}
+
+/// Parsed --scheduler for --model=async.
+AsyncSchedulerFactory make_scheduler(const std::string& name) {
+  if (name == "fifo") return fifo_scheduler_factory();
+  if (name == "random") return random_scheduler_factory();
+  if (name == "laggard") return laggard_scheduler_factory();
+  if (name == "stall") return stall_scheduler_factory();
+  throw UsageError("invalid --scheduler '" + name +
+                   "' (expected fifo, random, laggard, or stall)");
+}
+
+/// Parsed --delay held|fixed:D|uniform:LO,HI for --model=async.
+AsyncDelayFactory make_delay(const std::string& text) {
+  if (text.empty() || text == "held") return held_delay_factory();
+  if (text.rfind("fixed:", 0) == 0) {
+    return fixed_delay_factory(parse_u64("delay", text.substr(6)));
+  }
+  if (text.rfind("uniform:", 0) == 0) {
+    const std::string rest = text.substr(8);
+    const auto comma = rest.find(',');
+    if (comma == std::string::npos) {
+      throw UsageError("invalid --delay '" + text +
+                       "': uniform needs LO,HI");
+    }
+    const auto lo = parse_u64("delay", rest.substr(0, comma));
+    const auto hi = parse_u64("delay", rest.substr(comma + 1));
+    if (lo > hi) {
+      throw UsageError("invalid --delay '" + text + "': LO must be <= HI");
+    }
+    return uniform_delay_factory(lo, hi);
+  }
+  throw UsageError("invalid --delay '" + text +
+                   "' (expected held, fixed:D, or uniform:LO,HI)");
+}
+
+/// The async branch of `run` (--model=async): repeated event-driven
+/// executions of Ben-Or under a scheduler + delay model, optionally in
+/// partial synchrony (--gst/--delta).
+int cmd_run_async(const Args& args) {
+  exec::install_stop_handlers();
+
+  const auto n = args.num32("n", 32);
+  const auto t = args.num32("t", n >= 2 ? (n - 1) / 2 : 0);
+  const auto proto = args.get("protocol", "benor");
+  if (proto != "benor") {
+    throw UsageError("--model=async supports --protocol benor only");
+  }
+  // Sync-only machinery is rejected loudly rather than ignored.
+  for (const char* flag : {"adversary", "faults", "resume", "fail-policy",
+                           "retries", "max-rounds"}) {
+    if (!args.get(flag, "").empty()) {
+      throw UsageError(std::string("--") + flag +
+                       " does not apply to --model=async" +
+                       (std::string(flag) == "adversary"
+                            ? " (use --scheduler)"
+                            : ""));
+    }
+  }
+
+  AsyncSchedulerFactory schedulers =
+      make_scheduler(args.get("scheduler", "random"));
+  AsyncDelayFactory delays = make_delay(args.get("delay", "held"));
+  const auto gst = args.num("gst", 0);
+  const auto delta = args.num("delta", 0);
+  if ((gst != 0 || delta != 0)) {
+    // Partial synchrony: adversary-held before GST, forced delivery within
+    // --delta after. Composes with the scheduler, not the timed delays.
+    if (args.get("delay", "held") != "held") {
+      throw UsageError("--gst/--delta require --delay held (they bound the "
+                       "adversary, not a timed link model)");
+    }
+    if (delta == 0) {
+      throw UsageError("--gst needs --delta >= 1 (the post-GST bound)");
+    }
+    delays = gst_delay_factory(gst, delta);
+  }
+
+  BenOrOptions protocol_options;
+  protocol_options.retransmit_every = args.num("retransmit", 0);
+  const BenOrAsyncFactory factory(protocol_options);
+
+  AsyncRepeatSpec spec;
+  spec.n = n;
+  spec.pattern = parse_pattern(args.get("pattern", "random"));
+  spec.reps = args.num("reps", 50);
+  spec.seed = args.num("seed", 1);
+  spec.threads = static_cast<unsigned>(args.num("threads", 0));
+  spec.engine.t_budget = t;
+  spec.engine.max_steps = args.num("max-steps", 2000000);
+  if (const auto max_time = args.num("max-time", 0); max_time != 0) {
+    spec.engine.max_time = max_time;
+  }
+
+  std::unique_ptr<obs::TraceWriter> tracer;
+  if (const auto path = args.get("trace-out", ""); !path.empty()) {
+    try {
+      tracer = obs::make_trace_writer(parse_format_flag(args), path,
+                                      cli_trace_header());
+    } catch (const obs::IoError& e) {
+      throw UsageError(e.what());
+    }
+    spec.engine.observer = tracer.get();
+  }
+  const AsyncRunStats stats =
+      run_repeated_async(factory, schedulers, delays, spec);
+  if (tracer != nullptr) tracer->close();
+
+  Table table("benor-async vs " + args.get("scheduler", "random"));
+  table.header({"metric", "value"});
+  table.row({std::string("n / t / reps"),
+             std::to_string(n) + " / " + std::to_string(t) + " / " +
+                 std::to_string(stats.reps())});
+  table.row({std::string("rounds to decision (mean)"),
+             stats.rounds_to_decision().mean()});
+  table.row({std::string("ticks to decision (mean)"),
+             stats.ticks_to_decision().mean()});
+  table.row({std::string("messages delivered (mean)"),
+             stats.messages_delivered().mean()});
+  table.row({std::string("coin flips (mean)"), stats.coin_flips().mean()});
+  table.row({std::string("timers fired (mean)"),
+             stats.timers_fired().mean()});
+  table.row({std::string("crashes used (mean)"), stats.crashes_used().mean()});
+  table.row({std::string("decided 1 / reps"),
+             std::to_string(stats.decided_one()) + " / " +
+                 std::to_string(stats.reps())});
+  table.row({std::string("agreement failures"),
+             static_cast<long long>(stats.agreement_failures())});
+  table.row({std::string("validity failures"),
+             static_cast<long long>(stats.validity_failures())});
+  table.row({std::string("non-terminated"),
+             static_cast<long long>(stats.non_terminated())});
+  table.print(std::cout);
+  if (stats.non_terminated() > 0) {
+    std::cerr << "WARNING: " << stats.non_terminated() << " of "
+              << stats.reps()
+              << " repetitions did not terminate (starved, capped, or out of "
+                 "simulated time); their aggregates are truncated\n";
+  }
+  return stats.all_safe() ? 0 : 1;
 }
 
 int cmd_run(const Args& args) {
@@ -641,6 +782,20 @@ void usage() {
       "           --resume=FILE (synran-ckpt/1 ledger: a completed batch is\n"
       "           recorded, and a rerun with the same flags reloads it\n"
       "           instead of recomputing)\n"
+      "           --model sync|async (default sync). --model=async runs\n"
+      "           Ben-Or on the event-driven core:\n"
+      "             --scheduler fifo|random|laggard|stall (the async\n"
+      "             adversary; default random)\n"
+      "             --delay held|fixed:D|uniform:LO,HI (link delay model;\n"
+      "             default held = pure asynchrony)\n"
+      "             --gst G --delta B (partial synchrony: adversary-held\n"
+      "             before G, delivery forced within B after; needs\n"
+      "             --delay held)\n"
+      "             --retransmit N (rebroadcast latest phase message every\n"
+      "             N ticks; 0 = off)\n"
+      "             --max-steps N --max-time T (per-rep caps)\n"
+      "           Sync-only flags (--adversary, --faults, --resume,\n"
+      "           --fail-policy, --retries, --max-rounds) are rejected.\n"
       "  coin     one-round game control: --game majority|majority0|\n"
       "           parity|leader|tribes --n --budget --samples\n"
       "  valency  exact initial-state valencies (tiny n): --n --t --depth\n"
@@ -684,7 +839,15 @@ int main(int argc, char** argv) {
       return cmd_trace(argv[2], Args(argc, argv, 3));
     }
     Args args(argc, argv, 2);
-    if (cmd == "run") return cmd_run(args);
+    if (cmd == "run") {
+      const std::string model = args.get("model", "sync");
+      if (model == "async") return cmd_run_async(args);
+      if (model != "sync") {
+        throw UsageError("invalid --model '" + model +
+                         "' (expected sync or async)");
+      }
+      return cmd_run(args);
+    }
     if (cmd == "coin") return cmd_coin(args);
     if (cmd == "valency") return cmd_valency(args);
     if (cmd == "narrate") return cmd_narrate(args);

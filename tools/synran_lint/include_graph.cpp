@@ -54,11 +54,13 @@ const std::map<std::string, std::vector<std::string>>& layer_direct_deps() {
       {"coin", {"common"}},
       {"obs", {"net", "analysis"}},
       {"sim", {"net", "obs"}},
-      {"async", {"net"}},
+      // The event-driven async core reports runs through the observer
+      // layer (trace hooks), hence async -> obs.
+      {"async", {"net", "obs"}},
       {"protocols", {"analysis", "sim"}},
       {"lowerbound", {"net", "sim"}},
       {"adversary", {"net", "sim", "protocols", "lowerbound"}},
-      {"exec", {"analysis", "obs", "sim"}},
+      {"exec", {"analysis", "async", "obs", "sim"}},
       {"runner",
        {"analysis", "adversary", "async", "coin", "exec", "lowerbound",
         "net", "obs", "protocols", "sim"}},

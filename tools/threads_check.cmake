@@ -1,0 +1,96 @@
+# threads_check.cmake — proves a bench sweep is thread-count invariant: the
+# same binary run serially and with a worker pool must produce byte-identical
+# canonical reports AND byte-identical run traces. Driven from add_test():
+#
+#   cmake -DBENCH=<bench binary> -DSCHEMA_CHECK=<bench_schema_check>
+#         -DWORK_DIR=<scratch dir> -P threads_check.cmake
+#
+# The trace comparison is the sharp edge: the executor buffers each rep's
+# observer events and replays them in rep order, so a parallel batch's trace
+# must match a serial run byte for byte — any nondeterministic interleaving
+# or seed-schema violation shows up here immediately. The report comparison
+# uses `bench_schema_check --canon`, which strips the run-dependent fields
+# (timings, git_rev, threads, trace_overhead).
+if(NOT DEFINED BENCH OR NOT DEFINED SCHEMA_CHECK OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "threads_check.cmake needs -DBENCH=..., -DSCHEMA_CHECK=..., -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/serial" "${WORK_DIR}/parallel")
+
+# Environment common to both runs: a small rep budget keeps the sweep quick,
+# flags that change report contents are cleared, and each run traces into
+# its own directory. Only SYNRAN_THREADS differs.
+set(common_env
+  ${CMAKE_COMMAND} -E env
+  --unset=SYNRAN_CSV_DIR --unset=SYNRAN_CKPT_DIR --unset=SYNRAN_RESUME
+  --unset=SYNRAN_FAIL_POLICY --unset=SYNRAN_REP_RETRIES
+  SYNRAN_REPS_BUDGET=32)
+
+foreach(which serial parallel)
+  if(which STREQUAL "serial")
+    set(threads 1)
+  else()
+    set(threads 3)
+  endif()
+  execute_process(
+    COMMAND ${common_env} SYNRAN_THREADS=${threads}
+      SYNRAN_BENCH_DIR=${WORK_DIR}/${which}
+      SYNRAN_TRACE_DIR=${WORK_DIR}/${which}
+      ${BENCH} --benchmark_filter=__none__
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${which} run failed (rc ${rc})\n${out}")
+  endif()
+endforeach()
+
+# --- Compare canonical reports. -------------------------------------------
+file(GLOB reports "${WORK_DIR}/serial/BENCH_*.json")
+list(LENGTH reports n_reports)
+if(NOT n_reports EQUAL 1)
+  message(FATAL_ERROR "expected one report, found: ${reports}")
+endif()
+list(GET reports 0 serial_report)
+get_filename_component(report_name "${serial_report}" NAME)
+
+foreach(which serial parallel)
+  execute_process(
+    COMMAND ${SCHEMA_CHECK} --canon "${WORK_DIR}/${which}/${report_name}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE canon_${which} ERROR_VARIABLE canon_err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--canon rejected the ${which} report\n${canon_err}")
+  endif()
+endforeach()
+
+if(NOT canon_serial STREQUAL canon_parallel)
+  message(FATAL_ERROR
+    "parallel report differs from the serial one\n"
+    "--- serial ---\n${canon_serial}\n--- parallel ---\n${canon_parallel}")
+endif()
+
+# --- Compare traces byte for byte. ----------------------------------------
+file(GLOB serial_traces RELATIVE "${WORK_DIR}/serial"
+  "${WORK_DIR}/serial/*.jsonl" "${WORK_DIR}/serial/*.bin")
+list(LENGTH serial_traces n_traces)
+if(n_traces EQUAL 0)
+  message(FATAL_ERROR "serial run wrote no traces — the test degenerated "
+    "into a report-only comparison")
+endif()
+foreach(trace ${serial_traces})
+  if(NOT EXISTS "${WORK_DIR}/parallel/${trace}")
+    message(FATAL_ERROR "parallel run is missing trace ${trace}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      "${WORK_DIR}/serial/${trace}" "${WORK_DIR}/parallel/${trace}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace ${trace} differs between the serial and "
+      "parallel runs")
+  endif()
+endforeach()
+message(STATUS "threads check ok: ${n_traces} traces and the canonical "
+  "reports are byte-identical at 1 vs 3 threads")
