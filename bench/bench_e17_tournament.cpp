@@ -1,0 +1,255 @@
+// E17 (robustness) — protocol × adversary tournament across fault models.
+// The paper's lower bound lives in the fail-stop world (§3.1); E15 stepped
+// out to omissions, and this experiment completes the ladder with corrupted
+// values (CorruptionDirective): live senders whose round messages are
+// replaced per receiver with forged payloads, the corrupted-value regime of
+// the Byzantine literature (King & Saia, JACM 2016 correction; Haitner &
+// Karidi-Heller 2020 for the adaptive coin attack).
+//
+//   E17a races the protocol zoo (SynRan, FloodMin, validity-hardened
+//        k-FloodMin) against the link-fault adversary zoo (chaos drops,
+//        targeted omission, equivocating byzantine, adaptive coin attack)
+//        under each adversary's natural budget and reports agreement
+//        probability, rounds to decide, and the fault volume.
+//   E17b sweeps the corruption budget against the flooding family with
+//        unanimous-1 inputs: plain flooding adopts any forged 0 it ever
+//        sees (validity collapses at the first directive), while the
+//        hardened variant filters admissions below its per-round tolerance
+//        and stays valid.
+//   E17c aims the adaptive coin attacker at SynRan's collective coin and
+//        measures how the decided-1 share moves with the corruption budget
+//        — the empirical cousin of the adaptive coin-flip bounds.
+//
+// Every configuration lands in the report's additive "omissions" /
+// "corruptions" arrays next to the usual n/t grid.
+#include "bench_util.hpp"
+
+#include "adversary/byzantine.hpp"
+#include "adversary/omission.hpp"
+#include "protocols/floodmin.hpp"
+#include "protocols/kfloodmin.hpp"
+
+namespace synran::bench {
+namespace {
+
+constexpr std::uint32_t kUnlimited = 0xffffffffu;
+
+/// Per-round corruption allotment shared by every corrupting cell; the
+/// hardened flooding tolerance is set to match, so E17b shows the regime
+/// the hardening was designed for.
+constexpr std::uint32_t kRoundCap = 2;
+constexpr std::uint32_t kTolerance = 2;
+
+/// Link-fault spec: crashes off (t_budget 0) to isolate the fault family
+/// under test; protocol-side tolerance rides in the factories.
+RepeatSpec fault_spec(std::uint32_t n, InputPattern pattern, std::size_t reps,
+                      std::uint64_t seed) {
+  RepeatSpec spec;
+  spec.n = n;
+  spec.pattern = pattern;
+  spec.reps = reps;
+  spec.seed = seed;
+  spec.threads = bench_threads();
+  spec.engine.t_budget = 0;
+  spec.engine.max_rounds = 200000;
+  return spec;
+}
+
+AdversaryFactory chaos_factory_at(double drop_rate) {
+  return [drop_rate](std::uint64_t s) {
+    ChaosOptions opts;
+    opts.drop_rate = drop_rate;
+    opts.seed = s;
+    return std::make_unique<ChaosAdversary>(opts);
+  };
+}
+
+AdversaryFactory targeted_factory() {
+  return [](std::uint64_t s) {
+    return std::make_unique<OmissionAdversary>(
+        OmissionAttackOptions{0.55, s});
+  };
+}
+
+AdversaryFactory byzantine_factory(double corrupt_rate) {
+  return [corrupt_rate](std::uint64_t s) {
+    ByzantineOptions opts;
+    opts.corrupt_rate = corrupt_rate;
+    opts.seed = s;
+    return std::make_unique<ByzantineAdversary>(opts);
+  };
+}
+
+AdversaryFactory coin_attack_factory(double push_ratio) {
+  return [push_ratio](std::uint64_t s) {
+    CoinAttackOptions opts;
+    opts.push_ratio = push_ratio;
+    opts.seed = s;
+    return std::make_unique<AdaptiveCoinAttacker>(opts);
+  };
+}
+
+double pr_agreement(const RepeatedRunStats& stats) {
+  return stats.reps() == 0
+             ? 0.0
+             : 1.0 - static_cast<double>(stats.agreement_failures()) /
+                         static_cast<double>(stats.reps());
+}
+
+double pr_validity(const RepeatedRunStats& stats) {
+  return stats.reps() == 0
+             ? 0.0
+             : 1.0 - static_cast<double>(stats.validity_failures()) /
+                         static_cast<double>(stats.reps());
+}
+
+void tables() {
+  std::cout << "E17 — protocol x adversary tournament across fault models\n\n";
+
+  const std::uint32_t n = 48;
+  const std::uint32_t proto_t = 4;
+  const std::size_t reps = reps_for(n, 20000);
+
+  // E17a: the full grid. Omission adversaries get an omission budget,
+  // corruption adversaries a byzantine budget (both capped per round so no
+  // single round is wiped out); each cell reports the directive volume it
+  // actually spent.
+  struct ProtocolEntry {
+    const char* label;
+    const ProcessFactory& factory;
+  };
+  SynRanFactory synran;
+  FloodMinFactory floodmin{FloodMinOptions{proto_t, false}};
+  KFloodMinFactory hardened{KFloodMinOptions{proto_t, 2, kTolerance}};
+  const ProtocolEntry protocols[] = {
+      {"synran", synran}, {"floodmin", floodmin},
+      {"kfloodmin-hardened", hardened}};
+
+  struct AdversaryEntry {
+    const char* label;
+    AdversaryFactory factory;
+    bool corrupts;  ///< spends the byzantine budget instead of omissions
+  };
+  const AdversaryEntry adversaries[] = {
+      {"chaos", chaos_factory_at(0.15), false},
+      {"targeted", targeted_factory(), false},
+      {"byzantine", byzantine_factory(0.2), true},
+      {"coin-attack", coin_attack_factory(0.65), true}};
+
+  Table grid("E17a: protocol x adversary (n = 48, crashes off)");
+  grid.header({"protocol", "adversary", "Pr[agreement]", "rounds(mean)",
+               "±stderr", "directives(mean)", "msgs touched(mean)"});
+  std::uint64_t cell_seed = kSeed;
+  for (const auto& proto : protocols) {
+    for (const auto& adv : adversaries) {
+      BenchReport::instance().note_grid(n, 0);
+      if (adv.corrupts)
+        BenchReport::instance().note_corruption(0.2, kUnlimited);
+      else
+        BenchReport::instance().note_omission(0.15, kUnlimited);
+      RepeatSpec spec = fault_spec(n, InputPattern::Half, reps, ++cell_seed);
+      if (adv.corrupts) {
+        spec.engine.byzantine_budget = kUnlimited;
+        spec.engine.byzantine_round_cap = kRoundCap;
+      } else {
+        spec.engine.omission_budget = kUnlimited;
+        spec.engine.omission_round_cap = kRoundCap;
+      }
+      const std::string tag =
+          std::string("e17a-") + proto.label + "-" + adv.label;
+      const auto stats = run_cell(proto.factory, adv.factory, spec, tag);
+      grid.row({std::string(proto.label), std::string(adv.label),
+                pr_agreement(stats), stats.rounds_to_decision().mean(),
+                stats.rounds_to_decision().stderr_mean(),
+                stats.omissions_used().mean() +
+                    stats.corruptions_used().mean(),
+                stats.messages_omitted().mean() +
+                    stats.messages_corrupted().mean()});
+    }
+  }
+  emit(grid);
+
+  // E17b: validity under equivocation, unanimous-1 inputs. Plain flooding
+  // adopts the first forged 0 it sees; the hardened admission filter needs
+  // more supporters than the per-round tolerance, which the round cap
+  // denies the adversary.
+  FloodMinFactory plain_flood{FloodMinOptions{proto_t, false}};
+  KFloodMinFactory plain_k{KFloodMinOptions{proto_t, 2, 0}};
+  const ProtocolEntry flooders[] = {{"floodmin", plain_flood},
+                                    {"kfloodmin", plain_k},
+                                    {"kfloodmin-hardened", hardened}};
+  Table validity("E17b: corruption budget vs validity (all-1 inputs, n = 48)");
+  validity.header({"protocol", "byz budget", "Pr[validity]",
+                   "corruptions used(mean)", "rounds(mean)"});
+  for (const auto& proto : flooders) {
+    for (std::uint32_t budget : {0u, 4u, 16u, 64u, kUnlimited}) {
+      BenchReport::instance().note_corruption(0.25, budget);
+      RepeatSpec spec =
+          fault_spec(n, InputPattern::AllOne, reps, ++cell_seed);
+      spec.engine.byzantine_budget = budget;
+      spec.engine.byzantine_round_cap = kRoundCap;
+      const std::string tag = std::string("e17b-") + proto.label + "-b" +
+                              std::to_string(budget);
+      const auto stats =
+          run_cell(proto.factory, byzantine_factory(0.25), spec, tag);
+      validity.row({std::string(proto.label),
+                    budget == kUnlimited ? std::string("unlimited")
+                                         : std::to_string(budget),
+                    pr_validity(stats), stats.corruptions_used().mean(),
+                    stats.rounds_to_decision().mean()});
+    }
+  }
+  emit(validity);
+
+  // E17c: the adaptive coin attacker vs SynRan's collective coin. With no
+  // budget the decided-1 share sits at the protocol's natural bias; each
+  // budget increment lets the attacker flip more visible minority coins.
+  Table coin("E17c: adaptive coin attack vs SynRan (n = 48, target 1)");
+  coin.header({"byz budget", "decided-1 share", "Pr[agreement]",
+               "corruptions used(mean)", "rounds(mean)"});
+  for (std::uint32_t budget : {0u, 8u, 32u, 128u}) {
+    BenchReport::instance().note_corruption(0.65, budget);
+    RepeatSpec spec = fault_spec(n, InputPattern::Half, reps, ++cell_seed);
+    spec.engine.byzantine_budget = budget;
+    spec.engine.byzantine_round_cap = kRoundCap;
+    const auto stats = run_cell(synran, coin_attack_factory(0.65), spec,
+                                "e17c-b" + std::to_string(budget));
+    const double share =
+        stats.reps() == 0 ? 0.0
+                          : static_cast<double>(stats.decided_one()) /
+                                static_cast<double>(stats.reps());
+    coin.row({std::to_string(budget), share, pr_agreement(stats),
+              stats.corruptions_used().mean(),
+              stats.rounds_to_decision().mean()});
+  }
+  emit(coin);
+
+  std::cout << "  reading: corruption is strictly nastier than omission — "
+               "equivocation breaks plain\n  flooding validity at the first "
+               "directive, while the hardened admission filter holds\n  "
+               "whenever the per-round tolerance covers the round cap; the "
+               "adaptive attacker\n  moves SynRan's decided-1 share with a "
+               "budget far below one directive per round.\n\n";
+}
+
+void BM_TournamentCell(::benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  SynRanFactory factory;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    // Straight through run_repeated: a timing kernel must not claim cell
+    // ordinals or write checkpoints.
+    RepeatSpec spec = fault_spec(n, InputPattern::Half, 1, ++seed);
+    spec.engine.byzantine_budget = kUnlimited;
+    spec.engine.byzantine_round_cap = kRoundCap;
+    const auto stats =
+        run_repeated(factory, byzantine_factory(0.2), spec);
+    ::benchmark::DoNotOptimize(stats.reps());
+  }
+}
+BENCHMARK(BM_TournamentCell)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace synran::bench
+
+SYNRAN_BENCH_MAIN(synran::bench::tables)

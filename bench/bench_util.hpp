@@ -210,6 +210,15 @@ class BenchReport {
     omissions_.emplace_back(drop_rate, budget);
   }
 
+  /// Records a corrupted-value configuration (corruption rate, byzantine
+  /// directive budget) once. Additive like "omissions": reports that never
+  /// call this keep their exact prior JSON shape.
+  void note_corruption(double corrupt_rate, std::uint32_t budget) {
+    for (const auto& [r, b] : corruptions_)
+      if (r == corrupt_rate && b == budget) return;
+    corruptions_.emplace_back(corrupt_rate, budget);
+  }
+
   void add_table(const Table& table) {
     obs::JsonValue columns = obs::JsonValue::array();
     for (const auto& col : table.header()) columns.push(obs::JsonValue(col));
@@ -292,6 +301,15 @@ class BenchReport {
                      .set("budget", obs::JsonValue(budget)));
       report.set("omissions", std::move(oms));
     }
+    if (!corruptions_.empty()) {
+      // Additive, like "omissions": present only for corruption experiments.
+      obs::JsonValue cors = obs::JsonValue::array();
+      for (const auto& [rate, budget] : corruptions_)
+        cors.push(obs::JsonValue::object()
+                      .set("corrupt_rate", obs::JsonValue(rate))
+                      .set("budget", obs::JsonValue(budget)));
+      report.set("corruptions", std::move(cors));
+    }
     if (partial_) report.set("partial", obs::JsonValue(true));
     if (trace_files_ > 0) {
       // Additive, like "omissions": present only when batches were traced.
@@ -359,6 +377,7 @@ class BenchReport {
     experiment_ = "experiment";
     grid_.clear();
     omissions_.clear();
+    corruptions_.clear();
     partial_ = false;
     failures_.clear();
     trace_files_ = 0;
@@ -382,6 +401,7 @@ class BenchReport {
   std::string experiment_ = "experiment";
   std::vector<std::pair<std::uint32_t, std::uint32_t>> grid_;
   std::vector<std::pair<double, std::uint32_t>> omissions_;
+  std::vector<std::pair<double, std::uint32_t>> corruptions_;
   bool partial_ = false;
   std::vector<std::pair<std::uint64_t, RepFailure>> failures_;
   std::uint64_t trace_files_ = 0;

@@ -1,6 +1,10 @@
 #include "exec/async_batch.hpp"
 
+#include <string>
 #include <utility>
+
+#include "common/check.hpp"
+#include "obs/checkpoint.hpp"
 
 namespace synran {
 
@@ -140,6 +144,91 @@ std::size_t AsyncRunStats::decided_one() const {
 }
 std::size_t AsyncRunStats::reps_quarantined() const {
   return metrics_.counter_at("reps_quarantined").value();
+}
+
+obs::JsonValue AsyncRunStats::checkpoint_json() const {
+  obs::JsonValue failures = obs::JsonValue::array();
+  for (const RepFailure& f : failures_) failures.push(f.to_json());
+  return obs::JsonValue::object()
+      .set("stats", obs::registry_snapshot(metrics_))
+      .set("failures", std::move(failures));
+}
+
+AsyncRunStats AsyncRunStats::from_checkpoint(const obs::JsonValue& payload) {
+  SYNRAN_REQUIRE(payload.is_object(),
+                 "async stats checkpoint payload must be an object");
+  const obs::JsonValue* stats = payload.find("stats");
+  const obs::JsonValue* failures = payload.find("failures");
+  SYNRAN_REQUIRE(stats != nullptr && failures != nullptr &&
+                     failures->is_array(),
+                 "async stats checkpoint payload needs 'stats' and "
+                 "'failures'");
+
+  AsyncRunStats restored;
+  restored.metrics_ = obs::registry_restore(*stats);
+  // Every accessor the harnesses read must resolve; a snapshot that lost a
+  // pre-registered metric is a foreign or corrupt payload (e.g. a sync
+  // cell's snapshot served to an async sweep).
+  for (const char* name :
+       {"rounds_to_decision", "ticks_to_decision", "crashes_used",
+        "messages_delivered", "coin_flips", "timers_fired", "omissions_used",
+        "messages_omitted"}) {
+    SYNRAN_REQUIRE(
+        restored.metrics_.has_summary(name),
+        std::string("async stats checkpoint missing summary: ") + name);
+  }
+  for (const char* name :
+       {"reps", "agreement_failures", "validity_failures", "non_terminated",
+        "decided_one", "reps_quarantined"}) {
+    SYNRAN_REQUIRE(
+        restored.metrics_.has_counter(name),
+        std::string("async stats checkpoint missing counter: ") + name);
+  }
+
+  for (const obs::JsonValue& entry : failures->as_array()) {
+    const obs::JsonValue* rep = entry.find("rep");
+    const obs::JsonValue* seed = entry.find("seed");
+    const obs::JsonValue* attempts = entry.find("attempts");
+    const obs::JsonValue* error = entry.find("error");
+    SYNRAN_REQUIRE(rep != nullptr && rep->is_int() && rep->as_int() >= 0 &&
+                       seed != nullptr && seed->is_int() &&
+                       attempts != nullptr && attempts->is_int() &&
+                       attempts->as_int() >= 1 && error != nullptr &&
+                       error->is_string(),
+                   "async stats checkpoint failure entry malformed");
+    restored.failures_.push_back(RepFailure{
+        static_cast<std::size_t>(rep->as_int()),
+        static_cast<std::uint64_t>(seed->as_int()),
+        static_cast<std::uint32_t>(attempts->as_int()), error->as_string()});
+  }
+  SYNRAN_REQUIRE(restored.failures_.size() == restored.reps_quarantined(),
+                 "async stats checkpoint failure list disagrees with counter");
+  return restored;
+}
+
+std::string async_spec_cell_key(const AsyncRepeatSpec& spec,
+                                std::string_view protocol,
+                                std::string_view tag) {
+  std::string key;
+  key += "model=async;proto=";
+  key += protocol;
+  key += ";tag=";
+  key += tag;
+  key += ";n=" + std::to_string(spec.n);
+  key += ";pattern=";
+  key += to_string(spec.pattern);
+  key += ";reps=" + std::to_string(spec.reps);
+  key += ";seed=" + std::to_string(spec.seed);
+  key += ";t=" + std::to_string(spec.engine.t_budget);
+  key += ";steps=" + std::to_string(spec.engine.max_steps);
+  key += ";time=" + std::to_string(spec.engine.max_time);
+  key += ";events=" + std::to_string(spec.engine.max_events);
+  key += ";omb=" + std::to_string(spec.engine.omission_budget);
+  key += ";policy=";
+  key += to_string(spec.policy);
+  key += ";retries=" + std::to_string(spec.max_rep_retries);
+  key += ";seed_schema=" + std::to_string(kSeedSchemaVersion);
+  return key;
 }
 
 }  // namespace synran

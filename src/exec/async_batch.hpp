@@ -99,6 +99,15 @@ class AsyncRunStats {
            non_terminated() == 0;
   }
 
+  /// Exact snapshot for the synran-ckpt/1 ledger (registry snapshot +
+  /// quarantine list), the async mirror of
+  /// RepeatedRunStats::checkpoint_json: a restored aggregate reproduces the
+  /// original report byte-for-byte.
+  obs::JsonValue checkpoint_json() const;
+  /// Inverse of checkpoint_json(). Throws ArgumentError on a malformed or
+  /// foreign payload (missing pre-registered metrics, bad failure entries).
+  static AsyncRunStats from_checkpoint(const obs::JsonValue& payload);
+
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
@@ -124,5 +133,15 @@ struct AsyncRepeatSpec {
   /// again deterministically).
   std::uint32_t max_rep_retries = 0;
 };
+
+/// Checkpoint-ledger cell key for an async sweep cell: fingerprints the
+/// protocol, the caller's tag (which names the scheduler/delay pairing —
+/// factories are opaque functions, so the tag is their identity), every
+/// AsyncRepeatSpec field a rep's execution depends on, and the seed schema.
+/// The async mirror of spec_cell_key; a resumed run only reloads a cell
+/// whose recorded key still matches.
+std::string async_spec_cell_key(const AsyncRepeatSpec& spec,
+                                std::string_view protocol,
+                                std::string_view tag);
 
 }  // namespace synran

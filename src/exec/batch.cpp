@@ -110,6 +110,8 @@ RepeatedRunStats::RepeatedRunStats() {
   metrics_.summary("messages_delivered");
   metrics_.summary("omissions_used");
   metrics_.summary("messages_omitted");
+  metrics_.summary("corruptions_used");
+  metrics_.summary("messages_corrupted");
   metrics_.counter("reps");
   metrics_.counter("agreement_failures");
   metrics_.counter("validity_failures");
@@ -140,6 +142,10 @@ void RepeatedRunStats::add(const RunSummary& rep) {
       .add(static_cast<double>(rep.omissions_total));
   metrics_.summary("messages_omitted")
       .add(static_cast<double>(rep.messages_omitted));
+  metrics_.summary("corruptions_used")
+      .add(static_cast<double>(rep.corruptions_total));
+  metrics_.summary("messages_corrupted")
+      .add(static_cast<double>(rep.messages_corrupted));
   if (rep.has_decision && !rep.agreement)
     metrics_.counter("agreement_failures").inc();
   if (!rep.validity) metrics_.counter("validity_failures").inc();
@@ -164,6 +170,12 @@ const Summary& RepeatedRunStats::omissions_used() const {
 }
 const Summary& RepeatedRunStats::messages_omitted() const {
   return metrics_.summary_at("messages_omitted");
+}
+const Summary& RepeatedRunStats::corruptions_used() const {
+  return metrics_.summary_at("corruptions_used");
+}
+const Summary& RepeatedRunStats::messages_corrupted() const {
+  return metrics_.summary_at("messages_corrupted");
 }
 std::size_t RepeatedRunStats::reps() const {
   return metrics_.counter_at("reps").value();
@@ -208,7 +220,8 @@ RepeatedRunStats RepeatedRunStats::from_checkpoint(
   // pre-registered metric is a foreign or corrupt payload.
   for (const char* name :
        {"rounds_to_decision", "rounds_to_halt", "crashes_used",
-        "messages_delivered", "omissions_used", "messages_omitted"}) {
+        "messages_delivered", "omissions_used", "messages_omitted",
+        "corruptions_used", "messages_corrupted"}) {
     SYNRAN_REQUIRE(restored.metrics_.has_summary(name),
                    std::string("stats checkpoint missing summary: ") + name);
   }
@@ -256,6 +269,8 @@ std::string spec_cell_key(const RepeatSpec& spec, std::string_view protocol,
   key += ";cap=" + std::to_string(spec.engine.per_round_cap);
   key += ";omb=" + std::to_string(spec.engine.omission_budget);
   key += ";omc=" + std::to_string(spec.engine.omission_round_cap);
+  key += ";byz=" + std::to_string(spec.engine.byzantine_budget);
+  key += ";bzc=" + std::to_string(spec.engine.byzantine_round_cap);
   key += ";max_rounds=" + std::to_string(spec.engine.max_rounds);
   key += ";strict=" + std::to_string(spec.engine.strict_decision_audit ? 1 : 0);
   key += ";policy=";

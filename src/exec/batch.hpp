@@ -133,7 +133,8 @@ class RepError : public std::runtime_error {
 /// Registry contents:
 ///   summaries  rounds_to_decision, rounds_to_halt (terminated reps only),
 ///              crashes_used, messages_delivered, omissions_used,
-///              messages_omitted (all reps)
+///              messages_omitted, corruptions_used, messages_corrupted
+///              (all reps)
 ///   counters   reps, agreement_failures, validity_failures,
 ///              non_terminated, decided_one, reps_quarantined
 class RepeatedRunStats {
@@ -161,6 +162,11 @@ class RepeatedRunStats {
   const Summary& omissions_used() const;
   /// Links actually suppressed by omissions per rep.
   const Summary& messages_omitted() const;
+  /// Corruption directives spent per rep (all zero under fail-stop
+  /// defaults).
+  const Summary& corruptions_used() const;
+  /// Links actually forged by corruptions per rep.
+  const Summary& messages_corrupted() const;
 
   std::size_t reps() const;
   std::size_t agreement_failures() const;

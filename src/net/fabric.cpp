@@ -40,19 +40,42 @@ void validate(std::uint32_t n, const RoundTraffic& traffic) {
     SYNRAN_REQUIRE(o.drop_for.size() == n, "drop_for mask has wrong size");
     omitted.set(o.sender);
   }
+  DynBitset corrupted(n);
+  DynBitset targets(n);
+  for (const auto& cd : traffic.plan->corruptions) {
+    SYNRAN_REQUIRE(cd.sender < n, "corruption sender out of range");
+    SYNRAN_REQUIRE(traffic.payloads[cd.sender].has_value(),
+                   "corruption sender is not sending this round");
+    SYNRAN_REQUIRE(!seen.test(cd.sender),
+                   "corruption sender is also a crash victim");
+    SYNRAN_REQUIRE(!omitted.test(cd.sender),
+                   "corruption sender is also an omission sender");
+    SYNRAN_REQUIRE(!corrupted.test(cd.sender), "duplicate corruption sender");
+    corrupted.set(cd.sender);
+    targets.clear_all();
+    for (const auto& fg : cd.forgeries) {
+      SYNRAN_REQUIRE(fg.target < n, "forgery target out of range");
+      SYNRAN_REQUIRE(!targets.test(fg.target), "duplicate forgery target");
+      targets.set(fg.target);
+    }
+  }
 }
 
-/// Subtracts the plan's omitted deliveries from receipts pre-filled with the
-/// full-sender aggregate. Counts are additive, so removal is a decrement; the
-/// OR of payload masks is not invertible, so affected receivers get their
-/// or_mask rebuilt exactly from per-bit sender counts: bit b survives for
-/// receiver r iff some full-aggregate sender whose message still reaches r
-/// carries it. Total cost O(n·|payload bits| + Σ dropped links), so the
-/// fast path keeps its O(n + faults·n_bits/64) shape even when nearly every
-/// sender has a small drop set (the chaos regime).
-void subtract_omissions(std::uint32_t n, const RoundTraffic& traffic,
-                        const DynBitset& receivers, const DynBitset& crashed,
-                        const Receipt& full, std::vector<Receipt>& out) {
+/// Applies the plan's link-level faults — omitted deliveries and corrupted
+/// (forged) deliveries — to receipts pre-filled with the full-sender
+/// aggregate. Counts are additive, so removing a true payload is a decrement
+/// (an omission removes it outright; a corruption removes it and accumulates
+/// the forged payload in its place). The OR of payload masks is not
+/// invertible, so affected receivers get their or_mask rebuilt exactly from
+/// per-bit sender counts — bit b survives for receiver r iff some
+/// full-aggregate sender whose *true* message still reaches r carries it —
+/// and the receiver's forged payloads are OR'd back on top. Total cost
+/// O(n·|payload bits| + Σ dropped links + Σ forged links), so the fast path
+/// keeps its O(n + faults·n_bits/64) shape even when nearly every sender has
+/// a small drop set (the chaos regime).
+void apply_link_faults(std::uint32_t n, const RoundTraffic& traffic,
+                       const DynBitset& receivers, const DynBitset& crashed,
+                       const Receipt& full, std::vector<Receipt>& out) {
   // Per-bit population over the full-aggregate senders (every sender that is
   // sending and not crashed this round; omitted senders are among them).
   std::array<std::uint32_t, 64> base_bits{};
@@ -69,24 +92,46 @@ void subtract_omissions(std::uint32_t n, const RoundTraffic& traffic,
   // bit in use (a handful in practice: the value bits + the det flag).
   std::array<std::vector<std::uint32_t>, 64> drop_bits;
   DynBitset affected(n);
+  const auto drop_true_payload = [&](Payload p, std::size_t r) {
+    Receipt& out_r = out[r];
+    if (p & payload::kSupports1) --out_r.ones;
+    if (p & payload::kSupports0) --out_r.zeros;
+    affected.set(r);
+    Payload bits = p;
+    while (bits != 0) {
+      auto& column =
+          drop_bits[static_cast<std::size_t>(std::countr_zero(bits))];
+      if (column.empty()) column.assign(n, 0);
+      column[r] += 1;
+      bits &= bits - 1;
+    }
+  };
   for (const auto& o : traffic.plan->omissions) {
     const Payload p = *traffic.payloads[o.sender];
     o.drop_for.for_each_set([&](std::size_t r) {
       if (!receivers.test(r)) return;
-      Receipt& out_r = out[r];
-      --out_r.count;
-      if (p & payload::kSupports1) --out_r.ones;
-      if (p & payload::kSupports0) --out_r.zeros;
-      affected.set(r);
-      Payload bits = p;
-      while (bits != 0) {
-        auto& column = drop_bits[static_cast<std::size_t>(
-            std::countr_zero(bits))];
-        if (column.empty()) column.assign(n, 0);
-        column[r] += 1;
-        bits &= bits - 1;
-      }
+      --out[r].count;
+      drop_true_payload(p, r);
     });
+  }
+
+  // A corrupted link substitutes the forged payload for the true one: the
+  // true payload is dropped exactly like an omission, the forged counts are
+  // added directly, and the forged mask is OR'd on after the rebuild. The
+  // message itself still arrives, so `count` is untouched.
+  std::vector<Payload> forged_or;
+  for (const auto& cd : traffic.plan->corruptions) {
+    const Payload p = *traffic.payloads[cd.sender];
+    for (const auto& fg : cd.forgeries) {
+      const std::size_t r = fg.target;
+      if (!receivers.test(r)) continue;
+      drop_true_payload(p, r);
+      Receipt& out_r = out[r];
+      if (fg.forged & payload::kSupports1) ++out_r.ones;
+      if (fg.forged & payload::kSupports0) ++out_r.zeros;
+      if (forged_or.empty()) forged_or.assign(n, 0);
+      forged_or[r] |= fg.forged;
+    }
   }
 
   affected.for_each_set([&](std::size_t r) {
@@ -99,6 +144,7 @@ void subtract_omissions(std::uint32_t n, const RoundTraffic& traffic,
           drop_bits[b].empty() ? 0 : drop_bits[b][r];
       if (base_bits[b] > dropped) mask |= Payload{1} << b;
     }
+    if (!forged_or.empty()) mask |= forged_or[r];
     out[r].or_mask = mask;
   });
 }
@@ -126,11 +172,12 @@ std::vector<Receipt> deliver(std::uint32_t n, const RoundTraffic& traffic,
   std::vector<Receipt> out(n);
   receivers.for_each_set([&](std::size_t i) { out[i] = full; });
 
-  // Omission subtraction must precede the crash additions: it rebuilds
+  // Link-fault application must precede the crash additions: it rebuilds
   // affected receivers' or_mask from the aggregate senders alone, and the
   // partial crash deliveries then OR their payloads back on top.
-  if (traffic.plan != nullptr && !traffic.plan->omissions.empty()) {
-    subtract_omissions(n, traffic, receivers, crashed_now, full, out);
+  if (traffic.plan != nullptr && (!traffic.plan->omissions.empty() ||
+                                  !traffic.plan->corruptions.empty())) {
+    apply_link_faults(n, traffic, receivers, crashed_now, full, out);
   }
 
   // Per-receiver adjustments for partially delivered senders.
@@ -157,6 +204,7 @@ std::vector<Receipt> deliver_naive(std::uint32_t n, const RoundTraffic& traffic,
     const Payload p = *traffic.payloads[s];
     const DynBitset* mask = nullptr;
     const DynBitset* drop = nullptr;
+    const CorruptionDirective* corrupt = nullptr;
     if (traffic.plan != nullptr) {
       for (const auto& c : traffic.plan->crashes) {
         if (c.victim == s) {
@@ -170,12 +218,27 @@ std::vector<Receipt> deliver_naive(std::uint32_t n, const RoundTraffic& traffic,
           break;
         }
       }
+      for (const auto& cd : traffic.plan->corruptions) {
+        if (cd.sender == s) {
+          corrupt = &cd;
+          break;
+        }
+      }
     }
     for (std::uint32_t r = 0; r < n; ++r) {
       if (!receivers.test(r)) continue;
       if (mask != nullptr && !mask->test(r)) continue;
       if (drop != nullptr && drop->test(r)) continue;
-      accumulate(out[r], p);
+      Payload observed = p;
+      if (corrupt != nullptr) {
+        for (const auto& fg : corrupt->forgeries) {
+          if (fg.target == r) {
+            observed = fg.forged;
+            break;
+          }
+        }
+      }
+      accumulate(out[r], observed);
     }
   }
   return out;

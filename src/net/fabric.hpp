@@ -3,11 +3,14 @@
 // The fast path exploits that almost all senders deliver to *everyone*: it
 // aggregates full-delivery senders once (O(n)) and then adjusts per receiver
 // only for the few partially-delivered senders — crashed-this-round victims
-// add their payload to the recipients that still hear them, and omission
-// senders (live, but suppressed for a drop set) have their deliveries
-// *subtracted* from the aggregate, with the non-invertible or_mask rebuilt
-// exactly from per-bit sender counts. Total cost stays
-// O(n + faults·n_bits/64 + Σ|partial recipients| + Σ|dropped links|) per
+// add their payload to the recipients that still hear them, omission senders
+// (live, but suppressed for a drop set) have their deliveries *subtracted*
+// from the aggregate, and corruption senders have the true payload swapped
+// for each target's forged one (subtract truth, add forgery; `count` stays
+// put because the message still arrives), with the non-invertible or_mask
+// rebuilt exactly from per-bit sender counts and forged masks OR'd back on
+// top. Total cost stays
+// O(n + faults·n_bits/64 + Σ|partial recipients| + Σ|faulted links|) per
 // round instead of the naive O(n²). A deliberately naive reference
 // implementation is provided for cross-checking in tests.
 #pragma once
@@ -24,9 +27,10 @@ struct RoundTraffic {
   /// Per-process outgoing payload; nullopt = sends nothing this round
   /// (crashed earlier, or voluntarily halted).
   std::span<const std::optional<Payload>> payloads;
-  /// The fault plan chosen by the adversary for this round. Crash victims
-  /// and omission senders must be senders (payload present), and no process
-  /// may appear in both lists; the fabric checks this.
+  /// The fault plan chosen by the adversary for this round. Crash victims,
+  /// omission senders, and corruption senders must be senders (payload
+  /// present), and no process may appear in more than one directive family;
+  /// the fabric checks this.
   const FaultPlan* plan = nullptr;
 };
 

@@ -66,19 +66,43 @@ struct OmissionDirective {
   DynBitset drop_for;  ///< size n; receivers that do NOT get the message
 };
 
+/// A Byzantine value fault: one live sender's round message is *replaced* by
+/// forged payloads for chosen receivers — the corrupted-value regime of the
+/// Byzantine-agreement literature (King & Saia, JACM 2016 correction), well
+/// beyond the paper's fail-stop §3.1 model. The sender stays alive and
+/// honest in later rounds; each targeted receiver observes `forged` in place
+/// of the true payload, and different receivers may be shown different
+/// values (equivocation). Receivers not listed get the genuine message.
+struct CorruptionDirective {
+  /// One receiver's forged view of the sender's round message.
+  struct Forgery {
+    ProcessId target = 0;  ///< receiver shown the forged payload
+    Payload forged = 0;    ///< what it observes instead of the truth
+  };
+
+  ProcessId sender = 0;
+  std::vector<Forgery> forgeries;  ///< no duplicate targets
+};
+
 /// The adversary's action for one round. Processes not listed deliver to all
 /// alive recipients; crash victims are failed and silent forever after;
 /// omission senders lose this round's message to `drop_for` receivers but
-/// keep running. A sender may not appear both as a crash victim and as an
-/// omission sender in the same plan (the crash's deliver_to already fully
-/// determines its delivery).
+/// keep running; corruption senders have this round's message replaced by
+/// per-receiver forged values but keep running. A sender may appear in at
+/// most one of the three directive families per plan (a crash's deliver_to
+/// already fully determines its delivery, and an omitted link has no value
+/// left to forge).
 struct FaultPlan {
   std::vector<CrashDirective> crashes;
   std::vector<OmissionDirective> omissions;
+  std::vector<CorruptionDirective> corruptions;
 
-  bool empty() const { return crashes.empty() && omissions.empty(); }
+  bool empty() const {
+    return crashes.empty() && omissions.empty() && corruptions.empty();
+  }
   std::size_t crash_count() const { return crashes.size(); }
   std::size_t omission_count() const { return omissions.size(); }
+  std::size_t corruption_count() const { return corruptions.size(); }
 };
 
 }  // namespace synran

@@ -40,6 +40,8 @@ struct RunInfo {
   std::uint64_t seed = 0;
   std::uint32_t omission_budget = 0;    ///< 0 = omissions forbidden
   std::uint32_t omission_round_cap = 0;  ///< 0 = uncapped
+  std::uint32_t byzantine_budget = 0;    ///< 0 = corrupted values forbidden
+  std::uint32_t byzantine_round_cap = 0;  ///< 0 = uncapped
 };
 
 /// One round's observables. At on_round_begin the crash/delivery fields are
@@ -58,6 +60,8 @@ struct RoundObservation {
   std::uint64_t delivered = 0;      ///< point-to-point deliveries this round
   std::uint32_t omissions = 0;      ///< omission directives in this plan
   std::uint64_t omitted = 0;        ///< links suppressed this round
+  std::uint32_t corruptions = 0;    ///< corruption directives in this plan
+  std::uint64_t corrupted = 0;      ///< links forged this round
 };
 
 /// Final verdicts of one execution (a flattened RunResult, kept here so the
@@ -73,6 +77,8 @@ struct RunObservation {
   std::uint64_t messages_delivered = 0;
   std::uint32_t omissions_total = 0;     ///< omission directives spent
   std::uint64_t messages_omitted = 0;    ///< links suppressed in total
+  std::uint32_t corruptions_total = 0;   ///< corruption directives spent
+  std::uint64_t messages_corrupted = 0;  ///< links forged in total
   std::uint32_t survivors = 0;  ///< processes never crashed
 };
 

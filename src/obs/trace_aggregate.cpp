@@ -12,6 +12,8 @@ TraceAggregator::TraceAggregator() {
   metrics_.summary("messages_delivered");
   metrics_.summary("omissions_used");
   metrics_.summary("messages_omitted");
+  metrics_.summary("corruptions_used");
+  metrics_.summary("messages_corrupted");
   metrics_.counter("reps");
   metrics_.counter("agreement_failures");
   metrics_.counter("validity_failures");
@@ -46,6 +48,10 @@ void TraceAggregator::on_run_end(const RunObservation& res) {
       .add(static_cast<double>(res.omissions_total));
   metrics_.summary("messages_omitted")
       .add(static_cast<double>(res.messages_omitted));
+  metrics_.summary("corruptions_used")
+      .add(static_cast<double>(res.corruptions_total));
+  metrics_.summary("messages_corrupted")
+      .add(static_cast<double>(res.messages_corrupted));
   if (res.has_decision && !res.agreement)
     metrics_.counter("agreement_failures").inc();
   if (res.agreement && res.decision == 1)

@@ -73,10 +73,14 @@ void BinaryTraceWriter::close() {
 void BinaryTraceWriter::on_run_begin(const RunInfo& info) {
   ++runs_;
   emit_omissions_ = info.omission_budget > 0 || info.omission_round_cap > 0;
+  emit_corruptions_ =
+      info.byzantine_budget > 0 || info.byzantine_round_cap > 0;
+  std::uint8_t flags = 0;
+  if (emit_omissions_) flags |= kTrace2FlagOmissions;
+  if (emit_corruptions_) flags |= kTrace2FlagCorruptions;
   scratch_.clear();
   scratch_.push_back(static_cast<char>(kTrace2KindRunBegin));
-  scratch_.push_back(
-      static_cast<char>(emit_omissions_ ? kTrace2FlagOmissions : 0));
+  scratch_.push_back(static_cast<char>(flags));
   put_varint(scratch_, info.n);
   put_varint(scratch_, info.t_budget);
   put_varint(scratch_, info.per_round_cap);
@@ -84,6 +88,10 @@ void BinaryTraceWriter::on_run_begin(const RunInfo& info) {
   if (emit_omissions_) {
     put_varint(scratch_, info.omission_budget);
     put_varint(scratch_, info.omission_round_cap);
+  }
+  if (emit_corruptions_) {
+    put_varint(scratch_, info.byzantine_budget);
+    put_varint(scratch_, info.byzantine_round_cap);
   }
   emit(scratch_);
 }
@@ -106,6 +114,10 @@ void BinaryTraceWriter::on_round_end(const RoundObservation& r) {
     put_varint(scratch_, r.omissions);
     put_varint(scratch_, r.omitted);
   }
+  if (emit_corruptions_) {
+    put_varint(scratch_, r.corruptions);
+    put_varint(scratch_, r.corrupted);
+  }
   emit(scratch_);
 }
 
@@ -126,6 +138,10 @@ void BinaryTraceWriter::on_run_end(const RunObservation& res) {
   if (emit_omissions_) {
     put_varint(scratch_, res.omissions_total);
     put_varint(scratch_, res.messages_omitted);
+  }
+  if (emit_corruptions_) {
+    put_varint(scratch_, res.corruptions_total);
+    put_varint(scratch_, res.messages_corrupted);
   }
   emit(scratch_);
   out_->flush();
@@ -234,10 +250,11 @@ bool BinaryTraceReader::next(TraceRecord& out) {
     case kTrace2KindRunBegin: {
       out.kind = TraceRecordKind::RunBegin;
       const std::uint8_t flags = require_byte("run_begin flags");
-      if ((flags & ~kTrace2FlagOmissions) != 0) {
+      if ((flags & ~(kTrace2FlagOmissions | kTrace2FlagCorruptions)) != 0) {
         fail("run_begin carries unknown flags");
       }
       emit_omissions_ = (flags & kTrace2FlagOmissions) != 0;
+      emit_corruptions_ = (flags & kTrace2FlagCorruptions) != 0;
       RunInfo& b = out.begin;
       b.n = static_cast<std::uint32_t>(read_varint("run_begin n"));
       b.t_budget = static_cast<std::uint32_t>(read_varint("run_begin t"));
@@ -249,6 +266,12 @@ bool BinaryTraceReader::next(TraceRecord& out) {
             read_varint("run_begin omission_budget"));
         b.omission_round_cap = static_cast<std::uint32_t>(
             read_varint("run_begin omission_round_cap"));
+      }
+      if (emit_corruptions_) {
+        b.byzantine_budget = static_cast<std::uint32_t>(
+            read_varint("run_begin byzantine_budget"));
+        b.byzantine_round_cap = static_cast<std::uint32_t>(
+            read_varint("run_begin byzantine_round_cap"));
       }
       return true;
     }
@@ -271,6 +294,11 @@ bool BinaryTraceReader::next(TraceRecord& out) {
         r.omissions =
             static_cast<std::uint32_t>(read_varint("round omissions"));
         r.omitted = read_varint("round omitted");
+      }
+      if (emit_corruptions_) {
+        r.corruptions =
+            static_cast<std::uint32_t>(read_varint("round corruptions"));
+        r.corrupted = read_varint("round corrupted");
       }
       return true;
     }
@@ -300,6 +328,11 @@ bool BinaryTraceReader::next(TraceRecord& out) {
         res.omissions_total =
             static_cast<std::uint32_t>(read_varint("run_end omissions"));
         res.messages_omitted = read_varint("run_end omitted");
+      }
+      if (emit_corruptions_) {
+        res.corruptions_total =
+            static_cast<std::uint32_t>(read_varint("run_end corruptions"));
+        res.messages_corrupted = read_varint("run_end corrupted");
       }
       return true;
     }

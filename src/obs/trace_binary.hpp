@@ -8,9 +8,10 @@
 // a wrong version, or a corrupt varint raise obs::IoError with the byte
 // offset; hostile input can never index out of bounds or over-allocate.
 //
-// Like the JSONL writer, the binary writer latches the omission gate per
-// run from run_begin's limits, so fail-stop runs pay zero bytes for the
-// omission fields and conversion between the formats is bijective.
+// Like the JSONL writer, the binary writer latches the omission and
+// corruption gates per run from run_begin's limits, so fail-stop runs pay
+// zero bytes for the omission/corruption fields and conversion between the
+// formats is bijective.
 #pragma once
 
 #include <cstdint>
@@ -66,6 +67,7 @@ class BinaryTraceWriter final : public TraceWriter {
   Trace2Header header_;
   bool header_written_ = false;
   bool emit_omissions_ = false;  ///< latched per run from RunInfo
+  bool emit_corruptions_ = false;  ///< latched per run from RunInfo
   std::uint64_t events_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t runs_ = 0;
@@ -108,6 +110,7 @@ class BinaryTraceReader final : public TraceReader {
   std::string path_;  ///< for error messages; "<stream>" when borrowed
   std::uint64_t offset_ = 0;
   bool emit_omissions_ = false;  ///< latched per run, like the writer
+  bool emit_corruptions_ = false;  ///< latched per run, like the writer
   std::uint16_t seed_schema_ = 0;
   std::string git_rev_;
 };

@@ -29,7 +29,11 @@
 // varints omission_budget, omission_round_cap and every round / run_end
 // record of that run gains varints omissions, omitted
 // (kTrace2OmissionFields each) — mirroring the JSONL gating exactly, so
-// conversion is bijective. Varints are LEB128 (7 data bits per byte, high
+// conversion is bijective. When run_begin carried the corruption flag
+// (bit1), it likewise gains varints byzantine_budget, byzantine_round_cap
+// and every round / run_end record gains varints corruptions, corrupted
+// (kTrace2CorruptionFields each), placed *after* any omission extras in the
+// same record. Varints are LEB128 (7 data bits per byte, high
 // bit = continuation, at most kTrace2MaxVarintBytes bytes for a u64). Run
 // indices are never stored: like the JSONL writer, readers derive them by
 // counting run_begin records. The stream is deterministic: identical seeds
@@ -64,6 +68,7 @@ inline constexpr std::uint8_t kTrace2KindRunAbandoned = 0x04;
 
 // run_begin flags byte.
 inline constexpr std::uint8_t kTrace2FlagOmissions = 0x01;
+inline constexpr std::uint8_t kTrace2FlagCorruptions = 0x02;
 
 // run_end flags byte.
 inline constexpr std::uint8_t kTrace2EndFlagTerminated = 0x01;
@@ -78,6 +83,9 @@ inline constexpr std::size_t kTrace2RunEndFields = 5;
 inline constexpr std::size_t kTrace2AbandonFields = 4;
 /// Extra varints on run_begin/round/run_end when the omission flag is set.
 inline constexpr std::size_t kTrace2OmissionFields = 2;
+/// Extra varints on run_begin/round/run_end when the corruption flag is set
+/// (after the omission extras when both flags are present).
+inline constexpr std::size_t kTrace2CorruptionFields = 2;
 
 /// A u64 LEB128 varint is at most 10 bytes; an 11th continuation byte is
 /// corruption, not a longer integer.

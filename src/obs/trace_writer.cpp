@@ -26,6 +26,8 @@ void JsonlTraceWriter::on_run_begin(const RunInfo& info) {
   ++runs_;
   in_run_ = true;
   emit_omissions_ = info.omission_budget > 0 || info.omission_round_cap > 0;
+  emit_corruptions_ =
+      info.byzantine_budget > 0 || info.byzantine_round_cap > 0;
   JsonValue ev = JsonValue::object()
                      .set("event", "run_begin")
                      .set("schema", kTraceSchema)
@@ -37,6 +39,10 @@ void JsonlTraceWriter::on_run_begin(const RunInfo& info) {
   if (emit_omissions_) {
     ev.set("omission_budget", JsonValue(info.omission_budget))
         .set("omission_round_cap", JsonValue(info.omission_round_cap));
+  }
+  if (emit_corruptions_) {
+    ev.set("byzantine_budget", JsonValue(info.byzantine_budget))
+        .set("byzantine_round_cap", JsonValue(info.byzantine_round_cap));
   }
   write_line(ev);
 }
@@ -60,6 +66,10 @@ void JsonlTraceWriter::on_round_end(const RoundObservation& r) {
     ev.set("omissions", JsonValue(r.omissions))
         .set("omitted", JsonValue(r.omitted));
   }
+  if (emit_corruptions_) {
+    ev.set("corruptions", JsonValue(r.corruptions))
+        .set("corrupted", JsonValue(r.corrupted));
+  }
   write_line(ev);
 }
 
@@ -80,6 +90,10 @@ void JsonlTraceWriter::on_run_end(const RunObservation& res) {
   if (emit_omissions_) {
     ev.set("omissions", JsonValue(res.omissions_total))
         .set("omitted", JsonValue(res.messages_omitted));
+  }
+  if (emit_corruptions_) {
+    ev.set("corruptions", JsonValue(res.corruptions_total))
+        .set("corrupted", JsonValue(res.messages_corrupted));
   }
   in_run_ = false;
   write_line(ev);

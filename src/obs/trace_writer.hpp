@@ -28,7 +28,12 @@
 //   run_begin: "omission_budget":OB, "omission_round_cap":OC
 //   round:     "omissions":OM (directives), "omitted":OL (suppressed links)
 //   run_end:   "omissions":OM, "omitted":OL (run totals)
-// Runs under the fail-stop default (both limits zero) omit these fields
+// Runs executed with a non-zero byzantine budget (or per-round corruption
+// cap) likewise carry the additive fields
+//   run_begin: "byzantine_budget":BB, "byzantine_round_cap":BC
+//   round:     "corruptions":CD (directives), "corrupted":CL (forged links)
+//   run_end:   "corruptions":CD, "corrupted":CL (run totals)
+// Runs under the fail-stop default (all limits zero) omit these fields
 // entirely, so existing traces stay byte-identical.
 //
 // The same event stream has a varint-packed binary twin, schema
@@ -106,6 +111,7 @@ class JsonlTraceWriter final : public TraceWriter {
   std::ostream* out_ = nullptr;
   bool flush_each_ = false;
   bool emit_omissions_ = false;  ///< latched per run from RunInfo
+  bool emit_corruptions_ = false;  ///< latched per run from RunInfo
   bool in_run_ = false;  ///< run_begin seen, no run_end/run_abandoned yet
   std::uint64_t events_ = 0;
   std::uint64_t bytes_ = 0;

@@ -25,10 +25,32 @@ std::optional<Payload> KFloodMinProcess::on_round(const Receipt* prev,
                                                   CoinSource& /*coins*/) {
   SYNRAN_CHECK_MSG(!halted_, "on_round called on a halted process");
   if (prev != nullptr) {
-    set_ |= static_cast<std::uint32_t>(prev->or_mask >> kSetShift) &
-            ((opts_.k >= 32 ? 0u : (1u << opts_.k)) - 1u);
+    const auto seen = static_cast<std::uint32_t>(prev->or_mask >> kSetShift) &
+                      ((opts_.k >= 32 ? 0u : (1u << opts_.k)) - 1u);
+    if (opts_.corrupt_tolerance == 0) {
+      set_ |= seen;
+    } else {
+      // Hardened admission: a value enters the set only with more evidence
+      // than `corrupt_tolerance` forged links per round can fabricate. The
+      // low two values have exact supporter counts in the receipt; higher
+      // values must persist across rounds (each extra round of persistence
+      // costs the adversary another corruption directive).
+      const std::uint32_t tol = opts_.corrupt_tolerance;
+      std::uint32_t bits = seen & ~set_;
+      while (bits != 0) {
+        const auto v = static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (v == 0) {
+          if (prev->zeros > tol) set_ |= 1u;
+        } else if (v == 1) {
+          if (prev->ones > tol) set_ |= 2u;
+        } else if (++seen_rounds_[v] > tol) {
+          set_ |= 1u << v;
+        }
+      }
+    }
   }
-  if (next_round_ > opts_.t + 1) {
+  if (next_round_ > opts_.t + 1 + opts_.corrupt_tolerance) {
     decided_ = true;
     decision_value_ = min_seen();
     halted_ = true;
@@ -59,6 +81,11 @@ std::uint64_t KFloodMinProcess::state_digest() const {
   h = mix(h, id_);
   h = mix(h, set_);
   h = mix(h, next_round_);
+  if (opts_.corrupt_tolerance > 0) {
+    // Pending-admission evidence is protocol state too; gated so plain
+    // FloodMin digests stay what they always were.
+    for (std::uint32_t v = 2; v < opts_.k; ++v) h = mix(h, seen_rounds_[v]);
+  }
   h = mix(h, static_cast<std::uint64_t>(decided_) |
                  (static_cast<std::uint64_t>(halted_) << 1) |
                  (static_cast<std::uint64_t>(decision_value_) << 8));

@@ -4,8 +4,18 @@
 // rounds and decide the minimum. Payloads carry the value set as a bitmask
 // in the (protocol-specific) upper payload bits, while the low two bits keep
 // the binary convention so receipts stay meaningful to the fabric.
+//
+// The validity-hardened variant (corrupt_tolerance > 0) additionally
+// survives corrupted-value faults (CorruptionDirective): plain FloodMin
+// adopts any value it ever sees, so a single forged "0" in an all-1 system
+// destroys validity. Hardening filters admissions per round — values 0/1
+// need more supporting senders than the tolerance (a forged link contributes
+// at most one supporter per corruption directive), values ≥ 2 must persist
+// across more rounds than the tolerance — and runs tolerance extra exchange
+// rounds so honest values still flood to everyone.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
@@ -19,6 +29,11 @@ using KValue = std::uint8_t;
 struct KFloodMinOptions {
   std::uint32_t t = 0;  ///< tolerance; runs t+1 exchange rounds
   std::uint32_t k = 2;  ///< value domain size (≤ 32)
+  /// Max corrupted-value directives tolerated per round; 0 — the default —
+  /// is plain FloodMin, bit for bit. When positive, admissions are filtered
+  /// (see the header comment) and the protocol runs t+1+corrupt_tolerance
+  /// exchange rounds.
+  std::uint32_t corrupt_tolerance = 0;
 };
 
 class KFloodMinProcess final : public Process {
@@ -50,6 +65,9 @@ class KFloodMinProcess final : public Process {
   std::uint32_t n_ = 0;
   ProcessId id_ = 0;
   std::uint32_t set_ = 0;  ///< bitmask of seen values
+  /// Hardened mode only: per-value count of rounds the value was observed
+  /// in the receipt or_mask without yet being admitted (values ≥ 2).
+  std::array<std::uint32_t, 32> seen_rounds_{};
   std::uint32_t next_round_ = 1;
   bool decided_ = false;
   bool halted_ = false;
@@ -71,7 +89,9 @@ class KFloodMinFactory final : public ProcessFactory {
                                            KValue input) const {
     return std::make_unique<KFloodMinProcess>(id, n, input, opts_);
   }
-  const char* name() const override { return "kfloodmin"; }
+  const char* name() const override {
+    return opts_.corrupt_tolerance > 0 ? "kfloodmin-hardened" : "kfloodmin";
+  }
 
  private:
   KFloodMinOptions opts_;

@@ -7,7 +7,9 @@
 // subset of each victim's messages still goes out. When the engine grants an
 // omission budget (EngineOptions::omission_budget — a deliberate extension
 // beyond the paper's model), the plan may additionally suppress live senders'
-// messages for chosen receiver subsets without killing anyone.
+// messages for chosen receiver subsets without killing anyone; a byzantine
+// budget (EngineOptions::byzantine_budget) likewise lets it replace live
+// senders' messages with per-receiver forged values.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +32,9 @@ class WorldView {
             std::span<const std::unique_ptr<Process>> processes,
             std::uint32_t budget_left, std::uint32_t round_cap,
             std::uint32_t omission_budget_left = 0,
-            std::uint32_t omission_round_cap = 0)
+            std::uint32_t omission_round_cap = 0,
+            std::uint32_t corruption_budget_left = 0,
+            std::uint32_t corruption_round_cap = 0)
       : round_(round),
         n_(n),
         alive_(alive),
@@ -40,7 +44,9 @@ class WorldView {
         budget_left_(budget_left),
         round_cap_(round_cap),
         omission_budget_left_(omission_budget_left),
-        omission_round_cap_(omission_round_cap) {}
+        omission_round_cap_(omission_round_cap),
+        corruption_budget_left_(corruption_budget_left),
+        corruption_round_cap_(corruption_round_cap) {}
 
   Round round() const { return round_; }
   std::uint32_t n() const { return n_; }
@@ -91,6 +97,22 @@ class WorldView {
                : omission_budget_left_;
   }
 
+  /// Corruption directives the adversary may still spend over the whole
+  /// execution (0 = corrupted values forbidden, the fail-stop default).
+  std::uint32_t corruption_budget_left() const {
+    return corruption_budget_left_;
+  }
+  /// Max corruption directives allowed this round (0 = no per-round cap).
+  std::uint32_t corruption_round_cap() const { return corruption_round_cap_; }
+
+  /// Effective number of corruption directives available this round.
+  std::uint32_t corruption_round_budget() const {
+    if (corruption_round_cap_ == 0) return corruption_budget_left_;
+    return corruption_round_cap_ < corruption_budget_left_
+               ? corruption_round_cap_
+               : corruption_budget_left_;
+  }
+
  private:
   Round round_;
   std::uint32_t n_;
@@ -102,6 +124,8 @@ class WorldView {
   std::uint32_t round_cap_;
   std::uint32_t omission_budget_left_;
   std::uint32_t omission_round_cap_;
+  std::uint32_t corruption_budget_left_;
+  std::uint32_t corruption_round_cap_;
 };
 
 /// Strategy interface. Implementations must respect the budget exposed by the

@@ -10,7 +10,9 @@ namespace synran {
 void RunAuditor::begin(std::uint32_t n, std::uint32_t t_budget,
                        std::uint32_t per_round_cap,
                        std::uint32_t omission_budget,
-                       std::uint32_t omission_round_cap) {
+                       std::uint32_t omission_round_cap,
+                       std::uint32_t byzantine_budget,
+                       std::uint32_t byzantine_round_cap) {
   SYNRAN_REQUIRE(n >= 1, "auditor needs at least one process");
   n_ = n;
   t_budget_ = t_budget;
@@ -19,6 +21,9 @@ void RunAuditor::begin(std::uint32_t n, std::uint32_t t_budget,
   omission_budget_ = omission_budget;
   omission_round_cap_ = omission_round_cap;
   cum_omissions_ = 0;
+  byzantine_budget_ = byzantine_budget;
+  byzantine_round_cap_ = byzantine_round_cap;
+  cum_corruptions_ = 0;
   crashed_ = DynBitset(n);
   crash_round_.assign(n, 0);
   was_decided_.assign(n, false);
@@ -202,12 +207,84 @@ void RunAuditor::on_plan(Round round, const FaultPlan& plan,
     }
     omitted.set(o.sender);
   }
+  const auto b = static_cast<std::uint32_t>(plan.corruption_count());
+  if (byzantine_round_cap_ != 0 && b > byzantine_round_cap_) {
+    std::ostringstream os;
+    os << "plan issues " << b << " corruption directives but the per-round "
+       << "corruption cap is " << byzantine_round_cap_;
+    fail(round, os.str());
+  }
+  if (cum_corruptions_ + b > byzantine_budget_) {
+    std::ostringstream os;
+    os << "plan issues " << b << " corruption directives on top of "
+       << cum_corruptions_ << " already spent, exceeding the byzantine "
+       << "budget " << byzantine_budget_
+       << (byzantine_budget_ == 0
+               ? " (corrupted values are forbidden under the fail-stop model "
+                 "unless EngineOptions grants a byzantine budget)"
+               : "");
+    fail(round, os.str());
+  }
+  DynBitset corrupted(n_);
+  DynBitset forged(n_);
+  for (const auto& cd : plan.corruptions) {
+    if (cd.sender >= n_) {
+      std::ostringstream os;
+      os << "corruption sender " << cd.sender << " is not a process (n="
+         << n_ << ")";
+      fail(round, os.str());
+    }
+    if (in_plan.test(cd.sender)) {
+      std::ostringstream os;
+      os << "process " << cd.sender << " is both crashed and corrupted in "
+         << "one fault plan — a crash's deliver_to already fixes its "
+         << "delivery";
+      fail(round, os.str());
+    }
+    if (omitted.test(cd.sender)) {
+      std::ostringstream os;
+      os << "process " << cd.sender << " is both omitted and corrupted in "
+         << "one fault plan — an omitted link has no value left to forge";
+      fail(round, os.str());
+    }
+    if (corrupted.test(cd.sender)) {
+      std::ostringstream os;
+      os << "corruption sender " << cd.sender
+         << " appears twice in one fault plan";
+      fail(round, os.str());
+    }
+    if (!payloads[cd.sender].has_value()) {
+      std::ostringstream os;
+      os << "plan corrupts messages of process " << cd.sender
+         << ", which is not sending this round (there is no message whose "
+         << "value could be forged)";
+      fail(round, os.str());
+    }
+    forged.clear_all();
+    for (const auto& fg : cd.forgeries) {
+      if (fg.target >= n_) {
+        std::ostringstream os;
+        os << "forgery target " << fg.target << " of corruption sender "
+           << cd.sender << " is not a process (n=" << n_ << ")";
+        fail(round, os.str());
+      }
+      if (forged.test(fg.target)) {
+        std::ostringstream os;
+        os << "forgery target " << fg.target << " of corruption sender "
+           << cd.sender << " appears twice in one directive";
+        fail(round, os.str());
+      }
+      forged.set(fg.target);
+    }
+    corrupted.set(cd.sender);
+  }
   for (const auto& c : plan.crashes) {
     crashed_.set(c.victim);
     crash_round_[c.victim] = round;
   }
   cum_crashes_ += k;
   cum_omissions_ += m;
+  cum_corruptions_ += b;
 }
 
 void RunAuditor::on_deliveries(
@@ -254,8 +331,10 @@ FaultPlan AuditedAdversary::plan_round(const WorldView& world) {
   SYNRAN_CHECK_MSG(begun_, "AuditedAdversary::plan_round before begin()");
   auditor_.set_per_round_cap(world.round_cap());
   auditor_.set_omission_round_cap(world.omission_round_cap());
+  auditor_.set_byzantine_round_cap(world.corruption_round_cap());
   if (!omission_budget_synced_) {
     auditor_.set_omission_budget(world.omission_budget_left());
+    auditor_.set_byzantine_budget(world.corruption_budget_left());
     omission_budget_synced_ = true;
   }
   if (world.budget_left() != auditor_.budget_left()) {
@@ -270,6 +349,13 @@ FaultPlan AuditedAdversary::plan_round(const WorldView& world) {
     os << "audit: round " << world.round() << ": engine reports "
        << world.omission_budget_left() << " omissions left but the audited "
        << "spend leaves " << auditor_.omission_budget_left();
+    throw InvariantError(os.str());
+  }
+  if (world.corruption_budget_left() != auditor_.corruption_budget_left()) {
+    std::ostringstream os;
+    os << "audit: round " << world.round() << ": engine reports "
+       << world.corruption_budget_left() << " corruptions left but the "
+       << "audited spend leaves " << auditor_.corruption_budget_left();
     throw InvariantError(os.str());
   }
   auditor_.on_phase_a(world.round(), world.payloads(), world.halted(),

@@ -10,6 +10,10 @@
 //   * omission directives target live senders only, never duplicate or
 //     overlap a crash victim, and respect their own global budget and
 //     per-round cap (0 budget = omissions forbidden, the fail-stop default);
+//   * corruption directives likewise target live senders only, never
+//     duplicate or overlap a crash/omission directive, never forge the same
+//     receiver twice, and respect the byzantine budget and per-round cap
+//     (0 budget = corrupted values forbidden, the fail-stop default);
 //   * a crashed process never acts again (no payloads, no halting, no
 //     re-crash) — "silence of the dead";
 //   * a decided process never flips its decision, and decided() never
@@ -44,11 +48,13 @@ namespace synran {
 /// begin → (on_phase_a → on_plan → on_deliveries)* per round.
 class RunAuditor {
  public:
-  /// Resets all state for a fresh execution. Omissions default to forbidden
-  /// (budget 0), matching the paper's fail-stop model.
+  /// Resets all state for a fresh execution. Omissions and corruptions
+  /// default to forbidden (budget 0), matching the paper's fail-stop model.
   void begin(std::uint32_t n, std::uint32_t t_budget,
              std::uint32_t per_round_cap, std::uint32_t omission_budget = 0,
-             std::uint32_t omission_round_cap = 0);
+             std::uint32_t omission_round_cap = 0,
+             std::uint32_t byzantine_budget = 0,
+             std::uint32_t byzantine_round_cap = 0);
 
   /// After phase A: `payloads[i]` is what process i wants to broadcast
   /// (nullopt = halted or silent), `decided/decisions` its current verdict
@@ -87,12 +93,22 @@ class RunAuditor {
   void set_omission_round_cap(std::uint32_t cap) {
     omission_round_cap_ = cap;
   }
+  void set_byzantine_budget(std::uint32_t budget) {
+    byzantine_budget_ = budget;
+  }
+  void set_byzantine_round_cap(std::uint32_t cap) {
+    byzantine_round_cap_ = cap;
+  }
 
   std::uint32_t crashes_so_far() const { return cum_crashes_; }
   std::uint32_t budget_left() const { return t_budget_ - cum_crashes_; }
   std::uint32_t omissions_so_far() const { return cum_omissions_; }
   std::uint32_t omission_budget_left() const {
     return omission_budget_ - cum_omissions_;
+  }
+  std::uint32_t corruptions_so_far() const { return cum_corruptions_; }
+  std::uint32_t corruption_budget_left() const {
+    return byzantine_budget_ - cum_corruptions_;
   }
   const DynBitset& crashed() const { return crashed_; }
 
@@ -106,6 +122,9 @@ class RunAuditor {
   std::uint32_t omission_budget_ = 0;
   std::uint32_t omission_round_cap_ = 0;
   std::uint32_t cum_omissions_ = 0;
+  std::uint32_t byzantine_budget_ = 0;
+  std::uint32_t byzantine_round_cap_ = 0;
+  std::uint32_t cum_corruptions_ = 0;
   bool strict_decisions_ = false;
   DynBitset crashed_;
   std::vector<Round> crash_round_;
@@ -134,9 +153,10 @@ class AuditedAdversary final : public Adversary {
   Adversary* inner_;
   RunAuditor auditor_;
   bool begun_ = false;
-  /// The omission budget is invisible to Adversary::begin, so it is adopted
-  /// from the first WorldView (nothing can have been spent before round 1)
-  /// and cross-checked against the engine's arithmetic afterwards.
+  /// The omission and byzantine budgets are invisible to Adversary::begin,
+  /// so they are adopted from the first WorldView (nothing can have been
+  /// spent before round 1) and cross-checked against the engine's
+  /// arithmetic afterwards.
   bool omission_budget_synced_ = false;
 };
 

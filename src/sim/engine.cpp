@@ -70,17 +70,18 @@ RunSummary Engine::run_impl(const ProcessFactory& factory,
 
   obs::EngineObserver* observer = options.observer;
   if (observer != nullptr) {
-    observer->on_run_begin(obs::RunInfo{n, options.t_budget,
-                                        options.per_round_cap, options.seed,
-                                        options.omission_budget,
-                                        options.omission_round_cap});
+    observer->on_run_begin(obs::RunInfo{
+        n, options.t_budget, options.per_round_cap, options.seed,
+        options.omission_budget, options.omission_round_cap,
+        options.byzantine_budget, options.byzantine_round_cap});
   }
 
   // Always-on model audit (§3.1): cheap per-round predicates that validate
   // the adversary's spend and the engine's own delivery accounting.
   RunAuditor auditor;
   auditor.begin(n, options.t_budget, options.per_round_cap,
-                options.omission_budget, options.omission_round_cap);
+                options.omission_budget, options.omission_round_cap,
+                options.byzantine_budget, options.byzantine_round_cap);
   auditor.set_strict_decisions(options.strict_decision_audit);
 
   DynBitset& alive = ws_.alive_;    // not crashed by the adversary
@@ -92,6 +93,7 @@ RunSummary Engine::run_impl(const ProcessFactory& factory,
   RunSummary sum;
   std::uint32_t budget_left = options.t_budget;
   std::uint32_t omission_budget_left = options.omission_budget;
+  std::uint32_t corruption_budget_left = options.byzantine_budget;
 
   for (Round r = 1; r <= options.max_rounds; ++r) {
     // --- Phase A: local computation, coins, message preparation.
@@ -141,7 +143,8 @@ RunSummary Engine::run_impl(const ProcessFactory& factory,
     // --- Adversary intervention.
     const std::uint32_t cap = options.per_round_cap;
     WorldView world(r, n, alive, halted, payloads, procs, budget_left, cap,
-                    omission_budget_left, options.omission_round_cap);
+                    omission_budget_left, options.omission_round_cap,
+                    corruption_budget_left, options.byzantine_round_cap);
     FaultPlan plan = adversary.plan_round(world);
     auditor.on_plan(r, plan, payloads);
     if (observer != nullptr) observer->on_fault_plan(r, plan);
@@ -149,6 +152,7 @@ RunSummary Engine::run_impl(const ProcessFactory& factory,
     // --- Phase B: delivery to surviving, non-halted receivers.
     std::uint64_t round_delivered = 0;
     std::uint64_t round_omitted = 0;
+    std::uint64_t round_corrupted = 0;
     DynBitset receivers = alive;
     for (const auto& c : plan.crashes) receivers.reset(c.victim);
     {
@@ -165,16 +169,24 @@ RunSummary Engine::run_impl(const ProcessFactory& factory,
       round_delivered = sum.messages_delivered - before;
       for (const auto& o : plan.omissions)
         round_omitted += (o.drop_for & active).count();
+      for (const auto& cd : plan.corruptions)
+        for (const auto& fg : cd.forgeries)
+          if (active.test(fg.target)) ++round_corrupted;
       auditor.on_deliveries(r, plan, payloads, active, round_delivered);
       if (observer != nullptr) observer->on_deliveries(r, round_delivered);
     }
 
-    // Commit the crashes and the omission spend.
+    // Commit the crashes and the omission/corruption spend.
     budget_left -= static_cast<std::uint32_t>(plan.crash_count());
     sum.crashes_total += static_cast<std::uint32_t>(plan.crash_count());
     omission_budget_left -= static_cast<std::uint32_t>(plan.omission_count());
     sum.omissions_total += static_cast<std::uint32_t>(plan.omission_count());
     sum.messages_omitted += round_omitted;
+    corruption_budget_left -=
+        static_cast<std::uint32_t>(plan.corruption_count());
+    sum.corruptions_total +=
+        static_cast<std::uint32_t>(plan.corruption_count());
+    sum.messages_corrupted += round_corrupted;
     if (full != nullptr)
       ws_.crashes_per_round_.push_back(
           static_cast<std::uint32_t>(plan.crash_count()));
@@ -184,6 +196,9 @@ RunSummary Engine::run_impl(const ProcessFactory& factory,
       round_obs.delivered = round_delivered;
       round_obs.omissions = static_cast<std::uint32_t>(plan.omission_count());
       round_obs.omitted = round_omitted;
+      round_obs.corruptions =
+          static_cast<std::uint32_t>(plan.corruption_count());
+      round_obs.corrupted = round_corrupted;
       observer->on_round_end(round_obs);
     }
   }
@@ -234,6 +249,8 @@ RunSummary Engine::run_impl(const ProcessFactory& factory,
     full->messages_delivered = sum.messages_delivered;
     full->omissions_total = sum.omissions_total;
     full->messages_omitted = sum.messages_omitted;
+    full->corruptions_total = sum.corruptions_total;
+    full->messages_corrupted = sum.messages_corrupted;
     full->crashes_per_round = ws_.crashes_per_round_;
     full->crashed.assign(n, false);
     full->decided.assign(n, false);
@@ -260,6 +277,8 @@ RunSummary Engine::run_impl(const ProcessFactory& factory,
     ro.messages_delivered = sum.messages_delivered;
     ro.omissions_total = sum.omissions_total;
     ro.messages_omitted = sum.messages_omitted;
+    ro.corruptions_total = sum.corruptions_total;
+    ro.messages_corrupted = sum.messages_corrupted;
     ro.survivors = static_cast<std::uint32_t>(alive.count());
     observer->on_run_end(ro);
   }

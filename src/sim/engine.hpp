@@ -37,6 +37,14 @@ struct EngineOptions {
   /// Optional per-round omission-directive cap (0 = no per-round cap),
   /// mirroring per_round_cap.
   std::uint32_t omission_round_cap = 0;
+  /// Global byzantine budget: max corruption directives (one live sender's
+  /// message replaced by per-receiver forged values) over the whole
+  /// execution. 0 — the default — forbids corrupted values entirely,
+  /// preserving the paper's fail-stop model bit for bit.
+  std::uint32_t byzantine_budget = 0;
+  /// Optional per-round corruption-directive cap (0 = no per-round cap),
+  /// mirroring per_round_cap.
+  std::uint32_t byzantine_round_cap = 0;
   /// Safety valve: abort the run (marking it non-terminating) after this many
   /// rounds. Must comfortably exceed any expected run length.
   std::uint32_t max_rounds = 100000;
@@ -79,6 +87,9 @@ struct RunResult {
   /// Omission directives spent / links suppressed (see RunSummary).
   std::uint32_t omissions_total = 0;
   std::uint64_t messages_omitted = 0;
+  /// Corruption directives spent / links forged (see RunSummary).
+  std::uint32_t corruptions_total = 0;
+  std::uint64_t messages_corrupted = 0;
 
   /// Final per-process status (survivors only meaningful).
   std::vector<bool> crashed;

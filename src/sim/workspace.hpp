@@ -52,6 +52,13 @@ struct RunSummary {
   /// Point-to-point messages actually suppressed by omissions (each directive
   /// contributes |drop_for ∩ active receivers|).
   std::uint64_t messages_omitted = 0;
+
+  /// Corruption directives the adversary spent (0 under the fail-stop
+  /// default).
+  std::uint32_t corruptions_total = 0;
+  /// Point-to-point messages actually forged (each directive contributes its
+  /// number of forgeries whose target is an active receiver).
+  std::uint64_t messages_corrupted = 0;
 };
 
 /// Pre-sized buffers for Engine runs, reused across repetitions. The input

@@ -21,8 +21,10 @@ namespace {
 /// Emits plans drawn from raw randomness with no regard for the model:
 /// crash victims may be dead, halted, silent, duplicated, or over budget;
 /// omission senders may be silent, duplicated, crash-overlapping, or past
-/// the omission budget; and masks are random (occasionally even mis-sized).
-/// (Not the seeded link-drop injector in adversary/omission.hpp — this one
+/// the omission budget; masks are random (occasionally even mis-sized);
+/// and corruption directives may name dead or out-of-range senders,
+/// duplicate receiver entries, overlap the other families, or bust the
+/// byzantine budget. (Not the seeded injectors in adversary/ — this one
 /// exists to be *wrong*.)
 class MalformedPlanAdversary final : public Adversary {
  public:
@@ -54,6 +56,23 @@ class MalformedPlanAdversary final : public Adversary {
         if (rng_.flip()) o.drop_for.set(b);
       }
       plan.omissions.push_back(std::move(o));
+    }
+    if (rng_.flip()) {
+      CorruptionDirective cd;
+      // Mostly in-range senders (dead or silent ones included), with an
+      // occasional out-of-range id.
+      cd.sender = static_cast<ProcessId>(
+          rng_.below(w.n() + (rng_.below(20) == 0 ? 1 : 0)));
+      const std::uint64_t f = 1 + rng_.below(3);
+      for (std::uint64_t j = 0; j < f; ++j) {
+        CorruptionDirective::Forgery fg;
+        fg.target = static_cast<ProcessId>(rng_.below(w.n()));
+        fg.forged = rng_.next();
+        cd.forgeries.push_back(fg);
+        // Occasionally forge the same receiver twice in one directive.
+        if (rng_.below(4) == 0) cd.forgeries.push_back(fg);
+      }
+      plan.corruptions.push_back(std::move(cd));
     }
     return plan;
   }
@@ -158,10 +177,14 @@ TEST(AuditFuzz, ChaoticPlansNeverSurviveOverBudget) {
     opts.t_budget = t;
     opts.per_round_cap = rng.flip() ? 2 : 0;
     // A third of the runs forbid omissions outright (the fail-stop default),
-    // the rest grant a small budget the malformed plans routinely bust.
+    // the rest grant a small budget the malformed plans routinely bust; the
+    // byzantine budget is drawn the same way.
     opts.omission_budget =
         rng.below(3) == 0 ? 0 : static_cast<std::uint32_t>(rng.below(12));
     opts.omission_round_cap = rng.flip() ? 1 : 0;
+    opts.byzantine_budget =
+        rng.below(3) == 0 ? 0 : static_cast<std::uint32_t>(rng.below(12));
+    opts.byzantine_round_cap = rng.flip() ? 1 : 0;
     opts.seed = rng.next();
     opts.max_rounds = 30000;
     try {
@@ -169,6 +192,8 @@ TEST(AuditFuzz, ChaoticPlansNeverSurviveOverBudget) {
       // A chaotic run that completed must nonetheless be model-clean.
       EXPECT_LE(res.crashes_total, t) << "iter " << iter;
       EXPECT_LE(res.omissions_total, opts.omission_budget) << "iter " << iter;
+      EXPECT_LE(res.corruptions_total, opts.byzantine_budget)
+          << "iter " << iter;
       if (opts.per_round_cap != 0) {
         for (auto c : res.crashes_per_round)
           EXPECT_LE(c, opts.per_round_cap) << "iter " << iter;

@@ -310,5 +310,187 @@ TEST_P(OmissionFabricEquivalence, FastMatchesNaive) {
 INSTANTIATE_TEST_SUITE_P(MixedFaultTraffic, OmissionFabricEquivalence,
                          ::testing::Range<std::uint64_t>(1, 61));
 
+TEST(CorruptFabricTest, ForgerySubstitutesPayloadPerReceiver) {
+  // Sender 0 truly sends 1; receivers 1 and 2 instead observe a forged 0
+  // (receiver 2's forgery also carries a high marker bit). The message still
+  // arrives, so counts are untouched — only the value flips.
+  const auto payloads = bits_payloads({1, 0, 1, 0});
+  FaultPlan plan;
+  CorruptionDirective cd;
+  cd.sender = 0;
+  cd.forgeries.push_back({1, payload::kSupports0});
+  cd.forgeries.push_back({2, payload::kSupports0 | (Payload{1} << 8)});
+  plan.corruptions.push_back(std::move(cd));
+  DynBitset receivers(4, true);
+  RoundTraffic traffic{payloads, &plan};
+  const auto r = deliver(4, traffic, receivers);
+  EXPECT_EQ(r[0].count, 4u);  // untouched receiver sees the truth
+  EXPECT_EQ(r[0].ones, 2u);
+  EXPECT_EQ(r[1].count, 4u);  // forged link still delivers a message
+  EXPECT_EQ(r[1].ones, 1u);
+  EXPECT_EQ(r[1].zeros, 3u);
+  EXPECT_EQ(r[2].count, 4u);
+  EXPECT_EQ(r[2].ones, 1u);
+  EXPECT_TRUE(r[2].or_mask & (Payload{1} << 8));
+  EXPECT_FALSE(r[1].or_mask & (Payload{1} << 8));
+  EXPECT_EQ(r[3], r[0]);
+}
+
+TEST(CorruptFabricTest, OrMaskRebuiltAfterForgery) {
+  // Sender 0 is the sole kSupports1 carrier; forging its message to
+  // receiver 1 as a pure 0 must clear kSupports1 from that receiver's
+  // or_mask while everyone else keeps it.
+  const auto payloads = bits_payloads({1, 0, 0});
+  FaultPlan plan;
+  CorruptionDirective cd;
+  cd.sender = 0;
+  cd.forgeries.push_back({1, payload::kSupports0});
+  plan.corruptions.push_back(std::move(cd));
+  DynBitset receivers(3, true);
+  RoundTraffic traffic{payloads, &plan};
+  const auto r = deliver(3, traffic, receivers);
+  EXPECT_FALSE(r[1].or_mask & payload::kSupports1);
+  EXPECT_TRUE(r[1].or_mask & payload::kSupports0);
+  EXPECT_TRUE(r[0].or_mask & payload::kSupports1);
+  EXPECT_TRUE(r[2].or_mask & payload::kSupports1);
+}
+
+TEST(CorruptFabricTest, ValidationRejectsBadCorruptions) {
+  const auto payloads = bits_payloads({1, -1, 1});
+  DynBitset receivers(3, true);
+  const auto one_forgery = [](ProcessId sender, ProcessId target) {
+    CorruptionDirective cd;
+    cd.sender = sender;
+    cd.forgeries.push_back({target, payload::kSupports0});
+    return cd;
+  };
+
+  FaultPlan non_sender;  // silent processes have nothing to corrupt
+  non_sender.corruptions.push_back(one_forgery(1, 0));
+  RoundTraffic t1{payloads, &non_sender};
+  EXPECT_THROW(deliver(3, t1, receivers), ArgumentError);
+
+  FaultPlan dup_sender;
+  dup_sender.corruptions.push_back(one_forgery(0, 1));
+  dup_sender.corruptions.push_back(one_forgery(0, 2));
+  RoundTraffic t2{payloads, &dup_sender};
+  EXPECT_THROW(deliver(3, t2, receivers), ArgumentError);
+
+  FaultPlan dup_target;
+  dup_target.corruptions.push_back(one_forgery(0, 1));
+  dup_target.corruptions.back().forgeries.push_back(
+      {1, payload::kSupports1});
+  RoundTraffic t3{payloads, &dup_target};
+  EXPECT_THROW(deliver(3, t3, receivers), ArgumentError);
+
+  FaultPlan sender_range;
+  sender_range.corruptions.push_back(one_forgery(9, 0));
+  RoundTraffic t4{payloads, &sender_range};
+  EXPECT_THROW(deliver(3, t4, receivers), ArgumentError);
+
+  FaultPlan target_range;
+  target_range.corruptions.push_back(one_forgery(0, 9));
+  RoundTraffic t5{payloads, &target_range};
+  EXPECT_THROW(deliver(3, t5, receivers), ArgumentError);
+
+  FaultPlan crash_overlap;
+  crash_overlap.crashes.push_back({0, DynBitset(3)});
+  crash_overlap.corruptions.push_back(one_forgery(0, 1));
+  RoundTraffic t6{payloads, &crash_overlap};
+  EXPECT_THROW(deliver(3, t6, receivers), ArgumentError);
+
+  FaultPlan omit_overlap;
+  omit_overlap.omissions.push_back({0, DynBitset(3)});
+  omit_overlap.corruptions.push_back(one_forgery(0, 1));
+  RoundTraffic t7{payloads, &omit_overlap};
+  EXPECT_THROW(deliver(3, t7, receivers), ArgumentError);
+}
+
+// Property: fast path == naive path under mixed crash + omission +
+// corruption plans, including forged payload bits outside the value
+// conventions (they must round-trip through the or_mask rebuild exactly).
+class CorruptFabricEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorruptFabricEquivalence, FastMatchesNaive) {
+  Xoshiro256 rng(GetParam() * 0xd1b54a32d192ed03ULL + 1);
+  const std::uint32_t n = 3 + static_cast<std::uint32_t>(rng.below(60));
+
+  std::vector<std::optional<Payload>> payloads(n);
+  std::vector<ProcessId> senders;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.8) {
+      payloads[i] = rng.next() & 0x7;  // random low-3-bit payloads
+      senders.push_back(i);
+    }
+  }
+
+  FaultPlan plan;
+  DynBitset receivers(n, true);
+  std::size_t used = 0;  // prefix of `senders` consumed by directives so far
+  if (!senders.empty()) {
+    const std::uint32_t crashes = static_cast<std::uint32_t>(
+        rng.below(std::min<std::uint64_t>(senders.size(), 3) + 1));
+    for (std::uint32_t k = 0; k < crashes; ++k) {
+      const std::size_t j = used + rng.below(senders.size() - used);
+      std::swap(senders[used], senders[j]);
+      DynBitset mask(n);
+      for (std::uint32_t r = 0; r < n; ++r)
+        if (rng.flip()) mask.set(r);
+      plan.crashes.push_back({senders[used], mask});
+      receivers.reset(senders[used]);
+      ++used;
+    }
+  }
+  if (used < senders.size()) {
+    const std::uint32_t omissions = static_cast<std::uint32_t>(rng.below(
+        std::min<std::uint64_t>(senders.size() - used, 4) + 1));
+    for (std::uint32_t k = 0; k < omissions; ++k) {
+      const std::size_t j = used + rng.below(senders.size() - used);
+      std::swap(senders[used], senders[j]);
+      DynBitset drop(n);
+      for (std::uint32_t r = 0; r < n; ++r)
+        if (rng.uniform() < 0.4) drop.set(r);
+      plan.omissions.push_back({senders[used], drop});
+      ++used;
+    }
+  }
+  // Corruptions claim live senders disjoint from the crash and omission
+  // prefixes; forged payloads roam a wider bit range than the true ones.
+  if (used < senders.size()) {
+    const std::uint32_t corruptions = static_cast<std::uint32_t>(rng.below(
+        std::min<std::uint64_t>(senders.size() - used, 4) + 1));
+    for (std::uint32_t k = 0; k < corruptions; ++k) {
+      const std::size_t j = used + rng.below(senders.size() - used);
+      std::swap(senders[used], senders[j]);
+      CorruptionDirective cd;
+      cd.sender = senders[used];
+      DynBitset targeted(n);
+      const std::uint32_t forgeries =
+          1 + static_cast<std::uint32_t>(rng.below(n));
+      for (std::uint32_t f = 0; f < forgeries; ++f) {
+        const auto target = static_cast<ProcessId>(rng.below(n));
+        if (targeted.test(target)) continue;
+        targeted.set(target);
+        cd.forgeries.push_back({target, rng.next() & 0x3ff});
+      }
+      plan.corruptions.push_back(std::move(cd));
+      ++used;
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (rng.uniform() < 0.2) receivers.reset(i);
+
+  RoundTraffic traffic{payloads, &plan};
+  const auto fast = deliver(n, traffic, receivers);
+  const auto naive = deliver_naive(n, traffic, receivers);
+  ASSERT_EQ(fast.size(), naive.size());
+  for (std::uint32_t i = 0; i < n; ++i)
+    EXPECT_EQ(fast[i], naive[i]) << "receiver " << i << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(MixedFaultTraffic, CorruptFabricEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 66));
+
 }  // namespace
 }  // namespace synran

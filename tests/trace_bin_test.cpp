@@ -159,6 +159,63 @@ TEST(TraceBinRoundTrip, OmissionFieldsAndExtremeValuesSurvive) {
   EXPECT_EQ(decoded[3].abandoned.error, "setup exploded");
 }
 
+TEST(TraceBinRoundTrip, CorruptionFieldsRideAfterTheOmissionExtras) {
+  // A stream with both fault families active: the corruption varint pair is
+  // encoded after the omission pair on every record kind, and both must
+  // survive the binary round trip exactly.
+  std::vector<obs::TraceRecord> recs;
+  obs::TraceRecorder recorder(recs);
+
+  obs::RunInfo info;
+  info.n = 24;
+  info.t_budget = 8;
+  info.seed = 0xFEED;
+  info.omission_budget = 12;
+  info.omission_round_cap = 2;
+  info.byzantine_budget = 9;
+  info.byzantine_round_cap = 3;
+  recorder.on_run_begin(info);
+
+  obs::RoundObservation round;
+  round.round = 1;
+  round.alive = 24;
+  round.senders = 24;
+  round.ones = 12;
+  round.zeros = 12;
+  round.budget_left = 8;
+  round.delivered = 552;
+  round.omissions = 2;
+  round.omitted = 5;
+  round.corruptions = 3;
+  round.corrupted = 17;
+  recorder.on_round_end(round);
+
+  obs::RunObservation end;
+  end.terminated = true;
+  end.agreement = true;
+  end.has_decision = true;
+  end.decision = 0;
+  end.rounds_to_decision = 1;
+  end.rounds_to_halt = 2;
+  end.messages_delivered = 552;
+  end.omissions_total = 2;
+  end.messages_omitted = 5;
+  end.corruptions_total = 3;
+  end.messages_corrupted = 17;
+  end.survivors = 24;
+  recorder.on_run_end(end);
+
+  EXPECT_EQ(to_jsonl(recs), to_jsonl(decode(to_binary(recs))));
+  const auto decoded = decode(to_binary(recs));
+  ASSERT_EQ(decoded.size(), recs.size());
+  EXPECT_EQ(decoded[0].begin.byzantine_budget, 9u);
+  EXPECT_EQ(decoded[0].begin.byzantine_round_cap, 3u);
+  EXPECT_EQ(decoded[1].round.omitted, 5u);
+  EXPECT_EQ(decoded[1].round.corruptions, 3u);
+  EXPECT_EQ(decoded[1].round.corrupted, 17u);
+  EXPECT_EQ(decoded[2].end.messages_corrupted, 17u);
+}
+
 TEST(TraceBinRoundTrip, HeaderMetadataSurvives) {
   std::istringstream in(to_binary(batch_records()));
   obs::BinaryTraceReader reader(in);

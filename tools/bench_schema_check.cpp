@@ -110,6 +110,33 @@ void check_bench_report(const JsonValue& doc, Check& c) {
     }
   }
 
+  // Additive field (corruption experiments only): an array of
+  // {corrupt_rate in [0,1], budget >= 0} configurations.
+  if (const auto* cors = doc.find("corruptions"); cors != nullptr) {
+    if (!cors->is_array()) {
+      c.fail("corruptions is present but not an array");
+    } else {
+      for (std::size_t i = 0; i < cors->as_array().size(); ++i) {
+        const auto& cor = cors->as_array()[i];
+        const std::string at = "corruptions[" + std::to_string(i) + "]";
+        if (!cor.is_object()) {
+          c.fail(at + " is not an object");
+          continue;
+        }
+        const auto* rate = cor.find("corrupt_rate");
+        if (rate == nullptr || !rate->is_number())
+          c.fail(at + ".corrupt_rate is not a number");
+        else if (rate->as_double() < 0.0 || rate->as_double() > 1.0)
+          c.fail(at + ".corrupt_rate is outside [0, 1]");
+        const auto* budget = cor.find("budget");
+        if (budget == nullptr || !budget->is_int())
+          c.fail(at + ".budget is not an integer");
+        else if (budget->as_int() < 0)
+          c.fail(at + ".budget is negative");
+      }
+    }
+  }
+
   // Additive block (traced batches only): the trace-write overhead the
   // harness measured. Wall-clock fields, so --canon strips it like timings.
   if (const auto* overhead = doc.find("trace_overhead"); overhead != nullptr) {
@@ -268,6 +295,8 @@ void check_trace_stream(std::istream& in, Check& c) {
   std::int64_t delivered_sum = 0;
   std::int64_t omissions_sum = 0;
   std::int64_t omitted_sum = 0;
+  std::int64_t corruptions_sum = 0;
+  std::int64_t corrupted_sum = 0;
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -308,8 +337,10 @@ void check_trace_stream(std::istream& in, Check& c) {
       for (const char* key : {"n", "t", "per_round_cap", "seed"})
         if (const auto* v = parsed->find(key); v == nullptr || !v->is_int())
           c.fail(at + ": run_begin." + key + " is not an integer");
-      // Additive fields, emitted only for runs with an omission budget.
-      for (const char* key : {"omission_budget", "omission_round_cap"})
+      // Additive fields, emitted only for runs with an omission budget
+      // (and, likewise, only for runs with a byzantine budget).
+      for (const char* key : {"omission_budget", "omission_round_cap",
+                              "byzantine_budget", "byzantine_round_cap"})
         if (const auto* v = parsed->find(key); v != nullptr && !v->is_int())
           c.fail(at + ": run_begin." + key + " is present but not an integer");
       in_run = true;
@@ -317,6 +348,8 @@ void check_trace_stream(std::istream& in, Check& c) {
       delivered_sum = 0;
       omissions_sum = 0;
       omitted_sum = 0;
+      corruptions_sum = 0;
+      corrupted_sum = 0;
     } else if (kind == "round") {
       if (!in_run) c.fail(at + ": round outside a run");
       for (const char* key :
@@ -329,8 +362,9 @@ void check_trace_stream(std::istream& in, Check& c) {
       if (const auto* v = parsed->find("delivered");
           v != nullptr && v->is_int())
         delivered_sum += v->as_int();
-      // Additive round fields under an omission budget.
-      for (const char* key : {"omissions", "omitted"})
+      // Additive round fields under an omission or byzantine budget.
+      for (const char* key : {"omissions", "omitted", "corruptions",
+                              "corrupted"})
         if (const auto* v = parsed->find(key); v != nullptr && !v->is_int())
           c.fail(at + ": round." + key + " is present but not an integer");
       if (const auto* v = parsed->find("omissions");
@@ -338,6 +372,12 @@ void check_trace_stream(std::istream& in, Check& c) {
         omissions_sum += v->as_int();
       if (const auto* v = parsed->find("omitted"); v != nullptr && v->is_int())
         omitted_sum += v->as_int();
+      if (const auto* v = parsed->find("corruptions");
+          v != nullptr && v->is_int())
+        corruptions_sum += v->as_int();
+      if (const auto* v = parsed->find("corrupted");
+          v != nullptr && v->is_int())
+        corrupted_sum += v->as_int();
     } else if (kind == "run_end") {
       if (!in_run) c.fail(at + ": run_end outside a run");
       for (const char* key : {"terminated", "agreement"})
@@ -361,7 +401,8 @@ void check_trace_stream(std::istream& in, Check& c) {
         c.fail(at + ": run_end.delivered (" + std::to_string(v->as_int()) +
                ") != sum of round deliveries (" +
                std::to_string(delivered_sum) + ")");
-      for (const char* key : {"omissions", "omitted"})
+      for (const char* key : {"omissions", "omitted", "corruptions",
+                              "corrupted"})
         if (const auto* v = parsed->find(key); v != nullptr && !v->is_int())
           c.fail(at + ": run_end." + key + " is present but not an integer");
       if (const auto* v = parsed->find("omissions");
@@ -374,6 +415,16 @@ void check_trace_stream(std::istream& in, Check& c) {
         c.fail(at + ": run_end.omitted (" + std::to_string(v->as_int()) +
                ") != sum of round omitted links (" +
                std::to_string(omitted_sum) + ")");
+      if (const auto* v = parsed->find("corruptions");
+          v != nullptr && v->is_int() && v->as_int() != corruptions_sum)
+        c.fail(at + ": run_end.corruptions (" + std::to_string(v->as_int()) +
+               ") != sum of round corruptions (" +
+               std::to_string(corruptions_sum) + ")");
+      if (const auto* v = parsed->find("corrupted");
+          v != nullptr && v->is_int() && v->as_int() != corrupted_sum)
+        c.fail(at + ": run_end.corrupted (" + std::to_string(v->as_int()) +
+               ") != sum of round corrupted links (" +
+               std::to_string(corrupted_sum) + ")");
       in_run = false;
       ++expected_run;
     } else if (kind == "run_abandoned") {
@@ -476,10 +527,13 @@ void check_trace2_stream(const std::string& data, Check& c) {
 
   bool in_run = false;
   bool omissions = false;
+  bool corruptions = false;
   std::uint64_t crashes_sum = 0;
   std::uint64_t delivered_sum = 0;
   std::uint64_t omissions_sum = 0;
   std::uint64_t omitted_sum = 0;
+  std::uint64_t corruptions_sum = 0;
+  std::uint64_t corrupted_sum = 0;
 
   while (pos < data.size()) {
     const std::size_t at = pos;
@@ -491,30 +545,43 @@ void check_trace2_stream(const std::string& data, Check& c) {
         return;
       }
       const std::uint8_t flags = u8(pos++);
-      if ((flags & ~kTrace2FlagOmissions) != 0)
+      if ((flags & ~(kTrace2FlagOmissions | kTrace2FlagCorruptions)) != 0)
         fail_at(at, "unknown run_begin flag bits");
       omissions = (flags & kTrace2FlagOmissions) != 0;
-      const std::size_t count =
-          kTrace2RunBeginFields + (omissions ? kTrace2OmissionFields : 0);
+      corruptions = (flags & kTrace2FlagCorruptions) != 0;
+      const std::size_t count = kTrace2RunBeginFields +
+                                (omissions ? kTrace2OmissionFields : 0) +
+                                (corruptions ? kTrace2CorruptionFields : 0);
       std::uint64_t v = 0;
       for (std::size_t f = 0; f < count; ++f)
         if (!varint(v, "run_begin field")) return;
       in_run = true;
       crashes_sum = delivered_sum = omissions_sum = omitted_sum = 0;
+      corruptions_sum = corrupted_sum = 0;
     } else if (kind == kTrace2KindRound) {
       if (!in_run) fail_at(at, "round outside a run");
-      std::uint64_t fields[kTrace2RoundFields + kTrace2OmissionFields] = {};
-      const std::size_t count =
-          kTrace2RoundFields + (omissions ? kTrace2OmissionFields : 0);
+      std::uint64_t fields[kTrace2RoundFields + kTrace2OmissionFields +
+                           kTrace2CorruptionFields] = {};
+      const std::size_t count = kTrace2RoundFields +
+                                (omissions ? kTrace2OmissionFields : 0) +
+                                (corruptions ? kTrace2CorruptionFields : 0);
       for (std::size_t f = 0; f < count; ++f)
         if (!varint(fields[f], "round field")) return;
       // Field order per trace_format.hpp: crashes is the 9th varint,
-      // delivered the 11th, then the omission pair.
+      // delivered the 11th, then the omission pair, then the corruption
+      // pair (each present only when its flag is set, always in that
+      // order).
       crashes_sum += fields[8];
       delivered_sum += fields[10];
+      std::size_t extra = kTrace2RoundFields;
       if (omissions) {
-        omissions_sum += fields[kTrace2RoundFields];
-        omitted_sum += fields[kTrace2RoundFields + 1];
+        omissions_sum += fields[extra];
+        omitted_sum += fields[extra + 1];
+        extra += kTrace2OmissionFields;
+      }
+      if (corruptions) {
+        corruptions_sum += fields[extra];
+        corrupted_sum += fields[extra + 1];
       }
     } else if (kind == kTrace2KindRunEnd) {
       if (!in_run) fail_at(at, "run_end outside a run");
@@ -530,9 +597,11 @@ void check_trace2_stream(const std::string& data, Check& c) {
       if ((flags & kTrace2EndFlagDecisionOne) != 0 &&
           (flags & kTrace2EndFlagHasDecision) == 0)
         fail_at(at, "run_end decision-one flag without a decision");
-      std::uint64_t fields[kTrace2RunEndFields + kTrace2OmissionFields] = {};
-      const std::size_t count =
-          kTrace2RunEndFields + (omissions ? kTrace2OmissionFields : 0);
+      std::uint64_t fields[kTrace2RunEndFields + kTrace2OmissionFields +
+                           kTrace2CorruptionFields] = {};
+      const std::size_t count = kTrace2RunEndFields +
+                                (omissions ? kTrace2OmissionFields : 0) +
+                                (corruptions ? kTrace2CorruptionFields : 0);
       for (std::size_t f = 0; f < count; ++f)
         if (!varint(fields[f], "run_end field")) return;
       // rounds_to_decision, rounds_to_halt, crashes, delivered, survivors.
@@ -544,17 +613,30 @@ void check_trace2_stream(const std::string& data, Check& c) {
         fail_at(at, "run_end.delivered (" + std::to_string(fields[3]) +
                         ") != sum of round deliveries (" +
                         std::to_string(delivered_sum) + ")");
+      std::size_t extra = kTrace2RunEndFields;
       if (omissions) {
-        if (fields[kTrace2RunEndFields] != omissions_sum)
-          fail_at(at, "run_end.omissions (" +
-                          std::to_string(fields[kTrace2RunEndFields]) +
+        if (fields[extra] != omissions_sum)
+          fail_at(at, "run_end.omissions (" + std::to_string(fields[extra]) +
                           ") != sum of round omissions (" +
                           std::to_string(omissions_sum) + ")");
-        if (fields[kTrace2RunEndFields + 1] != omitted_sum)
+        if (fields[extra + 1] != omitted_sum)
           fail_at(at, "run_end.omitted (" +
-                          std::to_string(fields[kTrace2RunEndFields + 1]) +
+                          std::to_string(fields[extra + 1]) +
                           ") != sum of round omitted links (" +
                           std::to_string(omitted_sum) + ")");
+        extra += kTrace2OmissionFields;
+      }
+      if (corruptions) {
+        if (fields[extra] != corruptions_sum)
+          fail_at(at, "run_end.corruptions (" +
+                          std::to_string(fields[extra]) +
+                          ") != sum of round corruptions (" +
+                          std::to_string(corruptions_sum) + ")");
+        if (fields[extra + 1] != corrupted_sum)
+          fail_at(at, "run_end.corrupted (" +
+                          std::to_string(fields[extra + 1]) +
+                          ") != sum of round corrupted links (" +
+                          std::to_string(corrupted_sum) + ")");
       }
       in_run = false;
     } else if (kind == kTrace2KindRunAbandoned) {

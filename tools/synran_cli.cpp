@@ -14,7 +14,9 @@
 // byte-stably, `stats` streams a file into the RepeatedRunStats-shaped
 // aggregate, `head` prints the first events as JSONL.
 // `run` additionally accepts --faults=omit:RATE[,BUDGET] to layer seeded
-// i.i.d. link drops (ChaosAdversary) on top of the chosen crash adversary,
+// i.i.d. link drops (ChaosAdversary) on top of the chosen crash adversary —
+// or --faults=byz:RATE[,BUDGET] to layer seeded equivocating value
+// corruption (ByzantineAdversary) instead —
 // --fail-policy/--retries to quarantine failing reps instead of aborting,
 // and --resume=FILE to checkpoint the batch (synran-ckpt/1) and reload it
 // on a rerun instead of recomputing.
@@ -36,6 +38,7 @@
 #include <string>
 
 #include "adversary/basic.hpp"
+#include "adversary/byzantine.hpp"
 #include "async/benor.hpp"
 #include "adversary/coinbias.hpp"
 #include "adversary/nonadaptive.hpp"
@@ -198,12 +201,17 @@ InputPattern parse_pattern(const std::string& name) {
   return InputPattern::Random;
 }
 
-/// Parsed --faults=omit:RATE[,BUDGET]. Omissions stay off without the flag.
+/// Parsed --faults. `omit:RATE[,BUDGET]` layers seeded i.i.d. link drops
+/// (ChaosAdversary); `byz:RATE[,BUDGET]` layers seeded equivocating value
+/// corruption (ByzantineAdversary). Both stay off without the flag.
 struct FaultFlag {
   bool enabled = false;
-  double drop_rate = 0.0;
-  /// Omission-directive budget; defaults to "effectively unlimited" so a
-  /// bare --faults=omit:p studies the pure drop-rate regime.
+  /// Corrupted-value regime (byz:) instead of link drops (omit:).
+  bool byzantine = false;
+  double rate = 0.0;
+  /// Directive budget (omission or corruption, per the regime); defaults to
+  /// "effectively unlimited" so a bare --faults=omit:p / byz:p studies the
+  /// pure rate regime.
   std::uint32_t budget = std::numeric_limits<std::uint32_t>::max();
 };
 
@@ -229,19 +237,23 @@ obs::Trace2Header cli_trace_header() {
 FaultFlag parse_faults(const std::string& text) {
   FaultFlag f;
   if (text.empty()) return f;
-  const std::string prefix = "omit:";
-  if (text.rfind(prefix, 0) != 0) {
+  std::string rest;
+  if (text.rfind("omit:", 0) == 0) {
+    rest = text.substr(5);
+  } else if (text.rfind("byz:", 0) == 0) {
+    f.byzantine = true;
+    rest = text.substr(4);
+  } else {
     throw UsageError("invalid --faults '" + text +
-                     "': expected omit:RATE[,BUDGET]");
+                     "': expected omit:RATE[,BUDGET] or byz:RATE[,BUDGET]");
   }
-  std::string rest = text.substr(prefix.size());
   if (const auto comma = rest.find(','); comma != std::string::npos) {
     f.budget = parse_u32("faults", rest.substr(comma + 1));
     rest = rest.substr(0, comma);
   }
-  f.drop_rate = parse_f64("faults", rest);
-  if (f.drop_rate < 0.0 || f.drop_rate > 1.0) {
-    throw UsageError("invalid --faults drop rate '" + rest +
+  f.rate = parse_f64("faults", rest);
+  if (f.rate < 0.0 || f.rate > 1.0) {
+    throw UsageError("invalid --faults rate '" + rest +
                      "': must lie in [0, 1]");
   }
   f.enabled = true;
@@ -417,16 +429,26 @@ int cmd_run(const Args& args) {
     throw UsageError("unknown protocol or adversary");
   }
   if (faults.enabled) {
-    // Layer seeded link drops over the chosen crash adversary. The chaos
+    // Layer seeded link faults over the chosen crash adversary. The fault
     // coins use their own derived stream so they never perturb the inner
-    // adversary's randomness.
-    adversaries = [inner = std::move(adversaries),
-                   faults](std::uint64_t s) -> std::unique_ptr<Adversary> {
-      ChaosOptions chaos;
-      chaos.drop_rate = faults.drop_rate;
-      chaos.seed = SeedSequence(s).stream(1);
-      return std::make_unique<ChaosAdversary>(chaos, inner(s));
-    };
+    // adversary's randomness (stream 1 = omission chaos, 2 = corruption).
+    if (faults.byzantine) {
+      adversaries = [inner = std::move(adversaries),
+                     faults](std::uint64_t s) -> std::unique_ptr<Adversary> {
+        ByzantineOptions byz;
+        byz.corrupt_rate = faults.rate;
+        byz.seed = SeedSequence(s).stream(2);
+        return std::make_unique<ByzantineAdversary>(byz, inner(s));
+      };
+    } else {
+      adversaries = [inner = std::move(adversaries),
+                     faults](std::uint64_t s) -> std::unique_ptr<Adversary> {
+        ChaosOptions chaos;
+        chaos.drop_rate = faults.rate;
+        chaos.seed = SeedSequence(s).stream(1);
+        return std::make_unique<ChaosAdversary>(chaos, inner(s));
+      };
+    }
   }
 
   RepeatSpec spec;
@@ -439,7 +461,12 @@ int cmd_run(const Args& args) {
   spec.engine.max_rounds = args.num32("max-rounds", 100000);
   spec.engine.max_rep_retries = args.num32("retries", 0);
   spec.policy = policy;
-  if (faults.enabled) spec.engine.omission_budget = faults.budget;
+  if (faults.enabled) {
+    if (faults.byzantine)
+      spec.engine.byzantine_budget = faults.budget;
+    else
+      spec.engine.omission_budget = faults.budget;
+  }
 
   // --resume=FILE binds a synran-ckpt/1 ledger keyed by the full spec (plus
   // the adversary/fault flags, which shape results but not the spec). A key
@@ -502,11 +529,17 @@ int cmd_run(const Args& args) {
   table.row({std::string("rounds to halt (mean)"),
              stats.rounds_to_halt().mean()});
   table.row({std::string("crashes used (mean)"), stats.crashes_used().mean()});
-  if (faults.enabled) {
+  if (faults.enabled && !faults.byzantine) {
     table.row({std::string("omissions used (mean)"),
                stats.omissions_used().mean()});
     table.row({std::string("messages omitted (mean)"),
                stats.messages_omitted().mean()});
+  }
+  if (faults.enabled && faults.byzantine) {
+    table.row({std::string("corruptions used (mean)"),
+               stats.corruptions_used().mean()});
+    table.row({std::string("messages corrupted (mean)"),
+               stats.messages_corrupted().mean()});
   }
   table.row({std::string("decided 1 / reps"),
              std::to_string(stats.decided_one()) + " / " +
@@ -775,6 +808,10 @@ void usage() {
       "           --faults=omit:RATE[,BUDGET] (seeded i.i.d. link drops at\n"
       "           RATE in [0,1]; BUDGET caps omission directives, default\n"
       "           unlimited)\n"
+      "           --faults=byz:RATE[,BUDGET] (seeded equivocating value\n"
+      "           corruption: each live sender is corrupted with prob.\n"
+      "           RATE per round; BUDGET caps corruption directives,\n"
+      "           default unlimited)\n"
       "           --fail-policy fail_fast|quarantine (quarantine records a\n"
       "           failing rep and keeps going instead of aborting the batch)\n"
       "           --retries N (same-seed retries per failing rep before it\n"
