@@ -75,6 +75,7 @@
 #include "common/table.hpp"
 #include "exec/executor.hpp"
 #include "exec/stopper.hpp"
+#include "obs/atomic_file.hpp"
 #include "obs/checkpoint.hpp"
 #include "obs/json.hpp"
 #include "obs/trace_io.hpp"
@@ -345,10 +346,11 @@ class BenchReport {
     return report.set("tables", tables_).set("timings", timings_);
   }
 
-  /// Writes BENCH_<experiment>.json into `dir` via a temp file + atomic
-  /// rename, so a crash or full disk never leaves a truncated report under
-  /// the final name. Returns the path, or "" on any failure (open, write,
-  /// close, or rename — the stream state is checked at each step).
+  /// Writes BENCH_<experiment>.json into `dir` via a temp file + fsync +
+  /// atomic rename (obs::commit_atomic), so neither a crash, a full disk,
+  /// nor a power loss right after the rename leaves a truncated or empty
+  /// report under the final name. Returns the path, or "" on any failure
+  /// (open, write, close, fsync, or rename — checked at each step).
   std::string write(const std::string& dir) const {
     const std::string path = dir + "/BENCH_" + experiment_ + ".json";
     const std::string tmp = path + ".tmp";
@@ -364,9 +366,10 @@ class BenchReport {
         return {};
       }
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
+    try {
+      obs::commit_atomic(tmp, path, "bench report");
+    } catch (const obs::IoError&) {
+      std::error_code ec;
       std::filesystem::remove(tmp, ec);
       return {};
     }
@@ -677,9 +680,10 @@ inline void emit(Table& table, bool all_safe = true) {
         CsvNameRegistry::instance().unique(csv_slug(table.title()));
     const std::string path = std::string(dir) + "/" + name + ".csv";
     const std::string tmp = path + ".tmp";
-    // Temp file + atomic rename, with the stream state checked before the
-    // rename: a full disk yields a diagnostic and no file at the final name,
-    // never a silently truncated CSV.
+    // Temp file + fsync + atomic rename (obs::commit_atomic), with the
+    // stream state checked before the commit: a full disk or power loss
+    // yields a diagnostic and no file at the final name, never a silently
+    // truncated or empty CSV.
     bool ok = false;
     {
       std::ofstream csv(tmp, std::ios::binary | std::ios::trunc);
@@ -690,9 +694,11 @@ inline void emit(Table& table, bool all_safe = true) {
       }
     }
     if (ok) {
-      std::error_code ec;
-      std::filesystem::rename(tmp, path, ec);
-      ok = !ec;
+      try {
+        obs::commit_atomic(tmp, path, "bench csv");
+      } catch (const obs::IoError&) {
+        ok = false;
+      }
     }
     if (ok) {
       std::cout << "  [csv: " << path << "]\n";

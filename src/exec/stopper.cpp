@@ -13,14 +13,21 @@ namespace {
 // sig_atomic_t loads/stores indivisible, and the flag is monotonic
 // (0 -> 1), so the worst case is one extra rep before the stop is seen.
 volatile std::sig_atomic_t g_stop = 0;
+// Signals seen since the last clear. A plain increment is fine: the
+// handler is the only writer from signal context, polls only read, and
+// the serve drain logic needs "zero vs non-zero", not an exact count.
+volatile std::sig_atomic_t g_signals = 0;
 
-void on_stop_signal(int /*signum*/) { g_stop = 1; }
+void on_stop_signal(int /*signum*/) {
+  g_signals = g_signals + 1;
+  g_stop = 1;
+}
 
 }  // namespace
 
 void install_stop_handlers() {
   // std::signal is async-signal-safe to install and the handler only
-  // writes the flag. Installing twice is harmless (same handler).
+  // writes the flags. Installing twice is harmless (same handler).
   std::signal(SIGINT, &on_stop_signal);
   std::signal(SIGTERM, &on_stop_signal);
 }
@@ -29,6 +36,16 @@ bool stop_requested() noexcept { return g_stop != 0; }
 
 void request_stop() noexcept { g_stop = 1; }
 
-void clear_stop() noexcept { g_stop = 0; }
+void note_signal_stop() noexcept {
+  g_signals = g_signals + 1;
+  g_stop = 1;
+}
+
+int stop_signals() noexcept { return static_cast<int>(g_signals); }
+
+void clear_stop() noexcept {
+  g_stop = 0;
+  g_signals = 0;
+}
 
 }  // namespace synran::exec

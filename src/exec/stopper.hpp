@@ -32,15 +32,29 @@ class Interrupted : public std::runtime_error {
 /// process entry point, never from library code.
 void install_stop_handlers();
 
-/// True once a stop was requested (signal or request_stop()).
+/// True once a stop was requested (signal, request_stop(), or
+/// note_signal_stop()).
 bool stop_requested() noexcept;
 
-/// Latches the stop flag exactly as a signal would (deterministic test and
-/// embedder hook).
+/// Latches the stop flag WITHOUT counting a signal. Embedders that stop a
+/// batch for their own reasons — the serve daemon's per-request deadline
+/// watchdog, deterministic tests — use this so they can tell their own
+/// stop apart from an operator's SIGINT/SIGTERM via stop_signals().
 void request_stop() noexcept;
 
-/// Clears the flag so a later batch can run (tests; a fresh process starts
-/// clear).
+/// Exactly what the signal handler does: latches the flag AND counts a
+/// signal. The deterministic hook for testing the drain path without
+/// raising a real signal.
+void note_signal_stop() noexcept;
+
+/// Signals observed (SIGINT/SIGTERM deliveries plus note_signal_stop()
+/// calls) since process start or the last clear_stop(). The serve daemon
+/// drains and exits when this is non-zero, but resumes serving after a
+/// stop it requested itself (a deadline) when it is still zero.
+int stop_signals() noexcept;
+
+/// Clears the flag and the signal count so a later batch can run (tests;
+/// a fresh process starts clear).
 void clear_stop() noexcept;
 
 }  // namespace synran::exec

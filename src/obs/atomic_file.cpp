@@ -1,10 +1,89 @@
 #include "obs/atomic_file.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
 
 namespace synran::obs {
+
+namespace {
+
+IoFaultHook& fault_hook() {
+  static IoFaultHook hook;
+  return hook;
+}
+
+void run_hook(IoStage stage, const std::string& path) {
+  if (fault_hook()) fault_hook()(stage, path);
+}
+
+/// Best-effort fsync of `path`'s parent directory so the rename that just
+/// published a file survives power loss too. Directory fsync is not
+/// supported on every filesystem, so failures are swallowed: the data
+/// itself is already durable, only the new directory entry may lag.
+void fsync_parent_dir(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+const char* to_string(IoStage stage) {
+  switch (stage) {
+    case IoStage::Fsync:
+      return "fsync";
+    case IoStage::Rename:
+      return "rename";
+  }
+  return "?";
+}
+
+void set_io_fault_hook(IoFaultHook hook) { fault_hook() = std::move(hook); }
+
+void fsync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw IoError("fsync: cannot open '" + path +
+                  "': " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("fsync: cannot sync '" + path + "': " + std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    throw IoError("fsync: cannot close '" + path +
+                  "': " + std::strerror(errno));
+  }
+}
+
+void commit_atomic(const std::string& tmp_path, const std::string& final_path,
+                   std::string_view what) {
+  const std::string prefix = std::string(what) + ": ";
+  try {
+    run_hook(IoStage::Fsync, tmp_path);
+    fsync_file(tmp_path);
+    run_hook(IoStage::Rename, tmp_path);
+  } catch (const IoError& e) {
+    throw IoError(prefix + e.what());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    throw IoError(prefix + "cannot rename '" + tmp_path + "' onto '" +
+                  final_path + "': " + ec.message());
+  }
+  fsync_parent_dir(final_path);
+}
 
 AtomicFileSink::AtomicFileSink() = default;
 
@@ -24,8 +103,12 @@ AtomicFileSink::~AtomicFileSink() {
   const bool ok = file_->good();
   file_->close();
   if (ok && file_->good()) {
-    std::error_code ec;
-    std::filesystem::rename(tmp_path_, final_path_, ec);
+    try {
+      commit_atomic(tmp_path_, final_path_, "trace");
+    } catch (const IoError&) {
+      // Best-effort path: the ".tmp" file stays, the final name is never
+      // a torn artifact.
+    }
   }
 }
 
@@ -42,12 +125,7 @@ void AtomicFileSink::close() {
   if (file_->fail()) {
     throw IoError("trace: failed to close '" + tmp_path_ + "'");
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp_path_, final_path_, ec);
-  if (ec) {
-    throw IoError("trace: cannot rename '" + tmp_path_ + "' onto '" +
-                  final_path_ + "': " + ec.message());
-  }
+  commit_atomic(tmp_path_, final_path_, "trace");
   closed_ = true;
 }
 

@@ -1,20 +1,60 @@
 // Owned artifact output with the repo's temp + atomic-rename discipline.
 //
-// Every persisted artifact (traces in either format, bench reports,
-// checkpoint ledgers) follows the same contract: stream into
-// `path + ".tmp"`, and only a successful close() — flush, stream-state
-// check, rename — publishes the final name. A crash, a full disk, or an
-// exception mid-write leaves at worst a ".tmp" file behind and the final
-// path untouched. This class is that contract factored out of the writers.
+// Every persisted artifact (traces in either format, bench reports and
+// CSVs, checkpoint ledgers, serve cache entries) follows the same
+// contract: stream into `path + ".tmp"`, and only a successful commit —
+// flush, stream-state check, fsync, rename — publishes the final name. A
+// crash, a full disk, or an exception mid-write leaves at worst a ".tmp"
+// file behind and the final path untouched; the fsync before the rename
+// closes the power-loss window in which a journaling filesystem persists
+// the rename but not the data, which would otherwise surface after reboot
+// as an *empty or truncated file under the final name* — exactly the torn
+// artifact the atomic rename was meant to rule out.
+//
+// commit_atomic() is that commit step factored out so every writer shares
+// it, and set_io_fault_hook() is the test shim that proves the ordering:
+// tests install a hook, observe the Fsync stage fire before the Rename
+// stage for every writer, and throw from a stage to simulate transient
+// I/O faults (the serve cache's retry-with-backoff is tested this way).
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "obs/io_error.hpp"
 
 namespace synran::obs {
+
+/// Stages of a temp + atomic-rename commit, in the order they run.
+enum class IoStage : std::uint8_t {
+  Fsync,   ///< about to fsync the fully written temp file
+  Rename,  ///< temp file durable; about to rename onto the final path
+};
+
+const char* to_string(IoStage stage);
+
+/// Test-only fault-injection shim: when set, the hook runs before each
+/// commit stage of every atomic writer in the process. Throwing IoError
+/// from the hook simulates a transient fault at that stage (the commit
+/// aborts, the temp file stays, the final path is untouched). Pass nullptr
+/// to clear. Not thread-safe: install/clear only while no writer runs.
+using IoFaultHook = std::function<void(IoStage, const std::string& path)>;
+void set_io_fault_hook(IoFaultHook hook);
+
+/// fsyncs the file at `path` (which must exist and be a regular file);
+/// throws IoError on open or fsync failure.
+void fsync_file(const std::string& path);
+
+/// The shared commit step: fault hook → fsync(tmp_path) → fault hook →
+/// rename(tmp_path → final_path) → best-effort fsync of the parent
+/// directory (so the rename itself survives power loss). Throws IoError
+/// prefixed with `what` on any failure; the temp file is left in place for
+/// the caller to retry or remove.
+void commit_atomic(const std::string& tmp_path, const std::string& final_path,
+                   std::string_view what);
 
 /// An owned output file that becomes visible under its final name only when
 /// close() succeeds. Disengaged (stream() == nullptr) when default-built,
@@ -26,8 +66,8 @@ class AtomicFileSink {
   /// Opens `path + ".tmp"` for binary writing; throws IoError on failure.
   explicit AtomicFileSink(const std::string& path);
 
-  /// Best-effort finalize: flush/close/rename without throwing. A failure
-  /// leaves the ".tmp" file behind and the final path untouched.
+  /// Best-effort finalize: flush/close/fsync/rename without throwing. A
+  /// failure leaves the ".tmp" file behind and the final path untouched.
   ~AtomicFileSink();
 
   AtomicFileSink(const AtomicFileSink&) = delete;
@@ -39,9 +79,10 @@ class AtomicFileSink {
   /// Engaged and not yet successfully closed.
   bool is_open() const { return file_ != nullptr && !closed_; }
 
-  /// Flushes, verifies the stream state, closes the temp file and renames
-  /// it onto the final path. Throws IoError naming the offending path on
-  /// any failure. No-op when disengaged or already closed.
+  /// Flushes, verifies the stream state, closes the temp file, fsyncs it,
+  /// and renames it onto the final path. Throws IoError naming the
+  /// offending path on any failure. No-op when disengaged or already
+  /// closed.
   void close();
 
  private:

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/atomic_file.hpp"
 #include "obs/io_error.hpp"
 
 namespace synran::obs {
@@ -239,13 +240,12 @@ void CheckpointLedger::flush() const {
                     "' (disk full or I/O error)");
     }
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, path_, ec);
-  if (ec) {
+  try {
+    commit_atomic(tmp_path, path_, "checkpoint");
+  } catch (const IoError&) {
     std::error_code ignored;
     std::filesystem::remove(tmp_path, ignored);
-    throw IoError("checkpoint: cannot rename '" + tmp_path + "' onto '" +
-                  path_ + "': " + ec.message());
+    throw;
   }
 }
 

@@ -1,0 +1,222 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "obs/checkpoint.hpp"
+#include "obs/io_error.hpp"
+
+namespace synran::serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The ledger "experiment" tag for serve entries; a file written by some
+/// other checkpoint-producing tool fails validation on this field.
+constexpr const char* kCacheExperiment = "synran-serve";
+
+constexpr const char* kEntrySuffix = ".ckpt";
+constexpr const char* kQuarantineSuffix = ".quarantined";
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string cache_file_stem(std::string_view key) {
+  static const char* digits = "0123456789abcdef";
+  const std::uint64_t h = fnv1a64(key);
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(h >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+ResultCache::ResultCache(Options options)
+    : dir_(std::move(options.dir)),
+      max_entries_(options.max_entries),
+      io_attempts_(options.io_attempts == 0 ? 1 : options.io_attempts),
+      backoff_ms_(options.backoff_ms) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw obs::IoError("cache: cannot create directory " + dir_ + ": " +
+                       ec.message());
+  }
+  recover();
+}
+
+std::string ResultCache::entry_path(const std::string& stem) const {
+  return dir_ + "/" + stem + kEntrySuffix;
+}
+
+void ResultCache::backoff(unsigned attempt) const {
+  if (backoff_ms_ == 0) return;
+  // Exponential: base, 2*base, 4*base, ... Deterministic (no jitter) so
+  // the retry schedule is reproducible in tests.
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(backoff_ms_ << attempt));
+}
+
+std::optional<obs::JsonValue> ResultCache::read_entry(
+    const std::string& stem, const std::string& expect_key,
+    std::string* found_key) const {
+  std::ifstream in(entry_path(stem));
+  if (!in.is_open()) return std::nullopt;
+
+  std::string line;
+  std::vector<obs::JsonValue> lines;
+  while (std::getline(in, line)) {
+    if (line.empty()) return std::nullopt;  // blank line: not ours
+    auto parsed = obs::JsonValue::parse(line);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      return std::nullopt;  // torn tail or foreign bytes
+    }
+    lines.push_back(std::move(*parsed));
+  }
+  if (in.bad()) {
+    throw obs::IoError("cache: read failed for " + entry_path(stem));
+  }
+  if (lines.size() != 2) return std::nullopt;  // header + exactly one cell
+
+  const obs::JsonValue& header = lines[0];
+  const obs::JsonValue* schema = header.find("schema");
+  const obs::JsonValue* experiment = header.find("experiment");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != obs::kCheckpointSchema ||
+      experiment == nullptr || !experiment->is_string() ||
+      experiment->as_string() != kCacheExperiment) {
+    return std::nullopt;
+  }
+
+  const obs::JsonValue& cell = lines[1];
+  const obs::JsonValue* index = cell.find("cell");
+  const obs::JsonValue* key = cell.find("key");
+  const obs::JsonValue* data = cell.find("data");
+  if (index == nullptr || !index->is_int() || index->as_int() != 0 ||
+      key == nullptr || !key->is_string() || data == nullptr) {
+    return std::nullopt;
+  }
+  // The filename must be the hash of the stored key: a renamed or
+  // hand-edited entry fails here instead of shadowing some other key.
+  if (cache_file_stem(key->as_string()) != stem) return std::nullopt;
+  if (found_key != nullptr) *found_key = key->as_string();
+  if (!expect_key.empty() && key->as_string() != expect_key) {
+    return std::nullopt;
+  }
+  return *data;
+}
+
+void ResultCache::quarantine(const std::string& stem) {
+  const std::string from = entry_path(stem);
+  const std::string to = from + kQuarantineSuffix;
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  // A failed quarantine rename (e.g. the file vanished) is not fatal; the
+  // entry is simply not indexed.
+  ++quarantined_;
+  lru_.erase(std::remove(lru_.begin(), lru_.end(), stem), lru_.end());
+}
+
+void ResultCache::recover() {
+  lru_.clear();
+  std::vector<std::string> stems;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const fs::path& p = it->path();
+    if (p.extension() != kEntrySuffix) continue;
+    stems.push_back(p.stem().string());
+  }
+  if (ec) {
+    throw obs::IoError("cache: cannot scan " + dir_ + ": " + ec.message());
+  }
+  // Sorted order makes the rebuilt LRU deterministic across platforms.
+  std::sort(stems.begin(), stems.end());
+  for (const std::string& stem : stems) {
+    std::string key;
+    if (read_entry(stem, /*expect_key=*/"", &key).has_value()) {
+      lru_.push_back(stem);
+    } else {
+      quarantine(stem);
+    }
+  }
+}
+
+void ResultCache::touch(const std::string& stem) {
+  lru_.erase(std::remove(lru_.begin(), lru_.end(), stem), lru_.end());
+  lru_.push_back(stem);
+}
+
+std::optional<obs::JsonValue> ResultCache::lookup(const std::string& key) {
+  const std::string stem = cache_file_stem(key);
+  const bool existed = fs::exists(entry_path(stem));
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      auto payload = read_entry(stem, key, nullptr);
+      if (payload.has_value()) {
+        ++hits_;
+        touch(stem);
+        return payload;
+      }
+      // Present but invalid: torn by a foreign writer or hand-damaged.
+      // Quarantine so the daemon never retries a poisoned entry.
+      if (existed && fs::exists(entry_path(stem))) quarantine(stem);
+      ++misses_;
+      return std::nullopt;
+    } catch (const obs::IoError&) {
+      if (attempt + 1 >= io_attempts_) {
+        ++misses_;  // surfaced as a miss: the batch recomputes
+        return std::nullopt;
+      }
+      ++io_retries_;
+      backoff(attempt);
+    }
+  }
+}
+
+void ResultCache::store(const std::string& key,
+                        const obs::JsonValue& payload) {
+  const std::string stem = cache_file_stem(key);
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      // A fresh single-cell ledger per entry. The binding constructor
+      // tolerates (and discards) whatever is on disk; record() rewrites
+      // the file through the fsync + atomic-rename commit path.
+      obs::CheckpointLedger ledger(entry_path(stem), kCacheExperiment,
+                                   /*seed=*/0);
+      ledger.record(obs::CheckpointCell{0, key, payload});
+      break;
+    } catch (const obs::IoError&) {
+      if (attempt + 1 >= io_attempts_) throw;
+      ++io_retries_;
+      backoff(attempt);
+    }
+  }
+  touch(stem);
+  evict_past_limit();
+}
+
+void ResultCache::evict_past_limit() {
+  if (max_entries_ == 0) return;
+  while (lru_.size() > max_entries_) {
+    const std::string victim = lru_.front();
+    lru_.erase(lru_.begin());
+    std::error_code ec;
+    fs::remove(entry_path(victim), ec);
+    ++evictions_;
+  }
+}
+
+}  // namespace synran::serve

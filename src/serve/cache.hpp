@@ -1,0 +1,112 @@
+// Crash-safe content-addressed result cache for `synran serve`.
+//
+// One entry per distinct cache key. The key is the canonical string from
+// cache_key_string() — canonical config dump + seed schema + git_rev — and
+// the entry's filename is the FNV-1a 64-bit hash of that key in hex:
+//
+//   <cache-dir>/3f9a0c2e4b6d8e01.ckpt
+//
+// Each entry is a tiny synran-ckpt/1 ledger (header + one cell) whose cell
+// key is the FULL canonical key string, so a hash collision or a renamed
+// file can never serve the wrong result: lookups compare the full key, the
+// hash only names the file. Entries are written through CheckpointLedger,
+// which inherits the repo-wide commit discipline (write tmp, fsync, atomic
+// rename, fsync parent dir) — a SIGKILL leaves either the old entry or the
+// new one, never a torn file.
+//
+// Torn or foreign files can still appear (a crash mid-rename of some other
+// tool, a stray file dropped into the dir). recover() runs at startup and
+// on suspicious lookups: any *.ckpt that fails STRICT validation — every
+// line parses, header matches, exactly one cell, filename equals the hash
+// of the cell key — is renamed to *.quarantined and counted, never served
+// and never silently deleted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace synran::serve {
+
+/// FNV-1a 64-bit, the cache's content address. Stable across platforms.
+std::uint64_t fnv1a64(std::string_view text);
+
+/// 16-digit lowercase hex of fnv1a64 — the entry's file stem.
+std::string cache_file_stem(std::string_view key);
+
+class ResultCache {
+ public:
+  struct Options {
+    std::string dir;
+    /// 0 = unbounded. Otherwise the cache holds at most this many entries
+    /// and evicts least-recently-used ones on store().
+    std::size_t max_entries = 0;
+    /// Attempts per store/lookup before a transient obs::IoError is
+    /// surfaced (store) or treated as a miss (lookup).
+    unsigned io_attempts = 3;
+    /// Base backoff between attempts, doubled each retry. 0 disables the
+    /// sleep (tests), keeping the retry loop itself exercised.
+    unsigned backoff_ms = 10;
+  };
+
+  explicit ResultCache(Options options);
+
+  /// Scans the directory, strictly validates every *.ckpt, quarantines the
+  /// invalid ones, and rebuilds the in-memory index. Called by the
+  /// constructor; callable again to re-sync after external changes.
+  void recover();
+
+  /// The cached payload for `key`, or nullopt. A file that exists but
+  /// fails validation is quarantined and reported as a miss.
+  std::optional<obs::JsonValue> lookup(const std::string& key);
+
+  /// Stores (or overwrites) the entry for `key`, retrying transient
+  /// I/O failures with exponential backoff, then evicts LRU entries past
+  /// max_entries. Throws obs::IoError once the attempts are exhausted.
+  void store(const std::string& key, const obs::JsonValue& payload);
+
+  const std::string& dir() const { return dir_; }
+  std::size_t entries() const { return lru_.size(); }
+
+  // Counters for the server's metrics registry.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t quarantined() const { return quarantined_; }
+  /// Transient I/O failures that were retried (store + lookup).
+  std::uint64_t io_retries() const { return io_retries_; }
+
+ private:
+  std::string entry_path(const std::string& stem) const;
+  /// Strict whole-file validation; returns the payload when the file is a
+  /// well-formed single-cell serve entry whose cell key hashes to `stem`
+  /// and (if non-empty) equals `expect_key`.
+  std::optional<obs::JsonValue> read_entry(const std::string& stem,
+                                           const std::string& expect_key,
+                                           std::string* found_key) const;
+  void quarantine(const std::string& stem);
+  void touch(const std::string& stem);
+  void evict_past_limit();
+  void backoff(unsigned attempt) const;
+
+  std::string dir_;
+  std::size_t max_entries_ = 0;
+  unsigned io_attempts_ = 3;
+  unsigned backoff_ms_ = 10;
+
+  /// Entry stems, least-recently-used first. Rebuilt by recover() in
+  /// sorted order (deterministic), then maintained by lookups/stores.
+  std::vector<std::string> lru_;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t io_retries_ = 0;
+};
+
+}  // namespace synran::serve

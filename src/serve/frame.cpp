@@ -1,0 +1,148 @@
+#include "serve/frame.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "exec/stopper.hpp"
+
+namespace synran::serve {
+
+namespace {
+
+/// Longest length line we accept: 20 digits covers every u64, and any
+/// longer run of digits is a broken or hostile stream.
+constexpr std::size_t kMaxLengthDigits = 20;
+
+/// Poll slice while blocked, so stop signals are honored promptly.
+constexpr int kPollSliceMs = 100;
+
+}  // namespace
+
+FrameReader::FrameReader(int fd, std::size_t max_frame)
+    : fd_(fd), max_frame_(max_frame) {}
+
+bool FrameReader::buffered() const {
+  const std::size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) return false;
+  // Validate lazily in take(); here a parseable prefix is enough. A
+  // malformed length line counts as "consumable" so next() can raise the
+  // FrameError instead of blocking forever.
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < nl; ++i) {
+    const char c = buf_[i];
+    if (c < '0' || c > '9') return true;  // malformed: consumable error
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (nl == 0 || nl > kMaxLengthDigits || len > max_frame_) return true;
+  return buf_.size() >= nl + 1 + len;
+}
+
+bool FrameReader::take(std::string& body) {
+  const std::size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) return false;
+  if (nl == 0 || nl > kMaxLengthDigits) {
+    throw FrameError("malformed frame: bad length line");
+  }
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < nl; ++i) {
+    const char c = buf_[i];
+    if (c < '0' || c > '9') {
+      throw FrameError("malformed frame: non-digit in length line");
+    }
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (len > max_frame_) {
+    throw FrameError("oversized frame: " + std::to_string(len) +
+                     " bytes exceeds the " + std::to_string(max_frame_) +
+                     "-byte limit");
+  }
+  if (buf_.size() < nl + 1 + len) return false;
+  body.assign(buf_, nl + 1, len);
+  buf_.erase(0, nl + 1 + len);
+  return true;
+}
+
+bool FrameReader::fill(bool blocking) {
+  if (eof_) return false;
+  for (;;) {
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    const int timeout = blocking ? kPollSliceMs : 0;
+    const int ready = ::poll(&pfd, 1, timeout);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        if (exec::stop_requested()) return false;
+        continue;
+      }
+      throw FrameError(std::string("poll failed: ") + std::strerror(errno));
+    }
+    if (ready == 0) {
+      if (!blocking) return false;
+      if (exec::stop_requested()) return false;
+      continue;
+    }
+    char chunk[4096];
+    const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (exec::stop_requested()) return false;
+        if (!blocking) return false;
+        continue;
+      }
+      throw FrameError(std::string("read failed: ") + std::strerror(errno));
+    }
+    if (got == 0) {
+      eof_ = true;
+      return false;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(got));
+    return true;
+  }
+}
+
+bool FrameReader::next(std::string& body) {
+  for (;;) {
+    if (take(body)) return true;
+    if (eof_) {
+      if (!buf_.empty()) {
+        throw FrameError("truncated frame: EOF after " +
+                         std::to_string(buf_.size()) +
+                         " buffered byte(s) mid-frame");
+      }
+      return false;
+    }
+    if (!fill(/*blocking=*/true)) {
+      if (eof_) continue;  // loop once more to report truncation or EOF
+      if (exec::stop_requested()) return false;
+    }
+  }
+}
+
+bool FrameReader::available() {
+  for (;;) {
+    if (buffered()) return true;
+    if (eof_) return !buf_.empty();  // truncated tail: consumable error
+    if (!fill(/*blocking=*/false)) return eof_ && !buf_.empty();
+  }
+}
+
+bool FrameReader::exhausted() const { return eof_ && buf_.empty(); }
+
+void write_frame(int fd, std::string_view body) {
+  std::string out = std::to_string(body.size());
+  out += '\n';
+  out.append(body);
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t put = ::write(fd, out.data() + off, out.size() - off);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw FrameError(std::string("write failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(put);
+  }
+}
+
+}  // namespace synran::serve

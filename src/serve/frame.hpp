@@ -1,0 +1,80 @@
+// Wire framing for the synran-req/1 protocol.
+//
+// A frame is an ASCII decimal byte count, one '\n', then exactly that many
+// bytes of UTF-8 JSON. Requests and responses use identical framing, over
+// a Unix-domain socket or a pipe/file pair (`synran serve --stdio`):
+//
+//   59\n{"schema":"synran-req/1","id":"a","cmd":"run","config":{}}
+//
+// The length line is capped at 20 digits and the body at `max_frame`
+// bytes (1 MiB by default), so a hostile or broken client can never make
+// the daemon buffer unbounded input. Framing errors (non-digit length,
+// oversized frame, EOF mid-body) are unrecoverable for a byte stream —
+// there is no way to know where the next frame starts — so they raise
+// FrameError and the connection is closed after a best-effort structured
+// `protocol_error` response; malformed JSON *inside* a well-formed frame
+// is recoverable and handled a layer up (request.hpp).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace synran::serve {
+
+inline constexpr const char* kRequestSchema = "synran-req/1";
+inline constexpr const char* kResponseSchema = "synran-resp/1";
+
+/// Default cap on one frame's body, and on a response we will emit.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/// Unrecoverable stream-level failure: malformed framing, oversized frame,
+/// truncated body, or a write to a disconnected peer.
+class FrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Buffered frame reader over a POSIX fd (socket, pipe, or regular file).
+class FrameReader {
+ public:
+  explicit FrameReader(int fd, std::size_t max_frame = kMaxFrameBytes);
+
+  /// Blocking read of the next frame body. Returns false on clean EOF at a
+  /// frame boundary. Throws FrameError on malformed framing or truncation.
+  /// While blocked it polls in 100 ms slices and returns false early once
+  /// exec::stop_requested() is set, so a drain signal is never stuck
+  /// behind an idle client.
+  bool next(std::string& body);
+
+  /// True when a complete frame (or EOF) can be consumed without blocking:
+  /// the queue-filling probe behind overload shedding. Performs
+  /// non-blocking reads to make progress but never waits.
+  bool available();
+
+  /// EOF has been reached and the buffer holds no complete frame.
+  bool exhausted() const;
+
+ private:
+  /// Reads more bytes into buf_. `blocking` waits (in poll slices);
+  /// non-blocking returns immediately when nothing is readable. Returns
+  /// false when no bytes were added.
+  bool fill(bool blocking);
+  /// Tries to cut one complete frame from buf_ into `body`.
+  bool take(std::string& body);
+  /// A complete frame is already buffered.
+  bool buffered() const;
+
+  int fd_;
+  std::size_t max_frame_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+/// Writes one frame (length line + body). Throws FrameError on any short
+/// write or I/O error — with SIGPIPE ignored, a vanished client surfaces
+/// here as EPIPE instead of killing the daemon.
+void write_frame(int fd, std::string_view body);
+
+}  // namespace synran::serve

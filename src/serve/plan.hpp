@@ -1,0 +1,57 @@
+// Canonical config → executable batch.
+//
+// A RunPlan is the daemon-side twin of the CLI's flag wiring: the same
+// protocol/adversary/scheduler/delay factories, the same RepeatSpec
+// construction, built from a canonical synran-req/1 config instead of
+// argv. Execution returns the batch's EXACT checkpoint payload
+// (RepeatedRunStats/AsyncRunStats::checkpoint_json), which is what the
+// content-addressed cache stores; the client-facing result object is then
+// derived from that payload by result_from_payload() on BOTH the compute
+// and the cache-hit path, so a hit is byte-identical to a fresh run by
+// construction, not by luck.
+#pragma once
+
+#include <memory>
+
+#include "async/benor.hpp"
+#include "exec/async_batch.hpp"
+#include "exec/batch.hpp"
+#include "obs/json.hpp"
+
+namespace synran::serve {
+
+/// One executable batch. Exactly one of the sync/async halves is live,
+/// selected by `is_async`.
+struct RunPlan {
+  bool is_async = false;
+
+  // Sync (is_async == false).
+  std::unique_ptr<ProcessFactory> factory;
+  AdversaryFactory adversaries;
+  RepeatSpec spec;
+
+  // Async (is_async == true).
+  BenOrOptions benor;
+  AsyncSchedulerFactory schedulers;
+  AsyncDelayFactory delays;
+  AsyncRepeatSpec aspec;
+};
+
+/// Builds the plan for a canonical config (as produced by parse_request).
+/// `threads` is the server's worker count — an execution resource, never
+/// part of the cache key (statistics are thread-count invariant).
+RunPlan build_plan(const obs::JsonValue& canonical_config, unsigned threads);
+
+/// Runs the batch. Returns the exact checkpoint payload. Propagates
+/// exec::Interrupted when a deadline or drain stop lands mid-batch.
+obs::JsonValue execute_plan(const RunPlan& plan);
+
+/// Derives the client-facing result object from a checkpoint payload by
+/// restoring the aggregate and re-reading it: headline verdict counters, a
+/// few headline means, and the full payload under "checkpoint" so clients
+/// can rebuild the aggregate exactly. Throws on a foreign/corrupt payload
+/// (the cache validator treats that as a torn entry).
+obs::JsonValue result_from_payload(bool is_async,
+                                   const obs::JsonValue& payload);
+
+}  // namespace synran::serve

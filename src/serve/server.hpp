@@ -1,0 +1,118 @@
+// The synran-req/1 daemon loop.
+//
+// One Server instance owns a transport (stdio fds or a Unix-domain
+// socket), a bounded request queue, a ResultCache, and a metrics
+// registry. The loop is single-threaded by design — requests execute one
+// at a time, in arrival order, so responses are deterministic — with two
+// narrow exceptions to pure single-threadedness: the batch executor may
+// shard one request's reps across workers (statistics are thread-count
+// invariant), and a watchdog thread arms the per-request deadline by
+// raising the cooperative stop flag the executor already polls.
+//
+// Overload control: between requests the loop drains every frame the
+// client has already sent. The first --max-queue of them wait their turn;
+// anything beyond that is answered immediately with a structured
+// `overloaded` error — explicit shedding, never an unbounded buffer.
+//
+// Shutdown and exit codes:
+//   clean client EOF (stdio) or `shutdown` command ........ exit 0
+//   unrecoverable protocol/transport failure .............. exit 1
+//   SIGINT/SIGTERM drain: the in-flight batch stops
+//   cooperatively, it and every queued request get a
+//   structured `shutting_down` response, then the daemon
+//   exits ................................................. exit 4
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "serve/cache.hpp"
+
+namespace synran::serve {
+
+/// Exit code for a drain triggered by SIGINT/SIGTERM. Distinct from the
+/// CLI's 3 ("interrupted, work abandoned"): a drained daemon answered
+/// everything it had accepted before exiting.
+inline constexpr int kDrainExitCode = 4;
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty = stdio (fd 0 / fd 1).
+  std::string socket_path;
+  std::string cache_dir = ".synran-cache";
+  /// Requests allowed to wait; frames beyond this are shed.
+  std::size_t max_queue = 64;
+  /// Default per-request deadline in ms; 0 = none. A request's own
+  /// deadline_ms is honored when it is tighter.
+  std::uint64_t deadline_ms = 0;
+  /// Executor worker threads (0 = auto), never part of the cache key.
+  unsigned threads = 0;
+  /// Build identity baked into every cache key.
+  std::string git_rev = "unknown";
+  std::size_t max_cache_entries = 0;
+  /// Cache I/O retry knobs (see ResultCache::Options).
+  unsigned io_attempts = 3;
+  unsigned backoff_ms = 10;
+  /// Diagnostic log sink (stderr in the CLI); nullptr = silent. Never
+  /// receives response data — responses go to the transport only.
+  std::ostream* log = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  /// Runs until EOF, `shutdown`, a drain signal, or a fatal transport
+  /// error. Returns the process exit code (0, 1, or kDrainExitCode).
+  /// Stdio mode serves fds 0/1; socket mode binds options.socket_path and
+  /// serves one connection at a time until signalled or shut down.
+  int run();
+
+  /// Serves one already-open fd pair until it is exhausted (exposed for
+  /// tests, which drive the loop with regular files instead of sockets).
+  /// Returns like run().
+  int serve_fds(int in_fd, int out_fd);
+
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  ResultCache& cache() { return cache_; }
+
+ private:
+  enum class Outcome : std::uint8_t {
+    CleanEof,       ///< client closed at a frame boundary
+    Shutdown,       ///< `shutdown` command honored
+    Drained,        ///< SIGINT/SIGTERM drain completed
+    ProtocolError,  ///< unrecoverable framing violation
+    ClientLost,     ///< write failed (EPIPE); socket mode accepts anew
+  };
+
+  Outcome serve_stream(int in_fd, int out_fd);
+  /// Handles one frame body; returns false when the daemon should stop
+  /// accepting further work from this stream (shutdown command).
+  bool handle(const std::string& body, int out_fd);
+  void handle_run(const std::string& id, const obs::JsonValue& config,
+                  std::uint64_t deadline_ms, int out_fd);
+  /// Answers every queued body with a `shutting_down` error.
+  void flush_queue_shutting_down(std::deque<std::string>& queue, int out_fd);
+
+  void respond(int out_fd, const obs::JsonValue& response);
+  /// Copies cache counters and queue depth into the registry so `stats`
+  /// responses and test assertions see one coherent snapshot.
+  void sync_metrics(std::size_t queue_depth);
+
+  int run_socket();
+
+  ServerOptions options_;
+  ResultCache cache_;
+  obs::MetricsRegistry metrics_;
+  bool shutdown_requested_ = false;
+};
+
+/// Builds a structured error response (schema, id, ok=false, error code +
+/// message). Exposed for the client subcommand's own diagnostics.
+obs::JsonValue error_response(const std::string& id, const std::string& code,
+                              const std::string& message);
+obs::JsonValue ok_response(const std::string& id, obs::JsonValue result);
+
+}  // namespace synran::serve

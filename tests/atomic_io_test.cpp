@@ -1,0 +1,201 @@
+// The fsync-before-rename commit discipline, proven via the I/O
+// fault-injection shim (obs::set_io_fault_hook). Every persisted artifact
+// — AtomicFileSink outputs, checkpoint ledgers, serve cache entries —
+// funnels through obs::commit_atomic(), so these tests pin the shared
+// contract once: the Fsync stage fires strictly before the Rename stage,
+// a fault at either stage leaves the final path byte-identical to what it
+// held before, and a transient fault is retryable because the temp file's
+// cleanup leaves the writer in a consistent state.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/atomic_file.hpp"
+#include "obs/checkpoint.hpp"
+#include "obs/io_error.hpp"
+#include "obs/json.hpp"
+
+namespace synran::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("synran_atomic_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out << bytes;
+}
+
+/// Records every (stage, path) the commit path announces, in order.
+using Trace = std::vector<std::pair<IoStage, std::string>>;
+
+void install_recorder(Trace& trace) {
+  set_io_fault_hook([&trace](IoStage stage, const std::string& path) {
+    trace.emplace_back(stage, path);
+  });
+}
+
+struct HookGuard {
+  ~HookGuard() { set_io_fault_hook(nullptr); }
+};
+
+TEST(CommitAtomic, FsyncsTheTempFileBeforeRenaming) {
+  HookGuard guard;
+  const std::string dir = temp_dir("order");
+  const std::string tmp = dir + "/artifact.json.tmp";
+  const std::string final_path = dir + "/artifact.json";
+  write_file(tmp, "{\"v\":1}");
+
+  Trace trace;
+  install_recorder(trace);
+  commit_atomic(tmp, final_path, "test artifact");
+  set_io_fault_hook(nullptr);
+
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].first, IoStage::Fsync);
+  EXPECT_EQ(trace[0].second, tmp);
+  EXPECT_EQ(trace[1].first, IoStage::Rename);
+  EXPECT_EQ(trace[1].second, tmp);
+  EXPECT_EQ(read_file(final_path), "{\"v\":1}");
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
+TEST(CommitAtomic, FaultAtEitherStageLeavesTheFinalPathUntouched) {
+  HookGuard guard;
+  const std::string dir = temp_dir("fault");
+  const std::string tmp = dir + "/artifact.json.tmp";
+  const std::string final_path = dir + "/artifact.json";
+  write_file(final_path, "old contents");
+
+  for (const IoStage fault_at : {IoStage::Fsync, IoStage::Rename}) {
+    write_file(tmp, "new contents");
+    set_io_fault_hook([fault_at](IoStage stage, const std::string&) {
+      if (stage == fault_at) {
+        throw IoError(std::string("injected at ") + to_string(stage));
+      }
+    });
+    EXPECT_THROW(commit_atomic(tmp, final_path, "test artifact"), IoError);
+    set_io_fault_hook(nullptr);
+    EXPECT_EQ(read_file(final_path), "old contents")
+        << "fault at " << to_string(fault_at);
+    // The temp file survives for the caller to retry or remove.
+    EXPECT_TRUE(fs::exists(tmp));
+    fs::remove(tmp);
+  }
+}
+
+TEST(AtomicFileSink, CommitsThroughTheSharedDiscipline) {
+  HookGuard guard;
+  const std::string dir = temp_dir("sink");
+  const std::string path = dir + "/out.jsonl";
+
+  Trace trace;
+  install_recorder(trace);
+  {
+    AtomicFileSink sink(path);
+    ASSERT_NE(sink.stream(), nullptr);
+    (*sink.stream()) << "line one\n";
+    sink.close();
+  }
+  set_io_fault_hook(nullptr);
+
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].first, IoStage::Fsync);
+  EXPECT_EQ(trace[1].first, IoStage::Rename);
+  EXPECT_EQ(read_file(path), "line one\n");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(AtomicFileSink, FaultedCloseNeverPublishesATornFile) {
+  HookGuard guard;
+  const std::string dir = temp_dir("sink_fault");
+  const std::string path = dir + "/out.jsonl";
+  set_io_fault_hook([](IoStage stage, const std::string&) {
+    if (stage == IoStage::Fsync) throw IoError("injected");
+  });
+  {
+    AtomicFileSink sink(path);
+    (*sink.stream()) << "half-written";
+    EXPECT_THROW(sink.close(), IoError);
+  }
+  set_io_fault_hook(nullptr);
+  // The final name never appeared: a crashed reader can't see torn bytes.
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(CheckpointLedger, RecordSurvivesATransientFsyncFault) {
+  HookGuard guard;
+  const std::string dir = temp_dir("ledger");
+  const std::string path = dir + "/ledger.ckpt";
+
+  CheckpointLedger ledger(path, "exp", 7);
+  JsonValue data = JsonValue::object();
+  data.set("cell_value", static_cast<std::int64_t>(1));
+
+  int faults_left = 1;
+  set_io_fault_hook([&faults_left](IoStage stage, const std::string&) {
+    if (stage == IoStage::Fsync && faults_left > 0) {
+      --faults_left;
+      throw IoError("injected transient fsync fault");
+    }
+  });
+  EXPECT_THROW(ledger.record(CheckpointCell{0, "cell-key", data}), IoError);
+  // The fault aborted the flush before the final name was touched.
+  EXPECT_FALSE(fs::exists(path));
+
+  // Same ledger, fault cleared: the retry persists the cell durably.
+  ledger.record(CheckpointCell{0, "cell-key", data});
+  set_io_fault_hook(nullptr);
+  EXPECT_TRUE(fs::exists(path));
+
+  CheckpointLedger reloaded(path, "exp", 7);
+  const CheckpointCell* found = reloaded.find(0, "cell-key");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->data.dump(), data.dump());
+}
+
+TEST(CheckpointLedger, FaultedFlushPreservesThePreviousLedger) {
+  HookGuard guard;
+  const std::string dir = temp_dir("ledger_prev");
+  const std::string path = dir + "/ledger.ckpt";
+
+  JsonValue first = JsonValue::object();
+  first.set("v", static_cast<std::int64_t>(1));
+  CheckpointLedger ledger(path, "exp", 7);
+  ledger.record(CheckpointCell{0, "first", first});
+  const std::string committed = read_file(path);
+
+  JsonValue second = JsonValue::object();
+  second.set("v", static_cast<std::int64_t>(2));
+  set_io_fault_hook([](IoStage stage, const std::string&) {
+    if (stage == IoStage::Rename) throw IoError("injected rename fault");
+  });
+  EXPECT_THROW(ledger.record(CheckpointCell{1, "second", second}), IoError);
+  set_io_fault_hook(nullptr);
+
+  // The previously committed ledger bytes are exactly what a restarted
+  // process reads: the failed flush changed nothing under the final name.
+  EXPECT_EQ(read_file(path), committed);
+  CheckpointLedger reloaded(path, "exp", 7);
+  EXPECT_NE(reloaded.find(0, "first"), nullptr);
+  EXPECT_EQ(reloaded.find(1, "second"), nullptr);
+}
+
+}  // namespace
+}  // namespace synran::obs

@@ -665,14 +665,126 @@ void check_trace2_stream(const std::string& data, Check& c) {
   if (in_run) c.fail("stream ends inside an open run (no run_end)");
 }
 
-int check_file(const std::string& path, bool trace_mode) {
+/// Validates a synran-req/1 / synran-resp/1 frame stream: every frame is a
+/// decimal length line + exactly that many body bytes, every body is a
+/// JSON object tagged with one of the two serve schemas, requests carry a
+/// known cmd, and responses carry ok plus the matching result/error
+/// member. The stream must end exactly at a frame boundary — a trailing
+/// partial frame is how a torn capture (or a killed daemon's last write,
+/// which the commit discipline forbids) shows up.
+void check_serve_stream(const std::string& data, Check& c) {
+  std::size_t pos = 0;
+  std::size_t frame_no = 0;
+  if (data.empty()) {
+    c.fail("stream is empty");
+    return;
+  }
+  while (pos < data.size()) {
+    ++frame_no;
+    const std::string at = "frame " + std::to_string(frame_no);
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      c.fail(at + ": no newline after the length line (torn frame)");
+      return;
+    }
+    std::size_t len = 0;
+    if (nl == pos || nl - pos > 20) {
+      c.fail(at + ": bad length line");
+      return;
+    }
+    for (std::size_t i = pos; i < nl; ++i) {
+      const char ch = data[i];
+      if (ch < '0' || ch > '9') {
+        c.fail(at + ": non-digit in length line");
+        return;
+      }
+      len = len * 10 + static_cast<std::size_t>(ch - '0');
+    }
+    if (data.size() - nl - 1 < len) {
+      c.fail(at + ": body truncated (" + std::to_string(data.size() - nl - 1) +
+             " of " + std::to_string(len) + " bytes)");
+      return;
+    }
+    const std::string body = data.substr(nl + 1, len);
+    pos = nl + 1 + len;
+
+    std::string err;
+    const auto parsed = JsonValue::parse(body, &err);
+    if (!parsed.has_value()) {
+      c.fail(at + ": body parse error: " + err);
+      continue;
+    }
+    if (!parsed->is_object()) {
+      c.fail(at + ": body is not an object");
+      continue;
+    }
+    const auto* schema = parsed->find("schema");
+    if (schema == nullptr || !schema->is_string()) {
+      c.fail(at + ": missing string \"schema\"");
+      continue;
+    }
+    if (schema->as_string() == "synran-req/1") {
+      const auto* cmd = parsed->find("cmd");
+      if (cmd == nullptr || !cmd->is_string()) {
+        c.fail(at + ": request has no string cmd");
+      } else {
+        const std::string& name = cmd->as_string();
+        if (name != "run" && name != "ping" && name != "stats" &&
+            name != "shutdown")
+          c.fail(at + ": unknown request cmd \"" + name + "\"");
+      }
+      const auto* id = parsed->find("id");
+      if (id != nullptr && !id->is_string())
+        c.fail(at + ": request id is not a string");
+    } else if (schema->as_string() == "synran-resp/1") {
+      const auto* ok = parsed->find("ok");
+      if (ok == nullptr || !ok->is_bool()) {
+        c.fail(at + ": response has no boolean ok");
+        continue;
+      }
+      const auto* id = parsed->find("id");
+      if (id == nullptr || !id->is_string())
+        c.fail(at + ": response id is not a string");
+      if (ok->as_bool()) {
+        if (parsed->find("result") == nullptr)
+          c.fail(at + ": ok response without result");
+        if (parsed->find("error") != nullptr)
+          c.fail(at + ": ok response carries an error");
+      } else {
+        const auto* error = parsed->find("error");
+        if (error == nullptr || !error->is_object()) {
+          c.fail(at + ": error response without error object");
+        } else {
+          const auto* code = error->find("code");
+          if (code == nullptr || !code->is_string() ||
+              code->as_string().empty())
+            c.fail(at + ": error.code is not a non-empty string");
+          if (const auto* msg = error->find("message");
+              msg == nullptr || !msg->is_string())
+            c.fail(at + ": error.message is not a string");
+        }
+        if (parsed->find("result") != nullptr)
+          c.fail(at + ": error response carries a result");
+      }
+    } else {
+      c.fail(at + ": schema \"" + schema->as_string() +
+             "\" is neither synran-req/1 nor synran-resp/1");
+    }
+  }
+}
+
+int check_file(const std::string& path, bool trace_mode, bool serve_mode) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::cerr << path << ": cannot open\n";
     return 1;
   }
   Check c;
-  if (trace_mode) {
+  if (serve_mode) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    check_serve_stream(buf.str(), c);
+  } else if (trace_mode) {
     // Sniff the format off the leading bytes: the synran-trace/2 magic wins,
     // anything else is treated as JSONL (whose first byte is '{').
     std::ostringstream buf;
@@ -749,6 +861,7 @@ int canon_file(const std::string& path) {
 int main(int argc, char** argv) {
   bool trace_mode = false;
   bool canon_mode = false;
+  bool serve_mode = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -756,23 +869,29 @@ int main(int argc, char** argv) {
       trace_mode = true;
     else if (arg == "--canon")
       canon_mode = true;
+    else if (arg == "--serve")
+      serve_mode = true;
     else
       files.push_back(arg);
   }
-  if (files.empty() || (trace_mode && canon_mode) ||
-      (canon_mode && files.size() != 1)) {
-    std::cerr << "usage: bench_schema_check [--trace] FILE...\n"
+  const int modes = static_cast<int>(trace_mode) +
+                    static_cast<int>(canon_mode) +
+                    static_cast<int>(serve_mode);
+  if (files.empty() || modes > 1 || (canon_mode && files.size() != 1)) {
+    std::cerr << "usage: bench_schema_check [--trace|--serve] FILE...\n"
                  "       bench_schema_check --canon FILE\n"
-                 "  validates synran-bench/1 reports (default) or run\n"
-                 "  traces (--trace; synran-trace/1 JSONL and synran-trace/2\n"
-                 "  binary, sniffed per file); --canon prints one report\n"
-                 "  minus timings/git_rev/threads/trace_overhead for byte\n"
+                 "  validates synran-bench/1 reports (default), run traces\n"
+                 "  (--trace; synran-trace/1 JSONL and synran-trace/2\n"
+                 "  binary, sniffed per file), or synran-req/1 frame\n"
+                 "  streams (--serve: request or response captures);\n"
+                 "  --canon prints one report minus\n"
+                 "  timings/git_rev/threads/trace_overhead for byte\n"
                  "  comparison\n";
     return 2;
   }
   if (canon_mode) return canon_file(files[0]);
   int rc = 0;
   for (const auto& f : files)
-    if (check_file(f, trace_mode) != 0) rc = 1;
+    if (check_file(f, trace_mode, serve_mode) != 0) rc = 1;
   return rc;
 }

@@ -27,13 +27,20 @@
 //      hit --max-rounds, quarantined reps, I/O errors)
 //   2  usage error (unknown names, malformed or out-of-range flag values)
 //   3  interrupted (SIGINT/SIGTERM honored between repetitions)
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <charconv>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <limits>
 #include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
 
@@ -57,6 +64,7 @@
 #include "protocols/synran.hpp"
 #include "runner/experiment.hpp"
 #include "runner/narrate.hpp"
+#include "serve/server.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -108,9 +116,12 @@ double parse_f64(const std::string& key, const std::string& text) {
 }
 
 /// Minimal argument parser: accepts both "--key value" and "--key=value".
+/// Names listed in `flags` are booleans — they take no value and read back
+/// as "1" (get("name", "") != "" tests presence).
 class Args {
  public:
-  Args(int argc, char** argv, int first) {
+  Args(int argc, char** argv, int first,
+       const std::set<std::string>& flags = {}) {
     for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         throw UsageError("expected --key value pairs, got '" +
@@ -119,6 +130,10 @@ class Args {
       const std::string arg = argv[i] + 2;
       if (const auto eq = arg.find('='); eq != std::string::npos) {
         kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        continue;
+      }
+      if (flags.count(arg) != 0) {
+        kv_[arg] = "1";
         continue;
       }
       if (i + 1 >= argc) {
@@ -783,6 +798,111 @@ int cmd_trace_head(const Args& args) {
   return 0;
 }
 
+/// `synran serve`: the fault-tolerant batch-request daemon (synran-req/1
+/// over stdio or a Unix socket, content-addressed result cache, bounded
+/// queue with shedding, per-request deadlines, graceful drain). See
+/// EXPERIMENTS.md "Serving batches" and README.md "Serving".
+int cmd_serve(const Args& args) {
+  exec::install_stop_handlers();
+
+  serve::ServerOptions opts;
+  opts.socket_path = args.get("socket", "");
+  if (!args.get("stdio", "").empty() && !opts.socket_path.empty()) {
+    throw UsageError("--stdio and --socket are mutually exclusive");
+  }
+  opts.cache_dir = args.get("cache-dir", ".synran-cache");
+  opts.max_queue = args.num("max-queue", 64);
+  if (opts.max_queue == 0) {
+    throw UsageError("--max-queue must be >= 1");
+  }
+  opts.deadline_ms = args.num("deadline-ms", 0);
+  opts.threads = static_cast<unsigned>(args.num("threads", 0));
+  opts.max_cache_entries = args.num("max-cache-entries", 0);
+  opts.backoff_ms = static_cast<unsigned>(args.num("backoff-ms", 10));
+  // Cache keys embed the build identity so a rebuilt binary never serves
+  // results computed by different code. SYNRAN_GIT_REV (env) overrides.
+  opts.git_rev = args.get("git-rev", "");
+  if (opts.git_rev.empty()) {
+    const char* env = std::getenv("SYNRAN_GIT_REV");
+    opts.git_rev = env != nullptr && *env != '\0' ? env : "unknown";
+  }
+  opts.log = &std::cerr;
+
+  serve::Server server(std::move(opts));
+  return server.run();
+}
+
+/// `synran request`: minimal client for the daemon's socket mode. Reads
+/// frames (or anything else) from stdin, ships the bytes to --socket,
+/// half-closes, and streams the responses to stdout. Stdin is consumed
+/// fully before sending, so pipe scripts of smoke-test size — not bulk
+/// transfers — are the intended use.
+int cmd_request(const Args& args) {
+  const std::string path = args.get("socket", "");
+  if (path.empty()) {
+    throw UsageError("request needs --socket PATH");
+  }
+
+  std::string input;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = ::read(STDIN_FILENO, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("stdin read failed: ") +
+                               std::strerror(errno));
+    }
+    if (got == 0) break;
+    input.append(chunk, static_cast<std::size_t>(got));
+  }
+
+  const int sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (sock < 0) {
+    throw std::runtime_error(std::string("socket failed: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(sock);
+    throw UsageError("--socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(sock);
+    throw std::runtime_error("cannot connect to " + path + ": " +
+                             std::strerror(errno));
+  }
+
+  std::size_t off = 0;
+  while (off < input.size()) {
+    const ssize_t put = ::write(sock, input.data() + off, input.size() - off);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      ::close(sock);
+      throw std::runtime_error(std::string("socket write failed: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(put);
+  }
+  ::shutdown(sock, SHUT_WR);
+
+  for (;;) {
+    const ssize_t got = ::read(sock, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(sock);
+      throw std::runtime_error(std::string("socket read failed: ") +
+                               std::strerror(errno));
+    }
+    if (got == 0) break;
+    std::cout.write(chunk, got);
+  }
+  std::cout.flush();
+  ::close(sock);
+  return 0;
+}
+
 int cmd_trace(const std::string& sub, const Args& args) {
   if (sub == "convert") return cmd_trace_convert(args);
   if (sub == "stats") return cmd_trace_stats(args);
@@ -846,13 +966,27 @@ void usage() {
       "           stats   --in FILE [--format table|json] (streaming\n"
       "                   aggregation; json matches across formats)\n"
       "           head    --in FILE [--count N] (first events as JSONL)\n"
+      "  serve    batch-request daemon (schema synran-req/1 over\n"
+      "           length-prefixed frames; see EXPERIMENTS.md):\n"
+      "           --stdio (default) | --socket PATH (Unix socket)\n"
+      "           --cache-dir DIR (content-addressed result cache,\n"
+      "           default .synran-cache) --max-cache-entries N (0 = no\n"
+      "           LRU eviction) --max-queue N (default 64; excess\n"
+      "           requests get a structured 'overloaded' error)\n"
+      "           --deadline-ms N (default per-request deadline; 0 =\n"
+      "           none) --threads N --git-rev REV (cache-key build id;\n"
+      "           default $SYNRAN_GIT_REV or 'unknown')\n"
+      "  request  client for serve's socket mode: frames from stdin to\n"
+      "           --socket PATH, responses to stdout\n"
       "\n"
       "exit codes:\n"
       "  0  safe, successful run\n"
       "  1  safety or runtime failure (agreement/validity violations,\n"
       "     non-terminated or quarantined reps, I/O errors)\n"
       "  2  usage error (unknown names, malformed flag values)\n"
-      "  3  interrupted (SIGINT/SIGTERM; in-flight reps finish first)\n";
+      "  3  interrupted (SIGINT/SIGTERM; in-flight reps finish first)\n"
+      "  4  serve drained (SIGINT/SIGTERM: queued requests answered\n"
+      "     'shutting_down', cache left consistent, then exit)\n";
 }
 
 }  // namespace
@@ -875,6 +1009,9 @@ int main(int argc, char** argv) {
       }
       return cmd_trace(argv[2], Args(argc, argv, 3));
     }
+    // serve parses its own Args: --stdio is a value-less flag the generic
+    // --key value parser would misread as a pair.
+    if (cmd == "serve") return cmd_serve(Args(argc, argv, 2, {"stdio"}));
     Args args(argc, argv, 2);
     if (cmd == "run") {
       const std::string model = args.get("model", "sync");
@@ -888,6 +1025,7 @@ int main(int argc, char** argv) {
     if (cmd == "coin") return cmd_coin(args);
     if (cmd == "valency") return cmd_valency(args);
     if (cmd == "narrate") return cmd_narrate(args);
+    if (cmd == "request") return cmd_request(args);
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -64,6 +64,11 @@ const std::map<std::string, std::vector<std::string>>& layer_direct_deps() {
       {"runner",
        {"analysis", "adversary", "async", "coin", "exec", "lowerbound",
         "net", "obs", "protocols", "sim"}},
+      // The serve daemon sits on top of the whole execution stack: it
+      // canonicalizes requests (obs JSON), rebuilds the CLI's factory
+      // wiring (adversary/protocols/async), and schedules on the batch
+      // executors through the runner front.
+      {"serve", {"runner"}},
   };
   return deps;
 }

@@ -85,20 +85,25 @@ const std::vector<RuleInfo> kRules = {
      "diagnostic; SYNRAN_CHECK / SYNRAN_REQUIRE stay on everywhere and "
      "throw typed exceptions the runner can report."},
     {"wall-clock",
-     "wall-clock read outside src/obs/ and bench/",
+     "wall-clock read outside src/obs/, src/serve/, and bench/",
      "Seeded runs must not observe real time: a wall-clock read in protocol "
      "or analysis paths makes them non-reproducible. Timing belongs to the "
-     "observability layer and the bench harness."},
+     "observability layer, the serve daemon (deadlines and latency "
+     "metrics), and the bench harness."},
     {"threads",
-     "threading primitive outside src/exec/",
+     "threading primitive outside src/exec/ and src/serve/",
      "The batch executor is the one concurrency boundary; its determinism "
      "contract (static rep schedule, rep-order aggregation) only holds if "
-     "nothing else spawns or synchronizes threads behind its back."},
+     "nothing else spawns or synchronizes threads behind its back. The "
+     "serve daemon's deadline watchdog is the one sanctioned exception — "
+     "it only raises the cooperative stop flag."},
     {"signals",
-     "signal primitive outside src/exec/",
+     "signal primitive outside src/exec/ and src/serve/",
      "Graceful interruption is owned by exec/stopper.{hpp,cpp}; a second "
      "handler would race the stop flag's monotonic contract. Poll "
-     "exec::stop_requested() instead."},
+     "exec::stop_requested() instead. src/serve may additionally ignore "
+     "SIGPIPE (a vanished client must surface as EPIPE, not kill the "
+     "daemon)."},
     {"layering",
      "src/ include edge outside the layer DAG, or an include cycle",
      "src/ modules form an enforced DAG (documented in include_graph.hpp "
@@ -164,10 +169,17 @@ FileClass classify(std::string_view rel_path) {
                      starts_with(rel_path, "src/async/");
   fc.library_code =
       starts_with(rel_path, "src/") && !starts_with(rel_path, "src/runner/");
-  fc.clock_allowed =
-      starts_with(rel_path, "src/obs/") || starts_with(rel_path, "bench/");
-  fc.threads_allowed = starts_with(rel_path, "src/exec/");
-  fc.signals_allowed = starts_with(rel_path, "src/exec/");
+  // src/serve joins the allowlists deliberately: the daemon owns deadlines
+  // (wall clock + a watchdog thread) and SIGPIPE suppression, and its
+  // determinism contract covers response BYTES (derived from checkpoint
+  // payloads), not wall-clock metrics like request latency.
+  fc.clock_allowed = starts_with(rel_path, "src/obs/") ||
+                     starts_with(rel_path, "src/serve/") ||
+                     starts_with(rel_path, "bench/");
+  fc.threads_allowed = starts_with(rel_path, "src/exec/") ||
+                       starts_with(rel_path, "src/serve/");
+  fc.signals_allowed = starts_with(rel_path, "src/exec/") ||
+                       starts_with(rel_path, "src/serve/");
   return fc;
 }
 
